@@ -1,0 +1,43 @@
+// Figure 4 reproduction: histogram of file-size overhead across the 62-CB
+// corpus for the Zipr baseline (Null transform) and Zipr+CFI.
+//
+// Paper shape: both configurations stay under 5 % for essentially every
+// CB, well within the CGC's 20 % budget; CFI costs slightly more than the
+// baseline (its target bitmap ships with the binary).
+#include "bench_util.h"
+
+int main() {
+  using namespace zipr;
+  using namespace zipr::bench;
+
+  std::printf("== Figure 4: Histogram of Filesize Overhead (62 CBs) ==\n\n");
+
+  auto base = evaluate(baseline_config());
+  auto cfi = evaluate(cfi_config());
+
+  auto hb = histogram_of(base, &cgc::CbMetrics::filesize_overhead);
+  auto hc = histogram_of(cfi, &cgc::CbMetrics::filesize_overhead);
+  print_histogram("zipr (Null transform)", hb, base.size());
+  print_histogram("zipr + CFI", hc, cfi.size());
+
+  double mb = cgc::mean_overhead(base, &cgc::CbMetrics::filesize_overhead);
+  double mc = cgc::mean_overhead(cfi, &cgc::CbMetrics::filesize_overhead);
+  std::printf("\n  mean filesize overhead: zipr %.2f%%   zipr+cfi %.2f%%\n\n", mb * 100,
+              mc * 100);
+
+  int within20_base = 0, within20_cfi = 0, within5_base = 0;
+  for (const auto& m : base) {
+    within20_base += m.filesize_overhead <= 0.20;
+    within5_base += m.filesize_overhead <= 0.05;
+  }
+  for (const auto& m : cfi) within20_cfi += m.filesize_overhead <= 0.20;
+
+  ClaimChecker claims;
+  claims.check(count_functional(base) == 62, "all 62 baseline CBs remain functional");
+  claims.check(count_functional(cfi) == 62, "all 62 CFI CBs remain functional");
+  claims.check(within20_base == 62, "baseline: every CB within the 20% CGC budget");
+  claims.check(within20_cfi == 62, "CFI: every CB within the 20% CGC budget");
+  claims.check(within5_base >= 56, "baseline: vast majority of CBs under 5% overhead");
+  claims.check(mc >= mb, "CFI file-size overhead >= baseline (bitmap cost)");
+  return claims.finish();
+}

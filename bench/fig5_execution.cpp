@@ -1,0 +1,42 @@
+// Figure 5 reproduction: histogram of execution overhead across the 62-CB
+// corpus for the Zipr baseline and Zipr+CFI, measured in VM cycles under
+// the pollers' workload.
+//
+// Paper shape: the vast majority of baseline CBs stay within 5 %, several
+// land between 5 % and 20 %; CFI shifts CBs out of the <5 % bin into the
+// higher bins (each indirect transfer pays for its guard).
+#include "bench_util.h"
+
+int main() {
+  using namespace zipr;
+  using namespace zipr::bench;
+
+  std::printf("== Figure 5: Histogram of Execution Overhead (62 CBs) ==\n\n");
+
+  auto base = evaluate(baseline_config());
+  auto cfi = evaluate(cfi_config());
+
+  auto hb = histogram_of(base, &cgc::CbMetrics::exec_overhead);
+  auto hc = histogram_of(cfi, &cgc::CbMetrics::exec_overhead);
+  print_histogram("zipr (Null transform)", hb, base.size());
+  print_histogram("zipr + CFI", hc, cfi.size());
+
+  double mb = cgc::mean_overhead(base, &cgc::CbMetrics::exec_overhead);
+  double mc = cgc::mean_overhead(cfi, &cgc::CbMetrics::exec_overhead);
+  std::printf("\n  mean execution overhead: zipr %.2f%%   zipr+cfi %.2f%%\n\n", mb * 100,
+              mc * 100);
+
+  int base_within5 = hb.counts[0] + hb.counts[1];
+  int cfi_within5 = hc.counts[0] + hc.counts[1];
+  int base_within20 = base_within5 + hb.counts[2] + hb.counts[3];
+
+  ClaimChecker claims;
+  claims.check(count_functional(base) == 62 && count_functional(cfi) == 62,
+               "all CBs remain functional under both configurations");
+  claims.check(base_within5 >= 42, "baseline: vast majority of CBs within 5%");
+  claims.check(base_within20 >= 58, "baseline: nearly all CBs within 20%");
+  claims.check(cfi_within5 <= base_within5,
+               "CFI reduces the number of CBs in the <5% bin (guards cost cycles)");
+  claims.check(mc >= mb, "CFI mean execution overhead >= baseline");
+  return claims.finish();
+}

@@ -1,0 +1,47 @@
+// Figure 6 reproduction: histogram of memory (MaxRSS) overhead across the
+// 62-CB corpus for the Zipr baseline and Zipr+CFI, measured in pages
+// touched by the VM under the pollers' workload.
+//
+// Paper shape: the majority of CBs stay within 5 % for both
+// configurations; CFI adds memory pressure; ONE pathological CB exceeds
+// 50 % under CFI -- its pinned addresses fragment the address space and
+// its large dollops spill into the overflow area (see cgc::cfe_corpus()).
+#include "bench_util.h"
+
+int main() {
+  using namespace zipr;
+  using namespace zipr::bench;
+
+  std::printf("== Figure 6: Histogram of Memory Overhead (62 CBs) ==\n\n");
+
+  auto base = evaluate(baseline_config());
+  auto cfi = evaluate(cfi_config());
+
+  auto hb = histogram_of(base, &cgc::CbMetrics::mem_overhead);
+  auto hc = histogram_of(cfi, &cgc::CbMetrics::mem_overhead);
+  print_histogram("zipr (Null transform)", hb, base.size());
+  print_histogram("zipr + CFI", hc, cfi.size());
+
+  double mb = cgc::mean_overhead(base, &cgc::CbMetrics::mem_overhead);
+  double mc = cgc::mean_overhead(cfi, &cgc::CbMetrics::mem_overhead);
+  std::printf("\n  mean memory overhead: zipr %.2f%%   zipr+cfi %.2f%%\n", mb * 100, mc * 100);
+
+  // The pathological CB is the last corpus entry.
+  const auto& outlier_cfi = cfi.back();
+  std::printf("  pathological CB (%s): baseline %.1f%%, CFI %.1f%% memory overhead\n\n",
+              outlier_cfi.name.c_str(), base.back().mem_overhead * 100,
+              outlier_cfi.mem_overhead * 100);
+
+  int base_within5 = hb.counts[0] + hb.counts[1];
+  int cfi_within5 = hc.counts[0] + hc.counts[1];
+
+  ClaimChecker claims;
+  claims.check(count_functional(base) == 62 && count_functional(cfi) == 62,
+               "all CBs remain functional under both configurations");
+  claims.check(base_within5 >= 32, "baseline: majority of CBs within 5%");
+  claims.check(cfi_within5 <= base_within5, "CFI adds memory pressure vs baseline");
+  claims.check(outlier_cfi.mem_overhead > 0.50,
+               "the pathological CB exceeds 50% memory overhead under CFI");
+  claims.check(mc >= mb, "CFI mean memory overhead >= baseline");
+  return claims.finish();
+}

@@ -1,0 +1,157 @@
+// Microbenchmarks (google-benchmark): throughput of the pieces the
+// rewriting pipeline leans on -- instruction decode/encode, interval-set
+// operations, VM execution, and the end-to-end rewrite itself.
+#include <benchmark/benchmark.h>
+
+#include "asm/assembler.h"
+#include "cgc/generator.h"
+#include "isa/insn.h"
+#include "support/interval.h"
+#include "support/rng.h"
+#include "vm/machine.h"
+#include "zipr/zipr.h"
+
+namespace {
+
+using namespace zipr;
+
+// A buffer of valid, varied instruction encodings.
+Bytes make_insn_stream(std::size_t count) {
+  Bytes out;
+  Rng rng(1);
+  for (std::size_t i = 0; i < count; ++i) {
+    isa::Insn in;
+    switch (rng.below(6)) {
+      case 0: in = isa::make_nop(); break;
+      case 1: in = isa::make_jmp(static_cast<std::int64_t>(rng.below(100)), isa::BranchWidth::kRel32); break;
+      case 2:
+        in.op = isa::Op::kMovI;
+        in.ra = static_cast<std::uint8_t>(rng.below(8));
+        in.imm = static_cast<std::int64_t>(rng.below(1 << 30));
+        break;
+      case 3:
+        in.op = isa::Op::kAdd;
+        in.ra = static_cast<std::uint8_t>(rng.below(8));
+        in.rb = static_cast<std::uint8_t>(rng.below(8));
+        break;
+      case 4:
+        in.op = isa::Op::kLoad;
+        in.ra = static_cast<std::uint8_t>(rng.below(8));
+        in.rb = static_cast<std::uint8_t>(rng.below(8));
+        in.imm = static_cast<std::int64_t>(rng.below(256));
+        break;
+      case 5: in = isa::make_push_imm(static_cast<std::uint32_t>(rng.below(1u << 31))); break;
+    }
+    auto enc = isa::encode(in);
+    put_bytes(out, *enc);
+  }
+  return out;
+}
+
+void BM_Decode(benchmark::State& state) {
+  Bytes stream = make_insn_stream(4096);
+  for (auto _ : state) {
+    std::size_t off = 0, n = 0;
+    while (off < stream.size()) {
+      auto in = isa::decode(ByteView(stream.data() + off, std::min<std::size_t>(10, stream.size() - off)));
+      off += in->length;
+      ++n;
+    }
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_Decode);
+
+void BM_Encode(benchmark::State& state) {
+  std::vector<isa::Insn> insns;
+  Bytes stream = make_insn_stream(4096);
+  std::size_t off = 0;
+  while (off < stream.size()) {
+    auto in = isa::decode(ByteView(stream.data() + off, std::min<std::size_t>(10, stream.size() - off)));
+    insns.push_back(*in);
+    off += in->length;
+  }
+  Bytes out;
+  for (auto _ : state) {
+    out.clear();
+    for (const auto& in : insns) (void)isa::encode(in, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * insns.size()));
+}
+BENCHMARK(BM_Encode);
+
+void BM_IntervalSetChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    IntervalSet s;
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+      std::uint64_t a = rng.below(1 << 20);
+      std::uint64_t b = a + rng.below(256);
+      if (rng.chance(2, 3))
+        s.insert(a, b);
+      else
+        s.erase(a, b);
+    }
+    benchmark::DoNotOptimize(s.count());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_IntervalSetChurn);
+
+const char* kVmProgram = R"(
+  .entry main
+  .text
+  main:
+    movi r2, 0
+    movi r3, 0
+  loop:
+    addi r3, 7
+    xori r3, 0x5a5a
+    addi r2, 1
+    cmpi r2, 20000
+    jlt loop
+    movi r0, 1
+    mov r1, r3
+    syscall
+)";
+
+void BM_VmExecution(benchmark::State& state) {
+  auto img = assembler::assemble(kVmProgram);
+  for (auto _ : state) {
+    auto r = vm::run_program(*img);
+    benchmark::DoNotOptimize(r.stats.insns);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100003);
+}
+BENCHMARK(BM_VmExecution);
+
+void BM_RewriteCb(benchmark::State& state) {
+  auto corpus = cgc::cfe_corpus();
+  auto cb = cgc::generate_cb(corpus[static_cast<std::size_t>(state.range(0))]);
+  std::size_t text = cb->image.text().bytes.size();
+  for (auto _ : state) {
+    auto r = rewrite(cb->image, {});
+    benchmark::DoNotOptimize(r->image.entry);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * text));
+  state.SetLabel(cb->spec.name + " (" + std::to_string(text) + "B text)");
+}
+BENCHMARK(BM_RewriteCb)->Arg(0)->Arg(40)->Arg(61);
+
+void BM_RewriteWithCfi(benchmark::State& state) {
+  auto corpus = cgc::cfe_corpus();
+  auto cb = cgc::generate_cb(corpus[5]);
+  RewriteOptions opts;
+  opts.transforms = {"cfi"};
+  for (auto _ : state) {
+    auto r = rewrite(cb->image, opts);
+    benchmark::DoNotOptimize(r->image.entry);
+  }
+}
+BENCHMARK(BM_RewriteWithCfi);
+
+}  // namespace
+
+BENCHMARK_MAIN();

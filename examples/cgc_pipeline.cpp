@@ -1,0 +1,70 @@
+// A miniature Cyber Grand Challenge round: play the role of a cyber
+// reasoning system. Given a previously-unseen challenge binary (no
+// symbols, no source), produce a replacement CB by rewriting it with the
+// full defense stack, then score it the way DARPA did: functionality
+// under the pollers, file-size / execution / memory overhead against the
+// budgets (20% / 5% / 5%), and resistance to a hijack exploit.
+//
+//   $ ./examples/cgc_pipeline
+#include <cstdio>
+
+#include "cgc/exploits.h"
+#include "cgc/metrics.h"
+
+int main() {
+  using namespace zipr;
+
+  std::printf("=== mini-CGC round ===\n\n");
+
+  // DARPA hands the CRS a challenge binary.
+  auto corpus = cgc::cfe_corpus();
+  auto cb = cgc::generate_cb(corpus[54]);  // one of the larger services
+  if (!cb.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n", cb.error().message.c_str());
+    return 1;
+  }
+  std::printf("challenge binary: %s, %zu bytes of machine code, no metadata\n",
+              cb->spec.name.c_str(), cb->image.text().bytes.size());
+
+  // The CRS defends it: rewrite with CFI + canaries + a fresh layout.
+  cgc::EvalOptions eval;
+  eval.rewrite.transforms = {"cfi", "canary"};
+  eval.rewrite.seed = 0xC25;  // any per-round seed
+  eval.polls = 16;
+  auto metrics = cgc::evaluate_cb(*cb, eval);
+  if (!metrics.ok()) {
+    std::fprintf(stderr, "evaluation failed: %s\n", metrics.error().message.c_str());
+    return 1;
+  }
+
+  std::printf("\nreplacement CB scorecard (budgets: size 20%%, cpu 5%%, memory 5%%):\n");
+  std::printf("  functionality : %s (%zu/%zu polls)\n",
+              metrics->functional ? "INTACT" : "BROKEN", metrics->polls, metrics->polls);
+  auto budget = [](double v, double limit) { return v <= limit ? "within budget" : "OVER"; };
+  std::printf("  file size     : %+6.2f%%  (%s)\n", metrics->filesize_overhead * 100,
+              budget(metrics->filesize_overhead, 0.20));
+  std::printf("  execution     : %+6.2f%%  (%s)\n", metrics->exec_overhead * 100,
+              budget(metrics->exec_overhead, 0.05));
+  std::printf("  memory        : %+6.2f%%  (%s)\n", metrics->mem_overhead * 100,
+              budget(metrics->mem_overhead, 0.05));
+
+  // Security check: the reference exploits against the defended corpus.
+  std::printf("\nsecurity (reference exploits vs the same defense stack):\n");
+  int blocked = 0;
+  auto vulns = cgc::vulnerable_corpus();
+  for (const auto& v : vulns) {
+    RewriteOptions opts;
+    opts.transforms = {"cfi", "canary"};
+    auto guarded = rewrite(v.image, opts);
+    if (!guarded.ok()) continue;
+    auto outcome = cgc::assess(v, guarded->image);
+    bool ok = outcome.benign_works && !outcome.exploit_leaked;
+    blocked += ok;
+    std::printf("  %-12s (%-15s): %s\n", v.name.c_str(), v.vuln_class.c_str(),
+                ok ? "defended" : "NOT defended");
+  }
+
+  std::printf("\nround result: functionality %s, %d/%zu exploits blocked\n",
+              metrics->functional ? "preserved" : "LOST", blocked, vulns.size());
+  return metrics->functional && blocked == static_cast<int>(vulns.size()) ? 0 : 1;
+}

@@ -1,0 +1,256 @@
+#include "analysis/disasm.h"
+
+#include <deque>
+
+#include "support/log.h"
+
+namespace zipr::analysis {
+
+namespace {
+
+/// Decode the instruction at `addr` out of the text segment. Fails past
+/// the FILE-backed bytes (a text segment's memsize may exceed its file
+/// size; the zero-filled tail holds no decodable content) or on an
+/// invalid encoding.
+Result<isa::Insn> decode_at(const zelf::Segment& text, std::uint64_t addr) {
+  if (addr < text.vaddr) return Error::decode("address outside text");
+  std::uint64_t off = addr - text.vaddr;
+  if (off >= text.bytes.size()) return Error::decode("past end of text bytes");
+  std::size_t avail = text.bytes.size() - static_cast<std::size_t>(off);
+  std::size_t want = std::min<std::size_t>(isa::kMaxInsnLen, avail);
+  return isa::decode(ByteView(text.bytes.data() + off, want));
+}
+
+/// True if `insn` carries an immediate that plausibly names a code address
+/// (a materialized function pointer / label). lea's displacement is
+/// PC-relative and is resolved by the caller.
+bool immediate_names_code(const isa::Insn& insn, const zelf::Segment& text,
+                          std::uint64_t* out_addr) {
+  using isa::Op;
+  switch (insn.op) {
+    case Op::kMovI:
+    case Op::kMovI64:
+    case Op::kPushI: {
+      auto v = static_cast<std::uint64_t>(insn.imm);
+      if (v >= text.vaddr && v < text.end()) {
+        *out_addr = v;
+        return true;
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+DisasmResult linear_sweep(const zelf::Segment& text) {
+  DisasmResult out;
+  std::uint64_t addr = text.vaddr;
+  const std::uint64_t end = text.vaddr + text.bytes.size();
+  while (addr < end) {
+    auto insn = decode_at(text, addr);
+    if (!insn.ok()) {
+      // Resynchronize one byte later, like objdump's ".byte" fallback.
+      ++addr;
+      continue;
+    }
+    out.insns.emplace(addr, *insn);
+    out.code.insert(addr, addr + insn->length);
+    addr += insn->length;
+  }
+  return out;
+}
+
+namespace {
+
+/// Shared traversal state.
+struct Traverser {
+  const zelf::Image& image;
+  const zelf::Segment& text;
+  const TraversalOptions& opts;
+  TraversalResult result;
+  std::deque<std::uint64_t> worklist;
+
+  explicit Traverser(const zelf::Image& img, const TraversalOptions& o)
+      : image(img), text(img.text()), opts(o) {}
+
+  bool claimed_at(std::uint64_t addr) const { return result.dis.insns.count(addr) != 0; }
+
+  /// Validate a tentative code seed: walk the fallthrough chain from
+  /// `seed`; accept only if every byte decodes and the run terminates at a
+  /// non-fallthrough instruction or flows into already-claimed code. This
+  /// is the Case-4 guard: data that merely looks address-like rarely
+  /// decodes into a clean, properly-terminated run.
+  bool validate_run(std::uint64_t seed) const {
+    std::uint64_t addr = seed;
+    for (int steps = 0; steps < 100000; ++steps) {
+      if (claimed_at(addr)) return true;  // flows into known code
+      if (result.dis.code.contains(addr)) return false;  // mid-insn overlap
+      auto insn = decode_at(text, addr);
+      if (!insn.ok()) return false;
+      if (insn->has_static_target()) {
+        std::uint64_t t = insn->target(addr);
+        if (!text.contains(t)) return false;  // branch out of text
+      }
+      if (!insn->has_fallthrough()) return true;  // clean terminator
+      addr += insn->length;
+      if (addr >= text.vaddr + text.bytes.size()) {
+        // Ran off the end. A trailing syscall is an idiomatic terminator
+        // (terminate never returns); anything else is rejected.
+        return insn->op == isa::Op::kSyscall;
+      }
+    }
+    return false;
+  }
+
+  /// Claim one instruction; push its control-flow successors.
+  void visit(std::uint64_t addr) {
+    if (claimed_at(addr)) return;
+    if (result.dis.code.contains(addr)) {
+      // Overlaps a previously-claimed instruction at a different offset --
+      // conflicting evidence; leave for the aggregator.
+      ZIPR_WARN << "traversal: misaligned overlap at " << hex_addr(addr);
+      return;
+    }
+    auto insn = decode_at(text, addr);
+    if (!insn.ok()) {
+      ZIPR_DEBUG << "traversal: undecodable at " << hex_addr(addr);
+      return;
+    }
+    if (result.dis.code.overlaps(addr, addr + insn->length)) {
+      ZIPR_WARN << "traversal: tail overlap at " << hex_addr(addr);
+      return;
+    }
+    result.dis.insns.emplace(addr, *insn);
+    result.dis.code.insert(addr, addr + insn->length);
+
+    if (insn->has_fallthrough()) worklist.push_back(addr + insn->length);
+    if (insn->has_static_target()) {
+      std::uint64_t t = insn->target(addr);
+      if (text.contains(t)) {
+        worklist.push_back(t);
+        if (insn->is_call()) result.function_entries.insert(t);
+      }
+    }
+    if (insn->op == isa::Op::kJmpT) discover_jump_table(addr, *insn);
+
+    std::uint64_t const_target = 0;
+    if (immediate_names_code(*insn, text, &const_target)) {
+      accept_indirect_target(const_target);
+    }
+    if (insn->op == isa::Op::kLea) {
+      std::uint64_t ref = insn->pc_ref(addr);
+      if (text.contains(ref)) accept_indirect_target(ref);
+    }
+  }
+
+  /// Record a runtime-computable code address; validated seeds also become
+  /// traversal roots (and function entries: address-taken code).
+  void accept_indirect_target(std::uint64_t addr) {
+    result.indirect_targets.insert(addr);
+    if (claimed_at(addr)) {
+      result.function_entries.insert(addr);
+      return;
+    }
+    if (validate_run(addr)) {
+      result.function_entries.insert(addr);
+      worklist.push_back(addr);
+    } else {
+      result.rejected_seeds.insert(addr);
+      ZIPR_WARN << "analysis: address-like constant " << hex_addr(addr)
+                << " failed code validation; leaving bytes ambiguous";
+    }
+  }
+
+  void discover_jump_table(std::uint64_t jmpt_addr, const isa::Insn& insn) {
+    JumpTable table;
+    table.jmpt_addr = jmpt_addr;
+    table.table_addr = static_cast<std::uint64_t>(insn.imm);
+    for (std::size_t i = 0; i < opts.max_jump_table_slots; ++i) {
+      auto bytes = image.read_bytes(table.table_addr + 8 * i, 8);
+      if (!bytes.ok()) break;
+      std::uint64_t slot = get_u64(*bytes, 0);
+      if (!text.contains(slot)) break;  // table terminator
+      if (!claimed_at(slot) && !validate_run(slot)) break;
+      table.slots.push_back(slot);
+      result.indirect_targets.insert(slot);
+      worklist.push_back(slot);
+    }
+    if (!table.slots.empty()) result.jump_tables.push_back(std::move(table));
+  }
+
+  void drain() {
+    while (!worklist.empty()) {
+      std::uint64_t addr = worklist.front();
+      worklist.pop_front();
+      visit(addr);
+    }
+  }
+
+  void scan_data_segments() {
+    for (const auto& seg : image.segments) {
+      if (seg.kind == zelf::SegKind::kText || seg.bytes.empty()) continue;
+      for (std::size_t off = 0; off + 8 <= seg.bytes.size(); off += 8) {
+        std::uint64_t v = get_u64(seg.bytes, off);
+        if (v >= text.vaddr && v < text.vaddr + text.bytes.size())
+          accept_indirect_target(v);
+        // Process discoveries eagerly so later words see updated claims.
+        drain();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+TraversalResult recursive_traversal(const zelf::Image& image, const TraversalOptions& opts) {
+  Traverser t(image, opts);
+  if (image.entry != 0) {
+    t.worklist.push_back(image.entry);
+    t.result.function_entries.insert(image.entry);
+  }
+  // Exported entry points are conclusive roots: the loader hands them to
+  // other images, so they are both code and indirect branch targets.
+  for (const auto& exp : image.exports) {
+    t.worklist.push_back(exp.addr);
+    t.result.function_entries.insert(exp.addr);
+    t.result.indirect_targets.insert(exp.addr);
+  }
+  t.drain();
+  if (opts.scan_data_for_pointers) {
+    t.scan_data_segments();
+    t.drain();
+  }
+  return std::move(t.result);
+}
+
+Aggregate aggregate(const zelf::Segment& text, const DisasmResult& linear,
+                    const TraversalResult& recursive) {
+  Aggregate out;
+  out.code_insns = recursive.dis.insns;
+  out.definite_code = recursive.dis.code;
+
+  // Everything in the text segment's file bytes that conclusive traversal
+  // did not claim is Case 2/3: kept verbatim (data) AND decodable as code.
+  const std::uint64_t lo = text.vaddr;
+  const std::uint64_t hi = text.vaddr + text.bytes.size();
+  out.ambiguous.insert(lo, hi);
+  for (const auto& iv : out.definite_code.intervals()) out.ambiguous.erase(iv.begin, iv.end);
+
+  // Count active disagreements: ambiguous ranges where linear sweep claims
+  // decodable instructions (the paper's Case 3, engines disagree).
+  for (const auto& iv : out.ambiguous.intervals()) {
+    bool linear_claims = false;
+    for (auto it = linear.insns.lower_bound(iv.begin);
+         it != linear.insns.end() && it->first < iv.end; ++it) {
+      linear_claims = true;
+      break;
+    }
+    if (linear_claims) ++out.disagreements;
+  }
+  return out;
+}
+
+}  // namespace zipr::analysis

@@ -1,0 +1,101 @@
+// Disassembly engines and their conservative aggregation (paper Sec. II-A1).
+//
+// The paper aggregates the output of multiple disassemblers (objdump + IDA
+// Pro) so each tool's strengths compensate for the others' weaknesses. We
+// reproduce that architecture with two engines with different failure
+// modes:
+//
+//   * linear_sweep()        -- objdump-like: decodes the text segment
+//     front-to-back. Strength: sees every byte. Weakness: embedded data
+//     desynchronizes it and data bytes often decode as plausible code.
+//
+//   * recursive_traversal() -- IDA-like: follows control flow from the
+//     entry point, discovering call targets, jump tables, and code
+//     addresses materialized as immediates. Strength: everything it claims
+//     is reachable, hence conclusively code. Weakness: misses code only
+//     reachable through pointers it cannot model.
+//
+// aggregate() combines them into the paper's four-outcome scheme:
+//   Case 1  both engines agree a range is code (recursive reached it)  ->
+//           definite code, free to relocate;
+//   Case 2  conclusively data (recursive never reached it; linear sweep
+//           cannot decode it cleanly)                                   ->
+//           kept verbatim at its original address AND decoded as code
+//           for CFG/pinning purposes;
+//   Case 3  ambiguous (engines disagree: linear sweep decodes it but
+//           nothing conclusive reaches it)                              ->
+//           treated exactly like Case 2 (both code and data);
+//   Case 4  (mislabeling data as conclusive code) is avoided by only
+//           letting *validated* traversal claim bytes; tentative seeds
+//           whose decode runs fail validation stay in Case 3.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "isa/insn.h"
+#include "support/interval.h"
+#include "support/status.h"
+#include "zelf/image.h"
+
+namespace zipr::analysis {
+
+/// Output of one disassembly engine.
+struct DisasmResult {
+  /// Decoded instruction at each address the engine claims is code.
+  std::map<std::uint64_t, isa::Insn> insns;
+  /// Byte ranges covered by claimed instructions.
+  IntervalSet code;
+};
+
+/// A discovered jump table: `slots[i]` is the code address stored at
+/// table_addr + 8*i in the original image.
+struct JumpTable {
+  std::uint64_t jmpt_addr = 0;   ///< address of the jmpt instruction
+  std::uint64_t table_addr = 0;  ///< address of the first slot
+  std::vector<std::uint64_t> slots;
+};
+
+/// objdump-like engine. Decodes `text` sequentially; after an undecodable
+/// byte it advances one byte and resynchronizes.
+DisasmResult linear_sweep(const zelf::Segment& text);
+
+struct TraversalResult {
+  DisasmResult dis;
+  std::set<std::uint64_t> function_entries;  ///< entry + call targets + fptrs
+  std::vector<JumpTable> jump_tables;
+  /// Code addresses discovered as immediates/table slots (indirect branch
+  /// targets the rewriter must pin).
+  std::set<std::uint64_t> indirect_targets;
+  /// Tentative seeds that failed validation (left ambiguous).
+  std::set<std::uint64_t> rejected_seeds;
+};
+
+struct TraversalOptions {
+  std::size_t max_jump_table_slots = 4096;
+  /// Scan rodata/data for 8-byte words that look like text addresses and
+  /// treat them as tentative code seeds (validated before acceptance).
+  bool scan_data_for_pointers = true;
+};
+
+/// IDA-like engine: follow control flow from the entry point to a fixpoint,
+/// including jump-table and address-constant discovery.
+TraversalResult recursive_traversal(const zelf::Image& image, const TraversalOptions& opts = {});
+
+/// Aggregated classification of the text segment.
+struct Aggregate {
+  /// Authoritative decodes for relocatable (Case 1) code.
+  std::map<std::uint64_t, isa::Insn> code_insns;
+  IntervalSet definite_code;
+  /// Case 2/3 byte ranges: kept verbatim, also decoded for CFG purposes.
+  IntervalSet ambiguous;
+  /// Count of Case 3 decisions where the engines actively disagreed
+  /// (linear sweep decoded bytes that nothing conclusive reaches).
+  std::size_t disagreements = 0;
+};
+
+Aggregate aggregate(const zelf::Segment& text, const DisasmResult& linear,
+                    const TraversalResult& recursive);
+
+}  // namespace zipr::analysis

@@ -1,0 +1,159 @@
+#include "analysis/ir_builder.h"
+
+#include <deque>
+
+#include "support/log.h"
+
+namespace zipr::analysis {
+
+using irdb::InsnId;
+using irdb::kNullInsn;
+
+namespace {
+
+/// Instruction bytes as they appear in the original image.
+Bytes original_bytes(const zelf::Segment& text, std::uint64_t addr, std::uint8_t len) {
+  std::uint64_t off = addr - text.vaddr;
+  return Bytes(text.bytes.begin() + static_cast<std::ptrdiff_t>(off),
+               text.bytes.begin() + static_cast<std::ptrdiff_t>(off + len));
+}
+
+}  // namespace
+
+Result<IrProgram> build_ir(const zelf::Image& image, const AnalysisOptions& opts) {
+  ZIPR_TRY(image.validate());
+  IrProgram prog;
+  prog.original = image;
+  // The rewriter must not depend on metadata: strip ground-truth symbols
+  // from its working copy so accidental use is impossible.
+  prog.original.symbols.clear();
+
+  const zelf::Segment& text = image.text();
+  DisasmResult linear = linear_sweep(text);
+  TraversalResult recursive = recursive_traversal(image, opts.traversal);
+  Aggregate agg = aggregate(text, linear, recursive);
+  PinSet pins = compute_pins(image, agg, recursive, opts.pinning);
+
+  // ---- lift definite code into rows ----
+  std::map<std::uint64_t, InsnId> row_at;
+  for (const auto& [addr, insn] : agg.code_insns) {
+    irdb::Instruction row;
+    row.decoded = insn;
+    row.orig_addr = addr;
+    row.orig_bytes = original_bytes(text, addr, insn.length);
+    row_at[addr] = prog.db.add_instruction(std::move(row));
+  }
+  prog.stats.code_insns = row_at.size();
+
+  // ---- link fallthroughs and targets (the mandatory transformation) ----
+  // Synthetic jumps are appended when control flows from lifted code into
+  // bytes that stay at original addresses.
+  auto synthesize_jump_to = [&](std::uint64_t abs_addr, irdb::FuncId func) -> InsnId {
+    irdb::Instruction j;
+    j.decoded = isa::make_jmp(0, isa::BranchWidth::kRel32);
+    j.abs_target = abs_addr;
+    j.function = func;
+    ++prog.stats.synthetic_jumps;
+    return prog.db.add_instruction(std::move(j));
+  };
+
+  for (const auto& [addr, id] : row_at) {
+    // Copy the decoded form: adding synthetic rows below may reallocate
+    // the instruction table and invalidate references into it.
+    const isa::Insn insn = prog.db.insn(id).decoded;
+
+    if (insn.has_static_target()) {
+      std::uint64_t t = insn.target(addr);
+      auto it = row_at.find(t);
+      if (it != row_at.end())
+        prog.db.insn(id).target = it->second;
+      else
+        prog.db.insn(id).abs_target = t;  // stays at its original address
+    }
+    if (insn.is_pc_relative_data()) prog.db.insn(id).data_ref = insn.pc_ref(addr);
+
+    if (insn.has_fallthrough()) {
+      std::uint64_t next = addr + insn.length;
+      auto it = row_at.find(next);
+      if (it != row_at.end()) {
+        prog.db.insn(id).fallthrough = it->second;
+      } else {
+        // Falls into verbatim bytes / past text end: jump to the original
+        // address, reproducing in-place behaviour.
+        InsnId j = synthesize_jump_to(next, irdb::kNullFunc);
+        prog.db.insn(id).fallthrough = j;
+      }
+    }
+  }
+
+  // ---- verbatim rows for ambiguous ranges ----
+  for (const auto& range : agg.ambiguous.intervals()) {
+    irdb::Instruction row;
+    row.verbatim = true;
+    row.orig_addr = range.begin;
+    row.orig_bytes = Bytes(text.bytes.begin() + static_cast<std::ptrdiff_t>(range.begin - text.vaddr),
+                           text.bytes.begin() + static_cast<std::ptrdiff_t>(range.end - text.vaddr));
+    InsnId id = prog.db.add_instruction(std::move(row));
+    prog.verbatim.emplace_back(range, id);
+    prog.stats.verbatim_bytes += range.size();
+  }
+  prog.stats.verbatim_ranges = prog.verbatim.size();
+
+  // ---- record pins ----
+  for (const auto& [addr, reasons] : pins.pins) {
+    auto it = row_at.find(addr);
+    if (it == row_at.end())
+      return Error::internal("pin at " + hex_addr(addr) + " has no lifted row");
+    ZIPR_TRY(prog.db.pin(addr, it->second));
+    prog.pin_reasons[addr] = reasons;
+  }
+  prog.stats.pins = pins.pins.size();
+  prog.stats.pins_covered = pins.covered_by_verbatim.size();
+  prog.stats.pins_dropped = pins.dropped.size();
+  prog.verbatim_ibts = pins.covered_by_verbatim;
+
+  // ---- group rows into functions ----
+  // Intra-procedural reachability from each entry: follow fallthrough and
+  // branch links, but do not cross call edges into callees and do not run
+  // through another function's entry (a fallthrough off one function's
+  // final instruction into the next function's first is a layout accident,
+  // not membership).
+  std::set<InsnId> entry_rows;
+  for (std::uint64_t entry : recursive.function_entries) {
+    auto eit = row_at.find(entry);
+    if (eit != row_at.end()) entry_rows.insert(eit->second);
+  }
+  for (std::uint64_t entry : recursive.function_entries) {
+    auto eit = row_at.find(entry);
+    if (eit == row_at.end()) continue;
+    if (prog.db.insn(eit->second).function != irdb::kNullFunc) continue;
+
+    irdb::Function f;
+    f.name = "func_" + hex_addr(entry).substr(2);
+    f.entry = eit->second;
+    irdb::FuncId fid = prog.db.add_function(std::move(f));
+
+    std::deque<InsnId> work{eit->second};
+    while (!work.empty()) {
+      InsnId id = work.front();
+      work.pop_front();
+      irdb::Instruction& row = prog.db.insn(id);
+      if (row.function != irdb::kNullFunc) continue;
+      if (id != eit->second && entry_rows.count(id)) continue;
+      row.function = fid;
+      prog.db.function(fid).members.push_back(id);
+      if (row.fallthrough != kNullInsn) work.push_back(row.fallthrough);
+      if (row.target != kNullInsn && !row.decoded.is_call()) work.push_back(row.target);
+    }
+  }
+  prog.stats.functions = prog.db.function_count();
+
+  prog.jump_tables = std::move(recursive.jump_tables);
+  prog.stats.jump_tables = prog.jump_tables.size();
+  prog.stats.disagreements = agg.disagreements;
+
+  ZIPR_TRY(prog.db.validate());
+  return prog;
+}
+
+}  // namespace zipr::analysis

@@ -1,0 +1,60 @@
+// Two-pass assembler for VLX text assembly, producing ZELF images.
+//
+// The assembler exists so the rest of the repository can build realistic
+// input binaries: the challenge-binary generator, the robustness workloads
+// and most tests express programs as assembly text. It is NOT part of the
+// rewriting pipeline (Zipr consumes only binaries).
+//
+// Language summary (line oriented; ';' and '#' start comments):
+//
+//   .text / .rodata / .data / .bss     switch section
+//   .entry <label>                     program entry point (executables)
+//   .library                           mark image as a shared library
+//   .export <label>                    add to the ABI export table
+//   .import <slot>, <name>             8-byte GOT slot bound at load time
+//   .func <name>                       define label + ground-truth func symbol
+//   .object <name>                     define label + ground-truth object symbol
+//   .align <n>                         pad with zeros (nop 0x90 in .text)
+//   .org <addr>                        advance current address (same section)
+//   .byte a, b, ...                    8-bit data (also legal inside .text --
+//                                      this is how tests embed data in code)
+//   .word / .long / .quad v, ...       16/32/64-bit little-endian data;
+//                                      values may be `label` or `label+off`
+//   .ascii "s" / .asciz "s"            string bytes (asciz adds NUL)
+//   .space n [, fill]                  n fill bytes (default 0)
+//   label:                             define label at current address
+//
+// Instructions: mnemonics mirror isa::to_string() -- e.g.
+//   movi r0, 42        movi64 r1, 0x123456789        mov r0, r1
+//   load r1, [r2+8]    store [r2-4], r3              lea r1, mylabel
+//   jmp target         jmp8 target (forced rel8)     jeq/jne/... target
+//   call f             callr r1     jmpr r2          jmpt r0, table
+//   push r1  pop r2    pushi 0x90909090   ret  nop  hlt  syscall
+//   add r0, r1  addi r0, 5  cmp r0, r1  cmpi r0, 10  test r0, r1 ...
+//
+// Immediate operands accept decimal, 0x-hex, negative values, 'c' char
+// literals, and `label` / `label+const` / `label-const` expressions (labels
+// evaluate to their absolute address -- the idiom that creates indirect
+// branch targets).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "support/status.h"
+#include "zelf/image.h"
+
+namespace zipr::assembler {
+
+struct Options {
+  std::uint64_t text_base = zelf::layout::kTextBase;
+  std::uint64_t rodata_base = zelf::layout::kRodataBase;
+  std::uint64_t data_base = zelf::layout::kDataBase;
+  std::uint64_t bss_base = zelf::layout::kBssBase;
+  bool emit_symbols = true;  ///< include ground-truth symbols in the image
+};
+
+/// Assemble `source` into a ZELF image. Errors carry "line N: ..." context.
+Result<zelf::Image> assemble(std::string_view source, const Options& opts = {});
+
+}  // namespace zipr::assembler

@@ -1,0 +1,100 @@
+#include "cgc/filter.h"
+
+#include <cassert>
+
+#include "asm/assembler.h"
+
+namespace zipr::cgc {
+
+namespace {
+
+bool matches_at(const FilterRule& rule, ByteView input, std::size_t at) {
+  if (at + rule.pattern.size() > input.size()) return false;
+  for (std::size_t i = 0; i < rule.pattern.size(); ++i) {
+    Byte mask = rule.mask.empty() ? Byte{0xff} : rule.mask[i];
+    if ((input[at + i] & mask) != (rule.pattern[i] & mask)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const FilterRule* NetworkFilter::match(ByteView input) const {
+  for (const auto& rule : rules_) {
+    if (rule.pattern.empty()) continue;
+    if (rule.anchored) {
+      if (matches_at(rule, input, 0)) return &rule;
+      continue;
+    }
+    for (std::size_t at = 0; at + rule.pattern.size() <= input.size(); ++at)
+      if (matches_at(rule, input, at)) return &rule;
+  }
+  return nullptr;
+}
+
+vm::RunResult run_filtered(const NetworkFilter& filter, const zelf::Image& image,
+                           ByteView input, std::uint64_t seed) {
+  if (!filter.allows(input)) {
+    vm::RunResult refused;
+    refused.exited = true;
+    refused.exit_status = -2;  // session dropped before reaching the CB
+    return refused;
+  }
+  return vm::run_program(image, input, seed);
+}
+
+DisclosureCb make_disclosure_cb() {
+  DisclosureCb cb;
+  cb.leak_marker = "SECRET";
+  auto img = assembler::assemble(R"(
+    ; echo service: [len u8][payload] -> echoes len bytes of the buffer.
+    ; BUG: len is never clamped to the 32-byte buffer, so len > 32 leaks
+    ; whatever sits after it -- an information-disclosure vulnerability
+    ; no control-flow defense can see.
+    .entry main
+    .text
+    main:
+      movi r0, 3
+      movi r1, 0
+      movi r2, lenbuf
+      movi r3, 1
+      syscall
+      cmpi r0, 1
+      jlt quit
+      movi r0, 3
+      movi r1, 0
+      movi r2, buf
+      movi r3, 32
+      syscall
+      movi r2, lenbuf
+      load8 r3, [r2]
+      movi r0, 2
+      movi r1, 1
+      movi r2, buf
+      syscall             ; transmit(buf, len)  <- the unclamped echo
+    quit:
+      movi r0, 1
+      movi r1, 0
+      syscall
+    .data
+    buf:    .space 32, 0x2e
+    secret: .ascii "SECRET\n"
+    .bss
+    lenbuf: .space 1
+  )");
+  assert(img.ok());
+  cb.image = std::move(img).value();
+
+  cb.benign_input = Bytes{5, 'h', 'e', 'l', 'l', 'o'};
+  cb.exploit_input = Bytes{39};  // 32 filler + the 7 secret bytes
+
+  // The deployed signature: drop any session whose requested length has
+  // the 32-bit set (len in [32, 63] -- always out of bounds here).
+  cb.signature.name = "oversized-echo-length";
+  cb.signature.pattern = {0x20};
+  cb.signature.mask = {0xe0};
+  cb.signature.anchored = true;
+  return cb;
+}
+
+}  // namespace zipr::cgc

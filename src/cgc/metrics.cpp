@@ -1,0 +1,75 @@
+#include "cgc/metrics.h"
+
+#include "zelf/io.h"
+
+namespace zipr::cgc {
+
+const char* const kHistogramLabels[kHistogramBins] = {
+    "<=0%", "0-5%", "5-10%", "10-20%", "20-50%", ">50%",
+};
+
+int histogram_bin(double overhead) {
+  if (overhead <= 0.0) return 0;
+  if (overhead <= 0.05) return 1;
+  if (overhead <= 0.10) return 2;
+  if (overhead <= 0.20) return 3;
+  if (overhead <= 0.50) return 4;
+  return 5;
+}
+
+Result<CbMetrics> evaluate_cb(const CbProgram& cb, const EvalOptions& opts) {
+  CbMetrics m;
+  m.name = cb.spec.name;
+
+  ZIPR_ASSIGN_OR_RETURN(RewriteResult rewritten, rewrite(cb.image, opts.rewrite));
+  m.rewrite_stats = rewritten.reassembly;
+
+  m.original_file = zelf::write_image(cb.image).size();
+  m.rewritten_file = zelf::write_image(rewritten.image).size();
+  m.filesize_overhead =
+      static_cast<double>(m.rewritten_file) / static_cast<double>(m.original_file) - 1.0;
+
+  auto polls = make_polls(cb, opts.polls, opts.poll_seed);
+  m.polls = polls.size();
+  m.functional = true;
+  std::uint64_t orig_cycles = 0, new_cycles = 0;
+  double worst_mem = 0.0;
+  for (const auto& poll : polls) {
+    PollComparison cmp = run_poll(cb.image, rewritten.image, poll);
+    if (!cmp.functional) m.functional = false;
+    orig_cycles += cmp.original.stats.cycles;
+    new_cycles += cmp.rewritten.stats.cycles;
+    if (cmp.original.stats.max_rss_pages > 0) {
+      double mem = static_cast<double>(cmp.rewritten.stats.max_rss_pages) /
+                       static_cast<double>(cmp.original.stats.max_rss_pages) -
+                   1.0;
+      worst_mem = std::max(worst_mem, mem);
+    }
+  }
+  m.exec_overhead =
+      orig_cycles == 0 ? 0.0
+                       : static_cast<double>(new_cycles) / static_cast<double>(orig_cycles) - 1.0;
+  m.mem_overhead = worst_mem;
+  return m;
+}
+
+Result<std::vector<CbMetrics>> evaluate_corpus(const std::vector<CbSpec>& corpus,
+                                               const EvalOptions& opts) {
+  std::vector<CbMetrics> out;
+  out.reserve(corpus.size());
+  for (const auto& spec : corpus) {
+    ZIPR_ASSIGN_OR_RETURN(CbProgram cb, generate_cb(spec));
+    ZIPR_ASSIGN_OR_RETURN(CbMetrics m, evaluate_cb(cb, opts));
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+double mean_overhead(const std::vector<CbMetrics>& ms, double CbMetrics::*field) {
+  if (ms.empty()) return 0.0;
+  double sum = 0;
+  for (const auto& m : ms) sum += m.*field;
+  return sum / static_cast<double>(ms.size());
+}
+
+}  // namespace zipr::cgc

@@ -1,0 +1,56 @@
+// The CGC scoring metrics (paper Sec. IV-B): per-CB file-size, execution
+// and memory overhead of a rewritten binary relative to the original,
+// under the pollers' workload, plus histogram helpers matching the bins
+// of the paper's Figs. 4-6.
+#pragma once
+
+#include "cgc/generator.h"
+#include "cgc/poller.h"
+#include "zipr/zipr.h"
+
+namespace zipr::cgc {
+
+/// One CB's evaluation under one rewrite configuration.
+struct CbMetrics {
+  std::string name;
+  bool functional = false;      ///< every poll matched the original
+  double filesize_overhead = 0; ///< (rewritten - original) / original
+  double exec_overhead = 0;     ///< cycle-count ratio - 1 across polls
+  double mem_overhead = 0;      ///< MaxRSS page ratio - 1 (max over polls)
+  std::size_t polls = 0;
+
+  std::size_t original_file = 0;
+  std::size_t rewritten_file = 0;
+  rewriter::RewriteStats rewrite_stats;
+};
+
+struct EvalOptions {
+  RewriteOptions rewrite;
+  int polls = 12;
+  std::uint64_t poll_seed = 0xD0D0;
+};
+
+/// Rewrite `cb` and measure it against the original under the pollers.
+Result<CbMetrics> evaluate_cb(const CbProgram& cb, const EvalOptions& opts);
+
+/// Evaluate a whole corpus; stops at the first hard error.
+Result<std::vector<CbMetrics>> evaluate_corpus(const std::vector<CbSpec>& corpus,
+                                               const EvalOptions& opts);
+
+/// Histogram bins used by the paper's figures, in percent overhead:
+/// (-inf,0], (0,5], (5,10], (10,20], (20,50], (50,inf).
+inline constexpr int kHistogramBins = 6;
+extern const char* const kHistogramLabels[kHistogramBins];
+
+/// Bin index for an overhead fraction (e.g. 0.031 -> "(0,5]").
+int histogram_bin(double overhead);
+
+struct Histogram {
+  int counts[kHistogramBins] = {};
+  void add(double overhead) { ++counts[histogram_bin(overhead)]; }
+};
+
+/// Mean of a metric across CBs.
+double mean_overhead(const std::vector<CbMetrics>& ms, double CbMetrics::*field);
+
+}  // namespace zipr::cgc

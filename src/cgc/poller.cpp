@@ -1,0 +1,50 @@
+#include "cgc/poller.h"
+
+#include "support/rng.h"
+
+namespace zipr::cgc {
+
+std::vector<Poll> make_polls(const CbProgram& cb, int count, std::uint64_t seed) {
+  Rng rng(seed ^ cb.spec.seed);
+  std::vector<Poll> polls;
+  polls.reserve(static_cast<std::size_t>(count));
+  const int handlers = cb.spec.handlers;
+
+  for (int p = 0; p < count; ++p) {
+    Poll poll;
+    poll.vm_seed = rng.next();
+    const int commands = 1 + static_cast<int>(rng.below(8));
+    for (int c = 0; c < commands; ++c) {
+      const auto cmd = static_cast<Byte>(rng.below(0xff));  // never 0xFF here
+      poll.input.push_back(cmd);
+      const int idx = cmd % handlers;
+      const int len = cb.payload_len[static_cast<std::size_t>(idx)];
+      for (int b = 0; b < len; ++b)
+        poll.input.push_back(static_cast<Byte>(rng.below(256)));
+    }
+    // Most polls terminate cleanly; some end in EOF (truncated session),
+    // and some truncate mid-payload.
+    const auto ending = rng.below(10);
+    if (ending < 7) {
+      poll.input.push_back(0xFF);
+    } else if (ending < 9 && poll.input.size() > 2) {
+      poll.input.resize(poll.input.size() - 1 - rng.below(poll.input.size() / 2));
+    }
+    polls.push_back(std::move(poll));
+  }
+  return polls;
+}
+
+PollComparison run_poll(const zelf::Image& original, const zelf::Image& rewritten,
+                        const Poll& poll) {
+  PollComparison cmp;
+  cmp.original = vm::run_program(original, poll.input, poll.vm_seed);
+  cmp.rewritten = vm::run_program(rewritten, poll.input, poll.vm_seed);
+  cmp.functional = cmp.original.exited == cmp.rewritten.exited &&
+                   cmp.original.exit_status == cmp.rewritten.exit_status &&
+                   cmp.original.fault == cmp.rewritten.fault &&
+                   cmp.original.output == cmp.rewritten.output;
+  return cmp;
+}
+
+}  // namespace zipr::cgc

@@ -1,0 +1,34 @@
+// Pollers: deterministic functionality checks for challenge binaries.
+//
+// In the CGC, DARPA required CB authors to ship pollers exercising all of
+// a CB's functionality; the scoring infrastructure replayed them against
+// each replacement CB to measure functionality and performance. Here a
+// poller is a seeded generator of well-formed (and some deliberately
+// truncated) protocol inputs for a generated CB, plus the golden-run
+// comparison: the original binary's output is the oracle.
+#pragma once
+
+#include "cgc/generator.h"
+#include "vm/machine.h"
+
+namespace zipr::cgc {
+
+struct Poll {
+  Bytes input;
+  std::uint64_t vm_seed = 0;  ///< seed for the random() syscall
+};
+
+/// Build `count` polls for a CB (deterministic in `seed`).
+std::vector<Poll> make_polls(const CbProgram& cb, int count, std::uint64_t seed);
+
+/// Outcome of replaying one poll against original and rewritten binaries.
+struct PollComparison {
+  bool functional = false;  ///< identical exit + output
+  vm::RunResult original;
+  vm::RunResult rewritten;
+};
+
+PollComparison run_poll(const zelf::Image& original, const zelf::Image& rewritten,
+                        const Poll& poll);
+
+}  // namespace zipr::cgc

@@ -1,0 +1,459 @@
+#include "cgc/workload.h"
+
+#include "asm/assembler.h"
+#include "support/rng.h"
+#include "vm/link.h"
+#include "vm/machine.h"
+
+namespace zipr::cgc {
+
+namespace {
+
+/// Emits the library's assembly text.
+class WorkloadBuilder {
+ public:
+  explicit WorkloadBuilder(const WorkloadSpec& spec) : spec_(spec), rng_(spec.seed) {}
+
+  std::string build() {
+    line("; generated library workload: " + spec_.name);
+    line(".entry main");
+    line(".text");
+    emit_runner();
+    for (int i = 0; i < spec_.functions; ++i) emit_function(i);
+    if (spec_.irregular) emit_shared_tail();
+    emit_data();
+    return std::move(out_);
+  }
+
+ private:
+  void line(const std::string& s) { out_ += s + "\n"; }
+  void label(const std::string& s) { out_ += s + ":\n"; }
+  void insn(const std::string& s) { out_ += "  " + s + "\n"; }
+  static std::string num(std::uint64_t v) { return std::to_string(v); }
+
+  // Test-runner protocol: [u16 index][u64 arg] per test, 0xFFFF ends.
+  void emit_runner() {
+    line(".func main");
+    label("runner_loop");
+    insn("movi r0, 3");
+    insn("movi r1, 0");
+    insn("movi r2, idxbuf");
+    insn("movi r3, 2");
+    insn("syscall");
+    insn("cmpi r0, 2");
+    insn("jlt runner_exit");
+    insn("movi r2, idxbuf");
+    insn("load8 r1, [r2]");
+    insn("load8 r5, [r2+1]");
+    insn("shli r5, 8");
+    insn("or r1, r5");
+    insn("cmpi r1, 0xffff");
+    insn("jeq runner_exit");
+    insn("movi r2, " + num(static_cast<std::uint64_t>(spec_.functions)));
+    insn("mod r1, r2");
+    insn("movi r0, 3");        // read the argument
+    insn("mov r5, r1");        // keep index
+    insn("movi r1, 0");
+    insn("movi r2, argbuf");
+    insn("movi r3, 8");
+    insn("syscall");
+    insn("movi r2, argbuf");
+    insn("load r1, [r2]");     // r1 = argument
+    insn("shli r5, 3");        // index into the export table
+    insn("movi r2, exports");
+    insn("add r2, r5");
+    insn("load r6, [r2]");
+    insn("callr r6");          // r4 = result
+    insn("movi r2, outbuf");
+    insn("store [r2], r4");
+    insn("movi r0, 2");
+    insn("movi r1, 1");
+    insn("movi r3, 8");
+    insn("syscall");
+    insn("jmp runner_loop");
+    label("runner_exit");
+    insn("movi r0, 1");
+    insn("movi r1, 0");
+    insn("syscall");
+    insn("hlt");
+  }
+
+  void emit_function(int i) {
+    const std::string id = num(i);
+    if (spec_.irregular && i % 16 == 7) {
+      // Data interleaved with code, as handwritten assembly does.
+      insn("jmp lib_skip_" + id);
+      label("lib_blob_" + id);
+      std::string bytes = ".byte 0x00";
+      for (int b = 0; b < 10; ++b) bytes += ", " + num(rng_.below(256));
+      insn(bytes);
+      label("lib_key_" + id);
+      insn(".quad " + num(rng_.next() & 0xffffffffull));
+      label("lib_skip_" + id);
+    }
+
+    line(".func lib_fn_" + id);
+    insn("subi sp, 16");
+    insn("mov r4, r1");  // result accumulates from the argument
+
+    // Bounded loop driven by the low bits of the argument.
+    insn("mov r3, r1");
+    insn("andi r3, 7");
+    label("fnloop_" + id);
+    insn("cmpi r3, 0");
+    insn("jle fnbody_" + id);
+    insn("addi r4, " + num(1 + rng_.below(999)));
+    insn("subi r3, 1");
+    insn("jmp fnloop_" + id);
+    label("fnbody_" + id);
+
+    for (int k = 0; k < spec_.ops_per_function; ++k) {
+      switch (rng_.below(6)) {
+        case 0: insn("addi r4, " + num(rng_.below(1 << 20))); break;
+        case 1: insn("xori r4, " + num(rng_.below(1 << 20))); break;
+        case 2:
+          insn("movi r6, " + num(3 + rng_.below(61)));
+          insn("mul r4, r6");
+          break;
+        case 3: insn("shli r4, " + num(1 + rng_.below(2))); break;
+        case 4: insn("shri r4, " + num(1 + rng_.below(2))); break;
+        case 5: insn("subi r4, " + num(rng_.below(1 << 16))); break;
+      }
+    }
+
+    if (spec_.irregular && i % 16 == 7) {
+      insn("loadpc r6, lib_key_" + id);
+      insn("xor r4, r6");
+    }
+
+    // Acyclic call deeper into the library.
+    if (i + 1 < spec_.functions && rng_.chance(2, 5)) {
+      std::uint64_t callee =
+          static_cast<std::uint64_t>(i) + 1 +
+          rng_.below(static_cast<std::uint64_t>(spec_.functions - i - 1) / 4 + 1);
+      insn("push r1");
+      insn("mov r1, r4");
+      insn("call lib_fn_" + num(callee));
+      insn("pop r1");
+    }
+
+    insn("addi sp, 16");
+    if (spec_.irregular && i % 23 == 5) {
+      insn("jmp lib_tail");  // shared epilogue (tail merging)
+    } else {
+      insn("ret");
+    }
+  }
+
+  void emit_shared_tail() {
+    label("lib_tail");
+    insn("addi r4, 1");
+    insn("ret");
+  }
+
+  void emit_data() {
+    line(".rodata");
+    label("exports");
+    for (int i = 0; i < spec_.functions; i += 8) {
+      std::string slots = ".quad lib_fn_" + num(i);
+      for (int j = i + 1; j < std::min(i + 8, spec_.functions); ++j)
+        slots += ", lib_fn_" + num(j);
+      insn(slots);
+    }
+    line(".bss");
+    label("idxbuf");
+    insn(".space 8");
+    label("argbuf");
+    insn(".space 8");
+    label("outbuf");
+    insn(".space 8");
+  }
+
+  const WorkloadSpec& spec_;
+  Rng rng_;
+  std::string out_;
+};
+
+}  // namespace
+
+Result<Workload> make_workload(const WorkloadSpec& spec) {
+  if (spec.functions < 1 || spec.functions > 0xfffe)
+    return Error::invalid_argument("workload needs 1..65534 functions");
+  Workload w;
+  w.spec = spec;
+  WorkloadBuilder builder(spec);
+  assembler::Options opts;
+  opts.emit_symbols = false;
+  ZIPR_ASSIGN_OR_RETURN(w.image, assembler::assemble(builder.build(), opts));
+
+  // The unit-test suite: every function, with seeded arguments.
+  Rng rng(spec.seed ^ 0x7e575);
+  for (int i = 0; i < spec.functions; ++i) {
+    for (int t = 0; t < spec.tests_per_function; ++t) {
+      Poll poll;
+      poll.vm_seed = rng.next();
+      put_u16(poll.input, static_cast<std::uint16_t>(i));
+      put_u64(poll.input, rng.next());
+      put_u16(poll.input, 0xffff);
+      w.unit_tests.push_back(std::move(poll));
+    }
+  }
+  return w;
+}
+
+WorkloadSpec libc_like_spec() {
+  WorkloadSpec s;
+  s.name = "libc-like";
+  s.seed = 0x11bc;
+  s.functions = 640;
+  s.ops_per_function = 18;
+  s.irregular = true;  // the paper: 22% handwritten assembly
+  return s;
+}
+
+WorkloadSpec libjvm_like_spec() {
+  WorkloadSpec s;
+  s.name = "libjvm-like";
+  s.seed = 0x11b7;
+  s.functions = 3200;  // ~5x libc, as in the paper
+  s.ops_per_function = 18;
+  s.irregular = true;
+  return s;
+}
+
+WorkloadSpec apache_like_spec() {
+  WorkloadSpec s;
+  s.name = "apache-like";
+  s.seed = 0xa9ac;
+  s.functions = 240;  // ~0.4x libc
+  s.ops_per_function = 18;
+  s.irregular = false;  // plain compiled C
+  return s;
+}
+
+SuiteResult run_suite(const Workload& workload, const zelf::Image& rewritten) {
+  SuiteResult result;
+  for (const auto& test : workload.unit_tests) {
+    ++result.total;
+    auto a = vm::run_program(workload.image, test.input, test.vm_seed);
+    auto b = vm::run_program(rewritten, test.input, test.vm_seed);
+    if (a.exited == b.exited && a.exit_status == b.exit_status && a.output == b.output)
+      ++result.passed;
+  }
+  return result;
+}
+
+namespace {
+
+/// Emits one shared library: an exported dispatcher over `functions`
+/// internal function bodies (r5 = function index, r1 = argument, result
+/// in r4).
+std::string library_source(int lib_index, int functions, Rng& rng) {
+  std::string out;
+  auto line = [&](const std::string& s) { out += s + "\n"; };
+  auto insn = [&](const std::string& s) { out += "  " + s + "\n"; };
+  auto num = [](std::uint64_t v) { return std::to_string(v); };
+
+  line("; generated shared library " + num(lib_index));
+  line(".library");
+  line(".text");
+  line(".export dispatch_" + num(lib_index));
+  line(".func dispatch_" + num(lib_index));
+  insn("movi r2, " + num(functions));
+  insn("mov r0, r5");
+  insn("mod r0, r2");
+  insn("shli r0, 3");
+  insn("movi r2, vtable");
+  insn("add r2, r0");
+  insn("load r6, [r2]");
+  insn("callr r6");
+  insn("ret");
+
+  for (int i = 0; i < functions; ++i) {
+    const std::string id = num(i);
+    line(".func fn_" + id);
+    insn("subi sp, 16");
+    insn("mov r4, r1");
+    insn("mov r3, r1");
+    insn("andi r3, 7");
+    out += "fnloop_" + id + ":\n";
+    insn("cmpi r3, 0");
+    insn("jle fnbody_" + id);
+    insn("addi r4, " + num(1 + rng.below(999)));
+    insn("subi r3, 1");
+    insn("jmp fnloop_" + id);
+    out += "fnbody_" + id + ":\n";
+    for (int k = 0; k < 12; ++k) {
+      switch (rng.below(5)) {
+        case 0: insn("addi r4, " + num(rng.below(1 << 20))); break;
+        case 1: insn("xori r4, " + num(rng.below(1 << 20))); break;
+        case 2:
+          insn("movi r6, " + num(3 + rng.below(61)));
+          insn("mul r4, r6");
+          break;
+        case 3: insn("shri r4, " + num(1 + rng.below(2))); break;
+        case 4: insn("subi r4, " + num(rng.below(1 << 16))); break;
+      }
+    }
+    // Intra-library acyclic call deeper into the table.
+    if (i + 1 < functions && rng.chance(1, 3)) {
+      insn("push r1");
+      insn("mov r1, r4");
+      insn("call fn_" + num(i + 1 + rng.below(
+                                static_cast<std::uint64_t>(functions - i - 1) / 4 + 1)));
+      insn("pop r1");
+    }
+    insn("addi sp, 16");
+    insn("ret");
+  }
+
+  line(".rodata");
+  out += "vtable:\n";
+  for (int i = 0; i < functions; i += 8) {
+    std::string slots = "  .quad fn_" + num(i);
+    for (int j = i + 1; j < std::min(i + 8, functions); ++j) slots += ", fn_" + num(j);
+    line(slots);
+  }
+  return out;
+}
+
+/// The main executable: reads [u16 test-id][u64 arg] records, routes id to
+/// (library, function) and calls through the library's import slot.
+std::string shared_main_source(int libraries) {
+  std::string out;
+  auto line = [&](const std::string& s) { out += s + "\n"; };
+  auto insn = [&](const std::string& s) { out += "  " + s + "\n"; };
+  auto num = [](std::uint64_t v) { return std::to_string(v); };
+
+  line(".entry main");
+  line(".text");
+  line(".func main");
+  out += "runner_loop:\n";
+  insn("movi r0, 3");
+  insn("movi r1, 0");
+  insn("movi r2, idxbuf");
+  insn("movi r3, 2");
+  insn("syscall");
+  insn("cmpi r0, 2");
+  insn("jlt runner_exit");
+  insn("movi r2, idxbuf");
+  insn("load8 r4, [r2]");
+  insn("load8 r5, [r2+1]");
+  insn("shli r5, 8");
+  insn("or r4, r5");
+  insn("cmpi r4, 0xffff");
+  insn("jeq runner_exit");
+  insn("movi r0, 3");  // the argument
+  insn("movi r1, 0");
+  insn("movi r2, argbuf");
+  insn("movi r3, 8");
+  insn("syscall");
+  insn("movi r2, argbuf");
+  insn("load r1, [r2]");
+  insn("mov r5, r4");  // fn = id / libraries
+  insn("movi r6, " + num(libraries));
+  insn("div r5, r6");
+  insn("mov r6, r4");  // lib = id % libraries
+  insn("movi r2, " + num(libraries));
+  insn("mod r6, r2");
+  insn("jmpt r6, libtable");
+  for (int l = 0; l < libraries; ++l) {
+    out += "stub_" + num(l) + ":\n";
+    insn("movi r6, got_" + num(l));
+    insn("load r6, [r6]");
+    insn("callr r6");
+    insn("jmp emit_result");
+  }
+  out += "emit_result:\n";
+  insn("movi r2, outbuf");
+  insn("store [r2], r4");
+  insn("movi r0, 2");
+  insn("movi r1, 1");
+  insn("movi r3, 8");
+  insn("syscall");
+  insn("jmp runner_loop");
+  out += "runner_exit:\n";
+  insn("movi r0, 1");
+  insn("movi r1, 0");
+  insn("syscall");
+  insn("hlt");
+  line(".rodata");
+  out += "libtable:\n";
+  std::string slots = "  .quad stub_0";
+  for (int l = 1; l < libraries; ++l) slots += ", stub_" + num(l);
+  line(slots);
+  line("  .quad 0");
+  line(".data");
+  for (int l = 0; l < libraries; ++l)
+    line(".import got_" + num(l) + ", dispatch_" + num(l));
+  line(".bss");
+  line("idxbuf: .space 8");
+  line("argbuf: .space 8");
+  line("outbuf: .space 8");
+  return out;
+}
+
+}  // namespace
+
+Result<SharedWorkload> make_shared_workload(const WorkloadSpec& spec, int libraries) {
+  if (libraries < 1 || libraries > 8)
+    return Error::invalid_argument("shared workload supports 1..8 libraries");
+  if (spec.functions < libraries)
+    return Error::invalid_argument("need at least one function per library");
+
+  SharedWorkload w;
+  w.spec = spec;
+  Rng rng(spec.seed);
+
+  assembler::Options main_opts;
+  main_opts.emit_symbols = false;
+  ZIPR_ASSIGN_OR_RETURN(w.main_image,
+                        assembler::assemble(shared_main_source(libraries), main_opts));
+
+  const int per_lib = spec.functions / libraries;
+  for (int l = 0; l < libraries; ++l) {
+    assembler::Options lib_opts;
+    lib_opts.emit_symbols = false;
+    lib_opts.text_base = 0x1000000 + static_cast<std::uint64_t>(l) * 0x800000;
+    lib_opts.rodata_base = lib_opts.text_base + 0x400000;
+    lib_opts.data_base = lib_opts.text_base + 0x500000;
+    lib_opts.bss_base = lib_opts.text_base + 0x600000;
+    ZIPR_ASSIGN_OR_RETURN(zelf::Image lib,
+                          assembler::assemble(library_source(l, per_lib, rng), lib_opts));
+    w.libraries.push_back(std::move(lib));
+  }
+
+  // One test per (library, function): id = fn * libraries + lib.
+  Rng test_rng(spec.seed ^ 0x5ea7);
+  for (int l = 0; l < libraries; ++l) {
+    for (int fn = 0; fn < per_lib; ++fn) {
+      Poll poll;
+      poll.vm_seed = test_rng.next();
+      put_u16(poll.input, static_cast<std::uint16_t>(fn * libraries + l));
+      put_u64(poll.input, test_rng.next());
+      put_u16(poll.input, 0xffff);
+      w.unit_tests.push_back(std::move(poll));
+    }
+  }
+  return w;
+}
+
+Result<SuiteResult> run_shared_suite(const SharedWorkload& workload,
+                                     std::vector<zelf::Image> replacement) {
+  std::vector<zelf::Image> originals{workload.main_image};
+  for (const auto& lib : workload.libraries) originals.push_back(lib);
+  ZIPR_ASSIGN_OR_RETURN(vm::LinkResult orig, vm::link(std::move(originals)));
+  ZIPR_ASSIGN_OR_RETURN(vm::LinkResult repl, vm::link(std::move(replacement)));
+
+  SuiteResult result;
+  for (const auto& test : workload.unit_tests) {
+    ++result.total;
+    auto a = vm::run_linked(orig, test.input, test.vm_seed);
+    auto b = vm::run_linked(repl, test.input, test.vm_seed);
+    if (a.exited == b.exited && a.exit_status == b.exit_status && a.output == b.output)
+      ++result.passed;
+  }
+  return result;
+}
+
+}  // namespace zipr::cgc

@@ -1,0 +1,72 @@
+// Robustness workloads (paper Sec. IV-A).
+//
+// The paper demonstrates robustness by Null-rewriting three large real
+// code bases -- libc (1.6 MB, 22 % handwritten assembly), OpenJDK's libjvm
+// (12 MB, ~5x libc) and Apache (624 KB) -- and re-running their unit-test
+// suites. These generators build libraries with the same *relative* size
+// ratios and the same hazard profile (address-taken entry points, shared
+// tails, data interleaved with code, deep call chains), each with a
+// unit-test runner: input selects a function and an argument, output is
+// the function's result. The suite passes iff the rewritten library
+// produces byte-identical results for every test.
+#pragma once
+
+#include "cgc/poller.h"
+#include "zelf/image.h"
+
+namespace zipr::cgc {
+
+struct WorkloadSpec {
+  std::string name;
+  std::uint64_t seed = 1;
+  int functions = 200;       ///< exported, address-taken entry points
+  int ops_per_function = 16; ///< body size knob
+  bool irregular = false;    ///< handwritten-assembly-style hazards:
+                             ///< data blobs between functions, shared tails
+  int tests_per_function = 1;
+};
+
+struct Workload {
+  WorkloadSpec spec;
+  zelf::Image image;              ///< symbol-free
+  std::vector<Poll> unit_tests;   ///< the "unit-test suite"
+};
+
+/// Build a library workload (deterministic in spec.seed).
+Result<Workload> make_workload(const WorkloadSpec& spec);
+
+/// The paper's three subjects, scaled ~16x down but ratio-preserving:
+/// libc-like (irregular, mid-size), libjvm-like (~5x libc), apache-like
+/// (~0.4x libc).
+WorkloadSpec libc_like_spec();
+WorkloadSpec libjvm_like_spec();
+WorkloadSpec apache_like_spec();
+
+/// Run the unit-test suite against original and rewritten images.
+struct SuiteResult {
+  int total = 0;
+  int passed = 0;
+  bool all_passed() const { return passed == total; }
+};
+SuiteResult run_suite(const Workload& workload, const zelf::Image& rewritten);
+
+/// A main executable plus shared libraries -- the paper's Apache shape:
+/// the test runner dispatches into the libraries through import slots, so
+/// every image can be rewritten independently.
+struct SharedWorkload {
+  WorkloadSpec spec;
+  zelf::Image main_image;
+  std::vector<zelf::Image> libraries;
+  std::vector<Poll> unit_tests;  ///< covers every function of every library
+};
+
+/// Split `spec.functions` across `libraries` shared objects behind one
+/// test-runner executable.
+Result<SharedWorkload> make_shared_workload(const WorkloadSpec& spec, int libraries);
+
+/// Run the suite on the ORIGINAL set vs a replacement set ({main, libs...},
+/// same order). Any or all images may have been rewritten.
+Result<SuiteResult> run_shared_suite(const SharedWorkload& workload,
+                                     std::vector<zelf::Image> replacement);
+
+}  // namespace zipr::cgc

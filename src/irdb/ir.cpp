@@ -1,0 +1,164 @@
+#include "irdb/ir.h"
+
+#include <cassert>
+
+namespace zipr::irdb {
+
+InsnId Database::add_instruction(Instruction insn) {
+  InsnId id = static_cast<InsnId>(insns_.size() + 1);
+  insn.id = id;
+  insns_.push_back(std::move(insn));
+  return id;
+}
+
+InsnId Database::add_new(const isa::Insn& decoded) {
+  Instruction row;
+  row.decoded = decoded;
+  row.decoded.length = static_cast<std::uint8_t>(isa::encoded_length(decoded));
+  return add_instruction(std::move(row));
+}
+
+Instruction& Database::insn(InsnId id) {
+  assert(has_insn(id));
+  return insns_[id - 1];
+}
+
+const Instruction& Database::insn(InsnId id) const {
+  assert(has_insn(id));
+  return insns_[id - 1];
+}
+
+Status Database::pin(std::uint64_t addr, InsnId id) {
+  if (!has_insn(id)) return Error::invalid_argument("pin names unknown instruction");
+  auto [it, inserted] = pins_.emplace(addr, id);
+  (void)it;
+  if (!inserted) return Error::internal("address " + hex_addr(addr) + " already pinned");
+  return Status::success();
+}
+
+InsnId Database::pinned_at(std::uint64_t addr) const {
+  auto it = pins_.find(addr);
+  return it == pins_.end() ? kNullInsn : it->second;
+}
+
+Status Database::repin(std::uint64_t addr, InsnId id) {
+  auto it = pins_.find(addr);
+  if (it == pins_.end()) return Error::not_found("no pin at " + hex_addr(addr));
+  if (!has_insn(id)) return Error::invalid_argument("repin names unknown instruction");
+  it->second = id;
+  return Status::success();
+}
+
+FuncId Database::add_function(Function f) {
+  FuncId id = static_cast<FuncId>(funcs_.size() + 1);
+  f.id = id;
+  funcs_.push_back(std::move(f));
+  return id;
+}
+
+Function& Database::function(FuncId id) {
+  assert(id > 0 && id <= funcs_.size());
+  return funcs_[id - 1];
+}
+
+const Function& Database::function(FuncId id) const {
+  assert(id > 0 && id <= funcs_.size());
+  return funcs_[id - 1];
+}
+
+InsnId Database::insert_before(InsnId id, const isa::Insn& what) {
+  assert(has_insn(id));
+  // Move the original payload to a fresh row...
+  Instruction moved = insn(id);
+  InsnId moved_id = add_instruction(std::move(moved));
+  // ...then rewrite row `id` in place as the inserted instruction. All
+  // existing links/pins to `id` now reach `what` first, then fall through
+  // to the original payload -- without scanning for back-references.
+  Instruction& row = insn(id);
+  Instruction& moved_row = insn(moved_id);
+  row.decoded = what;
+  row.decoded.length = static_cast<std::uint8_t>(isa::encoded_length(what));
+  row.orig_bytes.clear();
+  row.verbatim = false;
+  row.target = kNullInsn;
+  row.data_ref = std::nullopt;
+  row.fallthrough = moved_id;
+  row.function = moved_row.function;
+  // The moved payload keeps its own links; the pin (if any) stays on `id`
+  // because pins are keyed by address, and orig_addr stays on the moved row
+  // to preserve provenance.
+  row.orig_addr = std::nullopt;
+  if (moved_row.function != kNullFunc) {
+    // Record membership of the new row.
+    function(moved_row.function).members.push_back(moved_id);
+  }
+  return moved_id;
+}
+
+InsnId Database::insert_after(InsnId id, const isa::Insn& what) {
+  assert(has_insn(id));
+  Instruction row;
+  row.decoded = what;
+  row.decoded.length = static_cast<std::uint8_t>(isa::encoded_length(what));
+  row.function = insn(id).function;
+  row.fallthrough = insn(id).fallthrough;
+  InsnId new_id = add_instruction(std::move(row));
+  insn(id).fallthrough = new_id;
+  if (insn(new_id).function != kNullFunc)
+    function(insn(new_id).function).members.push_back(new_id);
+  return new_id;
+}
+
+void Database::replace(InsnId id, const isa::Insn& what) {
+  assert(has_insn(id));
+  Instruction& row = insn(id);
+  row.decoded = what;
+  row.decoded.length = static_cast<std::uint8_t>(isa::encoded_length(what));
+  row.orig_bytes.clear();
+  row.verbatim = false;
+}
+
+Status Database::remove(InsnId id) {
+  if (!has_insn(id)) return Error::invalid_argument("remove names unknown instruction");
+  InsnId ft = insn(id).fallthrough;
+  if (ft == kNullInsn)
+    return Error::invalid_argument("cannot remove instruction with no fallthrough");
+  for (auto& row : insns_) {
+    if (row.fallthrough == id) row.fallthrough = ft;
+    if (row.target == id) row.target = ft;
+  }
+  for (auto& [addr, pinned] : pins_)
+    if (pinned == id) pinned = ft;
+  for (auto& f : funcs_)
+    if (f.entry == id) f.entry = ft;
+  return Status::success();
+}
+
+Status Database::validate() const {
+  for (const auto& row : insns_) {
+    if (row.fallthrough != kNullInsn && !has_insn(row.fallthrough))
+      return Error::internal("dangling fallthrough from insn " + std::to_string(row.id));
+    if (row.target != kNullInsn && !has_insn(row.target))
+      return Error::internal("dangling target from insn " + std::to_string(row.id));
+    if (row.verbatim) {
+      if (!row.orig_addr)
+        return Error::internal("verbatim insn " + std::to_string(row.id) + " has no orig_addr");
+      if (row.orig_bytes.empty())
+        return Error::internal("verbatim insn " + std::to_string(row.id) + " has no bytes");
+    }
+    if (row.function != kNullFunc && row.function > funcs_.size())
+      return Error::internal("insn " + std::to_string(row.id) + " names unknown function");
+  }
+  for (const auto& [addr, id] : pins_) {
+    if (!has_insn(id)) return Error::internal("pin at " + hex_addr(addr) + " dangles");
+  }
+  for (const auto& f : funcs_) {
+    if (f.entry != kNullInsn && !has_insn(f.entry))
+      return Error::internal("function " + f.name + " entry dangles");
+    for (InsnId m : f.members)
+      if (!has_insn(m)) return Error::internal("function " + f.name + " member dangles");
+  }
+  return Status::success();
+}
+
+}  // namespace zipr::irdb

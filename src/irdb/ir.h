@@ -1,0 +1,179 @@
+// The IR database (IRDB): the representation mediating between IR
+// construction, transformation and reassembly (paper Sec. II).
+//
+// The paper's IRDB is an SQL database shared by cooperating tools; here it
+// is an in-memory relational store with the same schema essentials:
+//
+//   * an instruction table where control-flow relationships are LOGICAL
+//     links (fallthrough id, target id) rather than addresses, so
+//     instructions can be re-placed anywhere (Sec. II-A1);
+//   * a pinned-address table mapping original addresses that may be
+//     targeted indirectly at runtime to the instruction that must appear
+//     to live there (Sec. II-A2);
+//   * a function table used by the user-transform API and by CFI.
+//
+// A pinned address `a` corresponds to exactly one instruction id at any
+// time. Transforms that rewrite the instruction in place keep the pin
+// attached (Fig. 2's i -> i' example); insert_before() exploits this by
+// rewriting the pinned id and moving the original payload to a fresh id.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/insn.h"
+#include "support/bytes.h"
+#include "support/status.h"
+
+namespace zipr::irdb {
+
+/// Instruction id; 0 is the null id.
+using InsnId = std::uint32_t;
+inline constexpr InsnId kNullInsn = 0;
+
+using FuncId = std::uint32_t;
+inline constexpr FuncId kNullFunc = 0;
+
+/// One row of the instruction table.
+struct Instruction {
+  InsnId id = kNullInsn;
+  isa::Insn decoded;  ///< semantic form; branch displacement fields are NOT
+                      ///< authoritative -- `target` is (mandatory transform)
+
+  /// Address in the original program, if this instruction came from it.
+  /// New instructions added by transforms have no original address.
+  std::optional<std::uint64_t> orig_addr;
+
+  /// Original encoding. Used (a) to re-emit `verbatim` rows byte-exactly
+  /// and (b) by tests comparing pre/post images.
+  Bytes orig_bytes;
+
+  InsnId fallthrough = kNullInsn;  ///< logical successor; null if none
+  InsnId target = kNullInsn;       ///< logical static CF target; null if none
+
+  /// Static CF target expressed as an ORIGINAL absolute address, used when
+  /// the target was not lifted to a row (it lies inside a verbatim
+  /// code/data range that stays at its original location). Mutually
+  /// exclusive with `target`.
+  std::optional<std::uint64_t> abs_target;
+
+  /// For PC-relative data instructions (lea/loadpc): the absolute address
+  /// of the referenced datum. Data keeps its original addresses after
+  /// rewriting, so an absolute link suffices; if the referent is in the
+  /// text segment the analysis will have pinned it.
+  std::optional<std::uint64_t> data_ref;
+
+  FuncId function = kNullFunc;
+
+  /// True if this row's bytes must appear verbatim at orig_addr in the
+  /// output: the conservative handling of ranges that may be data
+  /// (paper's disassembly Cases 2 and 3).
+  bool verbatim = false;
+
+  bool is_valid() const { return id != kNullInsn; }
+};
+
+/// One row of the function table.
+struct Function {
+  FuncId id = kNullFunc;
+  std::string name;      ///< synthesized ("func_400123") -- no symbols used
+  InsnId entry = kNullInsn;
+  std::vector<InsnId> members;  ///< instruction ids, entry first
+};
+
+/// The database. Owns all rows; ids are stable for the database's lifetime.
+class Database {
+ public:
+  // ---- instruction table ----
+
+  /// Add a new instruction row; returns its id.
+  InsnId add_instruction(Instruction insn);
+
+  /// Convenience: add a brand-new (transform-created) instruction from its
+  /// semantic form, with no original address.
+  InsnId add_new(const isa::Insn& decoded);
+
+  Instruction& insn(InsnId id);
+  const Instruction& insn(InsnId id) const;
+  bool has_insn(InsnId id) const { return id > 0 && id <= insns_.size(); }
+
+  std::size_t insn_count() const { return insns_.size(); }
+
+  /// Iterate all instruction ids in creation order.
+  template <typename Fn>
+  void for_each_insn(Fn&& fn) {
+    for (auto& row : insns_) fn(row);
+  }
+  template <typename Fn>
+  void for_each_insn(Fn&& fn) const {
+    for (const auto& row : insns_) fn(row);
+  }
+
+  // ---- pinned-address table ----
+
+  /// Pin `addr` to instruction `id`. An address pins at most one id;
+  /// re-pinning an address is an error (internal invariant).
+  Status pin(std::uint64_t addr, InsnId id);
+
+  /// The instruction pinned at `addr`, or null.
+  InsnId pinned_at(std::uint64_t addr) const;
+
+  /// All (address, id) pins in ascending address order.
+  const std::map<std::uint64_t, InsnId>& pins() const { return pins_; }
+
+  /// Move the pin at `addr` to a different instruction (used by
+  /// insert_before-style edits at pin boundaries).
+  Status repin(std::uint64_t addr, InsnId id);
+
+  // ---- function table ----
+
+  FuncId add_function(Function f);
+  Function& function(FuncId id);
+  const Function& function(FuncId id) const;
+  std::size_t function_count() const { return funcs_.size(); }
+  template <typename Fn>
+  void for_each_function(Fn&& fn) {
+    for (auto& f : funcs_) fn(f);
+  }
+  template <typename Fn>
+  void for_each_function(Fn&& fn) const {
+    for (const auto& f : funcs_) fn(f);
+  }
+
+  // ---- structured edits (the substrate of the user-transform API) ----
+
+  /// Insert `what` immediately before instruction `id` in control flow:
+  /// every existing link or pin that led to `id` now executes `what`
+  /// first. Implemented by moving `id`'s payload to a fresh row and
+  /// rewriting row `id` in place with `what`, falling through to the
+  /// moved payload. Returns the id now holding the ORIGINAL payload.
+  InsnId insert_before(InsnId id, const isa::Insn& what);
+
+  /// Insert `what` between `id` and its fallthrough. Returns the new id.
+  InsnId insert_after(InsnId id, const isa::Insn& what);
+
+  /// Replace the semantic body of `id`, keeping links and pins.
+  void replace(InsnId id, const isa::Insn& what);
+
+  /// Remove `id` from control flow by redirecting all links and pins that
+  /// point at it to its fallthrough. Fails if `id` has no fallthrough.
+  /// The row remains but becomes unreachable.
+  Status remove(InsnId id);
+
+  // ---- integrity ----
+
+  /// Check referential integrity: all links and pins name existing rows,
+  /// verbatim rows have original addresses and bytes, functions' members
+  /// exist. Cheap enough to run in tests after every transform.
+  Status validate() const;
+
+ private:
+  std::vector<Instruction> insns_;  // id = index + 1
+  std::map<std::uint64_t, InsnId> pins_;
+  std::vector<Function> funcs_;     // id = index + 1
+};
+
+}  // namespace zipr::irdb

@@ -1,0 +1,32 @@
+// Text serialization of the IR database.
+//
+// The paper's IRDB is an SQL database precisely so that cooperating tools
+// can exchange program state; this text format plays that role here: a
+// dumped database can be inspected, diffed, stored, and reloaded by
+// another process losslessly. The format is line-oriented:
+//
+//   zipr-irdb 1
+//   insn <id> bytes=<hex> [orig=<addr>] [ft=<id>] [tgt=<id>]
+//        [abs=<addr>] [data=<addr>] [func=<id>] [verbatim]
+//   pin <addr> <insn-id>
+//   func <id> entry=<insn-id> name=<name> members=<id,id,...>
+//
+// Instruction semantics are carried by the encoded bytes (round-tripped
+// through isa::encode/decode), so the dump stays valid as long as the
+// wire format does.
+#pragma once
+
+#include <string>
+
+#include "irdb/ir.h"
+
+namespace zipr::irdb {
+
+/// Serialize the whole database. Deterministic: equal databases produce
+/// equal text.
+std::string serialize(const Database& db);
+
+/// Parse a serialized database. Validates referential integrity.
+Result<Database> deserialize(std::string_view text);
+
+}  // namespace zipr::irdb

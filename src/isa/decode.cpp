@@ -1,0 +1,280 @@
+#include <cstddef>
+
+#include "isa/insn.h"
+
+namespace zipr::isa {
+
+namespace {
+
+// Split a packed register byte (dst<<4 | src); each nibble must name a
+// valid register.
+Result<std::pair<std::uint8_t, std::uint8_t>> reg_pair(std::uint8_t b) {
+  std::uint8_t hi = b >> 4, lo = b & 0x0f;
+  if (hi >= kNumRegs || lo >= kNumRegs)
+    return Error::decode("register operand out of range");
+  return std::make_pair(hi, lo);
+}
+
+Result<std::uint8_t> one_reg(std::uint8_t b) {
+  if (b >= kNumRegs) return Error::decode("register operand out of range");
+  return b;
+}
+
+}  // namespace
+
+Result<Insn> decode(ByteView bytes) {
+  if (bytes.empty()) return Error::decode("empty byte range");
+  ByteReader r(bytes);
+  const std::uint8_t op0 = r.u8().value();
+
+  Insn in;
+  auto rr_form = [&](Op op) -> Result<Insn> {
+    auto b = r.u8();
+    if (!b.ok()) return Error::decode("truncated reg-pair operand");
+    ZIPR_ASSIGN_OR_RETURN(auto pr, reg_pair(*b));
+    in.op = op;
+    in.ra = pr.first;
+    in.rb = pr.second;
+    in.length = 2;
+    return in;
+  };
+  auto ri_form = [&](Op op) -> Result<Insn> {
+    auto b = r.u8();
+    if (!b.ok()) return Error::decode("truncated reg operand");
+    ZIPR_ASSIGN_OR_RETURN(in.ra, one_reg(*b));
+    auto imm = r.i32();
+    if (!imm.ok()) return Error::decode("truncated imm32 operand");
+    in.op = op;
+    in.imm = *imm;
+    in.length = 6;
+    return in;
+  };
+  auto mem_form = [&](Op op) -> Result<Insn> {
+    auto b = r.u8();
+    if (!b.ok()) return Error::decode("truncated reg-pair operand");
+    ZIPR_ASSIGN_OR_RETURN(auto pr, reg_pair(*b));
+    auto disp = r.i32();
+    if (!disp.ok()) return Error::decode("truncated disp32 operand");
+    in.op = op;
+    in.ra = pr.first;
+    in.rb = pr.second;
+    in.imm = *disp;
+    in.length = 6;
+    return in;
+  };
+
+  switch (op0) {
+    case opc::kNop:
+      in.op = Op::kNop;
+      in.length = 1;
+      return in;
+    case opc::kHlt:
+      in.op = Op::kHlt;
+      in.length = 1;
+      return in;
+    case opc::kRet:
+      in.op = Op::kRet;
+      in.length = 1;
+      return in;
+
+    case opc::kJmp8: {
+      auto d = r.i8();
+      if (!d.ok()) return Error::decode("truncated jmp rel8");
+      in.op = Op::kJmp;
+      in.width = BranchWidth::kRel8;
+      in.imm = *d;
+      in.length = kJmp8Len;
+      return in;
+    }
+    case opc::kJmp32: {
+      auto d = r.i32();
+      if (!d.ok()) return Error::decode("truncated jmp rel32");
+      in.op = Op::kJmp;
+      in.width = BranchWidth::kRel32;
+      in.imm = *d;
+      in.length = kJmp32Len;
+      return in;
+    }
+    case opc::kCall: {
+      auto d = r.i32();
+      if (!d.ok()) return Error::decode("truncated call rel32");
+      in.op = Op::kCall;
+      in.imm = *d;
+      in.length = kCallLen;
+      return in;
+    }
+    case opc::kPushI: {
+      auto v = r.u32();
+      if (!v.ok()) return Error::decode("truncated push imm32");
+      in.op = Op::kPushI;
+      in.imm = static_cast<std::int64_t>(*v);  // zero-extended
+      in.length = 5;
+      return in;
+    }
+    case opc::kMovI64: {
+      auto b = r.u8();
+      if (!b.ok()) return Error::decode("truncated movi64 reg");
+      ZIPR_ASSIGN_OR_RETURN(in.ra, one_reg(*b));
+      auto v = r.u64();
+      if (!v.ok()) return Error::decode("truncated movi64 imm");
+      in.op = Op::kMovI64;
+      in.imm = static_cast<std::int64_t>(*v);
+      in.length = 10;
+      return in;
+    }
+    case opc::kMovI:
+      return ri_form(Op::kMovI);
+    case opc::kMov:
+      return rr_form(Op::kMov);
+    case opc::kLoad:
+      return mem_form(Op::kLoad);
+    case opc::kStore:
+      return mem_form(Op::kStore);
+    case opc::kLoad8:
+      return mem_form(Op::kLoad8);
+    case opc::kStore8:
+      return mem_form(Op::kStore8);
+    case opc::kLoadPc: {
+      auto b = r.u8();
+      if (!b.ok()) return Error::decode("truncated loadpc reg");
+      ZIPR_ASSIGN_OR_RETURN(in.ra, one_reg(*b));
+      auto d = r.i32();
+      if (!d.ok()) return Error::decode("truncated loadpc disp");
+      in.op = Op::kLoadPc;
+      in.imm = *d;
+      in.length = 6;
+      return in;
+    }
+    case opc::kLea: {
+      auto b = r.u8();
+      if (!b.ok()) return Error::decode("truncated lea reg");
+      ZIPR_ASSIGN_OR_RETURN(in.ra, one_reg(*b));
+      auto d = r.i32();
+      if (!d.ok()) return Error::decode("truncated lea disp");
+      in.op = Op::kLea;
+      in.imm = *d;
+      in.length = 6;
+      return in;
+    }
+
+    case opc::kCallR: {
+      auto b = r.u8();
+      if (!b.ok()) return Error::decode("truncated callr reg");
+      ZIPR_ASSIGN_OR_RETURN(in.ra, one_reg(*b));
+      in.op = Op::kCallR;
+      in.length = 2;
+      return in;
+    }
+    case opc::kJmpR: {
+      auto b = r.u8();
+      if (!b.ok()) return Error::decode("truncated jmpr reg");
+      ZIPR_ASSIGN_OR_RETURN(in.ra, one_reg(*b));
+      in.op = Op::kJmpR;
+      in.length = 2;
+      return in;
+    }
+    case opc::kJmpT: {
+      auto b = r.u8();
+      if (!b.ok()) return Error::decode("truncated jmpt reg");
+      ZIPR_ASSIGN_OR_RETURN(in.ra, one_reg(*b));
+      auto tab = r.u32();
+      if (!tab.ok()) return Error::decode("truncated jmpt table");
+      in.op = Op::kJmpT;
+      in.imm = static_cast<std::int64_t>(*tab);  // absolute table address
+      in.length = 6;
+      return in;
+    }
+
+    case opc::kSysPrefix: {
+      auto b = r.u8();
+      if (!b.ok() || *b != opc::kSysSuffix) return Error::decode("bad syscall suffix");
+      in.op = Op::kSyscall;
+      in.length = 2;
+      return in;
+    }
+
+    case opc::kAdd: return rr_form(Op::kAdd);
+    case opc::kSub: return rr_form(Op::kSub);
+    case opc::kAnd: return rr_form(Op::kAnd);
+    case opc::kOr: return rr_form(Op::kOr);
+    case opc::kXor: return rr_form(Op::kXor);
+    case opc::kMul: return rr_form(Op::kMul);
+    case opc::kDiv: return rr_form(Op::kDiv);
+    case opc::kMod: return rr_form(Op::kMod);
+    case opc::kShl: return rr_form(Op::kShl);
+    case opc::kShr: return rr_form(Op::kShr);
+    case opc::kSar: return rr_form(Op::kSar);
+    case opc::kCmp: return rr_form(Op::kCmp);
+    case opc::kTest: return rr_form(Op::kTest);
+
+    case opc::kAddI: return ri_form(Op::kAddI);
+    case opc::kSubI: return ri_form(Op::kSubI);
+    case opc::kAndI: return ri_form(Op::kAndI);
+    case opc::kOrI: return ri_form(Op::kOrI);
+    case opc::kXorI: return ri_form(Op::kXorI);
+    case opc::kShlI: return ri_form(Op::kShlI);
+    case opc::kShrI: return ri_form(Op::kShrI);
+    case opc::kCmpI: return ri_form(Op::kCmpI);
+
+    default:
+      break;
+  }
+
+  if (op0 >= opc::kPushBase && op0 < opc::kPushBase + kNumRegs) {
+    in.op = Op::kPush;
+    in.ra = op0 & 0x07;
+    in.length = 1;
+    return in;
+  }
+  if (op0 >= opc::kPopBase && op0 < opc::kPopBase + kNumRegs) {
+    in.op = Op::kPop;
+    in.ra = op0 & 0x07;
+    in.length = 1;
+    return in;
+  }
+  if (op0 >= opc::kJcc8Base && op0 < opc::kJcc8Base + 8) {
+    auto d = r.i8();
+    if (!d.ok()) return Error::decode("truncated jcc rel8");
+    in.op = Op::kJcc;
+    in.cond = static_cast<Cond>(op0 & 0x07);
+    in.width = BranchWidth::kRel8;
+    in.imm = *d;
+    in.length = kJcc8Len;
+    return in;
+  }
+  if (op0 >= opc::kJcc32Base && op0 < opc::kJcc32Base + 8) {
+    auto d = r.i32();
+    if (!d.ok()) return Error::decode("truncated jcc rel32");
+    in.op = Op::kJcc;
+    in.cond = static_cast<Cond>(op0 & 0x07);
+    in.width = BranchWidth::kRel32;
+    in.imm = *d;
+    in.length = kJcc32Len;
+    return in;
+  }
+
+  return Error::decode("invalid opcode " + hex_addr(op0));
+}
+
+int cost_of(Op op) {
+  switch (op) {
+    case Op::kLoad: case Op::kStore: case Op::kLoad8: case Op::kStore8:
+    case Op::kLoadPc: case Op::kPush: case Op::kPop: case Op::kPushI:
+      return 3;
+    case Op::kCall: case Op::kRet: case Op::kCallR: case Op::kJmpR:
+    case Op::kJmpT:
+      return 4;
+    case Op::kJmp: case Op::kJcc:
+      return 2;
+    case Op::kSyscall:
+      return 20;
+    case Op::kMul:
+      return 3;
+    case Op::kDiv: case Op::kMod:
+      return 10;
+    default:
+      return 1;
+  }
+}
+
+}  // namespace zipr::isa

@@ -1,0 +1,272 @@
+#include "isa/insn.h"
+
+namespace zipr::isa {
+
+namespace {
+
+bool fits_i8(std::int64_t v) { return v >= kRel8Min && v <= kRel8Max; }
+bool fits_i32(std::int64_t v) {
+  return v >= INT32_MIN && v <= INT32_MAX;
+}
+bool fits_u32(std::int64_t v) { return v >= 0 && v <= UINT32_MAX; }
+
+std::uint8_t pack_rr(std::uint8_t a, std::uint8_t b) {
+  return static_cast<std::uint8_t>((a << 4) | (b & 0x0f));
+}
+
+Status check_reg(std::uint8_t r) {
+  if (r >= kNumRegs) return Error::invalid_argument("register out of range");
+  return Status::success();
+}
+
+}  // namespace
+
+Status encode(const Insn& insn, Bytes& out) {
+  auto rr_form = [&](std::uint8_t opbyte) -> Status {
+    ZIPR_TRY(check_reg(insn.ra));
+    ZIPR_TRY(check_reg(insn.rb));
+    put_u8(out, opbyte);
+    put_u8(out, pack_rr(insn.ra, insn.rb));
+    return Status::success();
+  };
+  auto ri_form = [&](std::uint8_t opbyte) -> Status {
+    ZIPR_TRY(check_reg(insn.ra));
+    if (!fits_i32(insn.imm)) return Error::invalid_argument("imm32 out of range");
+    put_u8(out, opbyte);
+    put_u8(out, insn.ra);
+    put_i32(out, static_cast<std::int32_t>(insn.imm));
+    return Status::success();
+  };
+  auto mem_form = [&](std::uint8_t opbyte) -> Status {
+    ZIPR_TRY(check_reg(insn.ra));
+    ZIPR_TRY(check_reg(insn.rb));
+    if (!fits_i32(insn.imm)) return Error::invalid_argument("disp32 out of range");
+    put_u8(out, opbyte);
+    put_u8(out, pack_rr(insn.ra, insn.rb));
+    put_i32(out, static_cast<std::int32_t>(insn.imm));
+    return Status::success();
+  };
+
+  switch (insn.op) {
+    case Op::kNop:
+      put_u8(out, opc::kNop);
+      return Status::success();
+    case Op::kHlt:
+      put_u8(out, opc::kHlt);
+      return Status::success();
+    case Op::kRet:
+      put_u8(out, opc::kRet);
+      return Status::success();
+
+    case Op::kJmp:
+      if (insn.width == BranchWidth::kRel8) {
+        if (!fits_i8(insn.imm)) return Error::invalid_argument("jmp rel8 out of range");
+        put_u8(out, opc::kJmp8);
+        put_i8(out, static_cast<std::int8_t>(insn.imm));
+      } else {
+        if (!fits_i32(insn.imm)) return Error::invalid_argument("jmp rel32 out of range");
+        put_u8(out, opc::kJmp32);
+        put_i32(out, static_cast<std::int32_t>(insn.imm));
+      }
+      return Status::success();
+
+    case Op::kJcc: {
+      auto cc = static_cast<std::uint8_t>(insn.cond);
+      if (insn.width == BranchWidth::kRel8) {
+        if (!fits_i8(insn.imm)) return Error::invalid_argument("jcc rel8 out of range");
+        put_u8(out, static_cast<std::uint8_t>(opc::kJcc8Base | cc));
+        put_i8(out, static_cast<std::int8_t>(insn.imm));
+      } else {
+        if (!fits_i32(insn.imm)) return Error::invalid_argument("jcc rel32 out of range");
+        put_u8(out, static_cast<std::uint8_t>(opc::kJcc32Base | cc));
+        put_i32(out, static_cast<std::int32_t>(insn.imm));
+      }
+      return Status::success();
+    }
+
+    case Op::kCall:
+      if (!fits_i32(insn.imm)) return Error::invalid_argument("call rel32 out of range");
+      put_u8(out, opc::kCall);
+      put_i32(out, static_cast<std::int32_t>(insn.imm));
+      return Status::success();
+
+    case Op::kCallR:
+      ZIPR_TRY(check_reg(insn.ra));
+      put_u8(out, opc::kCallR);
+      put_u8(out, insn.ra);
+      return Status::success();
+    case Op::kJmpR:
+      ZIPR_TRY(check_reg(insn.ra));
+      put_u8(out, opc::kJmpR);
+      put_u8(out, insn.ra);
+      return Status::success();
+    case Op::kJmpT:
+      ZIPR_TRY(check_reg(insn.ra));
+      if (!fits_u32(insn.imm)) return Error::invalid_argument("jmpt table out of range");
+      put_u8(out, opc::kJmpT);
+      put_u8(out, insn.ra);
+      put_u32(out, static_cast<std::uint32_t>(insn.imm));
+      return Status::success();
+
+    case Op::kSyscall:
+      put_u8(out, opc::kSysPrefix);
+      put_u8(out, opc::kSysSuffix);
+      return Status::success();
+
+    case Op::kPush:
+      ZIPR_TRY(check_reg(insn.ra));
+      put_u8(out, static_cast<std::uint8_t>(opc::kPushBase | insn.ra));
+      return Status::success();
+    case Op::kPop:
+      ZIPR_TRY(check_reg(insn.ra));
+      put_u8(out, static_cast<std::uint8_t>(opc::kPopBase | insn.ra));
+      return Status::success();
+    case Op::kPushI:
+      if (!fits_u32(insn.imm)) return Error::invalid_argument("push imm32 out of range");
+      put_u8(out, opc::kPushI);
+      put_u32(out, static_cast<std::uint32_t>(insn.imm));
+      return Status::success();
+
+    case Op::kMovI64:
+      ZIPR_TRY(check_reg(insn.ra));
+      put_u8(out, opc::kMovI64);
+      put_u8(out, insn.ra);
+      put_u64(out, static_cast<std::uint64_t>(insn.imm));
+      return Status::success();
+    case Op::kMovI:
+      return ri_form(opc::kMovI);
+    case Op::kMov:
+      return rr_form(opc::kMov);
+    case Op::kLoad:
+      return mem_form(opc::kLoad);
+    case Op::kStore:
+      return mem_form(opc::kStore);
+    case Op::kLoad8:
+      return mem_form(opc::kLoad8);
+    case Op::kStore8:
+      return mem_form(opc::kStore8);
+    case Op::kLoadPc:
+      return ri_form(opc::kLoadPc);
+    case Op::kLea:
+      return ri_form(opc::kLea);
+
+    case Op::kAdd: return rr_form(opc::kAdd);
+    case Op::kSub: return rr_form(opc::kSub);
+    case Op::kAnd: return rr_form(opc::kAnd);
+    case Op::kOr: return rr_form(opc::kOr);
+    case Op::kXor: return rr_form(opc::kXor);
+    case Op::kMul: return rr_form(opc::kMul);
+    case Op::kDiv: return rr_form(opc::kDiv);
+    case Op::kMod: return rr_form(opc::kMod);
+    case Op::kShl: return rr_form(opc::kShl);
+    case Op::kShr: return rr_form(opc::kShr);
+    case Op::kSar: return rr_form(opc::kSar);
+    case Op::kCmp: return rr_form(opc::kCmp);
+    case Op::kTest: return rr_form(opc::kTest);
+
+    case Op::kAddI: return ri_form(opc::kAddI);
+    case Op::kSubI: return ri_form(opc::kSubI);
+    case Op::kAndI: return ri_form(opc::kAndI);
+    case Op::kOrI: return ri_form(opc::kOrI);
+    case Op::kXorI: return ri_form(opc::kXorI);
+    case Op::kShlI: return ri_form(opc::kShlI);
+    case Op::kShrI: return ri_form(opc::kShrI);
+    case Op::kCmpI: return ri_form(opc::kCmpI);
+
+    case Op::kInvalid:
+      break;
+  }
+  return Error::invalid_argument("cannot encode invalid instruction");
+}
+
+Result<Bytes> encode(const Insn& insn) {
+  Bytes out;
+  ZIPR_TRY(encode(insn, out));
+  return out;
+}
+
+int encoded_length(const Insn& insn) {
+  switch (insn.op) {
+    case Op::kNop: case Op::kHlt: case Op::kRet: case Op::kPush: case Op::kPop:
+      return 1;
+    case Op::kJmp:
+      return insn.width == BranchWidth::kRel8 ? kJmp8Len : kJmp32Len;
+    case Op::kJcc:
+      return insn.width == BranchWidth::kRel8 ? kJcc8Len : kJcc32Len;
+    case Op::kCall: case Op::kPushI:
+      return 5;
+    case Op::kCallR: case Op::kJmpR: case Op::kSyscall: case Op::kMov:
+    case Op::kAdd: case Op::kSub: case Op::kAnd: case Op::kOr: case Op::kXor:
+    case Op::kMul: case Op::kDiv: case Op::kMod: case Op::kShl: case Op::kShr:
+    case Op::kSar: case Op::kCmp: case Op::kTest:
+      return 2;
+    case Op::kJmpT: case Op::kMovI: case Op::kLoadPc: case Op::kLea:
+    case Op::kAddI: case Op::kSubI: case Op::kAndI: case Op::kOrI:
+    case Op::kXorI: case Op::kShlI: case Op::kShrI: case Op::kCmpI:
+    case Op::kLoad: case Op::kStore: case Op::kLoad8: case Op::kStore8:
+      return 6;
+    case Op::kMovI64:
+      return 10;
+    case Op::kInvalid:
+      return 0;
+  }
+  return 0;
+}
+
+Insn make_jmp(std::int64_t rel, BranchWidth w) {
+  Insn i;
+  i.op = Op::kJmp;
+  i.width = w;
+  i.imm = rel;
+  i.length = static_cast<std::uint8_t>(w == BranchWidth::kRel8 ? kJmp8Len : kJmp32Len);
+  return i;
+}
+
+Insn make_jcc(Cond c, std::int64_t rel, BranchWidth w) {
+  Insn i;
+  i.op = Op::kJcc;
+  i.cond = c;
+  i.width = w;
+  i.imm = rel;
+  i.length = static_cast<std::uint8_t>(w == BranchWidth::kRel8 ? kJcc8Len : kJcc32Len);
+  return i;
+}
+
+Insn make_call(std::int64_t rel) {
+  Insn i;
+  i.op = Op::kCall;
+  i.imm = rel;
+  i.length = kCallLen;
+  return i;
+}
+
+Insn make_nop() {
+  Insn i;
+  i.op = Op::kNop;
+  i.length = 1;
+  return i;
+}
+
+Insn make_push_imm(std::uint32_t imm) {
+  Insn i;
+  i.op = Op::kPushI;
+  i.imm = imm;
+  i.length = 5;
+  return i;
+}
+
+Insn make_ret() {
+  Insn i;
+  i.op = Op::kRet;
+  i.length = 1;
+  return i;
+}
+
+Insn make_hlt() {
+  Insn i;
+  i.op = Op::kHlt;
+  i.length = 1;
+  return i;
+}
+
+}  // namespace zipr::isa

@@ -1,0 +1,131 @@
+#include "support/bytes.h"
+
+#include <cstdio>
+
+namespace zipr {
+
+void put_u8(Bytes& b, std::uint8_t v) { b.push_back(v); }
+
+void put_u16(Bytes& b, std::uint16_t v) {
+  b.push_back(static_cast<Byte>(v & 0xff));
+  b.push_back(static_cast<Byte>((v >> 8) & 0xff));
+}
+
+void put_u32(Bytes& b, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) b.push_back(static_cast<Byte>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(Bytes& b, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) b.push_back(static_cast<Byte>((v >> (8 * i)) & 0xff));
+}
+
+void put_i8(Bytes& b, std::int8_t v) { b.push_back(static_cast<Byte>(v)); }
+
+void put_i32(Bytes& b, std::int32_t v) { put_u32(b, static_cast<std::uint32_t>(v)); }
+
+void put_bytes(Bytes& b, ByteView v) { b.insert(b.end(), v.begin(), v.end()); }
+
+std::uint16_t get_u16(ByteView b, std::size_t off) {
+  return static_cast<std::uint16_t>(b[off] | (b[off + 1] << 8));
+}
+
+std::uint32_t get_u32(ByteView b, std::size_t off) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[off + i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(ByteView b, std::size_t off) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[off + i]) << (8 * i);
+  return v;
+}
+
+std::int8_t get_i8(ByteView b, std::size_t off) { return static_cast<std::int8_t>(b[off]); }
+
+std::int32_t get_i32(ByteView b, std::size_t off) {
+  return static_cast<std::int32_t>(get_u32(b, off));
+}
+
+void patch_u32(std::span<Byte> b, std::size_t off, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) b[off + i] = static_cast<Byte>((v >> (8 * i)) & 0xff);
+}
+
+void patch_i32(std::span<Byte> b, std::size_t off, std::int32_t v) {
+  patch_u32(b, off, static_cast<std::uint32_t>(v));
+}
+
+void patch_i8(std::span<Byte> b, std::size_t off, std::int8_t v) {
+  b[off] = static_cast<Byte>(v);
+}
+
+Result<std::uint8_t> ByteReader::u8() {
+  if (remaining() < 1) return Error::parse("u8 past end");
+  return data_[off_++];
+}
+
+Result<std::uint16_t> ByteReader::u16() {
+  if (remaining() < 2) return Error::parse("u16 past end");
+  auto v = get_u16(data_, off_);
+  off_ += 2;
+  return v;
+}
+
+Result<std::uint32_t> ByteReader::u32() {
+  if (remaining() < 4) return Error::parse("u32 past end");
+  auto v = get_u32(data_, off_);
+  off_ += 4;
+  return v;
+}
+
+Result<std::uint64_t> ByteReader::u64() {
+  if (remaining() < 8) return Error::parse("u64 past end");
+  auto v = get_u64(data_, off_);
+  off_ += 8;
+  return v;
+}
+
+Result<std::int8_t> ByteReader::i8() {
+  if (remaining() < 1) return Error::parse("i8 past end");
+  return static_cast<std::int8_t>(data_[off_++]);
+}
+
+Result<std::int32_t> ByteReader::i32() {
+  if (remaining() < 4) return Error::parse("i32 past end");
+  auto v = get_i32(data_, off_);
+  off_ += 4;
+  return v;
+}
+
+Result<Bytes> ByteReader::bytes(std::size_t n) {
+  if (remaining() < n) return Error::parse("bytes past end");
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(off_),
+            data_.begin() + static_cast<std::ptrdiff_t>(off_ + n));
+  off_ += n;
+  return out;
+}
+
+Status ByteReader::skip(std::size_t n) {
+  if (remaining() < n) return Error::parse("skip past end");
+  off_ += n;
+  return Status::success();
+}
+
+std::string hex_dump(ByteView b) {
+  std::string out;
+  char buf[4];
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "%02x", b[i]);
+    if (i) out.push_back(' ');
+    out += buf;
+  }
+  return out;
+}
+
+std::string hex_addr(std::uint64_t a) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%llx", static_cast<unsigned long long>(a));
+  return buf;
+}
+
+}  // namespace zipr

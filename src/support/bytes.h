@@ -1,0 +1,69 @@
+// Byte-buffer utilities: little-endian codecs over raw byte vectors and a
+// cursor-style reader used by the ZELF loader and the instruction decoder.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+
+namespace zipr {
+
+using Byte = std::uint8_t;
+using Bytes = std::vector<Byte>;
+using ByteView = std::span<const Byte>;
+
+/// Append little-endian encodings to a byte vector.
+void put_u8(Bytes& b, std::uint8_t v);
+void put_u16(Bytes& b, std::uint16_t v);
+void put_u32(Bytes& b, std::uint32_t v);
+void put_u64(Bytes& b, std::uint64_t v);
+void put_i8(Bytes& b, std::int8_t v);
+void put_i32(Bytes& b, std::int32_t v);
+void put_bytes(Bytes& b, ByteView v);
+
+/// Unchecked little-endian reads; caller guarantees bounds.
+std::uint16_t get_u16(ByteView b, std::size_t off);
+std::uint32_t get_u32(ByteView b, std::size_t off);
+std::uint64_t get_u64(ByteView b, std::size_t off);
+std::int8_t get_i8(ByteView b, std::size_t off);
+std::int32_t get_i32(ByteView b, std::size_t off);
+
+/// Overwrite little-endian encodings in place; caller guarantees bounds.
+void patch_u32(std::span<Byte> b, std::size_t off, std::uint32_t v);
+void patch_i32(std::span<Byte> b, std::size_t off, std::int32_t v);
+void patch_i8(std::span<Byte> b, std::size_t off, std::int8_t v);
+
+/// Bounds-checked sequential reader over a byte view.
+class ByteReader {
+ public:
+  explicit ByteReader(ByteView data) : data_(data) {}
+
+  std::size_t offset() const { return off_; }
+  std::size_t remaining() const { return data_.size() - off_; }
+  bool at_end() const { return off_ == data_.size(); }
+
+  Result<std::uint8_t> u8();
+  Result<std::uint16_t> u16();
+  Result<std::uint32_t> u32();
+  Result<std::uint64_t> u64();
+  Result<std::int8_t> i8();
+  Result<std::int32_t> i32();
+  Result<Bytes> bytes(std::size_t n);
+  Status skip(std::size_t n);
+
+ private:
+  ByteView data_;
+  std::size_t off_ = 0;
+};
+
+/// Render bytes as lowercase hex pairs separated by spaces ("68 90 90").
+std::string hex_dump(ByteView b);
+
+/// Format a 64-bit address as 0x-prefixed hex.
+std::string hex_addr(std::uint64_t a);
+
+}  // namespace zipr

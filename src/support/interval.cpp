@@ -1,0 +1,92 @@
+#include "support/interval.h"
+
+#include <cassert>
+
+namespace zipr {
+
+void IntervalSet::insert(std::uint64_t begin, std::uint64_t end) {
+  if (begin >= end) return;
+
+  // Start at the first interval that could overlap or adjoin [begin,end),
+  // then absorb every interval forward until a gap.
+  auto it = ivs_.lower_bound(begin);
+  if (it != ivs_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= begin) it = prev;
+  }
+  while (it != ivs_.end() && it->first <= end) {
+    begin = std::min(begin, it->first);
+    end = std::max(end, it->second);
+    it = ivs_.erase(it);
+  }
+  ivs_.emplace(begin, end);
+}
+
+void IntervalSet::erase(std::uint64_t begin, std::uint64_t end) {
+  if (begin >= end) return;
+
+  auto it = ivs_.lower_bound(begin);
+  if (it != ivs_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > begin) it = prev;
+  }
+  while (it != ivs_.end() && it->first < end) {
+    std::uint64_t ib = it->first, ie = it->second;
+    it = ivs_.erase(it);
+    if (ib < begin) ivs_.emplace(ib, begin);
+    if (ie > end) {
+      ivs_.emplace(end, ie);
+      break;
+    }
+  }
+}
+
+bool IntervalSet::contains(std::uint64_t a) const {
+  return interval_containing(a).has_value();
+}
+
+bool IntervalSet::contains_range(std::uint64_t begin, std::uint64_t end) const {
+  if (begin >= end) return true;
+  auto iv = interval_containing(begin);
+  return iv && iv->end >= end;
+}
+
+bool IntervalSet::overlaps(std::uint64_t begin, std::uint64_t end) const {
+  if (begin >= end) return false;
+  auto it = ivs_.lower_bound(begin);
+  if (it != ivs_.end() && it->first < end) return true;
+  if (it != ivs_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > begin) return true;
+  }
+  return false;
+}
+
+std::optional<Interval> IntervalSet::interval_containing(std::uint64_t a) const {
+  auto it = ivs_.upper_bound(a);
+  if (it == ivs_.begin()) return std::nullopt;
+  --it;
+  if (it->second > a) return Interval{it->first, it->second};
+  return std::nullopt;
+}
+
+std::optional<Interval> IntervalSet::next_at_or_after(std::uint64_t a) const {
+  auto it = ivs_.lower_bound(a);
+  if (it == ivs_.end()) return std::nullopt;
+  return Interval{it->first, it->second};
+}
+
+std::uint64_t IntervalSet::total_size() const {
+  std::uint64_t total = 0;
+  for (const auto& [b, e] : ivs_) total += e - b;
+  return total;
+}
+
+std::vector<Interval> IntervalSet::intervals() const {
+  std::vector<Interval> out;
+  out.reserve(ivs_.size());
+  for (const auto& [b, e] : ivs_) out.push_back({b, e});
+  return out;
+}
+
+}  // namespace zipr

@@ -1,0 +1,71 @@
+// Half-open address intervals and an ordered, coalescing interval set.
+//
+// Used by analysis (code/data range classification) and by the reassembler's
+// free-space manager (zipr::MemorySpace builds on IntervalSet).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace zipr {
+
+/// Half-open interval [begin, end) over 64-bit addresses.
+struct Interval {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;  ///< exclusive
+
+  std::uint64_t size() const { return end - begin; }
+  bool empty() const { return begin >= end; }
+  bool contains(std::uint64_t a) const { return a >= begin && a < end; }
+  bool contains(const Interval& o) const { return o.begin >= begin && o.end <= end; }
+  bool overlaps(const Interval& o) const { return begin < o.end && o.begin < end; }
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// An ordered set of disjoint intervals with automatic coalescing on insert.
+///
+/// insert() merges adjacent/overlapping intervals; erase() splits as needed.
+/// All operations are O(log n) amortized.
+class IntervalSet {
+ public:
+  /// Add [begin,end), merging with neighbours. Empty intervals are ignored.
+  void insert(std::uint64_t begin, std::uint64_t end);
+  void insert(const Interval& iv) { insert(iv.begin, iv.end); }
+
+  /// Remove [begin,end) from the set, splitting containing intervals.
+  void erase(std::uint64_t begin, std::uint64_t end);
+
+  /// True if `a` is covered by some interval.
+  bool contains(std::uint64_t a) const;
+
+  /// True if all of [begin,end) is covered by a single interval.
+  bool contains_range(std::uint64_t begin, std::uint64_t end) const;
+
+  /// True if [begin,end) overlaps any interval.
+  bool overlaps(std::uint64_t begin, std::uint64_t end) const;
+
+  /// The interval covering `a`, if any.
+  std::optional<Interval> interval_containing(std::uint64_t a) const;
+
+  /// First interval with begin >= a, if any.
+  std::optional<Interval> next_at_or_after(std::uint64_t a) const;
+
+  bool empty() const { return ivs_.empty(); }
+  std::size_t count() const { return ivs_.size(); }
+
+  /// Total number of addresses covered.
+  std::uint64_t total_size() const;
+
+  /// All intervals in ascending order.
+  std::vector<Interval> intervals() const;
+
+ private:
+  // Keyed by begin; values are exclusive ends. Invariant: disjoint and
+  // non-adjacent (adjacent runs are coalesced).
+  std::map<std::uint64_t, std::uint64_t> ivs_;
+};
+
+}  // namespace zipr

@@ -1,0 +1,48 @@
+// Leveled logging to stderr.
+//
+// The rewriter follows the paper's practice of emitting warnings when it
+// makes conservative calls (e.g. ambiguous code/data classification) so
+// failures are debuggable; those flow through LOG at kWarn level.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace zipr {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Default: kWarn.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, os_.str()); }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+#define ZIPR_LOG(level)                                   \
+  if (::zipr::log_level() > ::zipr::LogLevel::level) {    \
+  } else                                                  \
+    ::zipr::detail::LogMessage(::zipr::LogLevel::level)
+
+#define ZIPR_DEBUG ZIPR_LOG(kDebug)
+#define ZIPR_INFO ZIPR_LOG(kInfo)
+#define ZIPR_WARN ZIPR_LOG(kWarn)
+#define ZIPR_ERROR ZIPR_LOG(kError)
+
+}  // namespace zipr

@@ -1,0 +1,49 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the library (corpus generation, pollers, diversity
+// placement) flows through Rng so every test and benchmark is reproducible
+// from a seed. The generator is SplitMix64: tiny, fast, and adequate for
+// layout/workload diversity (not cryptographic).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace zipr {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ULL) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) {
+    assert(bound > 0);
+    // Modulo bias is acceptable for workload/layout diversity purposes.
+    return next() % bound;
+  }
+
+  /// Uniform value in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    assert(lo <= hi);
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Bernoulli trial: true with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den) { return below(den) < num; }
+
+  /// Derive an independent child generator (for per-item determinism).
+  Rng fork() { return Rng(next()); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace zipr

@@ -1,0 +1,124 @@
+// Lightweight error-reporting primitives used across the library.
+//
+// We deliberately avoid exceptions on hot rewriting paths: analysis and
+// reassembly report recoverable failures through Result<T>, reserving
+// exceptions for programming errors (contract violations).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace zipr {
+
+/// A recoverable error: a category tag plus a human-readable message.
+struct Error {
+  enum class Kind {
+    kInvalidArgument,   ///< caller passed something malformed
+    kParse,             ///< malformed input bytes / text
+    kDecode,            ///< undecodable instruction bytes
+    kUnsupported,       ///< valid input outside implemented scope
+    kOutOfSpace,        ///< address-space or file-space exhaustion
+    kNotFound,          ///< lookup miss
+    kInternal,          ///< invariant violation detected at runtime
+  };
+
+  Kind kind = Kind::kInternal;
+  std::string message;
+
+  Error() = default;
+  Error(Kind k, std::string msg) : kind(k), message(std::move(msg)) {}
+
+  static Error invalid_argument(std::string m) { return {Kind::kInvalidArgument, std::move(m)}; }
+  static Error parse(std::string m) { return {Kind::kParse, std::move(m)}; }
+  static Error decode(std::string m) { return {Kind::kDecode, std::move(m)}; }
+  static Error unsupported(std::string m) { return {Kind::kUnsupported, std::move(m)}; }
+  static Error out_of_space(std::string m) { return {Kind::kOutOfSpace, std::move(m)}; }
+  static Error not_found(std::string m) { return {Kind::kNotFound, std::move(m)}; }
+  static Error internal(std::string m) { return {Kind::kInternal, std::move(m)}; }
+
+  /// Short tag for log lines ("parse", "decode", ...).
+  const char* kind_name() const {
+    switch (kind) {
+      case Kind::kInvalidArgument: return "invalid-argument";
+      case Kind::kParse: return "parse";
+      case Kind::kDecode: return "decode";
+      case Kind::kUnsupported: return "unsupported";
+      case Kind::kOutOfSpace: return "out-of-space";
+      case Kind::kNotFound: return "not-found";
+      case Kind::kInternal: return "internal";
+    }
+    return "unknown";
+  }
+};
+
+/// Minimal expected-like result type (std::expected is C++23).
+///
+/// Either holds a value of T or an Error. Access to the wrong alternative
+/// asserts in debug builds and is undefined in release, mirroring
+/// std::expected's contract.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
+  Result(Error error) : v_(std::move(error)) {}        // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  T& value() & { assert(ok()); return std::get<T>(v_); }
+  const T& value() const& { assert(ok()); return std::get<T>(v_); }
+  T&& value() && { assert(ok()); return std::get<T>(std::move(v_)); }
+
+  const Error& error() const { assert(!ok()); return std::get<Error>(v_); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Value if ok, otherwise `fallback`.
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+/// Result specialization for operations with no payload.
+class Status {
+ public:
+  Status() = default;                                   // success
+  Status(Error error) : err_(std::move(error)) {}       // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return !err_.has_value(); }
+  explicit operator bool() const { return ok(); }
+  const Error& error() const { assert(!ok()); return *err_; }
+
+  static Status success() { return {}; }
+
+ private:
+  std::optional<Error> err_;
+};
+
+/// Propagate an error from an expression yielding Result/Status.
+#define ZIPR_TRY(expr)                         \
+  do {                                         \
+    auto _zipr_try_status = (expr);            \
+    if (!_zipr_try_status.ok()) return _zipr_try_status.error(); \
+  } while (0)
+
+#define ZIPR_CONCAT_INNER(a, b) a##b
+#define ZIPR_CONCAT(a, b) ZIPR_CONCAT_INNER(a, b)
+
+/// Assign from a Result, propagating the error.
+#define ZIPR_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.error();               \
+  lhs = std::move(tmp).value()
+
+#define ZIPR_ASSIGN_OR_RETURN(lhs, expr) \
+  ZIPR_ASSIGN_OR_RETURN_IMPL(ZIPR_CONCAT(_zipr_res_, __LINE__), lhs, expr)
+
+}  // namespace zipr

@@ -1,0 +1,78 @@
+#include "transform/api.h"
+
+#include <map>
+#include <mutex>
+
+namespace zipr::transform {
+
+Status TransformContext::add_segment(zelf::Segment segment) {
+  for (const auto& existing : prog_.original.segments) {
+    if (segment.vaddr < existing.end() && existing.vaddr < segment.vaddr + segment.memsize)
+      return Error::invalid_argument("added segment overlaps existing segment at " +
+                                     hex_addr(existing.vaddr));
+  }
+  prog_.original.segments.push_back(std::move(segment));
+  return Status::success();
+}
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, TransformFactory> factories;
+  std::vector<std::string> order;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace
+
+// Built-in factories (defined in their own translation units).
+std::unique_ptr<Transform> make_null_transform();
+std::unique_ptr<Transform> make_cfi_transform();
+std::unique_ptr<Transform> make_stackpad_transform();
+std::unique_ptr<Transform> make_canary_transform();
+std::unique_ptr<Transform> make_profile_transform();
+
+namespace {
+
+void ensure_builtins() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    register_transform("null", make_null_transform);
+    register_transform("cfi", make_cfi_transform);
+    register_transform("stackpad", make_stackpad_transform);
+    register_transform("canary", make_canary_transform);
+    register_transform("profile", make_profile_transform);
+  });
+}
+
+}  // namespace
+
+void register_transform(const std::string& name, TransformFactory factory) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (!r.factories.count(name)) r.order.push_back(name);
+  r.factories[name] = std::move(factory);
+}
+
+Result<std::unique_ptr<Transform>> make_transform(const std::string& name) {
+  ensure_builtins();
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.factories.find(name);
+  if (it == r.factories.end()) return Error::not_found("no transform named '" + name + "'");
+  return it->second();
+}
+
+std::vector<std::string> registered_transforms() {
+  ensure_builtins();
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.order;
+}
+
+}  // namespace zipr::transform

@@ -1,0 +1,78 @@
+// The user-specified transformation API (paper Sec. II-B2).
+//
+// Instead of a fixed menu of hardening passes, Zipr exposes an API: users
+// iterate functions and instructions of the program under rewrite and
+// change, replace, remove, or insert instructions; transforms register by
+// name and are selected per rewrite. The built-in transforms double as
+// worked examples of the API:
+//
+//   "null"     -- no-op (the paper's baseline for all overhead numbers)
+//   "cfi"      -- forward-edge control-flow integrity: indirect calls and
+//                 jumps are checked against a bitmap of legitimate targets
+//   "stackpad" -- the paper's Fig. 2 example: grow matched stack frames
+//   "canary"   -- per-rewrite randomized return canaries (backward edge)
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/ir_builder.h"
+#include "support/rng.h"
+
+namespace zipr::transform {
+
+/// Handed to Transform::apply. Wraps the IR program plus the services the
+/// paper's SDK provides (deterministic randomness, image-level additions).
+class TransformContext {
+ public:
+  TransformContext(analysis::IrProgram& prog, std::uint64_t seed)
+      : prog_(prog), rng_(seed) {}
+
+  irdb::Database& db() { return prog_.db; }
+  const irdb::Database& db() const { return prog_.db; }
+  analysis::IrProgram& program() { return prog_; }
+  Rng& rng() { return rng_; }
+
+  /// Iterate over the ids of instructions that existed when the call was
+  /// made (safe against rows the callback adds).
+  void for_each_existing_insn(const std::function<void(irdb::InsnId)>& fn) {
+    const auto count = static_cast<irdb::InsnId>(db().insn_count());
+    for (irdb::InsnId id = 1; id <= count; ++id) fn(id);
+  }
+
+  /// Add a data segment to the output image (e.g. CFI's target bitmap).
+  /// Fails if it would overlap an existing segment.
+  Status add_segment(zelf::Segment segment);
+
+ private:
+  analysis::IrProgram& prog_;
+  Rng rng_;
+};
+
+class Transform {
+ public:
+  virtual ~Transform() = default;
+  virtual std::string name() const = 0;
+  virtual Status apply(TransformContext& ctx) = 0;
+};
+
+using TransformFactory = std::function<std::unique_ptr<Transform>()>;
+
+/// Register a transform under `name` (user transforms use this too).
+/// Re-registering a name replaces the factory.
+void register_transform(const std::string& name, TransformFactory factory);
+
+/// Instantiate a registered transform. Built-ins are always available.
+Result<std::unique_ptr<Transform>> make_transform(const std::string& name);
+
+/// Names of all registered transforms (built-ins first, then user ones).
+std::vector<std::string> registered_transforms();
+
+/// Verify the mandatory-transformation invariants (paper Sec. II-B1): every
+/// relocatable control transfer carries a logical or absolute target and
+/// every PC-relative data access carries a data_ref; run before reassembly.
+Status verify_mandatory(const analysis::IrProgram& prog);
+
+}  // namespace zipr::transform

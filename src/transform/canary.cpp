@@ -1,0 +1,104 @@
+// Dynamic canary randomization (backward-edge protection; the paper's
+// companion technique to CFI, cf. its Sec. IV-B and reference [14]).
+//
+// Each instrumented function pushes a per-rewrite random canary word at
+// entry and, on every return path, verifies the word is intact before
+// releasing it -- corrupting the saved return address requires writing
+// through the canary first, and the value changes every time the binary
+// is rewritten. Guards clobber condition flags at function boundaries
+// (the documented ABI assumption).
+#include "transform/api.h"
+
+namespace zipr::transform {
+
+namespace {
+
+using irdb::InsnId;
+using isa::BranchWidth;
+using isa::Cond;
+using isa::Insn;
+using isa::Op;
+
+Insn ri(Op op, std::uint8_t reg, std::int64_t imm) {
+  Insn in;
+  in.op = op;
+  in.ra = reg;
+  in.imm = imm;
+  return in;
+}
+
+Insn reg1(Op op, std::uint8_t reg) {
+  Insn in;
+  in.op = op;
+  in.ra = reg;
+  return in;
+}
+
+Insn mem(Op op, std::uint8_t ra, std::uint8_t rb, std::int64_t disp) {
+  Insn in;
+  in.op = op;
+  in.ra = ra;
+  in.rb = rb;
+  in.imm = disp;
+  return in;
+}
+
+class CanaryTransform final : public Transform {
+ public:
+  std::string name() const override { return "canary"; }
+
+  Status apply(TransformContext& ctx) override {
+    irdb::Database& db = ctx.db();
+    // Positive-i32 range so the pushi (zero-extended) and cmpi
+    // (sign-extended) views of the value agree; never zero.
+    const std::uint32_t canary =
+        static_cast<std::uint32_t>((ctx.rng().next() & 0x7fffffff) | 1);
+
+    InsnId violation = db.add_new(isa::make_hlt());
+
+    db.for_each_function([&](irdb::Function& func) {
+      if (func.entry == irdb::kNullInsn) return;
+
+      // Collect this function's return instructions up front; guards we
+      // add must not be revisited.
+      std::vector<InsnId> rets;
+      bool safe = true;
+      for (InsnId m : func.members) {
+        const irdb::Instruction& row = db.insn(m);
+        if (row.verbatim) safe = false;
+        if (row.decoded.op == Op::kRet) rets.push_back(m);
+      }
+      if (!safe || rets.empty()) return;
+
+      // Entry: push the canary under the frame.
+      db.insert_before(func.entry, isa::make_push_imm(canary));
+
+      // Every return: verify and strip the canary.
+      //   push r6 ; load r6,[sp+8] ; cmpi r6,C ; jne violation ;
+      //   pop r6 ; addi sp, 8 ; ret
+      for (InsnId ret : rets) {
+        db.insert_before(ret, reg1(Op::kPush, 6));
+        InsnId cursor = ret;
+        cursor = db.insert_after(cursor, mem(Op::kLoad, 6, isa::kSpReg, 8));
+        cursor = db.insert_after(cursor, ri(Op::kCmpI, 6, static_cast<std::int64_t>(canary)));
+        InsnId br = db.insert_after(cursor, isa::make_jcc(Cond::kNe, 0, BranchWidth::kRel32));
+        db.insn(br).target = violation;
+        cursor = db.insert_after(br, reg1(Op::kPop, 6));
+        db.insert_after(cursor, ri(Op::kAddI, isa::kSpReg, 8));
+      }
+      ++instrumented_;
+    });
+    return db.validate();
+  }
+
+ private:
+  std::size_t instrumented_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Transform> make_canary_transform() {
+  return std::make_unique<CanaryTransform>();
+}
+
+}  // namespace zipr::transform

@@ -1,0 +1,236 @@
+// Forward-edge control-flow integrity (the defense Xandra deployed in the
+// CGC, paper Sec. IV-B).
+//
+// Indirect control flow in a Zipr-rewritten binary always lands on
+// ORIGINAL pinned addresses (function pointers and jump-table slots hold
+// original-program addresses), so the set of legitimate indirect targets
+// is exactly the set of analysis-identified IBTs: pins from jump tables,
+// code/data constants and the entry point, plus IBTs covered by verbatim
+// ranges.
+//
+// Every indirect call (callr), indirect jump (jmpr) and table jump (jmpt)
+// gets a guard, inserted via the transform API, that computes the
+// eventual target and validates it, halting on violation. Two guard
+// flavors keep the overhead CGC-shaped:
+//
+//   * inline compare chain -- when the legitimate-target set is small
+//     (typical CBs), the guard compares the target against each address
+//     directly: no data-segment cost, O(|set|) cycles;
+//   * target bitmap -- for larger programs, a read-only bitmap over the
+//     text span (one bit per byte) ships as an extra rodata segment and
+//     the guard tests the target's bit after a bounds check.
+//
+// Return-edge protection is left to the "canary" transform, mirroring the
+// paper's "simple form of CFI". Guards clobber condition flags; the
+// (documented) ABI assumption is that flags are dead across indirect
+// transfers.
+#include <algorithm>
+
+#include "transform/api.h"
+
+namespace zipr::transform {
+
+namespace {
+
+using irdb::InsnId;
+using isa::BranchWidth;
+using isa::Cond;
+using isa::Insn;
+using isa::Op;
+
+/// Where an image's target bitmap is mapped: a fixed arena plus the text
+/// base scaled by the bitmap's own 1-bit-per-byte ratio, so bitmaps of
+/// images with disjoint text spans are themselves disjoint (a program and
+/// its libraries can all carry CFI).
+std::uint64_t bitmap_base_for(std::uint64_t text_vaddr) {
+  return 0x7c000000 + (text_vaddr >> 3);
+}
+
+/// Valid-target sets up to this size use the inline compare chain.
+constexpr std::size_t kInlineChainLimit = 24;
+
+Insn ri(Op op, std::uint8_t reg, std::int64_t imm) {
+  Insn in;
+  in.op = op;
+  in.ra = reg;
+  in.imm = imm;
+  return in;
+}
+
+Insn rr(Op op, std::uint8_t ra, std::uint8_t rb) {
+  Insn in;
+  in.op = op;
+  in.ra = ra;
+  in.rb = rb;
+  return in;
+}
+
+Insn mem(Op op, std::uint8_t ra, std::uint8_t rb, std::int64_t disp) {
+  Insn in;
+  in.op = op;
+  in.ra = ra;
+  in.rb = rb;
+  in.imm = disp;
+  return in;
+}
+
+Insn reg1(Op op, std::uint8_t reg) {
+  Insn in;
+  in.op = op;
+  in.ra = reg;
+  return in;
+}
+
+class CfiTransform final : public Transform {
+ public:
+  std::string name() const override { return "cfi"; }
+
+  Status apply(TransformContext& ctx) override {
+    analysis::IrProgram& prog = ctx.program();
+    const zelf::Segment& text = prog.original.text();
+    const std::uint64_t text_base = text.vaddr;
+    const std::uint64_t text_end = text.vaddr + text.bytes.size();
+
+    // ---- 1. the legitimate-target set ----
+    std::vector<std::uint64_t> targets;
+    for (const auto& [addr, reasons] : prog.pin_reasons) {
+      constexpr std::uint32_t kIbtReasons =
+          analysis::kPinEntry | analysis::kPinJumpTable | analysis::kPinCodeConst |
+          analysis::kPinDataConst | analysis::kPinVerbatimTarget | analysis::kPinVerbatimFall |
+          analysis::kPinExport;
+      if (reasons & kIbtReasons) targets.push_back(addr);
+    }
+    for (std::uint64_t addr : prog.verbatim_ibts) targets.push_back(addr);
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+
+    const bool use_chain = targets.size() <= kInlineChainLimit;
+    // Bitmap mode covers only the span actually containing legitimate
+    // targets: a tighter policy than the whole text segment, and a much
+    // smaller on-disk bitmap.
+    std::uint64_t span_lo = text_base, span_hi = text_end;
+    if (!use_chain) {
+      span_lo = targets.front();
+      span_hi = targets.back() + 1;
+      Bytes bitmap((span_hi - span_lo + 7) / 8, 0);
+      for (std::uint64_t addr : targets) {
+        std::uint64_t idx = addr - span_lo;
+        bitmap[idx >> 3] |= static_cast<Byte>(1u << (idx & 7));
+      }
+      zelf::Segment seg;
+      seg.kind = zelf::SegKind::kRodata;
+      seg.vaddr = bitmap_base_for(text_base);
+      seg.memsize = bitmap.size();
+      seg.bytes = std::move(bitmap);
+      ZIPR_TRY(ctx.add_segment(std::move(seg)));
+    }
+
+    // ---- 2. guards in front of every indirect transfer ----
+    irdb::Database& db = ctx.db();
+    InsnId violation = db.add_new(isa::make_hlt());  // shared sink
+
+    ctx.for_each_existing_insn([&](InsnId id) {
+      const irdb::Instruction& row = db.insn(id);
+      if (row.verbatim) return;
+      const Insn& in = row.decoded;
+      if (in.op != Op::kCallR && in.op != Op::kJmpR && in.op != Op::kJmpT) return;
+
+      // Compute the eventual target into r5 without disturbing program
+      // state (r5 -- and r6 in bitmap mode -- are saved around the guard).
+      std::vector<Insn> guard;
+      std::vector<std::size_t> viol_branches;  // jcc-to-violation indices
+      std::vector<std::size_t> ok_branches;    // jcc-to-accept indices
+      auto jcc_to_violation = [&](Cond c) {
+        guard.push_back(isa::make_jcc(c, 0, BranchWidth::kRel32));
+        viol_branches.push_back(guard.size() - 1);
+      };
+
+      const auto& imports = prog.original.imports;
+      const bool save_r6 = !use_chain || !imports.empty();
+
+      guard.push_back(reg1(Op::kPush, 5));
+      if (save_r6) guard.push_back(reg1(Op::kPush, 6));
+      if (in.op == Op::kJmpT) {
+        guard.push_back(rr(Op::kMov, 5, in.ra));  // index
+        guard.push_back(ri(Op::kShlI, 5, 3));
+        guard.push_back(ri(Op::kAddI, 5, in.imm));  // slot address
+        guard.push_back(mem(Op::kLoad, 5, 5, 0));   // target
+      } else {
+        guard.push_back(rr(Op::kMov, 5, in.ra));  // target register
+      }
+
+      // Cross-module calls: a target equal to the CURRENT value of one of
+      // this image's import slots is loader-sanctioned (the slots are
+      // written by the loader at bind time; the per-module analysis cannot
+      // know the addresses behind them).
+      for (const auto& imp : imports) {
+        guard.push_back(ri(Op::kMovI, 6, static_cast<std::int64_t>(imp.slot)));
+        guard.push_back(mem(Op::kLoad, 6, 6, 0));
+        guard.push_back(rr(Op::kCmp, 5, 6));
+        guard.push_back(isa::make_jcc(Cond::kEq, 0, BranchWidth::kRel32));
+        ok_branches.push_back(guard.size() - 1);
+      }
+
+      std::size_t accept_index;  // guard index of the first restore insn
+      if (use_chain) {
+        // Inline chain: equality against each legitimate address.
+        for (std::uint64_t t : targets) {
+          guard.push_back(ri(Op::kCmpI, 5, static_cast<std::int64_t>(t)));
+          guard.push_back(isa::make_jcc(Cond::kEq, 0, BranchWidth::kRel32));
+          ok_branches.push_back(guard.size() - 1);
+        }
+        guard.push_back(isa::make_hlt());  // no match: violation (inline)
+        accept_index = guard.size();
+        if (save_r6) guard.push_back(reg1(Op::kPop, 6));
+        guard.push_back(reg1(Op::kPop, 5));
+      } else {
+        // Bounds check against the legitimate-target span, then bitmap bit
+        // test: bit = bitmap[(t - lo) >> 3] >> ((t - lo) & 7).
+        guard.push_back(ri(Op::kCmpI, 5, static_cast<std::int64_t>(span_lo)));
+        jcc_to_violation(Cond::kB);
+        guard.push_back(ri(Op::kCmpI, 5, static_cast<std::int64_t>(span_hi)));
+        jcc_to_violation(Cond::kAe);
+        guard.push_back(rr(Op::kMov, 6, 5));
+        guard.push_back(ri(Op::kSubI, 5, static_cast<std::int64_t>(span_lo)));
+        guard.push_back(ri(Op::kSubI, 6, static_cast<std::int64_t>(span_lo)));
+        guard.push_back(ri(Op::kShrI, 5, 3));
+        guard.push_back(ri(Op::kAddI, 5, static_cast<std::int64_t>(bitmap_base_for(text_base))));
+        guard.push_back(mem(Op::kLoad8, 5, 5, 0));
+        guard.push_back(ri(Op::kAndI, 6, 7));
+        guard.push_back(rr(Op::kShr, 5, 6));
+        guard.push_back(ri(Op::kAndI, 5, 1));
+        guard.push_back(ri(Op::kCmpI, 5, 1));
+        jcc_to_violation(Cond::kNe);
+        accept_index = guard.size();
+        guard.push_back(reg1(Op::kPop, 6));
+        guard.push_back(reg1(Op::kPop, 5));
+      }
+      // ...then the original indirect transfer executes unchanged.
+
+      // Insert the guard: the first insert_before(id, ...) moves the
+      // original payload and repurposes row `id` (so pins and incoming
+      // links reach the guard first); subsequent instructions chain after.
+      db.insert_before(id, guard[0]);
+      InsnId cursor = id;
+      std::vector<InsnId> guard_ids{id};
+      for (std::size_t g = 1; g < guard.size(); ++g) {
+        cursor = db.insert_after(cursor, guard[g]);
+        guard_ids.push_back(cursor);
+      }
+      for (std::size_t vi : viol_branches) db.insn(guard_ids[vi]).target = violation;
+      for (std::size_t oki : ok_branches)
+        db.insn(guard_ids[oki]).target = guard_ids[accept_index];
+      ++guards_;
+    });
+    return db.validate();
+  }
+
+ private:
+  std::size_t guards_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Transform> make_cfi_transform() { return std::make_unique<CfiTransform>(); }
+
+}  // namespace zipr::transform

@@ -1,0 +1,30 @@
+// Mandatory transformations (paper Sec. II-B1).
+//
+// On x86, Zipr's mandatory transforms rewrite PC-relative relationships
+// (branch displacements, RIP-relative memory operands) into logical links
+// so user transforms and the reassembler can ignore the original layout.
+// In this implementation the IR builder performs that conversion while
+// original addresses are still in scope (see analysis/ir_builder.h); this
+// translation unit holds the checkable contract: verify_mandatory()
+// asserts that every relocatable row is fully layout-independent before
+// reassembly is allowed to run.
+#include "transform/api.h"
+
+namespace zipr::transform {
+
+Status verify_mandatory(const analysis::IrProgram& prog) {
+  Status failure = Status::success();
+  prog.db.for_each_insn([&](const irdb::Instruction& row) {
+    if (!failure.ok() || row.verbatim) return;
+    if (row.decoded.has_static_target() && row.target == irdb::kNullInsn && !row.abs_target)
+      failure = Error::internal("insn " + std::to_string(row.id) +
+                                " has a static target but no logical/absolute link");
+    if (row.decoded.is_pc_relative_data() && !row.data_ref)
+      failure = Error::internal("insn " + std::to_string(row.id) +
+                                " is PC-relative but has no data_ref");
+  });
+  if (!failure.ok()) return failure;
+  return prog.db.validate();
+}
+
+}  // namespace zipr::transform

@@ -1,0 +1,23 @@
+// The Null Transformation (paper Sec. IV-A): a no-op user transform.
+//
+// Rewriting with Null yields a semantically-equivalent binary whose only
+// differences come from the rewriting machinery itself, so any overhead it
+// shows is the floor every security transform must pay. The robustness
+// evaluation and the baseline bars of Figs. 4-7 all use it.
+#include "transform/api.h"
+
+namespace zipr::transform {
+
+namespace {
+
+class NullTransform final : public Transform {
+ public:
+  std::string name() const override { return "null"; }
+  Status apply(TransformContext&) override { return Status::success(); }
+};
+
+}  // namespace
+
+std::unique_ptr<Transform> make_null_transform() { return std::make_unique<NullTransform>(); }
+
+}  // namespace zipr::transform

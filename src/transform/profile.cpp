@@ -1,0 +1,86 @@
+#include "transform/profile.h"
+
+#include "transform/api.h"
+
+namespace zipr::transform {
+
+namespace {
+
+using irdb::InsnId;
+using isa::Insn;
+using isa::Op;
+
+Insn ri(Op op, std::uint8_t reg, std::int64_t imm) {
+  Insn in;
+  in.op = op;
+  in.ra = reg;
+  in.imm = imm;
+  return in;
+}
+
+Insn reg1(Op op, std::uint8_t reg) {
+  Insn in;
+  in.op = op;
+  in.ra = reg;
+  return in;
+}
+
+Insn mem(Op op, std::uint8_t ra, std::uint8_t rb, std::int64_t disp) {
+  Insn in;
+  in.op = op;
+  in.ra = ra;
+  in.rb = rb;
+  in.imm = disp;
+  return in;
+}
+
+class ProfileTransform final : public Transform {
+ public:
+  std::string name() const override { return "profile"; }
+
+  Status apply(TransformContext& ctx) override {
+    irdb::Database& db = ctx.db();
+    const std::size_t functions = db.function_count();
+    if (functions == 0) return Status::success();
+
+    const std::uint64_t text_vaddr = ctx.program().original.text().vaddr;
+
+    // One zero-initialized 64-bit counter per function.
+    zelf::Segment seg;
+    seg.kind = zelf::SegKind::kData;
+    seg.vaddr = profile_counter_base(text_vaddr);
+    seg.memsize = 8 * functions;
+    seg.bytes = Bytes(8 * functions, 0);
+    ZIPR_TRY(ctx.add_segment(std::move(seg)));
+
+    db.for_each_function([&](irdb::Function& func) {
+      if (func.entry == irdb::kNullInsn) return;
+      const auto slot =
+          static_cast<std::int64_t>(profile_counter_addr(text_vaddr, func.id - 1));
+      // push r5 ; push r6 ; movi r5, slot ; load r6,[r5] ; addi r6,1 ;
+      // store [r5], r6 ; pop r6 ; pop r5 ; <original entry>
+      db.insert_before(func.entry, reg1(Op::kPush, 5));
+      InsnId cursor = func.entry;
+      cursor = db.insert_after(cursor, reg1(Op::kPush, 6));
+      cursor = db.insert_after(cursor, ri(Op::kMovI, 5, slot));
+      cursor = db.insert_after(cursor, mem(Op::kLoad, 6, 5, 0));
+      cursor = db.insert_after(cursor, ri(Op::kAddI, 6, 1));
+      cursor = db.insert_after(cursor, mem(Op::kStore, 5, 6, 0));
+      cursor = db.insert_after(cursor, reg1(Op::kPop, 6));
+      db.insert_after(cursor, reg1(Op::kPop, 5));
+      ++instrumented_;
+    });
+    return db.validate();
+  }
+
+ private:
+  std::size_t instrumented_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Transform> make_profile_transform() {
+  return std::make_unique<ProfileTransform>();
+}
+
+}  // namespace zipr::transform

@@ -1,0 +1,34 @@
+// "profile": function-entry execution counters.
+//
+// A worked example of the non-security side of the transform API (the
+// paper: Zipr is "generally well-suited for program optimization and
+// transformation"): every discovered function's entry is instrumented to
+// increment a 64-bit counter in a writable segment added to the image.
+// After a run, counter i (in function-table order) holds how many times
+// function id i+1 was entered -- read it from the VM's memory at
+// profile_counter_addr(i).
+//
+// Guards clobber condition flags at function entry (the documented ABI
+// assumption).
+#pragma once
+
+#include <cstdint>
+
+namespace zipr::transform {
+
+/// Base address of the counter segment the transform adds for an image
+/// whose text starts at `text_vaddr`. Scaled by the text base so images
+/// with disjoint (reasonably sized) text spans get disjoint counter
+/// segments when several profiled images are linked together.
+inline constexpr std::uint64_t profile_counter_base(std::uint64_t text_vaddr) {
+  return 0x7d000000 + (text_vaddr >> 1);
+}
+
+/// Address of the counter for the function with table index `index`
+/// (function id - 1) in the image whose text starts at `text_vaddr`.
+inline constexpr std::uint64_t profile_counter_addr(std::uint64_t text_vaddr,
+                                                    std::size_t index) {
+  return profile_counter_base(text_vaddr) + 8 * static_cast<std::uint64_t>(index);
+}
+
+}  // namespace zipr::transform

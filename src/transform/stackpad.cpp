@@ -1,0 +1,80 @@
+// Stack-frame padding: the paper's Fig. 2 worked example ("Pad Stack") and
+// a simplified form of speculative stack layout transformation.
+//
+// For every function whose prologue allocates a frame with `subi sp, N`
+// and whose epilogues release exactly N (`addi sp, N`), both sides are
+// grown by a (seeded-)random pad, displacing locals relative to any
+// attacker-predicted layout. Functions that do not match the pattern are
+// skipped -- the conservative stance the paper takes everywhere.
+#include "transform/api.h"
+
+namespace zipr::transform {
+
+namespace {
+
+using irdb::InsnId;
+using isa::Op;
+
+class StackPadTransform final : public Transform {
+ public:
+  std::string name() const override { return "stackpad"; }
+
+  Status apply(TransformContext& ctx) override {
+    irdb::Database& db = ctx.db();
+    db.for_each_function([&](irdb::Function& func) {
+      if (func.entry == irdb::kNullInsn) return;
+      const irdb::Instruction& entry = db.insn(func.entry);
+      if (entry.decoded.op != Op::kSubI || entry.decoded.ra != isa::kSpReg) return;
+      const std::int64_t frame = entry.decoded.imm;
+      if (frame <= 0) return;
+
+      // All sp-adjusting instructions in the function must be the exact
+      // prologue/epilogue pair; anything else disqualifies it.
+      std::vector<InsnId> releases;
+      bool safe = true;
+      for (InsnId m : func.members) {
+        const irdb::Instruction& row = db.insn(m);
+        if (row.verbatim) {
+          safe = false;
+          break;
+        }
+        if (row.decoded.ra != isa::kSpReg) continue;
+        if (row.decoded.op == Op::kSubI) {
+          if (m != func.entry) safe = false;
+        } else if (row.decoded.op == Op::kAddI) {
+          if (row.decoded.imm != frame) safe = false;
+          releases.push_back(m);
+        } else if (row.decoded.op == Op::kMov || row.decoded.op == Op::kMovI ||
+                   row.decoded.op == Op::kMovI64 || row.decoded.op == Op::kPop) {
+          safe = false;  // sp is rewritten wholesale; do not touch
+        }
+        if (!safe) break;
+      }
+      if (!safe || releases.empty()) return;
+
+      // Pad by a random multiple of 8 in [8, 128].
+      const std::int64_t pad = static_cast<std::int64_t>(ctx.rng().range(1, 16)) * 8;
+      isa::Insn grown = db.insn(func.entry).decoded;
+      grown.imm = frame + pad;
+      db.replace(func.entry, grown);
+      for (InsnId m : releases) {
+        isa::Insn shrunk = db.insn(m).decoded;
+        shrunk.imm = frame + pad;
+        db.replace(m, shrunk);
+      }
+      ++padded_;
+    });
+    return db.validate();
+  }
+
+ private:
+  std::size_t padded_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Transform> make_stackpad_transform() {
+  return std::make_unique<StackPadTransform>();
+}
+
+}  // namespace zipr::transform

@@ -1,0 +1,60 @@
+#include "vm/link.h"
+
+#include <algorithm>
+#include <map>
+
+namespace zipr::vm {
+
+Result<LinkResult> link(std::vector<zelf::Image> images) {
+  if (images.empty()) return Error::invalid_argument("nothing to link");
+  if (images[0].library) return Error::invalid_argument("images[0] must be an executable");
+  for (std::size_t i = 1; i < images.size(); ++i)
+    if (!images[i].library)
+      return Error::invalid_argument("image " + std::to_string(i) + " is not a library");
+  for (const auto& img : images) ZIPR_TRY(img.validate());
+
+  // Cross-image overlap check.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> spans;
+  for (const auto& img : images)
+    for (const auto& seg : img.segments) spans.emplace_back(seg.vaddr, seg.end());
+  std::sort(spans.begin(), spans.end());
+  for (std::size_t i = 1; i < spans.size(); ++i)
+    if (spans[i - 1].second > spans[i].first)
+      return Error::invalid_argument("images overlap at " + hex_addr(spans[i].first));
+
+  // Global export table.
+  std::map<std::string, std::uint64_t> exports;
+  for (const auto& img : images) {
+    for (const auto& exp : img.exports) {
+      auto [it, inserted] = exports.emplace(exp.name, exp.addr);
+      (void)it;
+      if (!inserted) return Error::invalid_argument("duplicate export '" + exp.name + "'");
+    }
+  }
+
+  // Bind imports: write each resolved address into its GOT slot.
+  for (auto& img : images) {
+    for (const auto& imp : img.imports) {
+      auto it = exports.find(imp.name);
+      if (it == exports.end())
+        return Error::not_found("unresolved import '" + imp.name + "'");
+      zelf::Segment* seg = img.segment_containing(imp.slot);
+      // validate() guarantees a writable segment; binding also needs the
+      // slot inside file-backed bytes so the value survives into mapping.
+      std::uint64_t off = imp.slot - seg->vaddr;
+      if (off + 8 > seg->bytes.size())
+        return Error::invalid_argument("import '" + imp.name +
+                                       "' slot is not file-backed (is it in .bss?)");
+      patch_u32(std::span<Byte>(seg->bytes), off, static_cast<std::uint32_t>(it->second));
+      patch_u32(std::span<Byte>(seg->bytes), off + 4,
+                static_cast<std::uint32_t>(it->second >> 32));
+    }
+  }
+
+  LinkResult out;
+  out.entry = images[0].entry;
+  out.images = std::move(images);
+  return out;
+}
+
+}  // namespace zipr::vm

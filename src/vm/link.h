@@ -1,0 +1,30 @@
+// The loader: combine an executable image with shared-library images into
+// one runnable address space, binding imports to exports.
+//
+// This is the role the dynamic loader plays in the paper's Apache
+// experiment ("the transformed main executable inter-operating with the
+// transformed shared libraries"): each image is built -- and rewritten --
+// independently; at load time every import's GOT slot is filled with the
+// exporting image's address. Because an export address is part of a
+// library's ABI surface, the rewriter pins it, so a library rewritten in
+// isolation keeps all its exported entry points valid for callers it has
+// never seen.
+#pragma once
+
+#include "support/status.h"
+#include "zelf/image.h"
+
+namespace zipr::vm {
+
+struct LinkResult {
+  std::vector<zelf::Image> images;  ///< import slots patched
+  std::uint64_t entry = 0;          ///< the executable's entry point
+};
+
+/// Link images[0] (the executable) against the rest (libraries). Checks
+/// cross-image segment overlap, resolves every import by name, and writes
+/// the resolved addresses into the import slots. Fails on duplicate or
+/// missing exports.
+Result<LinkResult> link(std::vector<zelf::Image> images);
+
+}  // namespace zipr::vm

@@ -1,0 +1,116 @@
+// The VLX virtual machine: a deterministic interpreter for ZELF images.
+//
+// This plays the role of DARPA's DECREE environment in the paper's
+// evaluation: a minimal, restricted OS (seven syscalls, no filesystem or
+// network) in which challenge binaries run and their characteristics --
+// execution time (instructions/cycles), memory use (pages touched) and
+// functionality (output bytes) -- can be measured deterministically.
+//
+// Syscalls (number in r0, args r1..r3, result in r0):
+//   1 terminate(status)           ends the run with exit status r1
+//   2 transmit(fd, buf, count)    appends bytes to the output stream
+//   3 receive(fd, buf, count)     reads bytes from the input stream (0=EOF)
+//   4 fdwait()                    no-op, returns 0
+//   5 allocate(size)              maps zeroed rw pages, returns base address
+//   6 deallocate(addr, size)      accepted and ignored, returns 0
+//   7 random(buf, count)          fills buf from the seeded RNG
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "isa/insn.h"
+#include "support/rng.h"
+#include "vm/link.h"
+#include "vm/memory.h"
+
+namespace zipr::vm {
+
+struct RunLimits {
+  std::uint64_t max_insns = 50'000'000;  ///< gas budget
+  std::size_t max_output = 1 << 24;      ///< transmit cap (16 MiB)
+};
+
+/// Execution statistics: the paper's performance & memory metrics.
+struct ExecStats {
+  std::uint64_t insns = 0;     ///< instructions retired
+  std::uint64_t cycles = 0;    ///< cost-model cycles
+  std::uint64_t syscalls = 0;
+  std::size_t max_rss_pages = 0;  ///< pages ever touched
+};
+
+struct RunResult {
+  bool exited = false;             ///< terminated via syscall (vs fault)
+  std::int64_t exit_status = -1;
+  Fault fault = Fault::kNone;      ///< set when !exited
+  std::uint64_t fault_pc = 0;
+  ExecStats stats;
+  Bytes output;                    ///< transmitted bytes
+};
+
+class Machine {
+ public:
+  explicit Machine(const zelf::Image& image, RunLimits limits = {});
+
+  /// Run a linked executable+libraries address space (see vm/link.h).
+  explicit Machine(const LinkResult& linked, RunLimits limits = {});
+
+  /// Bytes the program can receive(); unread input means EOF after the end.
+  void set_input(Bytes input) { input_ = std::move(input); }
+
+  /// Seed for the random() syscall (deterministic pollers rely on this).
+  void set_random_seed(std::uint64_t seed) { rng_ = Rng(seed); }
+
+  /// Optional per-instruction hook (tests/tracing).
+  using TraceFn = std::function<void(std::uint64_t pc, const isa::Insn&)>;
+  void set_trace(TraceFn fn) { trace_ = std::move(fn); }
+
+  /// Run until terminate, fault, or gas exhaustion.
+  RunResult run();
+
+  // ---- state access for white-box tests ----
+  std::uint64_t reg(int i) const { return regs_[i]; }
+  void set_reg(int i, std::uint64_t v) { regs_[i] = v; }
+  std::uint64_t pc() const { return pc_; }
+  Memory& memory() { return mem_; }
+
+ private:
+  struct Flags {
+    bool zf = false;
+    bool slt = false;  ///< signed less-than at last compare
+    bool ult = false;  ///< unsigned less-than at last compare
+  };
+
+  std::optional<Fault> step();
+  bool eval_cond(isa::Cond c) const;
+  std::optional<Fault> do_syscall();
+  std::optional<Fault> push64(std::uint64_t v);
+  Result<std::uint64_t> pop64();
+
+  Memory mem_;
+  RunLimits limits_;
+  std::uint64_t regs_[isa::kNumRegs] = {};
+  std::uint64_t pc_ = 0;
+  Flags flags_;
+  Rng rng_{0};
+
+  Bytes input_;
+  std::size_t input_pos_ = 0;
+  Bytes output_;
+  std::uint64_t heap_next_ = zelf::layout::kHeapBase;
+
+  ExecStats stats_;
+  bool exited_ = false;
+  std::int64_t exit_status_ = -1;
+  TraceFn trace_;
+};
+
+/// Convenience: run `image` with `input` and `seed`, default limits.
+RunResult run_program(const zelf::Image& image, ByteView input = {},
+                      std::uint64_t seed = 0, RunLimits limits = {});
+
+/// Convenience: link and run an executable with its libraries.
+RunResult run_linked(const LinkResult& linked, ByteView input = {},
+                     std::uint64_t seed = 0, RunLimits limits = {});
+
+}  // namespace zipr::vm

@@ -1,0 +1,149 @@
+#include "vm/memory.h"
+
+#include <cstring>
+
+namespace zipr::vm {
+
+const char* fault_name(Fault f) {
+  switch (f) {
+    case Fault::kNone: return "none";
+    case Fault::kBadAccess: return "bad-access";
+    case Fault::kBadPerm: return "bad-perm";
+    case Fault::kBadInsn: return "bad-insn";
+    case Fault::kBadSyscall: return "bad-syscall";
+    case Fault::kDivByZero: return "div-by-zero";
+    case Fault::kHalt: return "halt";
+    case Fault::kGasExhausted: return "gas-exhausted";
+    case Fault::kStackOverflow: return "stack-overflow";
+  }
+  return "?";
+}
+
+namespace {
+std::uint8_t perms_for(zelf::SegKind kind) {
+  switch (kind) {
+    case zelf::SegKind::kText: return kPermRead | kPermExec;
+    case zelf::SegKind::kRodata: return kPermRead;
+    case zelf::SegKind::kData:
+    case zelf::SegKind::kBss: return kPermRead | kPermWrite;
+  }
+  return 0;
+}
+}  // namespace
+
+Memory::Page& Memory::ensure_page(std::uint64_t page_base, std::uint8_t perms) {
+  auto [it, inserted] = pages_.try_emplace(page_base);
+  Page& p = it->second;
+  if (inserted) {
+    p.data = std::make_unique<Byte[]>(kPageSize);
+    std::memset(p.data.get(), 0, kPageSize);
+    p.perms = perms;
+  } else {
+    p.perms |= perms;
+  }
+  return p;
+}
+
+void Memory::map_segment(const zelf::Segment& seg) {
+  const std::uint8_t perms = perms_for(seg.kind);
+  for (std::uint64_t a = seg.vaddr & kPageMask; a < seg.end(); a += kPageSize)
+    ensure_page(a, perms);
+  for (std::size_t i = 0; i < seg.bytes.size(); ++i) {
+    std::uint64_t addr = seg.vaddr + i;
+    Page& p = pages_.at(addr & kPageMask);
+    p.data[addr & (kPageSize - 1)] = seg.bytes[i];
+  }
+}
+
+void Memory::map_anon(std::uint64_t vaddr, std::uint64_t size, std::uint8_t perms) {
+  for (std::uint64_t a = vaddr & kPageMask; a < vaddr + size; a += kPageSize)
+    ensure_page(a, perms);
+}
+
+bool Memory::is_mapped(std::uint64_t addr) const { return page_at(addr) != nullptr; }
+
+Memory::Page* Memory::page_at(std::uint64_t addr) {
+  auto it = pages_.find(addr & kPageMask);
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+const Memory::Page* Memory::page_at(std::uint64_t addr) const {
+  auto it = pages_.find(addr & kPageMask);
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+void Memory::touch(std::uint64_t addr) { touched_[addr & kPageMask] = true; }
+
+Result<std::uint8_t> Memory::read_u8(std::uint64_t addr) {
+  const Page* p = page_at(addr);
+  if (!p) return Error::invalid_argument("read unmapped " + hex_addr(addr));
+  if (!(p->perms & kPermRead)) return Error::invalid_argument("read !R " + hex_addr(addr));
+  touch(addr);
+  return p->data[addr & (kPageSize - 1)];
+}
+
+Result<std::uint64_t> Memory::read_u64(std::uint64_t addr) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    ZIPR_ASSIGN_OR_RETURN(std::uint8_t b, read_u8(addr + static_cast<std::uint64_t>(i)));
+    v |= static_cast<std::uint64_t>(b) << (8 * i);
+  }
+  return v;
+}
+
+Status Memory::write_u8(std::uint64_t addr, std::uint8_t v) {
+  Page* p = page_at(addr);
+  if (!p) return Error::invalid_argument("write unmapped " + hex_addr(addr));
+  if (!(p->perms & kPermWrite)) return Error::invalid_argument("write !W " + hex_addr(addr));
+  touch(addr);
+  p->data[addr & (kPageSize - 1)] = v;
+  return Status::success();
+}
+
+Status Memory::write_u64(std::uint64_t addr, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    ZIPR_TRY(write_u8(addr + static_cast<std::uint64_t>(i),
+                      static_cast<std::uint8_t>((v >> (8 * i)) & 0xff)));
+  return Status::success();
+}
+
+Result<Bytes> Memory::fetch(std::uint64_t addr, std::size_t n) {
+  const Page* p = page_at(addr);
+  if (!p) return Error::invalid_argument("fetch unmapped " + hex_addr(addr));
+  if (!(p->perms & kPermExec)) return Error::invalid_argument("fetch !X " + hex_addr(addr));
+  Bytes out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t a = addr + i;
+    const Page* q = page_at(a);
+    if (!q || !(q->perms & kPermExec)) break;  // stop at mapping edge
+    touch(a);
+    out.push_back(q->data[a & (kPageSize - 1)]);
+  }
+  if (out.empty()) return Error::invalid_argument("fetch empty at " + hex_addr(addr));
+  return out;
+}
+
+Result<Bytes> Memory::read_block(std::uint64_t addr, std::size_t n) {
+  Bytes out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ZIPR_ASSIGN_OR_RETURN(std::uint8_t b, read_u8(addr + i));
+    out.push_back(b);
+  }
+  return out;
+}
+
+Status Memory::write_block(std::uint64_t addr, ByteView data) {
+  for (std::size_t i = 0; i < data.size(); ++i) ZIPR_TRY(write_u8(addr + i, data[i]));
+  return Status::success();
+}
+
+std::size_t Memory::pages_touched_in(std::uint64_t lo, std::uint64_t hi) const {
+  std::size_t n = 0;
+  for (const auto& [base, _] : touched_)
+    if (base >= lo && base < hi) ++n;
+  return n;
+}
+
+}  // namespace zipr::vm

@@ -1,0 +1,89 @@
+// Paged virtual memory for the VLX VM.
+//
+// Pages are materialized lazily; the set of pages ever touched is the VM's
+// MaxRSS statistic (in pages), the paper's memory-overhead metric. Page
+// permissions mirror segment kinds so the VM faults on writes to text or
+// rodata and on execution of non-executable pages.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "support/bytes.h"
+#include "support/status.h"
+#include "zelf/image.h"
+
+namespace zipr::vm {
+
+inline constexpr std::uint64_t kPageSize = zelf::layout::kPageSize;
+inline constexpr std::uint64_t kPageMask = ~(kPageSize - 1);
+
+enum Perm : std::uint8_t {
+  kPermRead = 1,
+  kPermWrite = 2,
+  kPermExec = 4,
+};
+
+/// Machine fault kinds surfaced as run termination reasons.
+enum class Fault {
+  kNone,
+  kBadAccess,     ///< unmapped address
+  kBadPerm,       ///< permission violation
+  kBadInsn,       ///< undecodable instruction
+  kBadSyscall,    ///< unknown syscall number
+  kDivByZero,
+  kHalt,          ///< executed hlt
+  kGasExhausted,  ///< ran past the instruction budget
+  kStackOverflow,
+};
+
+const char* fault_name(Fault f);
+
+class Memory {
+ public:
+  /// Map a segment's bytes with permissions derived from its kind.
+  void map_segment(const zelf::Segment& seg);
+
+  /// Map an anonymous zeroed region (stack, heap arena).
+  void map_anon(std::uint64_t vaddr, std::uint64_t size, std::uint8_t perms);
+
+  bool is_mapped(std::uint64_t addr) const;
+
+  /// Reads/writes checked against mapping + permissions.
+  Result<std::uint8_t> read_u8(std::uint64_t addr);
+  Result<std::uint64_t> read_u64(std::uint64_t addr);
+  Status write_u8(std::uint64_t addr, std::uint8_t v);
+  Status write_u64(std::uint64_t addr, std::uint64_t v);
+
+  /// Fetch up to `n` bytes for instruction decode; requires exec permission
+  /// on the first byte's page. May return fewer bytes at a mapping edge.
+  Result<Bytes> fetch(std::uint64_t addr, std::size_t n);
+
+  /// Bulk access for syscalls (transmit/receive).
+  Result<Bytes> read_block(std::uint64_t addr, std::size_t n);
+  Status write_block(std::uint64_t addr, ByteView data);
+
+  /// Pages ever touched (read, written, or executed): the MaxRSS metric.
+  std::size_t pages_touched() const { return touched_.size(); }
+
+  /// Pages touched restricted to a given address window (used to separate
+  /// text-resident from data-resident RSS in benchmarks).
+  std::size_t pages_touched_in(std::uint64_t lo, std::uint64_t hi) const;
+
+ private:
+  struct Page {
+    std::unique_ptr<Byte[]> data;
+    std::uint8_t perms = 0;
+  };
+
+  Page* page_at(std::uint64_t addr);
+  const Page* page_at(std::uint64_t addr) const;
+  Page& ensure_page(std::uint64_t page_base, std::uint8_t perms);
+  void touch(std::uint64_t addr);
+
+  std::unordered_map<std::uint64_t, Page> pages_;
+  std::unordered_map<std::uint64_t, bool> touched_;
+};
+
+}  // namespace zipr::vm

@@ -1,0 +1,116 @@
+#include "zelf/image.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace zipr::zelf {
+
+const char* seg_kind_name(SegKind k) {
+  switch (k) {
+    case SegKind::kText: return "text";
+    case SegKind::kRodata: return "rodata";
+    case SegKind::kData: return "data";
+    case SegKind::kBss: return "bss";
+  }
+  return "?";
+}
+
+const Segment* Image::segment_containing(std::uint64_t a) const {
+  for (const auto& s : segments)
+    if (s.contains(a)) return &s;
+  return nullptr;
+}
+
+Segment* Image::segment_containing(std::uint64_t a) {
+  return const_cast<Segment*>(static_cast<const Image*>(this)->segment_containing(a));
+}
+
+const Segment* Image::segment_of(SegKind kind) const {
+  for (const auto& s : segments)
+    if (s.kind == kind) return &s;
+  return nullptr;
+}
+
+Segment* Image::segment_of(SegKind kind) {
+  return const_cast<Segment*>(static_cast<const Image*>(this)->segment_of(kind));
+}
+
+const Segment& Image::text() const {
+  const Segment* s = segment_of(SegKind::kText);
+  assert(s && "image has no text segment");
+  return *s;
+}
+
+Segment& Image::text() {
+  Segment* s = segment_of(SegKind::kText);
+  assert(s && "image has no text segment");
+  return *s;
+}
+
+Result<Bytes> Image::read_bytes(std::uint64_t addr, std::size_t n) const {
+  const Segment* s = segment_containing(addr);
+  if (!s) return Error::not_found("no segment at " + hex_addr(addr));
+  std::uint64_t off = addr - s->vaddr;
+  if (off + n > s->bytes.size())
+    return Error::invalid_argument("range extends past file-backed bytes at " + hex_addr(addr));
+  return Bytes(s->bytes.begin() + static_cast<std::ptrdiff_t>(off),
+               s->bytes.begin() + static_cast<std::ptrdiff_t>(off + n));
+}
+
+Status Image::validate() const {
+  int text_count = 0;
+  for (const auto& s : segments) {
+    if (s.memsize < s.bytes.size())
+      return Error::invalid_argument("segment memsize < filesize");
+    if (s.kind == SegKind::kBss && !s.bytes.empty())
+      return Error::invalid_argument("bss segment has file bytes");
+    if (s.kind == SegKind::kText) ++text_count;
+  }
+  if (text_count != 1) return Error::invalid_argument("image must have exactly one text segment");
+
+  // Overlap check over sorted copies.
+  std::vector<const Segment*> sorted;
+  sorted.reserve(segments.size());
+  for (const auto& s : segments) sorted.push_back(&s);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Segment* a, const Segment* b) { return a->vaddr < b->vaddr; });
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i - 1]->end() > sorted[i]->vaddr)
+      return Error::invalid_argument("segments overlap at " + hex_addr(sorted[i]->vaddr));
+  }
+
+  if (library) {
+    if (entry != 0) return Error::invalid_argument("library image must have entry 0");
+  } else {
+    const Segment* es = segment_containing(entry);
+    if (!es || !es->executable())
+      return Error::invalid_argument("entry point not in executable segment");
+  }
+
+  for (const auto& exp : exports) {
+    const Segment* s = segment_containing(exp.addr);
+    if (!s || !s->executable())
+      return Error::invalid_argument("export '" + exp.name + "' not in executable segment");
+  }
+  for (const auto& imp : imports) {
+    const Segment* s = segment_containing(imp.slot);
+    if (!s || !s->writable() || imp.slot + 8 > s->end())
+      return Error::invalid_argument("import '" + imp.name + "' slot not in writable segment");
+  }
+  return Status::success();
+}
+
+std::size_t Image::file_size() const {
+  // Header: magic(4) + version(2) + flags(2) + entry(8) + counts(4*4).
+  std::size_t size = 4 + 2 + 2 + 8 + 4 * 4;
+  for (const auto& s : segments) {
+    // Record: kind(1) + pad(1) + vaddr(8) + memsize(8) + filesize(8) + bytes.
+    size += 1 + 1 + 8 + 8 + 8 + s.bytes.size();
+  }
+  for (const auto& sym : symbols) size += 1 + 8 + 8 + 2 + sym.name.size();
+  for (const auto& exp : exports) size += 8 + 2 + exp.name.size();
+  for (const auto& imp : imports) size += 8 + 2 + imp.name.size();
+  return size;
+}
+
+}  // namespace zipr::zelf

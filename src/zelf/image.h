@@ -1,0 +1,119 @@
+// ZELF: the executable container format for VLX programs.
+//
+// ZELF plays the role ELF plays in the paper: a segment-based loadable
+// image with an entry point. The rewriter consumes only segment bytes,
+// permissions and the entry address -- never symbols. Symbols are an
+// OPTIONAL side table carrying ground truth (function starts, data objects)
+// used exclusively by tests and accuracy benchmarks, mirroring the paper's
+// setting where binaries ship without metadata.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/bytes.h"
+#include "support/status.h"
+
+namespace zipr::zelf {
+
+/// Segment role. Execution permission is derived from kind.
+enum class SegKind : std::uint8_t {
+  kText = 0,    ///< executable code (r-x)
+  kRodata = 1,  ///< read-only data (r--)
+  kData = 2,    ///< initialized writable data (rw-)
+  kBss = 3,     ///< zero-initialized writable data (rw-, no file bytes)
+};
+
+const char* seg_kind_name(SegKind k);
+
+struct Segment {
+  SegKind kind = SegKind::kText;
+  std::uint64_t vaddr = 0;
+  std::uint64_t memsize = 0;  ///< in-memory size; >= bytes.size()
+  Bytes bytes;                ///< file contents (empty for bss)
+
+  std::uint64_t end() const { return vaddr + memsize; }
+  bool contains(std::uint64_t a) const { return a >= vaddr && a < end(); }
+  bool executable() const { return kind == SegKind::kText; }
+  bool writable() const { return kind == SegKind::kData || kind == SegKind::kBss; }
+};
+
+/// Ground-truth symbol (tests/accuracy only; invisible to the rewriter).
+struct Symbol {
+  enum class Kind : std::uint8_t { kFunc = 0, kObject = 1, kLabel = 2 };
+  Kind kind = Kind::kLabel;
+  std::uint64_t addr = 0;
+  std::uint64_t size = 0;
+  std::string name;
+};
+
+/// An exported entry point: part of the image's ABI surface (like ELF
+/// .dynsym), visible to the loader AND to the rewriter -- every export is
+/// an indirect branch target other images may call, so it must stay
+/// reachable at its original address (a pin).
+struct Export {
+  std::string name;
+  std::uint64_t addr = 0;
+};
+
+/// An imported function: `slot` names an 8-byte cell in this image's data
+/// that the loader fills with the exporting image's address before
+/// execution begins (a GOT entry). Code calls through the slot.
+struct Import {
+  std::string name;
+  std::uint64_t slot = 0;
+};
+
+/// Conventional address-space layout for VLX programs. The assembler and
+/// the CB generator lay out programs this way; the VM only needs segments.
+namespace layout {
+inline constexpr std::uint64_t kTextBase = 0x400000;
+inline constexpr std::uint64_t kRodataBase = 0x600000;
+inline constexpr std::uint64_t kDataBase = 0x700000;
+inline constexpr std::uint64_t kBssBase = 0x780000;
+inline constexpr std::uint64_t kStackTop = 0x7ff00000;   ///< initial sp
+inline constexpr std::uint64_t kStackSize = 0x100000;    ///< 1 MiB
+inline constexpr std::uint64_t kHeapBase = 0x10000000;   ///< allocate() arena
+inline constexpr std::uint64_t kPageSize = 4096;
+}  // namespace layout
+
+/// A loadable VLX program image: an executable (has an entry point) or a
+/// shared library (entry == 0, library == true; enters only through its
+/// exports).
+class Image {
+ public:
+  std::uint64_t entry = 0;
+  bool library = false;
+  std::vector<Segment> segments;
+  std::vector<Symbol> symbols;   ///< optional ground truth
+  std::vector<Export> exports;   ///< ABI surface (loader + rewriter visible)
+  std::vector<Import> imports;   ///< GOT slots the loader must fill
+
+  /// Segment containing address `a`, if any.
+  const Segment* segment_containing(std::uint64_t a) const;
+  Segment* segment_containing(std::uint64_t a);
+
+  /// First segment of the given kind, if any.
+  const Segment* segment_of(SegKind kind) const;
+  Segment* segment_of(SegKind kind);
+
+  /// The (single) text segment. Asserts if absent.
+  const Segment& text() const;
+  Segment& text();
+
+  /// Read bytes [addr, addr+n) out of file-backed segment contents.
+  /// Fails if the range is not fully covered by file bytes.
+  Result<Bytes> read_bytes(std::uint64_t addr, std::size_t n) const;
+
+  /// Structural validation: non-overlapping segments, entry inside an
+  /// executable segment, memsize >= filesize, exactly one text segment.
+  Status validate() const;
+
+  /// Serialized file size in bytes (what "on-disk file size" means for the
+  /// paper's file-size overhead metric).
+  std::size_t file_size() const;
+};
+
+}  // namespace zipr::zelf

@@ -1,0 +1,139 @@
+#include "zelf/io.h"
+
+#include <cstdio>
+
+namespace zipr::zelf {
+
+namespace {
+constexpr std::uint8_t kMagic[4] = {'Z', 'E', 'L', 'F'};
+constexpr std::uint16_t kVersion = 2;
+constexpr std::uint16_t kFlagLibrary = 1;
+
+void put_name(Bytes& out, const std::string& name) {
+  put_u16(out, static_cast<std::uint16_t>(name.size()));
+  put_bytes(out, ByteView(reinterpret_cast<const Byte*>(name.data()), name.size()));
+}
+}  // namespace
+
+Bytes write_image(const Image& image) {
+  Bytes out;
+  put_bytes(out, ByteView(kMagic, 4));
+  put_u16(out, kVersion);
+  put_u16(out, image.library ? kFlagLibrary : 0);
+  put_u64(out, image.entry);
+  put_u32(out, static_cast<std::uint32_t>(image.segments.size()));
+  put_u32(out, static_cast<std::uint32_t>(image.symbols.size()));
+  put_u32(out, static_cast<std::uint32_t>(image.exports.size()));
+  put_u32(out, static_cast<std::uint32_t>(image.imports.size()));
+  for (const auto& s : image.segments) {
+    put_u8(out, static_cast<std::uint8_t>(s.kind));
+    put_u8(out, 0);  // pad
+    put_u64(out, s.vaddr);
+    put_u64(out, s.memsize);
+    put_u64(out, s.bytes.size());
+    put_bytes(out, s.bytes);
+  }
+  for (const auto& sym : image.symbols) {
+    put_u8(out, static_cast<std::uint8_t>(sym.kind));
+    put_u64(out, sym.addr);
+    put_u64(out, sym.size);
+    put_name(out, sym.name);
+  }
+  for (const auto& exp : image.exports) {
+    put_u64(out, exp.addr);
+    put_name(out, exp.name);
+  }
+  for (const auto& imp : image.imports) {
+    put_u64(out, imp.slot);
+    put_name(out, imp.name);
+  }
+  return out;
+}
+
+Result<Image> read_image(ByteView bytes) {
+  ByteReader r(bytes);
+  ZIPR_ASSIGN_OR_RETURN(Bytes magic, r.bytes(4));
+  if (!std::equal(magic.begin(), magic.end(), kMagic))
+    return Error::parse("bad ZELF magic");
+  ZIPR_ASSIGN_OR_RETURN(std::uint16_t version, r.u16());
+  if (version != kVersion) return Error::parse("unsupported ZELF version");
+  ZIPR_ASSIGN_OR_RETURN(std::uint16_t flags, r.u16());
+  if (flags & ~kFlagLibrary) return Error::parse("unknown ZELF flags");
+
+  Image img;
+  img.library = (flags & kFlagLibrary) != 0;
+  ZIPR_ASSIGN_OR_RETURN(img.entry, r.u64());
+  ZIPR_ASSIGN_OR_RETURN(std::uint32_t nseg, r.u32());
+  ZIPR_ASSIGN_OR_RETURN(std::uint32_t nsym, r.u32());
+  ZIPR_ASSIGN_OR_RETURN(std::uint32_t nexp, r.u32());
+  ZIPR_ASSIGN_OR_RETURN(std::uint32_t nimp, r.u32());
+
+  for (std::uint32_t i = 0; i < nseg; ++i) {
+    Segment s;
+    ZIPR_ASSIGN_OR_RETURN(std::uint8_t kind, r.u8());
+    if (kind > static_cast<std::uint8_t>(SegKind::kBss))
+      return Error::parse("bad segment kind");
+    s.kind = static_cast<SegKind>(kind);
+    ZIPR_TRY(r.skip(1));
+    ZIPR_ASSIGN_OR_RETURN(s.vaddr, r.u64());
+    ZIPR_ASSIGN_OR_RETURN(s.memsize, r.u64());
+    ZIPR_ASSIGN_OR_RETURN(std::uint64_t fsize, r.u64());
+    ZIPR_ASSIGN_OR_RETURN(s.bytes, r.bytes(fsize));
+    img.segments.push_back(std::move(s));
+  }
+  for (std::uint32_t i = 0; i < nsym; ++i) {
+    Symbol sym;
+    ZIPR_ASSIGN_OR_RETURN(std::uint8_t kind, r.u8());
+    if (kind > static_cast<std::uint8_t>(Symbol::Kind::kLabel))
+      return Error::parse("bad symbol kind");
+    sym.kind = static_cast<Symbol::Kind>(kind);
+    ZIPR_ASSIGN_OR_RETURN(sym.addr, r.u64());
+    ZIPR_ASSIGN_OR_RETURN(sym.size, r.u64());
+    ZIPR_ASSIGN_OR_RETURN(std::uint16_t namelen, r.u16());
+    ZIPR_ASSIGN_OR_RETURN(Bytes name, r.bytes(namelen));
+    sym.name.assign(name.begin(), name.end());
+    img.symbols.push_back(std::move(sym));
+  }
+  for (std::uint32_t i = 0; i < nexp; ++i) {
+    Export exp;
+    ZIPR_ASSIGN_OR_RETURN(exp.addr, r.u64());
+    ZIPR_ASSIGN_OR_RETURN(std::uint16_t namelen, r.u16());
+    ZIPR_ASSIGN_OR_RETURN(Bytes name, r.bytes(namelen));
+    exp.name.assign(name.begin(), name.end());
+    img.exports.push_back(std::move(exp));
+  }
+  for (std::uint32_t i = 0; i < nimp; ++i) {
+    Import imp;
+    ZIPR_ASSIGN_OR_RETURN(imp.slot, r.u64());
+    ZIPR_ASSIGN_OR_RETURN(std::uint16_t namelen, r.u16());
+    ZIPR_ASSIGN_OR_RETURN(Bytes name, r.bytes(namelen));
+    imp.name.assign(name.begin(), name.end());
+    img.imports.push_back(std::move(imp));
+  }
+  if (!r.at_end()) return Error::parse("trailing bytes after ZELF payload");
+  ZIPR_TRY(img.validate());
+  return img;
+}
+
+Status save_image(const Image& image, const std::string& path) {
+  Bytes bytes = write_image(image);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return Error::invalid_argument("cannot open " + path);
+  std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (written != bytes.size()) return Error::internal("short write to " + path);
+  return Status::success();
+}
+
+Result<Image> load_image(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return Error::not_found("cannot open " + path);
+  Bytes bytes;
+  Byte buf[65536];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) bytes.insert(bytes.end(), buf, buf + n);
+  std::fclose(f);
+  return read_image(bytes);
+}
+
+}  // namespace zipr::zelf

@@ -1,0 +1,20 @@
+// ZELF serialization: byte-level reader/writer for Image.
+#pragma once
+
+#include "support/status.h"
+#include "zelf/image.h"
+
+namespace zipr::zelf {
+
+/// Serialize an image to its on-disk byte form. The result's size equals
+/// Image::file_size().
+Bytes write_image(const Image& image);
+
+/// Parse an image from bytes; validates structure.
+Result<Image> read_image(ByteView bytes);
+
+/// Convenience file I/O.
+Status save_image(const Image& image, const std::string& path);
+Result<Image> load_image(const std::string& path);
+
+}  // namespace zipr::zelf

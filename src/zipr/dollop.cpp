@@ -1,0 +1,77 @@
+#include "zipr/dollop.h"
+
+#include <cassert>
+
+#include "isa/insn.h"
+
+namespace zipr::rewriter {
+
+namespace {
+constexpr std::uint64_t kJumpSize = isa::kJmp32Len;
+}
+
+std::uint64_t estimated_size(const irdb::Instruction& row) {
+  if (row.verbatim) return row.orig_bytes.size();
+  isa::Insn wide = row.decoded;
+  // Branches may be emitted rel8 when their target lands nearby, but the
+  // estimate assumes the full rel32 form.
+  if (wide.op == isa::Op::kJmp || wide.op == isa::Op::kJcc)
+    wide.width = isa::BranchWidth::kRel32;
+  return static_cast<std::uint64_t>(isa::encoded_length(wide));
+}
+
+Dollop* DollopManager::split(Dollop* d, std::size_t pos) {
+  assert(pos > 0 && pos < d->insns.size());
+  auto tail = std::make_unique<Dollop>();
+  tail->insns.assign(d->insns.begin() + static_cast<std::ptrdiff_t>(pos), d->insns.end());
+  tail->continuation = d->continuation;
+  d->insns.resize(pos);
+  d->continuation = tail->insns.front();
+  ++splits_;
+
+  index(tail.get());
+  // Head keeps its entries; indices below pos are unchanged.
+  recompute(d);
+  recompute(tail.get());
+  Dollop* out = tail.get();
+  dollops_.push_back(std::move(tail));
+  return out;
+}
+
+Dollop* DollopManager::split_to_fit(Dollop* d, std::uint64_t max_bytes) {
+  if (d->insns.size() < 2) return nullptr;
+  std::uint64_t used = 0;
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < d->insns.size(); ++i) {
+    std::uint64_t len = estimated_size(db_.insn(d->insns[i]));
+    if (used + len + kJumpSize > max_bytes) break;
+    used += len;
+    pos = i + 1;
+  }
+  if (pos == 0 || pos >= d->insns.size()) return nullptr;
+  return split(d, pos);
+}
+
+void DollopManager::retire(Dollop* d) {
+  for (irdb::InsnId id : d->insns) where_.erase(id);
+  for (auto it = dollops_.begin(); it != dollops_.end(); ++it) {
+    if (it->get() == d) {
+      dollops_.erase(it);
+      return;
+    }
+  }
+  assert(false && "retiring unknown dollop");
+}
+
+void DollopManager::index(Dollop* d) {
+  for (std::size_t i = 0; i < d->insns.size(); ++i) where_[d->insns[i]] = {d, i};
+}
+
+void DollopManager::recompute(Dollop* d) {
+  std::uint64_t size = 0;
+  for (irdb::InsnId id : d->insns) size += estimated_size(db_.insn(id));
+  if (d->continuation != irdb::kNullInsn) size += kJumpSize;
+  d->size_estimate = size;
+}
+
+}  // namespace zipr::rewriter

@@ -1,0 +1,109 @@
+// Dollops: linear sequences of instructions linked by fallthroughs
+// (paper Sec. II-C1), and their manager.
+//
+// The DollopManager owns every not-yet-placed dollop, supports retrieving
+// the dollop containing an instruction (splitting when the instruction is
+// mid-dollop, as happens with shared code and jumps into loop bodies), and
+// supports size-driven splitting so large dollops can fill small free
+// blocks (Sec. II-C4).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "irdb/ir.h"
+
+namespace zipr::rewriter {
+
+/// Conservative (rel32-width) encoded size of one row when relocated.
+std::uint64_t estimated_size(const irdb::Instruction& row);
+
+struct Dollop {
+  std::vector<irdb::InsnId> insns;
+
+  /// If set, execution continues at this instruction after the last row:
+  /// the dollop was truncated (by a split or by flowing into code that is
+  /// already placed elsewhere) and a trailing jump must be emitted.
+  irdb::InsnId continuation = irdb::kNullInsn;
+
+  /// Conservative byte size if emitted now (instructions at rel32 widths
+  /// plus a 5-byte continuation jump when present).
+  std::uint64_t size_estimate = 0;
+};
+
+class DollopManager {
+ public:
+  explicit DollopManager(const irdb::Database& db) : db_(db) {}
+
+  /// The unplaced dollop that STARTS at `insn`, constructing or splitting
+  /// as needed. Returns nullptr if `insn` is already placed (per
+  /// `is_placed`) -- callers resolve against the placement map instead.
+  ///
+  /// Construction walks fallthrough links, stopping when an instruction is
+  /// already placed or already owned by another dollop (the new dollop
+  /// gains a continuation to it).
+  template <typename IsPlacedFn>
+  Dollop* dollop_starting_at(irdb::InsnId insn, IsPlacedFn&& is_placed) {
+    if (is_placed(insn)) return nullptr;
+    auto it = where_.find(insn);
+    if (it != where_.end()) {
+      Dollop* d = it->second.dollop;
+      std::size_t pos = it->second.index;
+      if (pos == 0) return d;
+      return split(d, pos);
+    }
+    return construct(insn, is_placed);
+  }
+
+  /// Split `d` so that its first part is at most `max_bytes` long
+  /// (including the 5-byte continuation jump the split adds). Returns the
+  /// new dollop holding the tail, or nullptr if no viable split point
+  /// exists (the first instruction + jump already exceed `max_bytes`).
+  Dollop* split_to_fit(Dollop* d, std::uint64_t max_bytes);
+
+  /// Remove a dollop that has been fully emitted.
+  void retire(Dollop* d);
+
+  std::size_t unplaced_count() const { return dollops_.size(); }
+  std::size_t total_splits() const { return splits_; }
+
+ private:
+  struct Location {
+    Dollop* dollop;
+    std::size_t index;
+  };
+
+  template <typename IsPlacedFn>
+  Dollop* construct(irdb::InsnId start, IsPlacedFn&& is_placed) {
+    auto d = std::make_unique<Dollop>();
+    irdb::InsnId cur = start;
+    while (cur != irdb::kNullInsn) {
+      if (is_placed(cur) || where_.count(cur)) {
+        d->continuation = cur;
+        break;
+      }
+      d->insns.push_back(cur);
+      cur = db_.insn(cur).fallthrough;
+    }
+    index(d.get());
+    recompute(d.get());
+    Dollop* out = d.get();
+    dollops_.push_back(std::move(d));
+    return out;
+  }
+
+  /// Split `d` at instruction index `pos` (tail begins at pos).
+  Dollop* split(Dollop* d, std::size_t pos);
+
+  void index(Dollop* d);
+  void recompute(Dollop* d);
+
+  const irdb::Database& db_;
+  std::vector<std::unique_ptr<Dollop>> dollops_;
+  std::map<irdb::InsnId, Location> where_;
+  std::size_t splits_ = 0;
+};
+
+}  // namespace zipr::rewriter

@@ -1,0 +1,81 @@
+#include "zipr/memory_space.h"
+
+#include <cassert>
+
+namespace zipr::rewriter {
+
+MemorySpace::MemorySpace(Interval main) : main_(main), overflow_next_(main.end) {
+  free_.insert(main_.begin, main_.end);
+}
+
+Status MemorySpace::reserve(std::uint64_t addr, std::uint64_t size) {
+  if (size == 0) return Status::success();
+  if (!free_.contains_range(addr, addr + size))
+    return Error::out_of_space("reserve of occupied range at " + hex_addr(addr));
+  free_.erase(addr, addr + size);
+  return Status::success();
+}
+
+void MemorySpace::release(std::uint64_t addr, std::uint64_t size) {
+  if (size == 0) return;
+  assert(addr >= main_.begin && addr + size <= main_.end);
+  free_.insert(addr, addr + size);
+}
+
+bool MemorySpace::is_free(std::uint64_t addr, std::uint64_t size) const {
+  if (size == 0) return true;
+  return free_.contains_range(addr, addr + size);
+}
+
+std::optional<std::uint64_t> MemorySpace::allocate(std::uint64_t size) {
+  for (const auto& iv : free_.intervals()) {
+    if (iv.size() >= size) {
+      free_.erase(iv.begin, iv.begin + size);
+      return iv.begin;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> MemorySpace::allocate_in_window(std::uint64_t size, std::uint64_t lo,
+                                                             std::uint64_t hi,
+                                                             std::uint64_t prefer) {
+  std::optional<std::uint64_t> best;
+  std::uint64_t best_dist = UINT64_MAX;
+  for (const auto& iv : free_.intervals()) {
+    if (iv.size() < size) continue;
+    // Candidate base range within this interval intersected with [lo, hi].
+    std::uint64_t base_lo = std::max(iv.begin, lo);
+    std::uint64_t base_hi_excl = iv.end - size + 1;  // iv.size() >= size
+    std::uint64_t base_hi = hi < base_hi_excl - 1 ? hi : base_hi_excl - 1;
+    if (base_lo > base_hi) continue;
+    // Base nearest `prefer`, clamped into [base_lo, base_hi].
+    std::uint64_t base = prefer < base_lo ? base_lo : (prefer > base_hi ? base_hi : prefer);
+    std::uint64_t dist = base > prefer ? base - prefer : prefer - base;
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = base;
+    }
+  }
+  if (best) free_.erase(*best, *best + size);
+  return best;
+}
+
+std::uint64_t MemorySpace::allocate_overflow(std::uint64_t size) {
+  std::uint64_t base = overflow_next_;
+  overflow_next_ += size;
+  return base;
+}
+
+void MemorySpace::shrink_overflow(std::uint64_t addr) {
+  assert(addr >= main_.end);
+  if (addr < overflow_next_) overflow_next_ = addr;
+}
+
+std::uint64_t MemorySpace::largest_free() const {
+  std::uint64_t best = 0;
+  for (const auto& iv : free_.intervals()) best = std::max(best, iv.size());
+  return best;
+}
+
+}  // namespace zipr::rewriter

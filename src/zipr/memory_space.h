@@ -1,0 +1,71 @@
+// Output address-space management for reassembly (paper Sec. II-C1).
+//
+// The rewritten program's text space starts empty except for verbatim
+// byte ranges; the span of the ORIGINAL text segment is reused as free
+// space for references and relocated dollops, and an "infinite" overflow
+// area beginning at the original text end absorbs whatever does not fit.
+// File-size overhead of a rewrite is, by construction, the number of
+// overflow bytes actually used.
+#pragma once
+
+#include <optional>
+
+#include "support/bytes.h"
+#include "support/interval.h"
+#include "support/status.h"
+
+namespace zipr::rewriter {
+
+class MemorySpace {
+ public:
+  /// `main` is the original text segment's address span. The overflow area
+  /// begins at main.end.
+  explicit MemorySpace(Interval main);
+
+  /// Mark [addr, addr+size) occupied. Must currently be free.
+  Status reserve(std::uint64_t addr, std::uint64_t size);
+
+  /// Return [addr, addr+size) to the free list (e.g. the unused tail of a
+  /// conservatively-sized allocation). Only valid for main-span bytes.
+  void release(std::uint64_t addr, std::uint64_t size);
+
+  /// True if [addr, addr+size) is entirely free main-span space.
+  bool is_free(std::uint64_t addr, std::uint64_t size) const;
+
+  /// Allocate `size` bytes anywhere in the main span (first fit).
+  /// Returns the base address, or nullopt if no free range fits.
+  std::optional<std::uint64_t> allocate(std::uint64_t size);
+
+  /// Allocate `size` bytes whose base lies in [lo, hi] (inclusive bounds on
+  /// the base address), nearest to `prefer`. Used for chain trampolines
+  /// that must sit within a short branch's reach.
+  std::optional<std::uint64_t> allocate_in_window(std::uint64_t size, std::uint64_t lo,
+                                                  std::uint64_t hi, std::uint64_t prefer);
+
+  /// Allocate from the overflow area (always succeeds; bump pointer).
+  std::uint64_t allocate_overflow(std::uint64_t size);
+
+  /// Roll the overflow bump pointer back to `addr`. Only valid immediately
+  /// after the most recent overflow allocation, to return its unused tail.
+  void shrink_overflow(std::uint64_t addr);
+
+  /// All free main-span ranges, ascending.
+  std::vector<Interval> free_ranges() const { return free_.intervals(); }
+
+  /// Largest free main-span range size (0 when full).
+  std::uint64_t largest_free() const;
+
+  const Interval& main_span() const { return main_; }
+  std::uint64_t overflow_begin() const { return main_.end; }
+  std::uint64_t overflow_end() const { return overflow_next_; }
+  std::uint64_t overflow_used() const { return overflow_next_ - main_.end; }
+
+  std::uint64_t free_bytes() const { return free_.total_size(); }
+
+ private:
+  Interval main_;
+  IntervalSet free_;
+  std::uint64_t overflow_next_;
+};
+
+}  // namespace zipr::rewriter

@@ -1,0 +1,130 @@
+#include "zipr/placement.h"
+
+#include "zelf/image.h"
+
+namespace zipr::rewriter {
+
+namespace {
+
+constexpr std::uint64_t kPage = zelf::layout::kPageSize;
+
+class DiversityPlacement final : public PlacementStrategy {
+ public:
+  explicit DiversityPlacement(std::uint64_t seed) : rng_(seed) {}
+
+  std::optional<Interval> pick(const MemorySpace& space,
+                               const PlacementRequest& req) override {
+    std::vector<Interval> whole, partial;
+    for (const auto& iv : space.free_ranges()) {
+      if (iv.size() >= req.size)
+        whole.push_back(iv);
+      else if (iv.size() >= req.min_viable)
+        partial.push_back(iv);
+    }
+    if (!whole.empty()) {
+      // Random range AND random start inside it: even a program with one
+      // big free range gets a different layout per seed.
+      Interval iv = whole[rng_.below(whole.size())];
+      std::uint64_t slack = iv.size() - req.size;
+      std::uint64_t offset = slack == 0 ? 0 : rng_.below(slack + 1);
+      return Interval{iv.begin + offset, iv.end};
+    }
+    if (!partial.empty()) return partial[rng_.below(partial.size())];
+    return std::nullopt;
+  }
+
+  std::string name() const override { return "diversity"; }
+
+ private:
+  Rng rng_;
+};
+
+class NearfitPlacement final : public PlacementStrategy {
+ public:
+  std::optional<Interval> pick(const MemorySpace& space,
+                               const PlacementRequest& req) override {
+    const std::uint64_t anchor = req.preferred.value_or(space.main_span().begin);
+    std::optional<Interval> best_whole, best_partial;
+    std::uint64_t whole_dist = UINT64_MAX, partial_dist = UINT64_MAX;
+    for (const auto& iv : space.free_ranges()) {
+      std::uint64_t dist =
+          iv.contains(anchor) ? 0
+          : (anchor < iv.begin ? iv.begin - anchor : anchor - (iv.end - 1));
+      if (iv.size() >= req.size) {
+        if (dist < whole_dist) {
+          whole_dist = dist;
+          best_whole = iv;
+        }
+      } else if (iv.size() >= req.min_viable) {
+        if (dist < partial_dist) {
+          partial_dist = dist;
+          best_partial = iv;
+        }
+      }
+    }
+    if (best_whole) return best_whole;
+    if (best_partial) return best_partial;
+    return std::nullopt;
+  }
+
+  std::string name() const override { return "nearfit"; }
+};
+
+class PinPagePlacement final : public PlacementStrategy {
+ public:
+  explicit PinPagePlacement(std::set<std::uint64_t> pinned_pages)
+      : pinned_pages_(std::move(pinned_pages)) {}
+
+  std::optional<Interval> pick(const MemorySpace& space,
+                               const PlacementRequest& req) override {
+    // Prefer the SMALLEST viable range on a pinned page (fill fragments
+    // first), then the smallest viable range anywhere.
+    std::optional<Interval> best_pinned, best_any;
+    for (const auto& iv : space.free_ranges()) {
+      if (iv.size() < req.min_viable) continue;
+      if (touches_pinned_page(iv)) {
+        if (!best_pinned || iv.size() < best_pinned->size()) best_pinned = iv;
+      }
+      if (!best_any || iv.size() < best_any->size()) best_any = iv;
+    }
+    if (best_pinned) return best_pinned;
+    return best_any;
+  }
+
+  std::string name() const override { return "pinpage"; }
+
+ private:
+  bool touches_pinned_page(const Interval& iv) const {
+    for (std::uint64_t page = iv.begin & ~(kPage - 1); page < iv.end; page += kPage)
+      if (pinned_pages_.count(page)) return true;
+    return false;
+  }
+
+  std::set<std::uint64_t> pinned_pages_;
+};
+
+}  // namespace
+
+const char* placement_kind_name(PlacementKind kind) {
+  switch (kind) {
+    case PlacementKind::kDiversity: return "diversity";
+    case PlacementKind::kNearfit: return "nearfit";
+    case PlacementKind::kPinPage: return "pinpage";
+  }
+  return "?";
+}
+
+std::unique_ptr<PlacementStrategy> make_placement(PlacementKind kind, std::uint64_t seed,
+                                                  std::set<std::uint64_t> pinned_pages) {
+  switch (kind) {
+    case PlacementKind::kDiversity:
+      return std::make_unique<DiversityPlacement>(seed);
+    case PlacementKind::kNearfit:
+      return std::make_unique<NearfitPlacement>();
+    case PlacementKind::kPinPage:
+      return std::make_unique<PinPagePlacement>(std::move(pinned_pages));
+  }
+  return nullptr;
+}
+
+}  // namespace zipr::rewriter

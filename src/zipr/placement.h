@@ -1,0 +1,63 @@
+// Dollop-placement strategies (paper Sec. III).
+//
+// The paper implements layout algorithms as plugins through Zipr's API so
+// they can be swapped without recompiling the rewriter; PlacementStrategy
+// is that plugin interface. Three built-ins reproduce the paper's design
+// space:
+//
+//   * DiversityPlacement -- the default/unoptimized algorithm: place
+//     dollops at (seeded-)random free ranges. Maximum layout diversity,
+//     no locality. Every run with a different seed yields a different
+//     layout (the "code layout diversity" defense).
+//
+//   * NearfitPlacement -- the optimized algorithm modeled on LLVM's jump
+//     relaxation: place dollops as close to their referents as possible so
+//     short 2-byte jumps reach their targets and pages holding pins also
+//     hold code. Favors memory overhead over diversity.
+//
+//   * PinPagePlacement -- MaxRSS-focused: fill pages that already contain
+//     pinned addresses before touching fresh pages, taking the smallest
+//     viable ranges first (aggressive dollop splitting).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "support/rng.h"
+#include "zipr/memory_space.h"
+
+namespace zipr::rewriter {
+
+struct PlacementRequest {
+  std::uint64_t size = 0;        ///< conservative dollop size
+  std::uint64_t min_viable = 0;  ///< smallest usable prefix (first insn + jump)
+  std::optional<std::uint64_t> preferred;  ///< referring site, when known
+};
+
+class PlacementStrategy {
+ public:
+  virtual ~PlacementStrategy() = default;
+
+  /// Choose a free main-span range to emit into. The caller uses a prefix
+  /// of the returned interval and splits the dollop if the interval is
+  /// smaller than request.size. Returns nullopt to send the dollop to the
+  /// overflow area.
+  virtual std::optional<Interval> pick(const MemorySpace& space,
+                                       const PlacementRequest& request) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Which built-in strategy to use.
+enum class PlacementKind { kDiversity, kNearfit, kPinPage };
+
+const char* placement_kind_name(PlacementKind kind);
+
+/// Factory for the built-in strategies. `pinned_pages` (page base
+/// addresses) is consulted by PinPagePlacement only.
+std::unique_ptr<PlacementStrategy> make_placement(PlacementKind kind, std::uint64_t seed,
+                                                  std::set<std::uint64_t> pinned_pages);
+
+}  // namespace zipr::rewriter

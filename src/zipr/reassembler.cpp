@@ -1,0 +1,604 @@
+#include "zipr/reassembler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "support/log.h"
+
+namespace zipr::rewriter {
+
+using irdb::InsnId;
+using irdb::kNullInsn;
+using isa::BranchWidth;
+using isa::Op;
+
+namespace {
+
+constexpr std::uint64_t kShortJump = isa::kJmp8Len;   // 2
+constexpr std::uint64_t kLongJump = isa::kJmp32Len;   // 5
+constexpr Byte kFillByte = 0xF4;  // hlt: stray control flow traps cleanly
+
+// Reach of a 2-byte jump placed at `site`: its target t satisfies
+// t - (site + 2) in [-128, 127].
+bool rel8_reaches(std::uint64_t site, std::uint64_t target) {
+  std::int64_t disp = static_cast<std::int64_t>(target) - static_cast<std::int64_t>(site + 2);
+  return disp >= isa::kRel8Min && disp <= isa::kRel8Max;
+}
+
+}  // namespace
+
+Reassembler::Reassembler(analysis::IrProgram& prog, const ReassemblyOptions& opts)
+    : prog_(prog),
+      opts_(opts),
+      space_(Interval{prog.original.text().vaddr,
+                      prog.original.text().vaddr + prog.original.text().bytes.size()}),
+      dollops_(prog.db) {
+  std::set<std::uint64_t> pinned_pages;
+  for (const auto& [addr, id] : prog_.db.pins())
+    pinned_pages.insert(addr & ~(zelf::layout::kPageSize - 1));
+  strategy_ = make_placement(opts.placement, opts.seed, std::move(pinned_pages));
+  main_buf_.assign(space_.main_span().size(), kFillByte);
+}
+
+std::optional<std::uint64_t> Reassembler::placed_at(InsnId id) const {
+  auto it = placed_.find(id);
+  if (it == placed_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Reassembler::write_bytes(std::uint64_t addr, ByteView bytes) {
+  const Interval& main = space_.main_span();
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::uint64_t a = addr + i;
+    if (a < main.end) {
+      main_buf_[a - main.begin] = bytes[i];
+    } else {
+      std::size_t off = static_cast<std::size_t>(a - main.end);
+      if (off >= overflow_buf_.size()) overflow_buf_.resize(off + 1, kFillByte);
+      overflow_buf_[off] = bytes[i];
+    }
+  }
+}
+
+void Reassembler::patch_rel32(std::uint64_t site, std::uint64_t target_addr) {
+  std::int64_t disp =
+      static_cast<std::int64_t>(target_addr) - static_cast<std::int64_t>(site + kLongJump);
+  Bytes enc;
+  put_i32(enc, static_cast<std::int32_t>(disp));
+  write_bytes(site + 1, enc);
+}
+
+// ---- stage 0: verbatim ranges stay put ----
+
+Status Reassembler::place_verbatim_ranges() {
+  for (const auto& [range, row_id] : prog_.verbatim) {
+    ZIPR_TRY(space_.reserve(range.begin, range.size()));
+    write_bytes(range.begin, prog_.db.insn(row_id).orig_bytes);
+    placed_[row_id] = range.begin;
+  }
+  return Status::success();
+}
+
+// ---- stage 1+2: pinned references and sleds ----
+
+Status Reassembler::build_sleds() {
+  // Collect pin addresses; find maximal runs where successive pins are one
+  // byte apart -- too dense for any 2-byte jump.
+  std::vector<std::uint64_t> addrs;
+  for (const auto& [addr, id] : prog_.db.pins()) addrs.push_back(addr);
+
+  for (std::size_t i = 0; i + 1 < addrs.size();) {
+    if (addrs[i + 1] - addrs[i] != 1) {
+      ++i;
+      continue;
+    }
+    // Dense run [first..last].
+    std::size_t j = i;
+    while (j + 1 < addrs.size() && addrs[j + 1] - addrs[j] == 1) ++j;
+    std::uint64_t first = addrs[i], last = addrs[j];
+    std::size_t next_idx = j + 1;
+
+    // Footprint: 0x68 bytes over [first..last], four 0x90s, then a 5-byte
+    // jump to the dispatch routine.
+    std::uint64_t nop_begin = last + 1, nop_end = last + 5;  // [nop_begin, nop_end)
+    std::uint64_t jmp_at = last + 5;
+    std::uint64_t footprint_end = jmp_at + kLongJump;
+
+    // Pins falling inside the nop region converge on the dispatch
+    // fallthrough; at most one is representable.
+    InsnId nop_region_target = kNullInsn;
+    while (next_idx < addrs.size() && addrs[next_idx] < footprint_end) {
+      std::uint64_t extra = addrs[next_idx];
+      if (extra >= nop_begin && extra < nop_end && nop_region_target == kNullInsn) {
+        nop_region_target = prog_.db.pinned_at(extra);
+        ++next_idx;
+      } else {
+        return Error::unsupported("pin at " + hex_addr(extra) +
+                                  " collides with sled footprint starting at " +
+                                  hex_addr(first));
+      }
+    }
+
+    std::uint64_t push_len = last - first + 1;
+    if (push_len > 5)
+      return Error::unsupported("dense pin run of length " + std::to_string(push_len) +
+                                " at " + hex_addr(first) +
+                                " exceeds single-push sled capacity (the paper reports "
+                                "dense areas of size 2-3 in practice)");
+
+    ZIPR_TRY(space_.reserve(first, footprint_end - first));
+
+    // Materialize the sled bytes.
+    Bytes sled;
+    for (std::uint64_t k = 0; k < push_len; ++k) sled.push_back(0x68);
+    for (int k = 0; k < 4; ++k) sled.push_back(0x90);
+    write_bytes(first, sled);
+
+    // Each 0x68 entry pushes the imm32 formed by the 4 bytes after it.
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> entries;  // (value, entry addr)
+    for (std::uint64_t p = first; p <= last; ++p) {
+      std::uint32_t value = 0;
+      for (int b = 0; b < 4; ++b) {
+        std::uint64_t q = p + 1 + static_cast<std::uint64_t>(b);
+        std::uint8_t byte = q <= last ? 0x68 : 0x90;
+        value |= static_cast<std::uint32_t>(byte) << (8 * b);
+      }
+      entries.emplace_back(p, value);
+    }
+
+    ZIPR_ASSIGN_OR_RETURN(InsnId dispatch_head,
+                          build_sled_dispatch(entries, nop_region_target));
+    // The jump after the nop tail carries control into the dispatcher.
+    Bytes placeholder;
+    ZIPR_TRY(isa::encode(isa::make_jmp(0, BranchWidth::kRel32), placeholder));
+    write_bytes(jmp_at, placeholder);
+    pending_.push_back({jmp_at, dispatch_head, jmp_at});
+
+    ++stats_.sleds;
+    stats_.sled_entries += entries.size() + (nop_region_target != kNullInsn ? 1 : 0);
+    sled_handled_.insert(addrs.begin() + static_cast<std::ptrdiff_t>(i),
+                         addrs.begin() + static_cast<std::ptrdiff_t>(next_idx));
+    i = next_idx;
+  }
+  return Status::success();
+}
+
+Result<InsnId> Reassembler::build_sled_dispatch(
+    const std::vector<std::pair<std::uint64_t, std::uint32_t>>& entries,
+    InsnId nop_region_target) {
+  irdb::Database& db = prog_.db;
+  auto ri = [](Op op, std::uint8_t reg, std::int64_t imm) {
+    isa::Insn in;
+    in.op = op;
+    in.ra = reg;
+    in.imm = imm;
+    return in;
+  };
+  auto reg1 = [](Op op, std::uint8_t reg) {
+    isa::Insn in;
+    in.op = op;
+    in.ra = reg;
+    return in;
+  };
+  auto mem = [](Op op, std::uint8_t ra, std::uint8_t rb, std::int64_t disp) {
+    isa::Insn in;
+    in.op = op;
+    in.ra = ra;
+    in.rb = rb;
+    in.imm = disp;
+    return in;
+  };
+  auto rr_cmp = [](std::uint8_t ra, std::uint8_t rb) {
+    isa::Insn in;
+    in.op = Op::kCmp;
+    in.ra = ra;
+    in.rb = rb;
+    return in;
+  };
+
+  // Dispatch preamble: preserve r0/r6, fetch the sled's pushed word.
+  //   push r0 ; push r6 ; load r0, [sp+16]
+  // Sled constants exceed the signed imm32 range (they are built from
+  // 0x68/0x90 bytes), so each comparison materializes its constant with
+  // movi64 into the second saved scratch register.
+  // NOTE (documented limitation, as in the paper): dispatch comparison
+  // clobbers condition flags; programs that carry flags across an indirect
+  // transfer into a dense-pin region are not supported.
+  InsnId head = db.add_new(reg1(Op::kPush, 0));
+  InsnId save6 = db.add_new(reg1(Op::kPush, 6));
+  InsnId loadv = db.add_new(mem(Op::kLoad, 0, isa::kSpReg, 16));
+  db.insn(head).fallthrough = save6;
+  db.insn(save6).fallthrough = loadv;
+
+  InsnId prev = loadv;
+  for (const auto& [pin_addr, value] : entries) {
+    InsnId pinned = db.pinned_at(pin_addr);
+    if (pinned == kNullInsn)
+      return Error::internal("sled entry at unpinned address " + hex_addr(pin_addr));
+    // fix_i: pop r6 ; pop r0 ; addi sp, 8 (drop the pushed word) ; jmp target_i
+    InsnId fix = db.add_new(reg1(Op::kPop, 6));
+    InsnId fix2 = db.add_new(reg1(Op::kPop, 0));
+    InsnId drop = db.add_new(ri(Op::kAddI, isa::kSpReg, 8));
+    InsnId go = db.add_new(isa::make_jmp(0, BranchWidth::kRel32));
+    db.insn(fix).fallthrough = fix2;
+    db.insn(fix2).fallthrough = drop;
+    db.insn(drop).fallthrough = go;
+    db.insn(go).target = pinned;
+
+    // movi64 r6, V_i ; cmp r0, r6 ; jeq fix_i
+    InsnId setv = db.add_new(ri(Op::kMovI64, 6, static_cast<std::int64_t>(value)));
+    InsnId cmp = db.add_new(rr_cmp(0, 6));
+    InsnId br = db.add_new(isa::make_jcc(isa::Cond::kEq, 0, BranchWidth::kRel32));
+    db.insn(br).target = fix;
+    db.insn(prev).fallthrough = setv;
+    db.insn(setv).fallthrough = cmp;
+    db.insn(cmp).fallthrough = br;
+    prev = br;
+  }
+
+  // No value matched: control entered through the nop region (no push).
+  // Restore scratch state and continue at the nop-region pin, or trap.
+  InsnId restore6 = db.add_new(reg1(Op::kPop, 6));
+  InsnId restore0 = db.add_new(reg1(Op::kPop, 0));
+  db.insn(prev).fallthrough = restore6;
+  db.insn(restore6).fallthrough = restore0;
+  if (nop_region_target != kNullInsn) {
+    InsnId go = db.add_new(isa::make_jmp(0, BranchWidth::kRel32));
+    db.insn(go).target = nop_region_target;
+    db.insn(restore0).fallthrough = go;
+  } else {
+    InsnId trap = db.add_new(isa::make_hlt());
+    db.insn(restore0).fallthrough = trap;
+  }
+  return head;
+}
+
+Status Reassembler::reserve_pin_sites() {
+  const auto& pins = prog_.db.pins();
+  std::vector<std::pair<std::uint64_t, InsnId>> flat(pins.begin(), pins.end());
+  stats_.pins = flat.size();
+
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    auto [addr, target] = flat[i];
+    if (sled_handled_.count(addr)) continue;
+
+    std::uint64_t gap = UINT64_MAX;
+    if (i + 1 < flat.size()) gap = flat[i + 1].first - addr;
+
+    bool reserved = false;
+    for (std::uint8_t size = 5; size >= 2; --size) {
+      if (size <= gap && space_.is_free(addr, size)) {
+        ZIPR_TRY(space_.reserve(addr, size));
+        pin_sites_.push_back({addr, size, target, std::nullopt, false});
+        reserved = true;
+        break;
+      }
+    }
+    if (reserved) continue;
+
+    // Last resort: a pinned 1-byte terminator (ret/hlt) can simply be
+    // emitted in place of a reference.
+    const irdb::Instruction& row = prog_.db.insn(target);
+    if (!row.verbatim && row.decoded.length == 1 && !row.decoded.has_fallthrough() &&
+        space_.is_free(addr, 1)) {
+      ZIPR_TRY(space_.reserve(addr, 1));
+      ZIPR_ASSIGN_OR_RETURN(Bytes enc, isa::encode(row.decoded));
+      write_bytes(addr, enc);
+      ++stats_.pins_in_place;
+      continue;
+    }
+    return Error::unsupported("pin at " + hex_addr(addr) +
+                              " has no room for a reference (squeezed by neighbours)");
+  }
+
+  // Second pass, after every pin slot is held: secure a chaining
+  // trampoline within rel8 reach of each constrained (reserved < 5)
+  // reference, while the space around it is still free (the paper runs
+  // expansion/chaining ahead of dollop placement, Sec. II-C3).
+  for (PinSite& site : pin_sites_) {
+    if (site.reserved >= kLongJump) continue;
+    const std::uint64_t win_lo = site.addr + 2 >= 128 ? site.addr - 126 : 0;
+    const std::uint64_t win_hi = site.addr + 129;
+    site.trampoline = space_.allocate_in_window(kLongJump, win_lo, win_hi, site.addr);
+    if (!site.trampoline && space_.overflow_end() >= win_lo &&
+        space_.overflow_end() <= win_hi) {
+      site.trampoline = space_.allocate_overflow(kLongJump);
+      site.trampoline_in_overflow = true;
+    }
+  }
+  return Status::success();
+}
+
+// ---- stage 3+4: resolution, chaining, placement ----
+
+Status Reassembler::resolve_all() {
+  for (const auto& pin : pin_sites_) ZIPR_TRY(resolve_pin(pin));
+  // The uDR loop: new references are appended while we drain.
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    PendingRef ref = pending_[i];
+    ZIPR_TRY(resolve_ref(ref));
+  }
+  return Status::success();
+}
+
+Status Reassembler::resolve_pin(const PinSite& pin) {
+  ZIPR_ASSIGN_OR_RETURN(std::uint64_t t, ensure_placed(pin.target, pin.addr));
+
+  auto release_trampoline = [&] {
+    if (pin.trampoline && !pin.trampoline_in_overflow)
+      space_.release(*pin.trampoline, kLongJump);
+    // An unused overflow trampoline stays as 5 filler bytes; it is already
+    // counted in overflow_bytes, keeping the file-size accounting honest.
+  };
+
+  const bool short_ok = rel8_reaches(pin.addr, t);
+  if (short_ok && (opts_.prefer_short_refs || pin.reserved < kLongJump)) {
+    Bytes enc;
+    ZIPR_TRY(isa::encode(
+        isa::make_jmp(static_cast<std::int64_t>(t) - static_cast<std::int64_t>(pin.addr + 2),
+                      BranchWidth::kRel8),
+        enc));
+    write_bytes(pin.addr, enc);
+    if (pin.reserved > kShortJump)
+      space_.release(pin.addr + kShortJump, pin.reserved - kShortJump);
+    release_trampoline();
+    ++stats_.pin_refs_short;
+    return Status::success();
+  }
+  if (pin.reserved >= kLongJump) {
+    Bytes enc;
+    ZIPR_TRY(isa::encode(
+        isa::make_jmp(static_cast<std::int64_t>(t) - static_cast<std::int64_t>(pin.addr + 5),
+                      BranchWidth::kRel32),
+        enc));
+    write_bytes(pin.addr, enc);
+    release_trampoline();
+    ++stats_.pin_refs_long;
+    return Status::success();
+  }
+  return chain_pin(pin);
+}
+
+Status Reassembler::chain_pin(const PinSite& pin) {
+  // The reference must stay 2 bytes; hop through trampolines until a
+  // 5-byte slot is reachable (Sec. II-C3, span-dependent jump chaining).
+  std::uint64_t cur = pin.addr;
+  ++stats_.chains;
+
+  // Fast path: the trampoline reserved before placement.
+  if (pin.trampoline) {
+    std::uint64_t b = *pin.trampoline;
+    Bytes enc;
+    ZIPR_TRY(isa::encode(
+        isa::make_jmp(static_cast<std::int64_t>(b) - static_cast<std::int64_t>(cur + 2),
+                      BranchWidth::kRel8),
+        enc));
+    write_bytes(cur, enc);
+    Bytes placeholder;
+    ZIPR_TRY(isa::encode(isa::make_jmp(0, BranchWidth::kRel32), placeholder));
+    write_bytes(b, placeholder);
+    pending_.push_back({b, pin.target, b});
+    return Status::success();
+  }
+
+  for (int hops = 0; hops < 64; ++hops) {
+    // Base window for a jump placed at b, reached from a 2-byte jmp at cur:
+    // b = (cur+2) + disp8, disp8 in [-128, 127].
+    const std::uint64_t win_lo = cur + 2 >= 128 ? cur - 126 : 0;
+    const std::uint64_t win_hi = cur + 129;
+
+    std::optional<std::uint64_t> slot = space_.allocate_in_window(kLongJump, win_lo, win_hi, cur);
+    if (!slot && space_.overflow_end() >= win_lo && space_.overflow_end() <= win_hi) {
+      // The overflow frontier itself is within reach: trampoline there.
+      slot = space_.allocate_overflow(kLongJump);
+    }
+    if (slot) {
+      Bytes enc;
+      ZIPR_TRY(isa::encode(
+          isa::make_jmp(static_cast<std::int64_t>(*slot) - static_cast<std::int64_t>(cur + 2),
+                        BranchWidth::kRel8),
+          enc));
+      write_bytes(cur, enc);
+      Bytes placeholder;
+      ZIPR_TRY(isa::encode(isa::make_jmp(0, BranchWidth::kRel32), placeholder));
+      write_bytes(*slot, placeholder);
+      pending_.push_back({*slot, pin.target, *slot});
+      return Status::success();
+    }
+    // No 5-byte slot in reach: take a 2-byte hop as far forward as we can.
+    if (auto c = space_.allocate_in_window(kShortJump, win_lo, win_hi, win_hi)) {
+      Bytes enc;
+      ZIPR_TRY(isa::encode(
+          isa::make_jmp(static_cast<std::int64_t>(*c) - static_cast<std::int64_t>(cur + 2),
+                        BranchWidth::kRel8),
+          enc));
+      write_bytes(cur, enc);
+      cur = *c;
+      ++stats_.chain_hops;
+      continue;
+    }
+    return Error::out_of_space("chaining from pin " + hex_addr(pin.addr) +
+                               " found no reachable trampoline space");
+  }
+  return Error::out_of_space("chain from pin " + hex_addr(pin.addr) + " exceeded hop limit");
+}
+
+Status Reassembler::resolve_ref(const PendingRef& ref) {
+  ZIPR_ASSIGN_OR_RETURN(std::uint64_t t, ensure_placed(ref.target, ref.preferred));
+  patch_rel32(ref.site, t);
+  ++stats_.refs_resolved;
+  return Status::success();
+}
+
+Result<std::uint64_t> Reassembler::ensure_placed(InsnId insn,
+                                                 std::optional<std::uint64_t> preferred) {
+  if (auto it = placed_.find(insn); it != placed_.end()) return it->second;
+  auto is_placed = [this](InsnId id) { return placed_.count(id) != 0; };
+  Dollop* d = dollops_.dollop_starting_at(insn, is_placed);
+  if (!d) return Error::internal("instruction neither placed nor materializable");
+  ZIPR_TRY(place_dollop(d, preferred));
+  auto it = placed_.find(insn);
+  if (it == placed_.end()) return Error::internal("dollop placement failed to register target");
+  return it->second;
+}
+
+Status Reassembler::place_dollop(Dollop* d, std::optional<std::uint64_t> preferred) {
+  assert(!d->insns.empty());
+  PlacementRequest req;
+  req.size = d->size_estimate;
+  req.min_viable = estimated_size(prog_.db.insn(d->insns.front())) + kLongJump;
+  req.preferred = preferred;
+
+  std::optional<Interval> iv = strategy_->pick(space_, req);
+  if (iv && iv->size() < req.size) {
+    // Split the dollop so the head fills the fragment (Sec. II-C4).
+    if (dollops_.split_to_fit(d, iv->size()) == nullptr) {
+      iv = std::nullopt;  // unsplittable: send it to the overflow area
+    }
+  }
+
+  if (!iv) {
+    std::uint64_t base = space_.allocate_overflow(d->size_estimate);
+    return emit_dollop_at(d, base, d->size_estimate, /*in_overflow=*/true);
+  }
+  ZIPR_TRY(space_.reserve(iv->begin, d->size_estimate));
+  return emit_dollop_at(d, iv->begin, d->size_estimate, /*in_overflow=*/false);
+}
+
+Status Reassembler::emit_dollop_at(Dollop* d, std::uint64_t base, std::uint64_t budget,
+                                   bool in_overflow) {
+  std::uint64_t addr = base;
+  for (InsnId id : d->insns) {
+    ZIPR_ASSIGN_OR_RETURN(Bytes enc, emit_row(prog_.db.insn(id), addr));
+    write_bytes(addr, enc);
+    placed_[id] = addr;
+    addr += enc.size();
+    ++stats_.insns_placed;
+  }
+
+  if (d->continuation != kNullInsn) {
+    InsnId cont = d->continuation;
+    if (auto it = placed_.find(cont); it != placed_.end()) {
+      std::uint64_t t = it->second;
+      if (opts_.prefer_short_refs && rel8_reaches(addr, t)) {
+        Bytes enc;
+        ZIPR_TRY(isa::encode(
+            isa::make_jmp(static_cast<std::int64_t>(t) - static_cast<std::int64_t>(addr + 2),
+                          BranchWidth::kRel8),
+            enc));
+        write_bytes(addr, enc);
+        addr += enc.size();
+      } else {
+        Bytes enc;
+        ZIPR_TRY(isa::encode(
+            isa::make_jmp(static_cast<std::int64_t>(t) - static_cast<std::int64_t>(addr + 5),
+                          BranchWidth::kRel32),
+            enc));
+        write_bytes(addr, enc);
+        addr += enc.size();
+      }
+    } else {
+      Bytes placeholder;
+      ZIPR_TRY(isa::encode(isa::make_jmp(0, BranchWidth::kRel32), placeholder));
+      write_bytes(addr, placeholder);
+      pending_.push_back({addr, cont, addr});
+      addr += placeholder.size();
+    }
+  }
+
+  std::uint64_t used = addr - base;
+  if (used > budget)
+    return Error::internal("dollop emission overran its budget at " + hex_addr(base));
+  if (in_overflow) {
+    // The bump allocator can hand back the conservative tail immediately.
+    space_.shrink_overflow(addr);
+  } else if (used < budget) {
+    space_.release(addr, budget - used);
+  }
+  ++stats_.dollops_placed;
+  dollops_.retire(d);
+  return Status::success();
+}
+
+Result<Bytes> Reassembler::emit_row(const irdb::Instruction& row, std::uint64_t addr) {
+  if (row.verbatim)
+    return Error::internal("verbatim row reached dollop emission");
+
+  isa::Insn in = row.decoded;
+
+  if (in.has_static_target()) {
+    if (row.target != kNullInsn) {
+      auto it = placed_.find(row.target);
+      const bool can_short = in.op != Op::kCall;  // call has no rel8 form
+      if (it != placed_.end()) {
+        std::uint64_t t = it->second;
+        if (can_short && opts_.prefer_short_refs && rel8_reaches(addr, t)) {
+          in.width = BranchWidth::kRel8;
+          in.imm = static_cast<std::int64_t>(t) - static_cast<std::int64_t>(addr + 2);
+        } else {
+          in.width = BranchWidth::kRel32;
+          in.imm = static_cast<std::int64_t>(t) -
+                   static_cast<std::int64_t>(addr + isa::kJmp32Len);
+        }
+        Bytes out;
+        ZIPR_TRY(isa::encode(in, out));
+        return out;
+      }
+      // Unplaced: emit the unconstrained form and register an unresolved
+      // reference (all jmp32/jcc32/call encodings are [op][rel32]).
+      in.width = BranchWidth::kRel32;
+      in.imm = 0;
+      Bytes out;
+      ZIPR_TRY(isa::encode(in, out));
+      pending_.push_back({addr, row.target, addr});
+      return out;
+    }
+    if (row.abs_target) {
+      in.width = BranchWidth::kRel32;
+      in.imm = static_cast<std::int64_t>(*row.abs_target) -
+               static_cast<std::int64_t>(addr + isa::kJmp32Len);
+      Bytes out;
+      ZIPR_TRY(isa::encode(in, out));
+      return out;
+    }
+    return Error::internal("branch row has neither logical nor absolute target");
+  }
+
+  if (in.is_pc_relative_data()) {
+    if (!row.data_ref) return Error::internal("pc-relative row without data_ref");
+    in.imm = static_cast<std::int64_t>(*row.data_ref) -
+             static_cast<std::int64_t>(addr + isa::encoded_length(in));
+  }
+
+  Bytes out;
+  ZIPR_TRY(isa::encode(in, out));
+  return out;
+}
+
+Result<zelf::Image> Reassembler::run() {
+  ZIPR_TRY(place_verbatim_ranges());
+  ZIPR_TRY(build_sleds());
+  ZIPR_TRY(reserve_pin_sites());
+  ZIPR_TRY(resolve_all());
+
+  stats_.dollop_splits = dollops_.total_splits();
+  stats_.overflow_bytes = space_.overflow_used();
+  stats_.free_bytes_left = space_.free_bytes();
+  stats_.output_text_bytes = main_buf_.size() + overflow_buf_.size();
+
+  zelf::Image out = prog_.original;
+  zelf::Segment& text = out.text();
+  text.bytes = main_buf_;
+  // Resize the overflow tail to exactly what the bump allocator handed out
+  // (writes may have been shorter than allocations).
+  overflow_buf_.resize(static_cast<std::size_t>(space_.overflow_used()), kFillByte);
+  put_bytes(text.bytes, overflow_buf_);
+  text.memsize = text.bytes.size();
+  stats_.output_text_bytes = text.bytes.size();
+
+  ZIPR_TRY(out.validate());
+  return out;
+}
+
+}  // namespace zipr::rewriter

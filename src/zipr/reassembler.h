@@ -1,0 +1,134 @@
+// The reassembly phase (paper Sec. II-C): convert the transformed IR back
+// into machine code WITHOUT keeping a copy of the original program.
+//
+// Stages, mirroring the paper:
+//   1. Initial reference placement -- the output text space starts empty
+//      (verbatim Case-2/3 ranges excepted); a constrained unresolved
+//      reference is reserved at every pinned address.
+//   2. Dense references -- pins too close for even a 2-byte jump are
+//      covered by SLEDS: overlapping 0x68 (push imm32) bytes terminated by
+//      four 0x90s, so every landing offset pushes a distinct imm32; a
+//      generated dispatch routine compares the pushed value and routes to
+//      the right target (Sec. II-C2).
+//   3. Expansion and chaining -- references widen to 5-byte jumps where
+//      room allows; pins that must stay 2-byte chain through trampolines
+//      placed within rel8 reach (Sec. II-C3).
+//   4. Resolution and placement -- the uDR/D/M loop: unresolved references
+//      drive on-demand dollop construction, placement (via the pluggable
+//      strategy), splitting to fit free fragments, and patching
+//      (Sec. II-C4). Unreferenced code is never placed (dead code drops
+//      out naturally).
+#pragma once
+
+#include <set>
+#include <unordered_map>
+
+#include "analysis/ir_builder.h"
+#include "zipr/dollop.h"
+#include "zipr/memory_space.h"
+#include "zipr/placement.h"
+
+namespace zipr::rewriter {
+
+struct ReassemblyOptions {
+  PlacementKind placement = PlacementKind::kNearfit;
+  std::uint64_t seed = 1;
+  /// Emit 2-byte jump forms when the target is already placed within rel8
+  /// reach (Sec. III relaxation). When false every reference is emitted
+  /// unconstrained (rel32), the paper's diversity-friendly default.
+  bool prefer_short_refs = true;
+};
+
+struct RewriteStats {
+  std::size_t pins = 0;
+  std::size_t pin_refs_short = 0;   ///< pins satisfied with 2-byte jumps
+  std::size_t pin_refs_long = 0;    ///< pins widened to 5-byte jumps
+  std::size_t pins_in_place = 0;    ///< 1-byte pinned insns emitted in place
+  std::size_t sleds = 0;
+  std::size_t sled_entries = 0;
+  std::size_t chains = 0;           ///< pins resolved through trampolines
+  std::size_t chain_hops = 0;       ///< total intermediate hops
+  std::size_t dollops_placed = 0;
+  std::size_t dollop_splits = 0;
+  std::size_t insns_placed = 0;
+  std::size_t refs_resolved = 0;
+  std::uint64_t overflow_bytes = 0;   ///< file-size overhead in text bytes
+  std::uint64_t free_bytes_left = 0;  ///< unused main-span space
+  std::uint64_t output_text_bytes = 0;
+};
+
+class Reassembler {
+ public:
+  /// `prog` is consumed: dispatch code for sleds is added to its database.
+  Reassembler(analysis::IrProgram& prog, const ReassemblyOptions& opts);
+
+  /// Produce the rewritten image.
+  Result<zelf::Image> run();
+
+  const RewriteStats& stats() const { return stats_; }
+
+  /// Final address of an instruction row in the output (tests/debugging);
+  /// nullopt if the row was never placed.
+  std::optional<std::uint64_t> placed_at(irdb::InsnId id) const;
+
+ private:
+  struct PinSite {
+    std::uint64_t addr = 0;
+    std::uint8_t reserved = 0;  ///< 2..5 bytes held for this reference
+    irdb::InsnId target = irdb::kNullInsn;
+    /// For constrained (reserved < 5) pins: a 5-byte trampoline slot
+    /// reserved within rel8 reach BEFORE dollop placement consumes space
+    /// (the paper runs expansion/chaining ahead of placement). Released if
+    /// the target ends up directly reachable.
+    std::optional<std::uint64_t> trampoline;
+    bool trampoline_in_overflow = false;
+  };
+
+  /// An emitted 5-byte jump whose rel32 displacement awaits its target.
+  struct PendingRef {
+    std::uint64_t site = 0;  ///< address of the jump opcode byte
+    irdb::InsnId target = irdb::kNullInsn;
+    std::optional<std::uint64_t> preferred;  ///< placement hint
+  };
+
+  // -- stage drivers --
+  Status place_verbatim_ranges();
+  Status build_sleds();
+  Status reserve_pin_sites();
+  Status resolve_all();
+
+  // -- helpers --
+  Status resolve_pin(const PinSite& pin);
+  Status resolve_ref(const PendingRef& ref);
+  Status chain_pin(const PinSite& pin);
+  Result<std::uint64_t> ensure_placed(irdb::InsnId insn, std::optional<std::uint64_t> preferred);
+  Status place_dollop(Dollop* d, std::optional<std::uint64_t> preferred);
+  Status emit_dollop_at(Dollop* d, std::uint64_t base, std::uint64_t budget, bool in_overflow);
+  Result<Bytes> emit_row(const irdb::Instruction& row, std::uint64_t addr);
+  Status emit_jump_slot(std::uint64_t addr, std::uint8_t room, irdb::InsnId target);
+  void patch_rel32(std::uint64_t site, std::uint64_t target_addr);
+
+  // Sled construction (Sec. II-C2).
+  Result<irdb::InsnId> build_sled_dispatch(const std::vector<std::pair<std::uint64_t, std::uint32_t>>& entries,
+                                           irdb::InsnId nop_region_target);
+
+  // -- output buffer over [main.begin, +inf) --
+  void write_bytes(std::uint64_t addr, ByteView bytes);
+
+  analysis::IrProgram& prog_;
+  ReassemblyOptions opts_;
+  MemorySpace space_;
+  std::unique_ptr<PlacementStrategy> strategy_;
+  DollopManager dollops_;
+
+  Bytes main_buf_;      ///< [main.begin, main.end)
+  Bytes overflow_buf_;  ///< [main.end, ...)
+
+  std::unordered_map<irdb::InsnId, std::uint64_t> placed_;  ///< the map M
+  std::vector<PendingRef> pending_;                         ///< the list uDR
+  std::vector<PinSite> pin_sites_;
+  std::set<std::uint64_t> sled_handled_;  ///< pins satisfied by a sled
+  RewriteStats stats_;
+};
+
+}  // namespace zipr::rewriter

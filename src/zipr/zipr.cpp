@@ -1,0 +1,40 @@
+#include "zipr/zipr.h"
+
+#include "transform/api.h"
+
+namespace zipr {
+
+Result<RewriteResult> rewrite(const zelf::Image& input, const RewriteOptions& options) {
+  // Phase 1: IR Construction.
+  ZIPR_ASSIGN_OR_RETURN(analysis::IrProgram prog, analysis::build_ir(input, options.analysis));
+
+  // Phase 2: Transformation. Mandatory invariants are checked before and
+  // after the user-specified transforms run.
+  ZIPR_TRY(transform::verify_mandatory(prog));
+  std::vector<std::string> names = options.transforms;
+  if (names.empty()) names.push_back("null");
+  std::uint64_t transform_seed = options.seed;
+  for (const auto& name : names) {
+    ZIPR_ASSIGN_OR_RETURN(auto t, transform::make_transform(name));
+    transform::TransformContext ctx(prog, transform_seed++);
+    ZIPR_TRY(t->apply(ctx));
+  }
+  ZIPR_TRY(transform::verify_mandatory(prog));
+
+  // Phase 3: Reassembly.
+  rewriter::ReassemblyOptions ropts;
+  ropts.placement = options.placement;
+  ropts.seed = options.seed;
+  ropts.prefer_short_refs = options.prefer_short_refs.value_or(
+      options.placement != rewriter::PlacementKind::kDiversity);
+  rewriter::Reassembler reassembler(prog, ropts);
+  ZIPR_ASSIGN_OR_RETURN(zelf::Image out, reassembler.run());
+
+  RewriteResult result;
+  result.image = std::move(out);
+  result.analysis = prog.stats;
+  result.reassembly = reassembler.stats();
+  return result;
+}
+
+}  // namespace zipr

@@ -1,0 +1,56 @@
+// Zipr: the public entry point of the static binary rewriter.
+//
+// One call drives the paper's full pipeline (Fig. 1):
+//
+//   IR Construction  ->  Transformation  ->  Reassembly
+//   (analysis/)          (transform/)        (zipr/)
+//
+//   zelf::Image in = ...;
+//   zipr::RewriteOptions opts;
+//   opts.transforms = {"cfi"};                 // or {}, {"stackpad"}, ...
+//   auto result = zipr::rewrite(in, opts);
+//   // result->image runs in the VM / serializes with zelf::write_image.
+//
+// The rewriter consumes only segment bytes and the entry point -- never
+// symbols, debug info or source -- and the output binary contains NO copy
+// of the original code: original text space is reclaimed for references
+// and relocated dollops, with spill appended as overflow.
+#pragma once
+
+#include "analysis/ir_builder.h"
+#include "zipr/reassembler.h"
+
+namespace zipr {
+
+struct RewriteOptions {
+  analysis::AnalysisOptions analysis;
+
+  /// Dollop placement strategy (paper Sec. III). kNearfit favors memory
+  /// overhead (the CGC configuration); kDiversity favors layout
+  /// randomization; kPinPage aggressively fills pinned pages.
+  rewriter::PlacementKind placement = rewriter::PlacementKind::kNearfit;
+
+  /// Seed for all randomized decisions (diversity layout, transform
+  /// randomness). Same seed + same input => identical output.
+  std::uint64_t seed = 1;
+
+  /// Override the short-reference relaxation choice; by default it tracks
+  /// the strategy (nearfit/pinpage relax lazily, diversity unconstrains
+  /// everything as the paper's default does).
+  std::optional<bool> prefer_short_refs;
+
+  /// Registered transform names, applied in order (Sec. II-B2). An empty
+  /// list equals {"null"}.
+  std::vector<std::string> transforms;
+};
+
+struct RewriteResult {
+  zelf::Image image;
+  analysis::AnalysisStats analysis;
+  rewriter::RewriteStats reassembly;
+};
+
+/// Rewrite `input`, applying the configured transforms.
+Result<RewriteResult> rewrite(const zelf::Image& input, const RewriteOptions& options = {});
+
+}  // namespace zipr

@@ -1,0 +1,400 @@
+// Tests for the CGC harness: CB generation, pollers, metrics, exploits,
+// and the large-library robustness workloads.
+#include <gtest/gtest.h>
+
+#include "cgc/exploits.h"
+#include "cgc/filter.h"
+#include "cgc/generator.h"
+#include "cgc/metrics.h"
+#include "cgc/poller.h"
+#include "cgc/workload.h"
+#include "testing_util.h"
+
+namespace zipr::cgc {
+namespace {
+
+using ::zipr::testing::must_rewrite;
+
+TEST(Generator, CorpusHas62DistinctCbs) {
+  auto corpus = cfe_corpus();
+  ASSERT_EQ(corpus.size(), 62u);
+  std::set<std::string> names;
+  std::set<std::uint64_t> seeds;
+  for (const auto& s : corpus) {
+    names.insert(s.name);
+    seeds.insert(s.seed);
+  }
+  EXPECT_EQ(names.size(), 62u);
+  EXPECT_EQ(seeds.size(), 62u);
+}
+
+TEST(Generator, DeterministicPerSeed) {
+  auto corpus = cfe_corpus();
+  auto a = generate_cb(corpus[0]);
+  auto b = generate_cb(corpus[0]);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->image.text().bytes, b->image.text().bytes);
+  EXPECT_EQ(a->payload_len, b->payload_len);
+}
+
+TEST(Generator, AllCorpusCbsAssemble) {
+  for (const auto& spec : cfe_corpus()) {
+    auto cb = generate_cb(spec);
+    ASSERT_TRUE(cb.ok()) << spec.name << ": " << cb.error().message;
+    EXPECT_TRUE(cb->image.validate().ok()) << spec.name;
+    EXPECT_TRUE(cb->image.symbols.empty()) << spec.name << ": CBs must ship without metadata";
+    EXPECT_EQ(cb->payload_len.size(), static_cast<std::size_t>(spec.handlers));
+  }
+}
+
+TEST(Generator, CorpusSizesVary) {
+  std::size_t min_text = SIZE_MAX, max_text = 0;
+  for (const auto& spec : cfe_corpus()) {
+    auto cb = generate_cb(spec);
+    ASSERT_TRUE(cb.ok());
+    min_text = std::min(min_text, cb->image.text().bytes.size());
+    max_text = std::max(max_text, cb->image.text().bytes.size());
+  }
+  EXPECT_LT(min_text, 2000u);
+  EXPECT_GT(max_text, 20000u);
+}
+
+TEST(Generator, DenseRejectsTooManyHandlers) {
+  CbSpec s;
+  s.dispatch = DispatchMode::kDenseTable;
+  s.handlers = 6;
+  EXPECT_FALSE(generate_cb(s).ok());
+}
+
+TEST(Poller, WellFormedInputsTerminate) {
+  auto cb = generate_cb(cfe_corpus()[3]);
+  ASSERT_TRUE(cb.ok());
+  auto polls = make_polls(*cb, 10, 7);
+  ASSERT_EQ(polls.size(), 10u);
+  for (const auto& poll : polls) {
+    auto r = vm::run_program(cb->image, poll.input, poll.vm_seed);
+    EXPECT_TRUE(r.exited) << "poll did not terminate: " << vm::fault_name(r.fault);
+    EXPECT_EQ(r.exit_status, 0);
+  }
+}
+
+TEST(Poller, DeterministicPerSeed) {
+  auto cb = generate_cb(cfe_corpus()[1]);
+  ASSERT_TRUE(cb.ok());
+  auto a = make_polls(*cb, 5, 11);
+  auto b = make_polls(*cb, 5, 11);
+  auto c = make_polls(*cb, 5, 12);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(a[i].input, b[i].input);
+  bool any_diff = false;
+  for (int i = 0; i < 5; ++i) any_diff |= a[i].input != c[i].input;
+  EXPECT_TRUE(any_diff);
+}
+
+// The core CGC claim: every corpus CB, rewritten, passes all polls.
+// Split into slices so failures localize.
+class CorpusFunctionalTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CorpusFunctionalTest, RewrittenCbsPassAllPolls) {
+  auto corpus = cfe_corpus();
+  const int slice = GetParam();
+  for (std::size_t i = static_cast<std::size_t>(slice); i < corpus.size(); i += 8) {
+    auto cb = generate_cb(corpus[i]);
+    ASSERT_TRUE(cb.ok()) << corpus[i].name;
+    RewriteOptions opts;
+    auto rewritten = must_rewrite(cb->image, opts);
+    for (const auto& poll : make_polls(*cb, 4, 99)) {
+      auto cmp = run_poll(cb->image, rewritten.image, poll);
+      EXPECT_TRUE(cmp.functional)
+          << corpus[i].name << " diverged on input " << hex_dump(poll.input);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Slices, CorpusFunctionalTest, ::testing::Range(0, 8));
+
+TEST(Metrics, HistogramBinning) {
+  EXPECT_EQ(histogram_bin(-0.01), 0);
+  EXPECT_EQ(histogram_bin(0.0), 0);
+  EXPECT_EQ(histogram_bin(0.03), 1);
+  EXPECT_EQ(histogram_bin(0.05), 1);
+  EXPECT_EQ(histogram_bin(0.07), 2);
+  EXPECT_EQ(histogram_bin(0.15), 3);
+  EXPECT_EQ(histogram_bin(0.35), 4);
+  EXPECT_EQ(histogram_bin(0.9), 5);
+}
+
+TEST(Metrics, EvaluateCbProducesSaneNumbers) {
+  auto cb = generate_cb(cfe_corpus()[0]);
+  ASSERT_TRUE(cb.ok());
+  EvalOptions opts;
+  opts.polls = 6;
+  auto m = evaluate_cb(*cb, opts);
+  ASSERT_TRUE(m.ok()) << m.error().message;
+  EXPECT_TRUE(m->functional);
+  EXPECT_GE(m->filesize_overhead, 0.0);
+  EXPECT_LT(m->filesize_overhead, 0.5);
+  EXPECT_GT(m->exec_overhead, -0.5);
+  EXPECT_LT(m->exec_overhead, 1.0);
+  EXPECT_GE(m->mem_overhead, 0.0);
+  EXPECT_EQ(m->polls, 6u);
+  EXPECT_EQ(m->rewritten_file,
+            m->original_file + m->rewrite_stats.overflow_bytes);
+}
+
+TEST(Metrics, CfiCostsMoreThanNull) {
+  auto cb = generate_cb(cfe_corpus()[31]);  // an fptr CB: CFI instruments it
+  ASSERT_TRUE(cb.ok());
+  EvalOptions null_opts;
+  null_opts.polls = 4;
+  EvalOptions cfi_opts = null_opts;
+  cfi_opts.rewrite.transforms = {"cfi"};
+  auto a = evaluate_cb(*cb, null_opts);
+  auto b = evaluate_cb(*cb, cfi_opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->functional);
+  EXPECT_TRUE(b->functional);
+  EXPECT_GT(b->filesize_overhead, a->filesize_overhead);
+  EXPECT_GT(b->exec_overhead, a->exec_overhead);
+}
+
+TEST(Metrics, MeanOverhead) {
+  std::vector<CbMetrics> ms(2);
+  ms[0].exec_overhead = 0.02;
+  ms[1].exec_overhead = 0.04;
+  EXPECT_DOUBLE_EQ(mean_overhead(ms, &CbMetrics::exec_overhead), 0.03);
+  EXPECT_DOUBLE_EQ(mean_overhead({}, &CbMetrics::exec_overhead), 0.0);
+}
+
+// ---- exploits ----
+
+TEST(Exploits, CorpusBuilds) {
+  auto vulns = vulnerable_corpus();
+  ASSERT_EQ(vulns.size(), 3u);
+  for (const auto& v : vulns) {
+    EXPECT_TRUE(v.image.validate().ok()) << v.name;
+    EXPECT_FALSE(v.exploit_input.empty()) << v.name;
+  }
+}
+
+TEST(Exploits, ExploitsWorkOnOriginals) {
+  for (const auto& v : vulnerable_corpus()) {
+    auto r = vm::run_program(v.image, v.exploit_input);
+    std::string out(r.output.begin(), r.output.end());
+    EXPECT_NE(out.find(v.leak_marker), std::string::npos)
+        << v.name << ": exploit must work on the unprotected original";
+  }
+}
+
+TEST(Exploits, BaselineRewritePreservesVulnerability) {
+  // A Null rewrite adds no security: exploits still land.
+  for (const auto& v : vulnerable_corpus()) {
+    auto rewritten = must_rewrite(v.image, {});
+    auto outcome = assess(v, rewritten.image);
+    EXPECT_TRUE(outcome.benign_works) << v.name;
+    EXPECT_TRUE(outcome.exploit_leaked) << v.name;
+  }
+}
+
+TEST(Exploits, BlockingTransformStopsEachExploit) {
+  for (const auto& v : vulnerable_corpus()) {
+    RewriteOptions opts;
+    opts.transforms = {v.blocking_transform};
+    auto rewritten = must_rewrite(v.image, opts);
+    auto outcome = assess(v, rewritten.image);
+    EXPECT_TRUE(outcome.benign_works) << v.name << " under " << v.blocking_transform;
+    EXPECT_FALSE(outcome.exploit_leaked) << v.name << " under " << v.blocking_transform;
+    EXPECT_EQ(outcome.exploit_fault, vm::Fault::kHalt) << v.name;
+  }
+}
+
+TEST(Exploits, FullDefenseStackStopsEverything) {
+  for (const auto& v : vulnerable_corpus()) {
+    RewriteOptions opts;
+    opts.transforms = {"cfi", "canary"};
+    auto rewritten = must_rewrite(v.image, opts);
+    auto outcome = assess(v, rewritten.image);
+    EXPECT_TRUE(outcome.benign_works) << v.name;
+    EXPECT_FALSE(outcome.exploit_leaked) << v.name;
+  }
+}
+
+// ---- network filters (the information-disclosure defense) ----
+
+TEST(Filter, RuleMatching) {
+  NetworkFilter f;
+  FilterRule exact;
+  exact.name = "exact";
+  exact.pattern = {0xde, 0xad};
+  f.add_rule(exact);
+
+  EXPECT_TRUE(f.allows(Bytes{1, 2, 3}));
+  EXPECT_FALSE(f.allows(Bytes{0xde, 0xad}));
+  EXPECT_FALSE(f.allows(Bytes{9, 0xde, 0xad, 9}));  // anywhere in the stream
+  EXPECT_TRUE(f.allows(Bytes{0xde}));               // partial: no match
+  EXPECT_TRUE(f.allows(Bytes{}));
+}
+
+TEST(Filter, AnchoredAndMaskedRules) {
+  NetworkFilter f;
+  FilterRule header;
+  header.name = "bad-header";
+  header.pattern = {0x20};
+  header.mask = {0xe0};  // any first byte in [0x20, 0x3f]
+  header.anchored = true;
+  f.add_rule(header);
+
+  EXPECT_FALSE(f.allows(Bytes{0x20}));
+  EXPECT_FALSE(f.allows(Bytes{0x3f, 1, 2}));
+  EXPECT_TRUE(f.allows(Bytes{0x40}));
+  EXPECT_TRUE(f.allows(Bytes{1, 0x20}));  // anchored: not at offset 0
+  const FilterRule* hit = f.match(Bytes{0x27});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->name, "bad-header");
+}
+
+TEST(Filter, DisclosureExploitLeaksWithoutFilter) {
+  DisclosureCb cb = make_disclosure_cb();
+  auto benign = vm::run_program(cb.image, cb.benign_input);
+  EXPECT_TRUE(benign.exited);
+  EXPECT_EQ(std::string(benign.output.begin(), benign.output.end()), "hello");
+
+  auto leak = vm::run_program(cb.image, cb.exploit_input);
+  std::string out(leak.output.begin(), leak.output.end());
+  EXPECT_NE(out.find(cb.leak_marker), std::string::npos)
+      << "disclosure exploit must work unfiltered";
+}
+
+TEST(Filter, CfiCannotStopDisclosureButFilterCan) {
+  // The paper's division of labour: information disclosure does not hijack
+  // control flow, so rewriting-based defenses never fire; the network
+  // filter is the right tool.
+  DisclosureCb cb = make_disclosure_cb();
+
+  RewriteOptions opts;
+  opts.transforms = {"cfi", "canary"};
+  auto guarded = must_rewrite(cb.image, opts);
+  auto still_leaks = vm::run_program(guarded.image, cb.exploit_input);
+  std::string out(still_leaks.output.begin(), still_leaks.output.end());
+  EXPECT_NE(out.find(cb.leak_marker), std::string::npos)
+      << "control-flow defenses cannot see a pure disclosure bug";
+
+  NetworkFilter filter;
+  filter.add_rule(cb.signature);
+  auto dropped = run_filtered(filter, guarded.image, cb.exploit_input);
+  EXPECT_TRUE(dropped.exited);
+  EXPECT_EQ(dropped.exit_status, -2);
+  EXPECT_TRUE(dropped.output.empty());
+
+  // Benign traffic still flows through filter + rewritten binary.
+  auto benign = run_filtered(filter, guarded.image, cb.benign_input);
+  EXPECT_TRUE(benign.exited);
+  EXPECT_EQ(std::string(benign.output.begin(), benign.output.end()), "hello");
+}
+
+// ---- robustness workloads ----
+
+TEST(Workload, BuildsAndRunsApacheLike) {
+  auto spec = apache_like_spec();
+  spec.functions = 40;  // scaled down for unit-test speed
+  auto w = make_workload(spec);
+  ASSERT_TRUE(w.ok()) << w.error().message;
+  EXPECT_EQ(w->unit_tests.size(), 40u);
+  // Original passes its own suite trivially.
+  auto self = run_suite(*w, w->image);
+  EXPECT_EQ(self.passed, self.total);
+}
+
+TEST(Workload, NullRewritePassesUnitSuite) {
+  auto spec = libc_like_spec();
+  spec.functions = 60;  // scaled down for unit-test speed
+  auto w = make_workload(spec);
+  ASSERT_TRUE(w.ok()) << w.error().message;
+  auto rewritten = must_rewrite(w->image, {});
+  auto suite = run_suite(*w, rewritten.image);
+  EXPECT_EQ(suite.passed, suite.total) << suite.total - suite.passed << " tests regressed";
+  EXPECT_EQ(suite.total, 60);
+}
+
+TEST(Workload, IrregularLibraryRewrites) {
+  WorkloadSpec spec;
+  spec.name = "irregular";
+  spec.seed = 44;
+  spec.functions = 80;
+  spec.irregular = true;
+  auto w = make_workload(spec);
+  ASSERT_TRUE(w.ok()) << w.error().message;
+  RewriteResult r = must_rewrite(w->image, {});
+  EXPECT_GE(r.analysis.verbatim_ranges, 1u);  // the interleaved data blobs
+  auto suite = run_suite(*w, r.image);
+  EXPECT_EQ(suite.passed, suite.total);
+}
+
+TEST(Workload, SizeRatiosMirrorThePaper) {
+  // libjvm ~5x libc; apache ~0.4x libc (by function count).
+  auto libc = libc_like_spec();
+  auto jvm = libjvm_like_spec();
+  auto apache = apache_like_spec();
+  EXPECT_EQ(jvm.functions, libc.functions * 5);
+  EXPECT_LT(apache.functions, libc.functions / 2);
+}
+
+TEST(Workload, RejectsBadSpecs) {
+  WorkloadSpec s;
+  s.functions = 0;
+  EXPECT_FALSE(make_workload(s).ok());
+}
+
+TEST(SharedWorkload, BuildsAndSelfTests) {
+  WorkloadSpec spec = apache_like_spec();
+  spec.functions = 36;
+  auto w = make_shared_workload(spec, 3);
+  ASSERT_TRUE(w.ok()) << w.error().message;
+  EXPECT_EQ(w->libraries.size(), 3u);
+  EXPECT_EQ(w->unit_tests.size(), 36u);
+  for (const auto& lib : w->libraries) {
+    EXPECT_TRUE(lib.library);
+    EXPECT_EQ(lib.exports.size(), 1u);
+  }
+  // Original set passes its own suite trivially.
+  std::vector<zelf::Image> same{w->main_image};
+  for (const auto& lib : w->libraries) same.push_back(lib);
+  auto r = run_shared_suite(*w, same);
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  EXPECT_EQ(r->passed, r->total);
+}
+
+TEST(SharedWorkload, IndependentlyRewrittenSetPassesSuite) {
+  // The paper's Apache claim: rewrite the main binary AND each shared
+  // library separately; the transformed set inter-operates.
+  WorkloadSpec spec = apache_like_spec();
+  spec.functions = 48;
+  auto w = make_shared_workload(spec, 2);
+  ASSERT_TRUE(w.ok()) << w.error().message;
+
+  std::vector<zelf::Image> replacement;
+  RewriteOptions main_opts;  // Null
+  replacement.push_back(must_rewrite(w->main_image, main_opts).image);
+  std::uint64_t seed = 11;
+  for (const auto& lib : w->libraries) {
+    RewriteOptions lib_opts;
+    lib_opts.seed = seed++;
+    lib_opts.placement = rewriter::PlacementKind::kDiversity;
+    replacement.push_back(must_rewrite(lib, lib_opts).image);
+  }
+  auto suite = run_shared_suite(*w, replacement);
+  ASSERT_TRUE(suite.ok()) << suite.error().message;
+  EXPECT_EQ(suite->passed, suite->total) << suite->total - suite->passed << " regressed";
+}
+
+TEST(SharedWorkload, RejectsBadShapes) {
+  WorkloadSpec spec = apache_like_spec();
+  EXPECT_FALSE(make_shared_workload(spec, 0).ok());
+  EXPECT_FALSE(make_shared_workload(spec, 9).ok());
+  spec.functions = 1;
+  EXPECT_FALSE(make_shared_workload(spec, 2).ok());
+}
+
+}  // namespace
+}  // namespace zipr::cgc

@@ -1,0 +1,218 @@
+// Tests for the IRDB: tables, logical links, pins, and structured edits.
+#include <gtest/gtest.h>
+
+#include "irdb/ir.h"
+
+namespace zipr::irdb {
+namespace {
+
+using isa::BranchWidth;
+using isa::Op;
+
+isa::Insn nop() { return isa::make_nop(); }
+isa::Insn ret() { return isa::make_ret(); }
+
+TEST(Irdb, AddAndGet) {
+  Database db;
+  InsnId a = db.add_new(nop());
+  InsnId b = db.add_new(ret());
+  EXPECT_EQ(db.insn_count(), 2u);
+  EXPECT_EQ(db.insn(a).decoded.op, Op::kNop);
+  EXPECT_EQ(db.insn(b).decoded.op, Op::kRet);
+  EXPECT_TRUE(db.has_insn(a));
+  EXPECT_FALSE(db.has_insn(99));
+  EXPECT_FALSE(db.has_insn(kNullInsn));
+}
+
+TEST(Irdb, AddNewComputesLength) {
+  Database db;
+  InsnId j = db.add_new(isa::make_jmp(0, BranchWidth::kRel32));
+  EXPECT_EQ(db.insn(j).decoded.length, 5);
+}
+
+TEST(Irdb, PinLifecycle) {
+  Database db;
+  InsnId a = db.add_new(nop());
+  InsnId b = db.add_new(nop());
+  ASSERT_TRUE(db.pin(0x400000, a).ok());
+  EXPECT_EQ(db.pinned_at(0x400000), a);
+  EXPECT_EQ(db.pinned_at(0x400001), kNullInsn);
+  // Double pin is an integrity error.
+  EXPECT_FALSE(db.pin(0x400000, b).ok());
+  // Repin moves it.
+  ASSERT_TRUE(db.repin(0x400000, b).ok());
+  EXPECT_EQ(db.pinned_at(0x400000), b);
+  EXPECT_FALSE(db.repin(0x500000, b).ok());
+}
+
+TEST(Irdb, PinRejectsUnknownInsn) {
+  Database db;
+  EXPECT_FALSE(db.pin(0x400000, 42).ok());
+}
+
+TEST(Irdb, InsertBeforeRedirectsIncomingEdges) {
+  Database db;
+  // a -> b (fallthrough), c targets b, pin at 0x400010 -> b.
+  InsnId b = db.add_new(ret());
+  InsnId a = db.add_new(nop());
+  InsnId c = db.add_new(isa::make_jmp(0, BranchWidth::kRel32));
+  db.insn(a).fallthrough = b;
+  db.insn(c).target = b;
+  ASSERT_TRUE(db.pin(0x400010, b).ok());
+
+  InsnId moved = db.insert_before(b, nop());
+
+  // Row id b is now the inserted nop, falling through to the moved ret.
+  EXPECT_EQ(db.insn(b).decoded.op, Op::kNop);
+  EXPECT_EQ(db.insn(b).fallthrough, moved);
+  EXPECT_EQ(db.insn(moved).decoded.op, Op::kRet);
+  // All incoming edges still point at id b == they now reach the nop first.
+  EXPECT_EQ(db.insn(a).fallthrough, b);
+  EXPECT_EQ(db.insn(c).target, b);
+  EXPECT_EQ(db.pinned_at(0x400010), b);
+  EXPECT_TRUE(db.validate().ok());
+}
+
+TEST(Irdb, InsertBeforePreservesProvenanceOnMovedRow) {
+  Database db;
+  Instruction row;
+  row.decoded = ret();
+  row.orig_addr = 0x400123;
+  row.orig_bytes = {0xC3};
+  InsnId b = db.add_instruction(std::move(row));
+  InsnId moved = db.insert_before(b, nop());
+  EXPECT_FALSE(db.insn(b).orig_addr.has_value());
+  EXPECT_EQ(db.insn(moved).orig_addr, 0x400123u);
+  EXPECT_EQ(db.insn(moved).orig_bytes, (Bytes{0xC3}));
+}
+
+TEST(Irdb, InsertAfterLinksIntoChain) {
+  Database db;
+  InsnId a = db.add_new(nop());
+  InsnId c = db.add_new(ret());
+  db.insn(a).fallthrough = c;
+  InsnId b = db.insert_after(a, nop());
+  EXPECT_EQ(db.insn(a).fallthrough, b);
+  EXPECT_EQ(db.insn(b).fallthrough, c);
+  EXPECT_TRUE(db.validate().ok());
+}
+
+TEST(Irdb, InsertChainOrderMatchesExecutionOrder) {
+  Database db;
+  InsnId orig = db.add_new(ret());
+  // Insert three guard instructions "before" orig, building forward.
+  db.insert_before(orig, isa::make_push_imm(1));
+  InsnId cursor = orig;
+  cursor = db.insert_after(cursor, isa::make_push_imm(2));
+  db.insert_after(cursor, isa::make_push_imm(3));
+  // Walk the chain: 1, 2, 3, then the moved ret.
+  std::vector<std::int64_t> imms;
+  InsnId cur = orig;
+  while (cur != kNullInsn && db.insn(cur).decoded.op == isa::Op::kPushI) {
+    imms.push_back(db.insn(cur).decoded.imm);
+    cur = db.insn(cur).fallthrough;
+  }
+  EXPECT_EQ(imms, (std::vector<std::int64_t>{1, 2, 3}));
+  ASSERT_NE(cur, kNullInsn);
+  EXPECT_EQ(db.insn(cur).decoded.op, Op::kRet);
+}
+
+TEST(Irdb, ReplaceKeepsLinksAndPins) {
+  Database db;
+  InsnId a = db.add_new(nop());
+  InsnId b = db.add_new(ret());
+  db.insn(a).fallthrough = b;
+  ASSERT_TRUE(db.pin(0x400000, a).ok());
+  isa::Insn bigger;
+  bigger.op = Op::kAddI;
+  bigger.ra = isa::kSpReg;
+  bigger.imm = 64;
+  db.replace(a, bigger);
+  EXPECT_EQ(db.insn(a).decoded.op, Op::kAddI);
+  EXPECT_EQ(db.insn(a).fallthrough, b);
+  EXPECT_EQ(db.pinned_at(0x400000), a);
+  EXPECT_EQ(db.insn(a).decoded.length, 6);
+}
+
+TEST(Irdb, RemoveRedirectsEverything) {
+  Database db;
+  InsnId a = db.add_new(nop());
+  InsnId b = db.add_new(nop());
+  InsnId c = db.add_new(ret());
+  db.insn(a).fallthrough = b;
+  db.insn(b).fallthrough = c;
+  InsnId j = db.add_new(isa::make_jmp(0, BranchWidth::kRel32));
+  db.insn(j).target = b;
+  ASSERT_TRUE(db.pin(0x400004, b).ok());
+
+  ASSERT_TRUE(db.remove(b).ok());
+  EXPECT_EQ(db.insn(a).fallthrough, c);
+  EXPECT_EQ(db.insn(j).target, c);
+  EXPECT_EQ(db.pinned_at(0x400004), c);
+}
+
+TEST(Irdb, RemoveWithoutFallthroughFails) {
+  Database db;
+  InsnId r = db.add_new(ret());
+  EXPECT_FALSE(db.remove(r).ok());
+}
+
+TEST(Irdb, FunctionsTrackMembers) {
+  Database db;
+  InsnId e = db.add_new(nop());
+  Function f;
+  f.name = "f";
+  f.entry = e;
+  f.members = {e};
+  FuncId fid = db.add_function(std::move(f));
+  db.insn(e).function = fid;
+  EXPECT_EQ(db.function(fid).name, "f");
+  // insert_before registers the moved row with the function.
+  db.insert_before(e, nop());
+  EXPECT_EQ(db.function(fid).members.size(), 2u);
+  EXPECT_TRUE(db.validate().ok());
+}
+
+TEST(IrdbValidate, CatchesDanglingFallthrough) {
+  Database db;
+  InsnId a = db.add_new(nop());
+  db.insn(a).fallthrough = 77;
+  EXPECT_FALSE(db.validate().ok());
+}
+
+TEST(IrdbValidate, CatchesDanglingTarget) {
+  Database db;
+  InsnId a = db.add_new(isa::make_jmp(0, BranchWidth::kRel32));
+  db.insn(a).target = 12;
+  EXPECT_FALSE(db.validate().ok());
+}
+
+TEST(IrdbValidate, CatchesVerbatimWithoutBytes) {
+  Database db;
+  Instruction row;
+  row.verbatim = true;
+  row.orig_addr = 0x400000;
+  db.add_instruction(std::move(row));
+  EXPECT_FALSE(db.validate().ok());
+}
+
+TEST(IrdbValidate, CatchesVerbatimWithoutAddr) {
+  Database db;
+  Instruction row;
+  row.verbatim = true;
+  row.orig_bytes = {0x90};
+  db.add_instruction(std::move(row));
+  EXPECT_FALSE(db.validate().ok());
+}
+
+TEST(IrdbValidate, AcceptsWellFormed) {
+  Database db;
+  InsnId a = db.add_new(nop());
+  InsnId b = db.add_new(ret());
+  db.insn(a).fallthrough = b;
+  ASSERT_TRUE(db.pin(0x400000, a).ok());
+  EXPECT_TRUE(db.validate().ok());
+}
+
+}  // namespace
+}  // namespace zipr::irdb

@@ -1,0 +1,123 @@
+// Direct unit tests for the placement strategies (paper Sec. III), driving
+// them against hand-built memory-space states.
+#include <gtest/gtest.h>
+
+#include "zipr/placement.h"
+
+namespace zipr::rewriter {
+namespace {
+
+constexpr std::uint64_t kBase = 0x400000;
+
+// A space with three free ranges: [base+0x10, +0x30), [base+0x100, +0x110),
+// [base+0x800, +0xc00).
+MemorySpace fragmented() {
+  MemorySpace s({kBase, kBase + 0x1000});
+  EXPECT_TRUE(s.reserve(kBase, 0x10).ok());
+  EXPECT_TRUE(s.reserve(kBase + 0x30, 0xd0).ok());
+  EXPECT_TRUE(s.reserve(kBase + 0x110, 0x6f0).ok());
+  EXPECT_TRUE(s.reserve(kBase + 0xc00, 0x400).ok());
+  return s;
+}
+
+PlacementRequest req(std::uint64_t size, std::optional<std::uint64_t> preferred = {}) {
+  PlacementRequest r;
+  r.size = size;
+  r.min_viable = 10;
+  r.preferred = preferred;
+  return r;
+}
+
+TEST(Nearfit, PicksRangeNearestPreferred) {
+  MemorySpace s = fragmented();
+  auto p = make_placement(PlacementKind::kNearfit, 1, {});
+  auto iv = p->pick(s, req(0x8, kBase + 0x105));
+  ASSERT_TRUE(iv.has_value());
+  EXPECT_EQ(iv->begin, kBase + 0x100);
+
+  iv = p->pick(s, req(0x8, kBase + 0x20));
+  ASSERT_TRUE(iv.has_value());
+  EXPECT_EQ(iv->begin, kBase + 0x10);
+}
+
+TEST(Nearfit, PrefersWholeFitOverNearerFragment) {
+  MemorySpace s = fragmented();
+  auto p = make_placement(PlacementKind::kNearfit, 1, {});
+  // 0x80 bytes fit only in the big range, even though smaller ranges are
+  // nearer to the preferred point.
+  auto iv = p->pick(s, req(0x80, kBase + 0x20));
+  ASSERT_TRUE(iv.has_value());
+  EXPECT_EQ(iv->begin, kBase + 0x800);
+}
+
+TEST(Nearfit, FallsBackToViableFragment) {
+  MemorySpace s({kBase, kBase + 0x100});
+  ASSERT_TRUE(s.reserve(kBase + 0x20, 0xe0).ok());  // only [base, +0x20) free
+  auto p = make_placement(PlacementKind::kNearfit, 1, {});
+  auto iv = p->pick(s, req(0x1000, kBase));  // nothing fits whole
+  ASSERT_TRUE(iv.has_value());               // but the fragment is viable
+  EXPECT_EQ(iv->begin, kBase);
+}
+
+TEST(Nearfit, NulloptWhenNothingViable) {
+  MemorySpace s({kBase, kBase + 0x100});
+  ASSERT_TRUE(s.reserve(kBase, 0xfc).ok());  // 4 bytes left < min_viable
+  auto p = make_placement(PlacementKind::kNearfit, 1, {});
+  EXPECT_FALSE(p->pick(s, req(0x40, kBase)).has_value());
+}
+
+TEST(Diversity, SeedChangesChoice) {
+  auto base_choice = [&](std::uint64_t seed) {
+    MemorySpace s = fragmented();
+    auto p = make_placement(PlacementKind::kDiversity, seed, {});
+    auto iv = p->pick(s, req(0x8));
+    return iv ? iv->begin : 0;
+  };
+  std::set<std::uint64_t> begins;
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) begins.insert(base_choice(seed));
+  EXPECT_GE(begins.size(), 3u) << "diversity should explore different placements";
+}
+
+TEST(Diversity, StaysWithinFreeSpace) {
+  MemorySpace s = fragmented();
+  auto p = make_placement(PlacementKind::kDiversity, 7, {});
+  for (int i = 0; i < 50; ++i) {
+    auto iv = p->pick(s, req(0x8));
+    ASSERT_TRUE(iv.has_value());
+    EXPECT_TRUE(s.is_free(iv->begin, 0x8)) << hex_addr(iv->begin);
+  }
+}
+
+TEST(PinPage, PrefersPinnedPages) {
+  // Free ranges on two pages; only the second page holds a pin.
+  MemorySpace s({kBase, kBase + 0x2000});
+  ASSERT_TRUE(s.reserve(kBase, 0xf00).ok());          // page 0: [f00,1000) free
+  ASSERT_TRUE(s.reserve(kBase + 0x1000, 0xe00).ok()); // page 1: [1e00,2000) free
+  std::set<std::uint64_t> pinned_pages{kBase + 0x1000};
+  auto p = make_placement(PlacementKind::kPinPage, 1, pinned_pages);
+  auto iv = p->pick(s, req(0x40));
+  ASSERT_TRUE(iv.has_value());
+  EXPECT_GE(iv->begin, kBase + 0x1000) << "should fill the pinned page first";
+}
+
+TEST(PinPage, FillsSmallestViableFragmentFirst) {
+  MemorySpace s = fragmented();
+  std::set<std::uint64_t> pinned_pages{kBase & ~0xfffull};  // everything on page 0
+  auto p = make_placement(PlacementKind::kPinPage, 1, pinned_pages);
+  auto iv = p->pick(s, req(0x8));
+  ASSERT_TRUE(iv.has_value());
+  EXPECT_EQ(iv->begin, kBase + 0x100);  // the 0x10-byte fragment
+}
+
+TEST(AllStrategies, RespectMinViable) {
+  MemorySpace s({kBase, kBase + 0x100});
+  ASSERT_TRUE(s.reserve(kBase + 0x8, 0xf8).ok());  // 8 free bytes < min_viable 10
+  for (auto kind :
+       {PlacementKind::kNearfit, PlacementKind::kDiversity, PlacementKind::kPinPage}) {
+    auto p = make_placement(kind, 3, {});
+    EXPECT_FALSE(p->pick(s, req(0x40)).has_value()) << placement_kind_name(kind);
+  }
+}
+
+}  // namespace
+}  // namespace zipr::rewriter

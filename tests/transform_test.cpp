@@ -1,0 +1,341 @@
+// Tests for the transformation framework and the built-in transforms:
+// registry, mandatory-invariant verification, null/stackpad/canary/cfi
+// behaviour preservation, and CFI attack blocking.
+#include <gtest/gtest.h>
+
+#include "testing_util.h"
+#include "transform/api.h"
+
+namespace zipr::transform {
+namespace {
+
+using ::zipr::testing::behaviour_of;
+using ::zipr::testing::expect_equivalent;
+using ::zipr::testing::must_assemble;
+using ::zipr::testing::must_rewrite;
+
+TEST(Registry, BuiltinsAvailable) {
+  auto names = registered_transforms();
+  for (const char* want : {"null", "cfi", "stackpad", "canary"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), want), names.end()) << want;
+  }
+}
+
+TEST(Registry, UnknownNameFails) {
+  EXPECT_FALSE(make_transform("does-not-exist").ok());
+}
+
+TEST(Registry, UserTransformsRegister) {
+  class Custom final : public Transform {
+   public:
+    std::string name() const override { return "custom-test"; }
+    Status apply(TransformContext&) override { return Status::success(); }
+  };
+  register_transform("custom-test", [] { return std::make_unique<Custom>(); });
+  auto t = make_transform("custom-test");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->name(), "custom-test");
+}
+
+TEST(Mandatory, AcceptsWellFormedIr) {
+  auto img = must_assemble(".entry m\n.text\nm: call f\nmovi r0, 1\nsyscall\nf: ret\n");
+  auto prog = analysis::build_ir(img);
+  ASSERT_TRUE(prog.ok());
+  EXPECT_TRUE(verify_mandatory(*prog).ok());
+}
+
+TEST(Mandatory, RejectsBranchWithoutLink) {
+  auto img = must_assemble(".entry m\n.text\nm: movi r0, 1\nmovi r1, 0\nsyscall\n");
+  auto prog = analysis::build_ir(img);
+  ASSERT_TRUE(prog.ok());
+  // Sabotage: add a branch row with no target link.
+  prog->db.add_new(isa::make_jmp(0, isa::BranchWidth::kRel32));
+  EXPECT_FALSE(verify_mandatory(*prog).ok());
+}
+
+TEST(Mandatory, RejectsPcRelativeWithoutDataRef) {
+  auto img = must_assemble(".entry m\n.text\nm: movi r0, 1\nmovi r1, 0\nsyscall\n");
+  auto prog = analysis::build_ir(img);
+  ASSERT_TRUE(prog.ok());
+  isa::Insn lea;
+  lea.op = isa::Op::kLea;
+  lea.ra = 1;
+  prog->db.add_new(lea);
+  EXPECT_FALSE(verify_mandatory(*prog).ok());
+}
+
+TEST(Context, AddSegmentRejectsOverlap) {
+  auto img = must_assemble(".entry m\n.text\nm: hlt\n");
+  auto prog = analysis::build_ir(img);
+  ASSERT_TRUE(prog.ok());
+  TransformContext ctx(*prog, 1);
+  zelf::Segment seg;
+  seg.kind = zelf::SegKind::kRodata;
+  seg.vaddr = zelf::layout::kTextBase;  // overlaps text
+  seg.memsize = 16;
+  seg.bytes = Bytes(16, 0);
+  EXPECT_FALSE(ctx.add_segment(std::move(seg)).ok());
+}
+
+// A program with a stack frame, locals, calls, and indirect control flow;
+// used to check each transform preserves behaviour.
+const char* kWorkload = R"(
+    .entry main
+    .text
+    main:
+      movi r0, 3
+      movi r1, 0
+      movi r2, inbuf
+      movi r3, 8
+      syscall
+      movi r1, 3
+      call compute
+      movi r4, emit
+      callr r4
+      movi r0, 1
+      movi r1, 0
+      syscall
+    compute:
+      subi sp, 32
+      store [sp+8], r1
+      load r2, [sp+8]
+      add r1, r2          ; r1 = 2n
+      store [sp+16], r1
+      load r1, [sp+16]
+      addi r1, 1          ; 2n + 1
+      addi sp, 32
+      ret
+    emit:
+      subi sp, 16
+      store [sp], r1
+      movi r0, 2
+      movi r1, 1
+      mov r2, sp
+      movi r3, 8
+      syscall
+      addi sp, 16
+      ret
+    .bss
+    inbuf: .space 8
+)";
+
+class TransformBehaviourTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TransformBehaviourTest, PreservesWorkloadBehaviour) {
+  zelf::Image original = must_assemble(kWorkload);
+  RewriteOptions opts;
+  opts.transforms = {GetParam()};
+  RewriteResult r = must_rewrite(original, opts);
+  expect_equivalent(original, r.image, Bytes{'a', 'b', 'c'});
+  expect_equivalent(original, r.image, Bytes{});
+}
+
+INSTANTIATE_TEST_SUITE_P(Builtins, TransformBehaviourTest,
+                         ::testing::Values("null", "cfi", "stackpad", "canary"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(TransformStacking, AllThreeSecurityTransformsTogether) {
+  zelf::Image original = must_assemble(kWorkload);
+  RewriteOptions opts;
+  opts.transforms = {"cfi", "stackpad", "canary"};
+  RewriteResult r = must_rewrite(original, opts);
+  expect_equivalent(original, r.image, Bytes{'x'});
+}
+
+TEST(StackPad, GrowsMatchedFrames) {
+  zelf::Image original = must_assemble(kWorkload);
+  RewriteOptions null_opts;
+  RewriteOptions pad_opts;
+  pad_opts.transforms = {"stackpad"};
+  auto plain = must_rewrite(original, null_opts);
+  auto padded = must_rewrite(original, pad_opts);
+  // Padding changes the emitted frame immediates, hence the text bytes.
+  EXPECT_NE(plain.image.text().bytes, padded.image.text().bytes);
+  expect_equivalent(plain.image, padded.image, Bytes{'q'});
+}
+
+TEST(Canary, DifferentSeedsDifferentCanaries) {
+  zelf::Image original = must_assemble(kWorkload);
+  RewriteOptions a, b;
+  a.transforms = b.transforms = {"canary"};
+  a.seed = 1;
+  b.seed = 2;
+  auto ra = must_rewrite(original, a);
+  auto rb = must_rewrite(original, b);
+  EXPECT_NE(ra.image.text().bytes, rb.image.text().bytes);
+  expect_equivalent(ra.image, rb.image, Bytes{'z'});
+}
+
+// ---- security: the transforms actually stop attacks ----
+
+// A vulnerable service: reads 8 bytes straight into a function-pointer
+// slot, then calls through it (a classic control-flow hijack). The
+// legitimate input calls `greet`; the exploit overwrites the pointer with
+// an address inside `secret` (never a legitimate IBT).
+const char* kVulnerableFptr = R"(
+    .entry main
+    .text
+    main:
+      movi r4, greet
+      movi r6, fslot
+      store [r6], r4
+      movi r0, 3
+      movi r1, 0
+      movi r2, fslot          ; BUG: reads attacker bytes over the pointer
+      movi r3, 8
+      syscall
+      movi r6, fslot
+      load r4, [r6]
+      callr r4
+      movi r0, 1
+      movi r1, 0
+      syscall
+    greet:
+      movi r0, 2
+      movi r1, 1
+      movi r2, gmsg
+      movi r3, 6
+      syscall
+      ret
+    secret:
+      movi r0, 2
+      movi r1, 1
+      movi r2, smsg
+      movi r3, 7
+      syscall
+      ret
+    .rodata
+    gmsg: .ascii "hello\n"
+    smsg: .ascii "SECRET\n"
+    .data
+    fslot: .quad 0
+)";
+
+Bytes addr_bytes(std::uint64_t v) {
+  Bytes b;
+  put_u64(b, v);
+  return b;
+}
+
+TEST(CfiSecurity, LegitimateInputStillWorks) {
+  zelf::Image original = must_assemble(kVulnerableFptr);
+  // Find greet's address from ground-truth symbols.
+  std::uint64_t greet = 0;
+  for (const auto& s : original.symbols)
+    if (s.name == "greet") greet = s.addr;
+  ASSERT_NE(greet, 0u);
+
+  RewriteOptions opts;
+  opts.transforms = {"cfi"};
+  RewriteResult r = must_rewrite(original, opts);
+  auto b = behaviour_of(r.image, addr_bytes(greet));
+  EXPECT_TRUE(b.exited);
+  EXPECT_EQ(std::string(b.output.begin(), b.output.end()), "hello\n");
+}
+
+TEST(CfiSecurity, HijackSucceedsWithoutCfiAndIsBlockedWithIt) {
+  zelf::Image original = must_assemble(kVulnerableFptr);
+  std::uint64_t secret = 0;
+  for (const auto& s : original.symbols)
+    if (s.name == "secret") secret = s.addr;
+  ASSERT_NE(secret, 0u);
+  Bytes exploit = addr_bytes(secret);
+
+  // Baseline (null) rewrite: the hijack works -- SECRET leaks.
+  RewriteOptions base;
+  RewriteResult plain = must_rewrite(original, base);
+  auto hijacked = behaviour_of(plain.image, exploit);
+  EXPECT_NE(std::string(hijacked.output.begin(), hijacked.output.end()).find("SECRET"),
+            std::string::npos)
+      << "exploit should work on the unprotected binary";
+
+  // CFI rewrite: the same input must trap before the transfer.
+  RewriteOptions cfi;
+  cfi.transforms = {"cfi"};
+  RewriteResult guarded = must_rewrite(original, cfi);
+  auto blocked = behaviour_of(guarded.image, exploit);
+  EXPECT_FALSE(blocked.exited);
+  EXPECT_EQ(blocked.fault, vm::Fault::kHalt);
+  EXPECT_EQ(std::string(blocked.output.begin(), blocked.output.end()).find("SECRET"),
+            std::string::npos);
+}
+
+TEST(CfiSecurity, WildTargetOutsideTextIsBlocked) {
+  zelf::Image original = must_assemble(kVulnerableFptr);
+  RewriteOptions cfi;
+  cfi.transforms = {"cfi"};
+  RewriteResult guarded = must_rewrite(original, cfi);
+  // Jump into the data segment.
+  auto blocked = behaviour_of(guarded.image, addr_bytes(zelf::layout::kDataBase));
+  EXPECT_FALSE(blocked.exited);
+  EXPECT_EQ(blocked.fault, vm::Fault::kHalt);
+}
+
+// A vulnerable function: fixed-size stack buffer, attacker-controlled
+// length -- the return address can be overwritten.
+const char* kVulnerableStack = R"(
+    .entry main
+    .text
+    main:
+      call handler
+      movi r0, 1
+      movi r1, 0
+      syscall
+    handler:
+      subi sp, 32
+      ; receive(0, sp, 256) -- BUG: buffer is only 32 bytes
+      movi r0, 3
+      movi r1, 0
+      mov r2, sp
+      movi r3, 256
+      syscall
+      addi sp, 32
+      ret
+    secret:
+      movi r0, 2
+      movi r1, 1
+      movi r2, smsg
+      movi r3, 7
+      syscall
+      movi r0, 1
+      movi r1, 0
+      syscall
+    .rodata
+    smsg: .ascii "SECRET\n"
+)";
+
+TEST(CanarySecurity, ReturnOverwriteBlockedByCanary) {
+  zelf::Image original = must_assemble(kVulnerableStack);
+  std::uint64_t secret = 0;
+  for (const auto& s : original.symbols)
+    if (s.name == "secret") secret = s.addr;
+  ASSERT_NE(secret, 0u);
+
+  // Exploit: 32 bytes of fill, then a new return address.
+  Bytes exploit(32, 'A');
+  put_u64(exploit, secret);
+
+  RewriteOptions base;
+  RewriteResult plain = must_rewrite(original, base);
+  auto hijacked = behaviour_of(plain.image, exploit);
+  EXPECT_NE(std::string(hijacked.output.begin(), hijacked.output.end()).find("SECRET"),
+            std::string::npos)
+      << "return-address overwrite should work on the unprotected binary";
+
+  RewriteOptions can;
+  can.transforms = {"canary"};
+  RewriteResult guarded = must_rewrite(original, can);
+  auto blocked = behaviour_of(guarded.image, exploit);
+  EXPECT_FALSE(blocked.exited);
+  EXPECT_EQ(blocked.fault, vm::Fault::kHalt);
+  EXPECT_EQ(std::string(blocked.output.begin(), blocked.output.end()).find("SECRET"),
+            std::string::npos);
+
+  // Legitimate short input still works under the canary.
+  expect_equivalent(original, guarded.image, Bytes{'o', 'k'});
+}
+
+}  // namespace
+}  // namespace zipr::transform

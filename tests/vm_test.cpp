@@ -1,0 +1,525 @@
+// Tests for the VLX VM: instruction semantics, syscalls, faults, memory
+// protection, and the statistics the evaluation relies on.
+#include <gtest/gtest.h>
+
+#include "asm/assembler.h"
+#include "vm/machine.h"
+
+namespace zipr::vm {
+namespace {
+
+zelf::Image build(std::string_view src) {
+  auto img = assembler::assemble(src);
+  EXPECT_TRUE(img.ok()) << (img.ok() ? "" : img.error().message);
+  return std::move(img).value();
+}
+
+RunResult run_src(std::string_view src, ByteView input = {}, std::uint64_t seed = 0) {
+  return run_program(build(src), input, seed);
+}
+
+std::string out_str(const RunResult& r) {
+  return std::string(r.output.begin(), r.output.end());
+}
+
+TEST(Vm, TerminateWithStatus) {
+  auto r = run_src(R"(
+    .entry main
+    .text
+    main:
+      movi r0, 1
+      movi r1, 42
+      syscall
+  )");
+  EXPECT_TRUE(r.exited);
+  EXPECT_EQ(r.exit_status, 42);
+  EXPECT_EQ(r.fault, Fault::kNone);
+}
+
+TEST(Vm, TransmitWritesOutput) {
+  auto r = run_src(R"(
+    .entry main
+    .text
+    main:
+      movi r0, 2        ; transmit
+      movi r1, 1        ; fd (ignored)
+      movi r2, msg
+      movi r3, 5
+      syscall
+      movi r0, 1
+      movi r1, 0
+      syscall
+    .rodata
+    msg: .ascii "hello"
+  )");
+  EXPECT_TRUE(r.exited);
+  EXPECT_EQ(out_str(r), "hello");
+}
+
+TEST(Vm, ReceiveReadsInputAndEof) {
+  auto r = run_src(R"(
+    .entry main
+    .text
+    main:
+      movi r0, 3        ; receive
+      movi r1, 0
+      movi r2, buf
+      movi r3, 16
+      syscall
+      mov r3, r0        ; echo exactly what we read
+      movi r0, 2
+      movi r1, 1
+      movi r2, buf
+      syscall
+      ; second receive at EOF must return 0
+      movi r0, 3
+      movi r1, 0
+      movi r2, buf
+      movi r3, 16
+      syscall
+      mov r1, r0        ; exit status = bytes read at EOF
+      movi r0, 1
+      syscall
+    .bss
+    buf: .space 16
+  )",
+                   Bytes{'a', 'b', 'c'});
+  EXPECT_TRUE(r.exited);
+  EXPECT_EQ(out_str(r), "abc");
+  EXPECT_EQ(r.exit_status, 0);
+}
+
+TEST(Vm, AllocateReturnsUsableMemory) {
+  auto r = run_src(R"(
+    .entry main
+    .text
+    main:
+      movi r0, 5        ; allocate
+      movi r1, 100
+      syscall
+      mov r4, r0        ; base
+      movi r5, 0x77
+      store8 [r4+50], r5
+      load8 r6, [r4+50]
+      movi r0, 1
+      mov r1, r6
+      syscall
+  )");
+  EXPECT_TRUE(r.exited);
+  EXPECT_EQ(r.exit_status, 0x77);
+}
+
+TEST(Vm, RandomIsDeterministicPerSeed) {
+  const char* src = R"(
+    .entry main
+    .text
+    main:
+      movi r0, 7        ; random
+      movi r1, buf
+      movi r2, 8
+      syscall
+      movi r0, 2        ; transmit the 8 random bytes
+      movi r1, 1
+      movi r2, buf
+      movi r3, 8
+      syscall
+      movi r0, 1
+      movi r1, 0
+      syscall
+    .bss
+    buf: .space 8
+  )";
+  auto a = run_src(src, {}, 99);
+  auto b = run_src(src, {}, 99);
+  auto c = run_src(src, {}, 100);
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_NE(a.output, c.output);
+}
+
+TEST(Vm, FdwaitAndDeallocateSucceed) {
+  auto r = run_src(R"(
+    .entry main
+    .text
+    main:
+      movi r0, 4
+      syscall
+      mov r5, r0
+      movi r0, 6
+      movi r1, 0x10000000
+      movi r2, 4096
+      syscall
+      add r5, r0
+      movi r0, 1
+      mov r1, r5
+      syscall
+  )");
+  EXPECT_TRUE(r.exited);
+  EXPECT_EQ(r.exit_status, 0);
+}
+
+TEST(Vm, BadSyscallFaults) {
+  auto r = run_src(".entry m\n.text\nm: movi r0, 99\nsyscall\n");
+  EXPECT_FALSE(r.exited);
+  EXPECT_EQ(r.fault, Fault::kBadSyscall);
+}
+
+TEST(Vm, CallAndRet) {
+  auto r = run_src(R"(
+    .entry main
+    .text
+    main:
+      movi r1, 5
+      call double
+      ; r1 = 10 now
+      movi r0, 1
+      syscall
+    double:
+      add r1, r1
+      ret
+  )");
+  EXPECT_TRUE(r.exited);
+  EXPECT_EQ(r.exit_status, 10);
+}
+
+TEST(Vm, IndirectCallThroughRegister) {
+  auto r = run_src(R"(
+    .entry main
+    .text
+    main:
+      movi r2, target
+      callr r2
+      movi r0, 1
+      syscall
+    target:
+      movi r1, 77
+      ret
+  )");
+  EXPECT_TRUE(r.exited);
+  EXPECT_EQ(r.exit_status, 77);
+}
+
+TEST(Vm, JumpTableDispatch) {
+  const char* src = R"(
+    .entry main
+    .text
+    main:
+      movi r0, 3        ; receive selector byte
+      movi r1, 0
+      movi r2, sel
+      movi r3, 1
+      syscall
+      load8 r0, [r2]
+      jmpt r0, table
+    case0:
+      movi r1, 100
+      jmp done
+    case1:
+      movi r1, 200
+      jmp done
+    case2:
+      movi r1, 300
+    done:
+      movi r0, 1
+      syscall
+    .rodata
+    table:
+      .quad case0, case1, case2
+    .bss
+    sel: .space 1
+  )";
+  EXPECT_EQ(run_src(src, Bytes{0}).exit_status, 100);
+  EXPECT_EQ(run_src(src, Bytes{1}).exit_status, 200);
+  EXPECT_EQ(run_src(src, Bytes{2}).exit_status, 300);
+}
+
+TEST(Vm, ConditionalSemantics) {
+  // exit status = bitmask of taken conditions for the pair (3, 5).
+  auto r = run_src(R"(
+    .entry main
+    .text
+    main:
+      movi r1, 3
+      movi r2, 5
+      movi r3, 0
+      cmp r1, r2
+      jlt is_lt
+      jmp after_lt
+    is_lt:
+      ori r3, 1
+    after_lt:
+      cmp r1, r2
+      jne is_ne
+      jmp after_ne
+    is_ne:
+      ori r3, 2
+    after_ne:
+      cmp r2, r1
+      jgt is_gt
+      jmp after_gt
+    is_gt:
+      ori r3, 4
+    after_gt:
+      movi r1, -1
+      cmpi r1, 1
+      jb is_b           ; unsigned: 0xfff... is not below 1
+      ori r3, 8
+    is_b:
+      movi r0, 1
+      mov r1, r3
+      syscall
+  )");
+  EXPECT_TRUE(r.exited);
+  EXPECT_EQ(r.exit_status, 1 | 2 | 4 | 8);
+}
+
+TEST(Vm, PcRelativeLoadpcAndLea) {
+  auto r = run_src(R"(
+    .entry main
+    .text
+    main:
+      loadpc r1, value   ; r1 = 123
+      lea r2, value
+      load r3, [r2]      ; r3 = 123 via the lea'd address
+      add r1, r3
+      movi r0, 1
+      syscall
+    .rodata
+    value: .quad 123
+  )");
+  EXPECT_TRUE(r.exited);
+  EXPECT_EQ(r.exit_status, 246);
+}
+
+TEST(Vm, AluAndShifts) {
+  auto r = run_src(R"(
+    .entry main
+    .text
+    main:
+      movi r1, 7
+      movi r2, 3
+      mov r3, r1
+      mul r3, r2        ; 21
+      mov r4, r3
+      div r4, r2        ; 7
+      mov r5, r3
+      mod r5, r2        ; 0
+      movi r6, 1
+      shli r6, 4        ; 16
+      add r3, r4        ; 28
+      add r3, r5        ; 28
+      add r3, r6        ; 44
+      movi r6, -8
+      mov r2, r6
+      movi r1, 3
+      sar r2, r1        ; -1
+      sub r3, r2        ; 45
+      movi r0, 1
+      mov r1, r3
+      syscall
+  )");
+  EXPECT_TRUE(r.exited);
+  EXPECT_EQ(r.exit_status, 45);
+}
+
+TEST(Vm, DivByZeroFaults) {
+  auto r = run_src(".entry m\n.text\nm: movi r1, 1\nmovi r2, 0\ndiv r1, r2\nhlt\n");
+  EXPECT_FALSE(r.exited);
+  EXPECT_EQ(r.fault, Fault::kDivByZero);
+}
+
+TEST(Vm, HltFaults) {
+  auto r = run_src(".entry m\n.text\nm: hlt\n");
+  EXPECT_FALSE(r.exited);
+  EXPECT_EQ(r.fault, Fault::kHalt);
+  EXPECT_EQ(r.fault_pc, zelf::layout::kTextBase);
+}
+
+TEST(Vm, WriteToTextFaults) {
+  auto r = run_src(R"(
+    .entry main
+    .text
+    main:
+      movi r1, main
+      movi r2, 0
+      store [r1], r2
+      hlt
+  )");
+  EXPECT_FALSE(r.exited);
+  EXPECT_EQ(r.fault, Fault::kBadAccess);
+}
+
+TEST(Vm, WriteToRodataFaults) {
+  auto r = run_src(R"(
+    .entry main
+    .text
+    main:
+      movi r1, konst
+      movi r2, 9
+      store [r1], r2
+      hlt
+    .rodata
+    konst: .quad 5
+  )");
+  EXPECT_FALSE(r.exited);
+  EXPECT_EQ(r.fault, Fault::kBadAccess);
+}
+
+TEST(Vm, ExecuteDataFaults) {
+  auto r = run_src(R"(
+    .entry main
+    .text
+    main:
+      movi r1, blob
+      jmpr r1
+    .data
+    blob: .byte 0x90, 0x90
+  )");
+  EXPECT_FALSE(r.exited);
+  EXPECT_EQ(r.fault, Fault::kBadAccess);
+}
+
+TEST(Vm, UnmappedAccessFaults) {
+  auto r = run_src(".entry m\n.text\nm: movi r1, 0x1000\nload r2, [r1]\nhlt\n");
+  EXPECT_FALSE(r.exited);
+  EXPECT_EQ(r.fault, Fault::kBadAccess);
+}
+
+TEST(Vm, UndecodableInstructionFaults) {
+  auto r = run_src(R"(
+    .entry main
+    .text
+    main:
+      jmp data
+    data:
+      .byte 0x00, 0x00
+  )");
+  EXPECT_FALSE(r.exited);
+  EXPECT_EQ(r.fault, Fault::kBadInsn);
+}
+
+TEST(Vm, GasLimitStopsRunaway) {
+  RunLimits lim;
+  lim.max_insns = 1000;
+  auto img = build(".entry m\n.text\nm: jmp m\n");
+  auto r = run_program(img, {}, 0, lim);
+  EXPECT_FALSE(r.exited);
+  EXPECT_EQ(r.fault, Fault::kGasExhausted);
+  EXPECT_EQ(r.stats.insns, 1000u);
+}
+
+TEST(Vm, StackOverflowFaults) {
+  auto r = run_src(R"(
+    .entry main
+    .text
+    main:
+      call main        ; infinite recursion
+  )");
+  EXPECT_FALSE(r.exited);
+  EXPECT_EQ(r.fault, Fault::kStackOverflow);
+}
+
+TEST(Vm, StatsCountInsnsAndPages) {
+  auto r = run_src(R"(
+    .entry main
+    .text
+    main:
+      movi r0, 1
+      movi r1, 0
+      syscall
+  )");
+  EXPECT_TRUE(r.exited);
+  EXPECT_EQ(r.stats.insns, 3u);
+  EXPECT_EQ(r.stats.syscalls, 1u);
+  // One text page; terminate touches no memory; no stack use.
+  EXPECT_GE(r.stats.max_rss_pages, 1u);
+  EXPECT_LE(r.stats.max_rss_pages, 2u);
+}
+
+TEST(Vm, CyclesExceedInsns) {
+  auto r = run_src(".entry m\n.text\nm: push r0\npop r1\nmovi r0, 1\nmovi r1, 0\nsyscall\n");
+  EXPECT_TRUE(r.exited);
+  EXPECT_GT(r.stats.cycles, r.stats.insns);
+}
+
+TEST(Vm, TouchingMorePagesIncreasesRss) {
+  auto small = run_src(R"(
+    .entry main
+    .text
+    main:
+      movi r0, 1
+      movi r1, 0
+      syscall
+  )");
+  auto large = run_src(R"(
+    .entry main
+    .text
+    main:
+      movi r1, buf
+      movi r2, 0
+    loop:
+      store8 [r1], r2
+      addi r1, 4096
+      addi r2, 1
+      cmpi r2, 8
+      jlt loop
+      movi r0, 1
+      movi r1, 0
+      syscall
+    .bss
+    buf: .space 32768
+  )");
+  EXPECT_GT(large.stats.max_rss_pages, small.stats.max_rss_pages + 6);
+}
+
+TEST(Vm, SledSemantics) {
+  // Jumping into the middle of a push-imm32's immediate executes nops:
+  // the byte-level aliasing the paper's sleds exploit.
+  auto r = run_src(R"(
+    .entry main
+    .text
+    main:
+      jmp sled_mid
+    sled:
+      .byte 0x68, 0x90, 0x90, 0x90, 0x90   ; push 0x90909090
+    after:
+      movi r0, 1
+      movi r1, 7
+      syscall
+    sled_mid:
+      jmp sled+1       ; lands on the first 0x90
+  )");
+  EXPECT_TRUE(r.exited);
+  EXPECT_EQ(r.exit_status, 7);
+}
+
+TEST(Vm, SledPushPathLeavesValueOnStack) {
+  auto r = run_src(R"(
+    .entry main
+    .text
+    main:
+      jmp sled         ; lands on 0x68: pushes 0x90909090
+    sled:
+      .byte 0x68, 0x90, 0x90, 0x90, 0x90
+    after:
+      pop r1           ; the sled's pushed word
+      movi r0, 1
+      syscall
+  )");
+  EXPECT_TRUE(r.exited);
+  EXPECT_EQ(r.exit_status, 0x90909090);
+}
+
+TEST(Vm, TraceHookSeesEveryInstruction) {
+  auto img = build(".entry m\n.text\nm: nop\nnop\nmovi r0, 1\nmovi r1, 0\nsyscall\n");
+  Machine m(img);
+  std::vector<std::uint64_t> pcs;
+  m.set_trace([&](std::uint64_t pc, const isa::Insn&) { pcs.push_back(pc); });
+  auto r = m.run();
+  EXPECT_TRUE(r.exited);
+  ASSERT_EQ(pcs.size(), 5u);
+  EXPECT_EQ(pcs[0], zelf::layout::kTextBase);
+  EXPECT_EQ(pcs[1], zelf::layout::kTextBase + 1);
+}
+
+}  // namespace
+}  // namespace zipr::vm

@@ -1,0 +1,176 @@
+// Unit tests for the ZELF container: image model, validation, and
+// serialization round trips.
+#include <gtest/gtest.h>
+
+#include "zelf/image.h"
+#include "zelf/io.h"
+
+namespace zipr::zelf {
+namespace {
+
+Image minimal_image() {
+  Image img;
+  Segment text;
+  text.kind = SegKind::kText;
+  text.vaddr = layout::kTextBase;
+  text.bytes = {0x90, 0xC3};  // nop; ret
+  text.memsize = text.bytes.size();
+  img.segments.push_back(text);
+  img.entry = layout::kTextBase;
+  return img;
+}
+
+TEST(Image, SegmentLookup) {
+  Image img = minimal_image();
+  EXPECT_NE(img.segment_containing(layout::kTextBase), nullptr);
+  EXPECT_NE(img.segment_containing(layout::kTextBase + 1), nullptr);
+  EXPECT_EQ(img.segment_containing(layout::kTextBase + 2), nullptr);
+  EXPECT_EQ(img.segment_containing(0), nullptr);
+  EXPECT_EQ(&img.text(), img.segment_of(SegKind::kText));
+}
+
+TEST(Image, ReadBytes) {
+  Image img = minimal_image();
+  auto b = img.read_bytes(layout::kTextBase, 2);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, (Bytes{0x90, 0xC3}));
+  EXPECT_FALSE(img.read_bytes(layout::kTextBase, 3).ok());
+  EXPECT_FALSE(img.read_bytes(0x1000, 1).ok());
+}
+
+TEST(Image, ValidationAcceptsMinimal) {
+  EXPECT_TRUE(minimal_image().validate().ok());
+}
+
+TEST(Image, ValidationRejectsEntryOutsideText) {
+  Image img = minimal_image();
+  img.entry = 0x1000;
+  EXPECT_FALSE(img.validate().ok());
+}
+
+TEST(Image, ValidationRejectsEntryInData) {
+  Image img = minimal_image();
+  Segment data;
+  data.kind = SegKind::kData;
+  data.vaddr = layout::kDataBase;
+  data.bytes = {1, 2, 3};
+  data.memsize = 3;
+  img.segments.push_back(data);
+  img.entry = layout::kDataBase;
+  EXPECT_FALSE(img.validate().ok());
+}
+
+TEST(Image, ValidationRejectsOverlap) {
+  Image img = minimal_image();
+  Segment rod;
+  rod.kind = SegKind::kRodata;
+  rod.vaddr = layout::kTextBase + 1;  // overlaps text
+  rod.bytes = {0};
+  rod.memsize = 1;
+  img.segments.push_back(rod);
+  EXPECT_FALSE(img.validate().ok());
+}
+
+TEST(Image, ValidationRejectsBssWithBytes) {
+  Image img = minimal_image();
+  Segment bss;
+  bss.kind = SegKind::kBss;
+  bss.vaddr = layout::kBssBase;
+  bss.bytes = {0};
+  bss.memsize = 1;
+  img.segments.push_back(bss);
+  EXPECT_FALSE(img.validate().ok());
+}
+
+TEST(Image, ValidationRejectsTwoTextSegments) {
+  Image img = minimal_image();
+  Segment t2 = img.segments[0];
+  t2.vaddr = layout::kTextBase + 0x1000;
+  img.segments.push_back(t2);
+  EXPECT_FALSE(img.validate().ok());
+}
+
+TEST(Image, ValidationRejectsMemsizeSmallerThanFile) {
+  Image img = minimal_image();
+  img.segments[0].memsize = 1;  // bytes.size() == 2
+  EXPECT_FALSE(img.validate().ok());
+}
+
+TEST(Io, RoundTripMinimal) {
+  Image img = minimal_image();
+  Bytes wire = write_image(img);
+  EXPECT_EQ(wire.size(), img.file_size());
+  auto back = read_image(wire);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->entry, img.entry);
+  ASSERT_EQ(back->segments.size(), 1u);
+  EXPECT_EQ(back->segments[0].bytes, img.segments[0].bytes);
+}
+
+TEST(Io, RoundTripFullImage) {
+  Image img = minimal_image();
+  Segment rod;
+  rod.kind = SegKind::kRodata;
+  rod.vaddr = layout::kRodataBase;
+  rod.bytes = {1, 2, 3, 4};
+  rod.memsize = 4;
+  img.segments.push_back(rod);
+  Segment data;
+  data.kind = SegKind::kData;
+  data.vaddr = layout::kDataBase;
+  data.bytes = {9};
+  data.memsize = 16;  // trailing zero-fill
+  img.segments.push_back(data);
+  Segment bss;
+  bss.kind = SegKind::kBss;
+  bss.vaddr = layout::kBssBase;
+  bss.memsize = 4096;
+  img.segments.push_back(bss);
+  img.symbols.push_back({Symbol::Kind::kFunc, layout::kTextBase, 2, "main"});
+  img.symbols.push_back({Symbol::Kind::kObject, layout::kDataBase, 1, "counter"});
+
+  auto back = read_image(write_image(img));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->segments.size(), 4u);
+  EXPECT_EQ(back->segments[2].memsize, 16u);
+  ASSERT_EQ(back->symbols.size(), 2u);
+  EXPECT_EQ(back->symbols[0].name, "main");
+  EXPECT_EQ(back->symbols[0].kind, Symbol::Kind::kFunc);
+  EXPECT_EQ(back->symbols[1].addr, layout::kDataBase);
+}
+
+TEST(Io, RejectsBadMagic) {
+  Bytes wire = write_image(minimal_image());
+  wire[0] = 'X';
+  EXPECT_FALSE(read_image(wire).ok());
+}
+
+TEST(Io, RejectsTruncated) {
+  Bytes wire = write_image(minimal_image());
+  wire.resize(wire.size() - 1);
+  EXPECT_FALSE(read_image(wire).ok());
+}
+
+TEST(Io, RejectsTrailingGarbage) {
+  Bytes wire = write_image(minimal_image());
+  wire.push_back(0);
+  EXPECT_FALSE(read_image(wire).ok());
+}
+
+TEST(Io, FileSizeMatchesSerializedLength) {
+  Image img = minimal_image();
+  img.symbols.push_back({Symbol::Kind::kLabel, layout::kTextBase + 1, 0, "loop_top"});
+  EXPECT_EQ(write_image(img).size(), img.file_size());
+}
+
+TEST(Io, SaveAndLoadFile) {
+  Image img = minimal_image();
+  std::string path = ::testing::TempDir() + "/zelf_test.zelf";
+  ASSERT_TRUE(save_image(img, path).ok());
+  auto back = load_image(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->entry, img.entry);
+}
+
+}  // namespace
+}  // namespace zipr::zelf

@@ -1,0 +1,106 @@
+// Minimal shared helpers for the command-line tools: flag parsing and
+// file slurping. Deliberately dependency-free.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace zipr::cli {
+
+/// Flag-style argument list: positionals plus --key[=value] options.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string a = argv[i];
+      if (a.rfind("--", 0) == 0) {
+        auto eq = a.find('=');
+        if (eq == std::string::npos) {
+          // `--key value` when a value follows and is not itself a flag
+          // AND the caller asks for it via value(); store as bare flag
+          // with optional lookahead value.
+          flags_.emplace_back(a.substr(2), std::nullopt);
+        } else {
+          flags_.emplace_back(a.substr(2, eq - 2), a.substr(eq + 1));
+        }
+      } else {
+        positional_.push_back(std::move(a));
+      }
+    }
+  }
+
+  bool has(const std::string& key) const {
+    for (const auto& [k, v] : flags_)
+      if (k == key) return true;
+    return false;
+  }
+
+  std::optional<std::string> value(const std::string& key) const {
+    for (const auto& [k, v] : flags_)
+      if (k == key && v) return v;
+    return std::nullopt;
+  }
+
+  /// All values given for a repeatable option (--transform=a --transform=b).
+  std::vector<std::string> values(const std::string& key) const {
+    std::vector<std::string> out;
+    for (const auto& [k, v] : flags_)
+      if (k == key && v) out.push_back(*v);
+    return out;
+  }
+
+  std::uint64_t value_u64(const std::string& key, std::uint64_t fallback) const {
+    auto v = value(key);
+    if (!v) return fallback;
+    return std::strtoull(v->c_str(), nullptr, 0);
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags the tool does not know about; callers reject them.
+  std::vector<std::string> unknown(const std::vector<std::string>& known) const {
+    std::vector<std::string> out;
+    for (const auto& [k, v] : flags_) {
+      bool ok = false;
+      for (const auto& good : known) ok |= k == good;
+      if (!ok) out.push_back(k);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::string> positional_;
+  std::vector<std::pair<std::string, std::optional<std::string>>> flags_;
+};
+
+inline std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+inline bool write_file(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  return out.good();
+}
+
+[[noreturn]] inline void die(const std::string& msg) {
+  std::fprintf(stderr, "error: %s\n", msg.c_str());
+  std::exit(2);
+}
+
+inline void reject_unknown(const Args& args, const std::vector<std::string>& known) {
+  auto bad = args.unknown(known);
+  if (!bad.empty()) die("unknown option --" + bad.front());
+}
+
+}  // namespace zipr::cli

@@ -1,0 +1,102 @@
+// zipr-cli: the rewriter as a command-line tool.
+//
+//   zipr-cli input.zelf --out=output.zelf
+//            [--transform=null|cfi|stackpad|canary|profile]...   (repeatable)
+//            [--placement=nearfit|diversity|pinpage] [--seed=N]
+//            [--pin-call-returns] [--naive-pins] [--stats]
+//            [--dump-ir=<file>] [--list-transforms]
+#include <cinttypes>
+
+#include "cli_util.h"
+#include "irdb/serialize.h"
+#include "transform/api.h"
+#include "zelf/io.h"
+#include "zipr/zipr.h"
+
+int main(int argc, char** argv) {
+  using namespace zipr;
+  cli::Args args(argc, argv);
+  cli::reject_unknown(args, {"out", "transform", "placement", "seed", "pin-call-returns",
+                             "naive-pins", "stats", "dump-ir", "list-transforms", "help"});
+
+  if (args.has("list-transforms")) {
+    for (const auto& name : transform::registered_transforms()) std::printf("%s\n", name.c_str());
+    return 0;
+  }
+  if (args.has("help") || args.positional().size() != 1) {
+    std::printf(
+        "usage: zipr-cli <input.zelf> --out=<output.zelf>\n"
+        "                [--transform=<name>]... [--placement=nearfit|diversity|pinpage]\n"
+        "                [--seed=N] [--pin-call-returns] [--naive-pins] [--stats]\n"
+        "                [--dump-ir=<file>] [--list-transforms]\n");
+    return args.has("help") ? 0 : 2;
+  }
+  auto out_path = args.value("out");
+  if (!out_path) cli::die("--out=<path> is required");
+
+  auto input = zelf::load_image(args.positional()[0]);
+  if (!input.ok()) cli::die(input.error().message);
+
+  RewriteOptions options;
+  options.transforms = args.values("transform");
+  options.seed = args.value_u64("seed", 1);
+  options.analysis.pinning.pin_call_returns = args.has("pin-call-returns");
+  options.analysis.pinning.naive_pin_all = args.has("naive-pins");
+  std::string placement = args.value("placement").value_or("nearfit");
+  if (placement == "nearfit")
+    options.placement = rewriter::PlacementKind::kNearfit;
+  else if (placement == "diversity")
+    options.placement = rewriter::PlacementKind::kDiversity;
+  else if (placement == "pinpage")
+    options.placement = rewriter::PlacementKind::kPinPage;
+  else
+    cli::die("unknown placement '" + placement + "'");
+
+  // --dump-ir stops after IR construction + transforms: the tool-to-tool
+  // exchange format the IRDB exists for.
+  if (auto dump_path = args.value("dump-ir")) {
+    auto prog = analysis::build_ir(*input, options.analysis);
+    if (!prog.ok()) cli::die(prog.error().message);
+    for (const auto& name : options.transforms) {
+      auto t = transform::make_transform(name);
+      if (!t.ok()) cli::die(t.error().message);
+      transform::TransformContext ctx(*prog, options.seed);
+      auto applied = (*t)->apply(ctx);
+      if (!applied.ok()) cli::die(applied.error().message);
+    }
+    if (!cli::write_file(*dump_path, irdb::serialize(prog->db)))
+      cli::die("cannot write " + *dump_path);
+    std::printf("IR dumped to %s (%zu instructions, %zu pins, %zu functions)\n",
+                dump_path->c_str(), prog->db.insn_count(), prog->db.pins().size(),
+                prog->db.function_count());
+    return 0;
+  }
+
+  auto result = rewrite(*input, options);
+  if (!result.ok()) cli::die(result.error().message);
+
+  auto saved = zelf::save_image(result->image, *out_path);
+  if (!saved.ok()) cli::die(saved.error().message);
+
+  std::size_t in_size = input->file_size();
+  std::size_t out_size = result->image.file_size();
+  std::printf("%s -> %s: %zu -> %zu bytes (%+.2f%%)\n", args.positional()[0].c_str(),
+              out_path->c_str(), in_size, out_size,
+              (static_cast<double>(out_size) / static_cast<double>(in_size) - 1.0) * 100);
+
+  if (args.has("stats")) {
+    const auto& a = result->analysis;
+    const auto& r = result->reassembly;
+    std::printf(
+        "analysis:   %zu insns lifted, %zu verbatim ranges (%zu bytes), %zu pins "
+        "(%zu covered, %zu dropped), %zu functions, %zu jump tables\n",
+        a.code_insns, a.verbatim_ranges, a.verbatim_bytes, a.pins, a.pins_covered,
+        a.pins_dropped, a.functions, a.jump_tables);
+    std::printf(
+        "reassembly: %zu pins (%zu short, %zu long, %zu in-place), %zu sleds, %zu chains, "
+        "%zu dollops (%zu splits), %zu insns placed, %" PRIu64 " overflow bytes\n",
+        r.pins, r.pin_refs_short, r.pin_refs_long, r.pins_in_place, r.sleds, r.chains,
+        r.dollops_placed, r.dollop_splits, r.insns_placed, r.overflow_bytes);
+  }
+  return 0;
+}
