@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_filesize.dir/fig4_filesize.cpp.o"
+  "CMakeFiles/fig4_filesize.dir/fig4_filesize.cpp.o.d"
+  "fig4_filesize"
+  "fig4_filesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_filesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_memory.dir/fig6_memory.cpp.o"
+  "CMakeFiles/fig6_memory.dir/fig6_memory.cpp.o.d"
+  "fig6_memory"
+  "fig6_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

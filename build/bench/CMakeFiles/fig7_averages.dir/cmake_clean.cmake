@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_averages.dir/fig7_averages.cpp.o"
+  "CMakeFiles/fig7_averages.dir/fig7_averages.cpp.o.d"
+  "fig7_averages"
+  "fig7_averages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_averages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

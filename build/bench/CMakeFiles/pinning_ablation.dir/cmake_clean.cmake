@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinning_ablation.dir/pinning_ablation.cpp.o"
+  "CMakeFiles/pinning_ablation.dir/pinning_ablation.cpp.o.d"
+  "pinning_ablation"
+  "pinning_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinning_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/security.dir/security.cpp.o"
+  "CMakeFiles/security.dir/security.cpp.o.d"
+  "security"
+  "security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfi_protect.dir/cfi_protect.cpp.o"
+  "CMakeFiles/cfi_protect.dir/cfi_protect.cpp.o.d"
+  "cfi_protect"
+  "cfi_protect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfi_protect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

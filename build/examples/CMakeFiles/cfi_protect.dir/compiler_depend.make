@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cfi_protect.
+# This may be replaced when dependencies are built.

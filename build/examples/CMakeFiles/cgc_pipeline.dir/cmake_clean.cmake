@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgc_pipeline.dir/cgc_pipeline.cpp.o"
+  "CMakeFiles/cgc_pipeline.dir/cgc_pipeline.cpp.o.d"
+  "cgc_pipeline"
+  "cgc_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgc_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/diversify.cpp" "examples/CMakeFiles/diversify.dir/diversify.cpp.o" "gcc" "examples/CMakeFiles/diversify.dir/diversify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cgc/CMakeFiles/zipr_cgc.dir/DependInfo.cmake"
+  "/root/repo/build/src/zipr/CMakeFiles/zipr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/zipr_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/zipr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/irdb/CMakeFiles/zipr_irdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/zipr_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/zipr_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/zipr_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/zelf/CMakeFiles/zipr_zelf.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/zipr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diversify.dir/diversify.cpp.o"
+  "CMakeFiles/diversify.dir/diversify.cpp.o.d"
+  "diversify"
+  "diversify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diversify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_library.dir/shared_library.cpp.o"
+  "CMakeFiles/shared_library.dir/shared_library.cpp.o.d"
+  "shared_library"
+  "shared_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

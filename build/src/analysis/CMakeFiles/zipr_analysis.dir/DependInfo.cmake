@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/disasm.cpp" "src/analysis/CMakeFiles/zipr_analysis.dir/disasm.cpp.o" "gcc" "src/analysis/CMakeFiles/zipr_analysis.dir/disasm.cpp.o.d"
+  "/root/repo/src/analysis/ir_builder.cpp" "src/analysis/CMakeFiles/zipr_analysis.dir/ir_builder.cpp.o" "gcc" "src/analysis/CMakeFiles/zipr_analysis.dir/ir_builder.cpp.o.d"
+  "/root/repo/src/analysis/pinning.cpp" "src/analysis/CMakeFiles/zipr_analysis.dir/pinning.cpp.o" "gcc" "src/analysis/CMakeFiles/zipr_analysis.dir/pinning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/irdb/CMakeFiles/zipr_irdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/zipr_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/zelf/CMakeFiles/zipr_zelf.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/zipr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zipr_analysis.dir/disasm.cpp.o"
+  "CMakeFiles/zipr_analysis.dir/disasm.cpp.o.d"
+  "CMakeFiles/zipr_analysis.dir/ir_builder.cpp.o"
+  "CMakeFiles/zipr_analysis.dir/ir_builder.cpp.o.d"
+  "CMakeFiles/zipr_analysis.dir/pinning.cpp.o"
+  "CMakeFiles/zipr_analysis.dir/pinning.cpp.o.d"
+  "libzipr_analysis.a"
+  "libzipr_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipr_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

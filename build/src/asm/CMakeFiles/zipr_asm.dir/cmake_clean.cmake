@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zipr_asm.dir/assembler.cpp.o"
+  "CMakeFiles/zipr_asm.dir/assembler.cpp.o.d"
+  "libzipr_asm.a"
+  "libzipr_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipr_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cgc/exploits.cpp" "src/cgc/CMakeFiles/zipr_cgc.dir/exploits.cpp.o" "gcc" "src/cgc/CMakeFiles/zipr_cgc.dir/exploits.cpp.o.d"
+  "/root/repo/src/cgc/filter.cpp" "src/cgc/CMakeFiles/zipr_cgc.dir/filter.cpp.o" "gcc" "src/cgc/CMakeFiles/zipr_cgc.dir/filter.cpp.o.d"
+  "/root/repo/src/cgc/generator.cpp" "src/cgc/CMakeFiles/zipr_cgc.dir/generator.cpp.o" "gcc" "src/cgc/CMakeFiles/zipr_cgc.dir/generator.cpp.o.d"
+  "/root/repo/src/cgc/metrics.cpp" "src/cgc/CMakeFiles/zipr_cgc.dir/metrics.cpp.o" "gcc" "src/cgc/CMakeFiles/zipr_cgc.dir/metrics.cpp.o.d"
+  "/root/repo/src/cgc/poller.cpp" "src/cgc/CMakeFiles/zipr_cgc.dir/poller.cpp.o" "gcc" "src/cgc/CMakeFiles/zipr_cgc.dir/poller.cpp.o.d"
+  "/root/repo/src/cgc/workload.cpp" "src/cgc/CMakeFiles/zipr_cgc.dir/workload.cpp.o" "gcc" "src/cgc/CMakeFiles/zipr_cgc.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/zipr/CMakeFiles/zipr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/zipr_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/zipr_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/zipr_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/zipr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/irdb/CMakeFiles/zipr_irdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/zipr_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/zelf/CMakeFiles/zipr_zelf.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/zipr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zipr_cgc.dir/exploits.cpp.o"
+  "CMakeFiles/zipr_cgc.dir/exploits.cpp.o.d"
+  "CMakeFiles/zipr_cgc.dir/filter.cpp.o"
+  "CMakeFiles/zipr_cgc.dir/filter.cpp.o.d"
+  "CMakeFiles/zipr_cgc.dir/generator.cpp.o"
+  "CMakeFiles/zipr_cgc.dir/generator.cpp.o.d"
+  "CMakeFiles/zipr_cgc.dir/metrics.cpp.o"
+  "CMakeFiles/zipr_cgc.dir/metrics.cpp.o.d"
+  "CMakeFiles/zipr_cgc.dir/poller.cpp.o"
+  "CMakeFiles/zipr_cgc.dir/poller.cpp.o.d"
+  "CMakeFiles/zipr_cgc.dir/workload.cpp.o"
+  "CMakeFiles/zipr_cgc.dir/workload.cpp.o.d"
+  "libzipr_cgc.a"
+  "libzipr_cgc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipr_cgc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

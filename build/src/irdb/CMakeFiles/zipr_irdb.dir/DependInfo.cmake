@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/irdb/ir.cpp" "src/irdb/CMakeFiles/zipr_irdb.dir/ir.cpp.o" "gcc" "src/irdb/CMakeFiles/zipr_irdb.dir/ir.cpp.o.d"
+  "/root/repo/src/irdb/serialize.cpp" "src/irdb/CMakeFiles/zipr_irdb.dir/serialize.cpp.o" "gcc" "src/irdb/CMakeFiles/zipr_irdb.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/zipr_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/zelf/CMakeFiles/zipr_zelf.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/zipr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

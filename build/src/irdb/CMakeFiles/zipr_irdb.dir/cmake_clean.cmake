@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zipr_irdb.dir/ir.cpp.o"
+  "CMakeFiles/zipr_irdb.dir/ir.cpp.o.d"
+  "CMakeFiles/zipr_irdb.dir/serialize.cpp.o"
+  "CMakeFiles/zipr_irdb.dir/serialize.cpp.o.d"
+  "libzipr_irdb.a"
+  "libzipr_irdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipr_irdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

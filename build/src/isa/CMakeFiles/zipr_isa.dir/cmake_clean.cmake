@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zipr_isa.dir/decode.cpp.o"
+  "CMakeFiles/zipr_isa.dir/decode.cpp.o.d"
+  "CMakeFiles/zipr_isa.dir/encode.cpp.o"
+  "CMakeFiles/zipr_isa.dir/encode.cpp.o.d"
+  "CMakeFiles/zipr_isa.dir/format.cpp.o"
+  "CMakeFiles/zipr_isa.dir/format.cpp.o.d"
+  "libzipr_isa.a"
+  "libzipr_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipr_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

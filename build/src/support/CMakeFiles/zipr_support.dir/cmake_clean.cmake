@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zipr_support.dir/bytes.cpp.o"
+  "CMakeFiles/zipr_support.dir/bytes.cpp.o.d"
+  "CMakeFiles/zipr_support.dir/interval.cpp.o"
+  "CMakeFiles/zipr_support.dir/interval.cpp.o.d"
+  "CMakeFiles/zipr_support.dir/log.cpp.o"
+  "CMakeFiles/zipr_support.dir/log.cpp.o.d"
+  "libzipr_support.a"
+  "libzipr_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipr_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

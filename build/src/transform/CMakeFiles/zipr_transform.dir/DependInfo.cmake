@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/api.cpp" "src/transform/CMakeFiles/zipr_transform.dir/api.cpp.o" "gcc" "src/transform/CMakeFiles/zipr_transform.dir/api.cpp.o.d"
+  "/root/repo/src/transform/canary.cpp" "src/transform/CMakeFiles/zipr_transform.dir/canary.cpp.o" "gcc" "src/transform/CMakeFiles/zipr_transform.dir/canary.cpp.o.d"
+  "/root/repo/src/transform/cfi.cpp" "src/transform/CMakeFiles/zipr_transform.dir/cfi.cpp.o" "gcc" "src/transform/CMakeFiles/zipr_transform.dir/cfi.cpp.o.d"
+  "/root/repo/src/transform/mandatory.cpp" "src/transform/CMakeFiles/zipr_transform.dir/mandatory.cpp.o" "gcc" "src/transform/CMakeFiles/zipr_transform.dir/mandatory.cpp.o.d"
+  "/root/repo/src/transform/null.cpp" "src/transform/CMakeFiles/zipr_transform.dir/null.cpp.o" "gcc" "src/transform/CMakeFiles/zipr_transform.dir/null.cpp.o.d"
+  "/root/repo/src/transform/profile.cpp" "src/transform/CMakeFiles/zipr_transform.dir/profile.cpp.o" "gcc" "src/transform/CMakeFiles/zipr_transform.dir/profile.cpp.o.d"
+  "/root/repo/src/transform/stackpad.cpp" "src/transform/CMakeFiles/zipr_transform.dir/stackpad.cpp.o" "gcc" "src/transform/CMakeFiles/zipr_transform.dir/stackpad.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/zipr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/irdb/CMakeFiles/zipr_irdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/zipr_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/zelf/CMakeFiles/zipr_zelf.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/zipr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zipr_transform.dir/api.cpp.o"
+  "CMakeFiles/zipr_transform.dir/api.cpp.o.d"
+  "CMakeFiles/zipr_transform.dir/canary.cpp.o"
+  "CMakeFiles/zipr_transform.dir/canary.cpp.o.d"
+  "CMakeFiles/zipr_transform.dir/cfi.cpp.o"
+  "CMakeFiles/zipr_transform.dir/cfi.cpp.o.d"
+  "CMakeFiles/zipr_transform.dir/mandatory.cpp.o"
+  "CMakeFiles/zipr_transform.dir/mandatory.cpp.o.d"
+  "CMakeFiles/zipr_transform.dir/null.cpp.o"
+  "CMakeFiles/zipr_transform.dir/null.cpp.o.d"
+  "CMakeFiles/zipr_transform.dir/profile.cpp.o"
+  "CMakeFiles/zipr_transform.dir/profile.cpp.o.d"
+  "CMakeFiles/zipr_transform.dir/stackpad.cpp.o"
+  "CMakeFiles/zipr_transform.dir/stackpad.cpp.o.d"
+  "libzipr_transform.a"
+  "libzipr_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipr_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zipr_vm.dir/link.cpp.o"
+  "CMakeFiles/zipr_vm.dir/link.cpp.o.d"
+  "CMakeFiles/zipr_vm.dir/machine.cpp.o"
+  "CMakeFiles/zipr_vm.dir/machine.cpp.o.d"
+  "CMakeFiles/zipr_vm.dir/memory.cpp.o"
+  "CMakeFiles/zipr_vm.dir/memory.cpp.o.d"
+  "libzipr_vm.a"
+  "libzipr_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipr_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

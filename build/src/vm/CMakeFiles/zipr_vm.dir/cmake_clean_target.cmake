@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libzipr_vm.a"
+)

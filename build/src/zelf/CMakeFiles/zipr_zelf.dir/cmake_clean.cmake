@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zipr_zelf.dir/image.cpp.o"
+  "CMakeFiles/zipr_zelf.dir/image.cpp.o.d"
+  "CMakeFiles/zipr_zelf.dir/io.cpp.o"
+  "CMakeFiles/zipr_zelf.dir/io.cpp.o.d"
+  "libzipr_zelf.a"
+  "libzipr_zelf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipr_zelf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zipr_core.dir/dollop.cpp.o"
+  "CMakeFiles/zipr_core.dir/dollop.cpp.o.d"
+  "CMakeFiles/zipr_core.dir/memory_space.cpp.o"
+  "CMakeFiles/zipr_core.dir/memory_space.cpp.o.d"
+  "CMakeFiles/zipr_core.dir/placement.cpp.o"
+  "CMakeFiles/zipr_core.dir/placement.cpp.o.d"
+  "CMakeFiles/zipr_core.dir/reassembler.cpp.o"
+  "CMakeFiles/zipr_core.dir/reassembler.cpp.o.d"
+  "CMakeFiles/zipr_core.dir/zipr.cpp.o"
+  "CMakeFiles/zipr_core.dir/zipr.cpp.o.d"
+  "libzipr_core.a"
+  "libzipr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgc_test.dir/cgc_test.cpp.o"
+  "CMakeFiles/cgc_test.dir/cgc_test.cpp.o.d"
+  "cgc_test"
+  "cgc_test.pdb"
+  "cgc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irdb_test.dir/irdb_test.cpp.o"
+  "CMakeFiles/irdb_test.dir/irdb_test.cpp.o.d"
+  "irdb_test"
+  "irdb_test.pdb"
+  "irdb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zelf_test.dir/zelf_test.cpp.o"
+  "CMakeFiles/zelf_test.dir/zelf_test.cpp.o.d"
+  "zelf_test"
+  "zelf_test.pdb"
+  "zelf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zelf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zipr_test.dir/zipr_test.cpp.o"
+  "CMakeFiles/zipr_test.dir/zipr_test.cpp.o.d"
+  "zipr_test"
+  "zipr_test.pdb"
+  "zipr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlx-as.dir/vlx-as.cpp.o"
+  "CMakeFiles/vlx-as.dir/vlx-as.cpp.o.d"
+  "vlx-as"
+  "vlx-as.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlx-as.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

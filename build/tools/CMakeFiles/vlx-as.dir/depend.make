@@ -1,0 +1,2 @@
+# Empty dependencies file for vlx-as.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlx-objdump.dir/vlx-objdump.cpp.o"
+  "CMakeFiles/vlx-objdump.dir/vlx-objdump.cpp.o.d"
+  "vlx-objdump"
+  "vlx-objdump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlx-objdump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlx-run.dir/vlx-run.cpp.o"
+  "CMakeFiles/vlx-run.dir/vlx-run.cpp.o.d"
+  "vlx-run"
+  "vlx-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlx-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zipr-cli.dir/zipr-cli.cpp.o"
+  "CMakeFiles/zipr-cli.dir/zipr-cli.cpp.o.d"
+  "zipr-cli"
+  "zipr-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipr-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tools_smoke "bash" "-c" "set -e; cd /root/repo/build/tools; /root/repo/build/tools/vlx-as smoke.s --out=smoke.zelf >/dev/null; /root/repo/build/tools/vlx-objdump smoke.zelf --disasm=traversal >/dev/null; /root/repo/build/tools/vlx-objdump smoke.zelf --disasm=linear >/dev/null; /root/repo/build/tools/zipr-cli smoke.zelf --out=smoke-cfi.zelf --transform=cfi --stats >/dev/null; /root/repo/build/tools/zipr-cli smoke.zelf --out=/dev/null --dump-ir=smoke-ir.txt >/dev/null; grep -q 'zipr-irdb 1' smoke-ir.txt; a=\$(/root/repo/build/tools/vlx-run smoke.zelf 2>/dev/null); b=\$(/root/repo/build/tools/vlx-run smoke-cfi.zelf 2>/dev/null); test \"\$a\" = \"\$b\" && test \"\$a\" = 'ok.'")
+set_tests_properties(tools_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;36;add_test;/root/repo/tools/CMakeLists.txt;0;")

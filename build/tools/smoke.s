@@ -1,0 +1,18 @@
+; tools smoke-test subject
+.entry main
+.text
+main:
+  movi r4, greet
+  callr r4
+  movi r0, 1
+  movi r1, 0
+  syscall
+greet:
+  movi r0, 2
+  movi r1, 1
+  movi r2, msg
+  movi r3, 3
+  syscall
+  ret
+.rodata
+msg: .ascii "ok."
