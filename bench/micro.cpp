@@ -1,7 +1,14 @@
 // Microbenchmarks (google-benchmark): throughput of the pieces the
 // rewriting pipeline leans on -- instruction decode/encode, interval-set
-// operations, VM execution, and the end-to-end rewrite itself.
+// operations, free-space allocation and placement under heavy
+// fragmentation, VM execution, and the end-to-end rewrite itself.
+//
+// `tools/run_bench.sh` (or the `perf_smoke` CMake target) runs this suite
+// with --benchmark_format=json into BENCH_micro.json so the throughput
+// trajectory is tracked PR over PR.
 #include <benchmark/benchmark.h>
+
+#include <map>
 
 #include "asm/assembler.h"
 #include "cgc/generator.h"
@@ -9,11 +16,65 @@
 #include "support/interval.h"
 #include "support/rng.h"
 #include "vm/machine.h"
+#include "zelf/image.h"
+#include "zipr/placement.h"
 #include "zipr/zipr.h"
 
 namespace {
 
 using namespace zipr;
+
+// ---- shared fixtures ----
+//
+// Corpus and CB generation are hoisted into process-lifetime statics:
+// every BM_Rewrite* registration (and repetition) shares one generated
+// corpus and one CB per index instead of regenerating them, so adding
+// benchmarks does not balloon bench startup time.
+
+const std::vector<cgc::CbSpec>& shared_corpus() {
+  static const std::vector<cgc::CbSpec> corpus = cgc::cfe_corpus();
+  return corpus;
+}
+
+const cgc::CbProgram& shared_cb(std::size_t index) {
+  static std::map<std::size_t, cgc::CbProgram> cache;
+  auto it = cache.find(index);
+  if (it == cache.end()) {
+    auto r = cgc::generate_cb(shared_corpus()[index]);
+    if (!r.ok()) {
+      std::fprintf(stderr, "CB generation failed: %s\n", r.error().message.c_str());
+      std::abort();
+    }
+    it = cache.emplace(index, std::move(*r)).first;
+  }
+  return it->second;
+}
+
+/// A synthetic large binary: far more handlers/straight-line code than any
+/// corpus CB, approximating the paper's "real-world binary" scale for the
+/// end-to-end rewrite benchmark.
+const cgc::CbProgram& shared_large_cb() {
+  static const cgc::CbProgram cb = [] {
+    cgc::CbSpec spec;
+    spec.name = "synthetic-large";
+    spec.seed = 99;
+    spec.handlers = 24;
+    spec.dispatch = cgc::DispatchMode::kFptrTable;
+    spec.filler_funcs = 48;
+    spec.filler_ops = 24;
+    spec.straightline = 600;
+    spec.scratch_pages = 4;
+    spec.data_in_text = true;
+    spec.payload_max = 12;
+    auto r = cgc::generate_cb(spec);
+    if (!r.ok()) {
+      std::fprintf(stderr, "large CB generation failed: %s\n", r.error().message.c_str());
+      std::abort();
+    }
+    return std::move(*r);
+  }();
+  return cb;
+}
 
 // A buffer of valid, varied instruction encodings.
 Bytes make_insn_stream(std::size_t count) {
@@ -100,6 +161,93 @@ void BM_IntervalSetChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_IntervalSetChurn);
 
+// ---- free-space core under fragmentation ----
+//
+// The MemorySpace / placement benchmarks below are parameterized by the
+// number of free fragments (1k / 10k / 100k): the regime a large binary's
+// endgame reaches once pins and placed dollops have shredded the text
+// span. Before the size-indexed IntervalSet, every query here copied and
+// scanned the whole free list (O(n) per op); now allocation is O(log n)
+// and window/fit queries touch only candidate ranges.
+
+constexpr std::uint64_t kFragBase = 0x10000000;
+constexpr std::uint64_t kFragStride = 128;  // one free fragment per stride
+
+// A MemorySpace whose free set is `frags` disjoint fragments: mostly dust
+// (8..15 bytes) with every 10th fragment larger (16..127 bytes), mirroring
+// the skewed fragment-size distribution real rewrites produce.
+std::uint64_t frag_size(std::uint64_t i) {
+  return i % 10 == 0 ? 16 + (i / 10) % 112 : 8 + i % 8;
+}
+
+rewriter::MemorySpace fragmented_space(std::uint64_t frags) {
+  rewriter::MemorySpace s({kFragBase, kFragBase + frags * kFragStride});
+  for (std::uint64_t i = 0; i < frags; ++i) {
+    std::uint64_t free_begin = kFragBase + i * kFragStride;
+    std::uint64_t free_end = free_begin + frag_size(i);
+    // Reserve the tail of the stride so [free_begin, free_end) stays free.
+    if (!s.reserve(free_end, kFragBase + (i + 1) * kFragStride - free_end).ok()) std::abort();
+  }
+  return s;
+}
+
+void BM_MemorySpaceAlloc(benchmark::State& state) {
+  auto frags = static_cast<std::uint64_t>(state.range(0));
+  rewriter::MemorySpace s = fragmented_space(frags);
+  constexpr std::uint64_t kSize = 64;
+  for (auto _ : state) {
+    auto a = s.allocate(kSize);
+    benchmark::DoNotOptimize(a);
+    if (a && !s.release(*a, kSize).ok()) std::abort();  // restore state
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemorySpaceAlloc)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_AllocateInWindow(benchmark::State& state) {
+  auto frags = static_cast<std::uint64_t>(state.range(0));
+  rewriter::MemorySpace s = fragmented_space(frags);
+  std::uint64_t span = frags * kFragStride;
+  std::uint64_t prefer = kFragBase;
+  for (auto _ : state) {
+    // March the rel8-sized window across the span, as chaining does.
+    prefer = kFragBase + (prefer - kFragBase + 7919) % span;
+    auto a = s.allocate_in_window(5, prefer >= 126 ? prefer - 126 : 0, prefer + 129, prefer);
+    benchmark::DoNotOptimize(a);
+    if (a && !s.release(*a, 5).ok()) std::abort();  // restore state
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AllocateInWindow)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_PlacementPick(benchmark::State& state, rewriter::PlacementKind kind) {
+  auto frags = static_cast<std::uint64_t>(state.range(0));
+  rewriter::MemorySpace s = fragmented_space(frags);
+  // Pin a handful of pages, as a real binary's pin map would.
+  std::set<std::uint64_t> pinned_pages;
+  for (int i = 0; i < 16; ++i)
+    pinned_pages.insert((kFragBase + static_cast<std::uint64_t>(i) * 37 * zelf::layout::kPageSize) &
+                        ~(zelf::layout::kPageSize - 1));
+  auto strategy = rewriter::make_placement(kind, 42, std::move(pinned_pages));
+  rewriter::PlacementRequest req;
+  req.size = 64;  // fits only the non-dust fragments
+  req.min_viable = 7;
+  std::uint64_t anchor = kFragBase;
+  for (auto _ : state) {
+    anchor = kFragBase + (anchor - kFragBase + 104729) % (frags * kFragStride);
+    req.preferred = anchor;
+    auto iv = strategy->pick(s, req);
+    benchmark::DoNotOptimize(iv);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_PlacementPick, nearfit, rewriter::PlacementKind::kNearfit)
+    ->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK_CAPTURE(BM_PlacementPick, diversity, rewriter::PlacementKind::kDiversity)
+    ->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK_CAPTURE(BM_PlacementPick, pinpage, rewriter::PlacementKind::kPinPage)
+    ->Arg(1000)->Arg(10000)->Arg(100000);
+
 const char* kVmProgram = R"(
   .entry main
   .text
@@ -128,25 +276,36 @@ void BM_VmExecution(benchmark::State& state) {
 BENCHMARK(BM_VmExecution);
 
 void BM_RewriteCb(benchmark::State& state) {
-  auto corpus = cgc::cfe_corpus();
-  auto cb = cgc::generate_cb(corpus[static_cast<std::size_t>(state.range(0))]);
-  std::size_t text = cb->image.text().bytes.size();
+  const auto& cb = shared_cb(static_cast<std::size_t>(state.range(0)));
+  std::size_t text = cb.image.text().bytes.size();
   for (auto _ : state) {
-    auto r = rewrite(cb->image, {});
+    auto r = rewrite(cb.image, {});
     benchmark::DoNotOptimize(r->image.entry);
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * text));
-  state.SetLabel(cb->spec.name + " (" + std::to_string(text) + "B text)");
+  state.SetLabel(cb.spec.name + " (" + std::to_string(text) + "B text)");
 }
 BENCHMARK(BM_RewriteCb)->Arg(0)->Arg(40)->Arg(61);
 
+// End-to-end rewrite throughput on the synthetic large binary.
+void BM_RewriteLarge(benchmark::State& state) {
+  const auto& cb = shared_large_cb();
+  std::size_t text = cb.image.text().bytes.size();
+  for (auto _ : state) {
+    auto r = rewrite(cb.image, {});
+    benchmark::DoNotOptimize(r->image.entry);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * text));
+  state.SetLabel(cb.spec.name + " (" + std::to_string(text) + "B text)");
+}
+BENCHMARK(BM_RewriteLarge);
+
 void BM_RewriteWithCfi(benchmark::State& state) {
-  auto corpus = cgc::cfe_corpus();
-  auto cb = cgc::generate_cb(corpus[5]);
+  const auto& cb = shared_cb(5);
   RewriteOptions opts;
   opts.transforms = {"cfi"};
   for (auto _ : state) {
-    auto r = rewrite(cb->image, opts);
+    auto r = rewrite(cb.image, opts);
     benchmark::DoNotOptimize(r->image.entry);
   }
 }

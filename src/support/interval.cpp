@@ -4,6 +4,18 @@
 
 namespace zipr {
 
+IntervalSet::Map::iterator IntervalSet::map_erase(Map::iterator it) {
+  by_size_.erase({it->second - it->first, it->first});
+  total_ -= it->second - it->first;
+  return ivs_.erase(it);
+}
+
+void IntervalSet::map_emplace(std::uint64_t begin, std::uint64_t end) {
+  ivs_.emplace(begin, end);
+  by_size_.emplace(end - begin, begin);
+  total_ += end - begin;
+}
+
 void IntervalSet::insert(std::uint64_t begin, std::uint64_t end) {
   if (begin >= end) return;
 
@@ -17,9 +29,9 @@ void IntervalSet::insert(std::uint64_t begin, std::uint64_t end) {
   while (it != ivs_.end() && it->first <= end) {
     begin = std::min(begin, it->first);
     end = std::max(end, it->second);
-    it = ivs_.erase(it);
+    it = map_erase(it);
   }
-  ivs_.emplace(begin, end);
+  map_emplace(begin, end);
 }
 
 void IntervalSet::erase(std::uint64_t begin, std::uint64_t end) {
@@ -32,10 +44,10 @@ void IntervalSet::erase(std::uint64_t begin, std::uint64_t end) {
   }
   while (it != ivs_.end() && it->first < end) {
     std::uint64_t ib = it->first, ie = it->second;
-    it = ivs_.erase(it);
-    if (ib < begin) ivs_.emplace(ib, begin);
+    it = map_erase(it);
+    if (ib < begin) map_emplace(ib, begin);
     if (ie > end) {
-      ivs_.emplace(end, ie);
+      map_emplace(end, ie);
       break;
     }
   }
@@ -76,10 +88,34 @@ std::optional<Interval> IntervalSet::next_at_or_after(std::uint64_t a) const {
   return Interval{it->first, it->second};
 }
 
-std::uint64_t IntervalSet::total_size() const {
-  std::uint64_t total = 0;
-  for (const auto& [b, e] : ivs_) total += e - b;
-  return total;
+IntervalSet::const_iterator IntervalSet::at_or_before(std::uint64_t a) const {
+  auto it = ivs_.upper_bound(a);
+  if (it == ivs_.begin()) return end();
+  return const_iterator(std::prev(it));
+}
+
+IntervalSet::const_iterator IntervalSet::at_or_after(std::uint64_t a) const {
+  return const_iterator(ivs_.lower_bound(a));
+}
+
+std::optional<Interval> IntervalSet::best_fit(std::uint64_t min_size) const {
+  auto it = by_size_.lower_bound({min_size, 0});
+  if (it == by_size_.end()) return std::nullopt;
+  return Interval{it->second, it->second + it->first};
+}
+
+std::optional<Interval> IntervalSet::first_fit(std::uint64_t min_size) const {
+  std::optional<Interval> lowest;
+  for (auto it = by_size_.lower_bound({min_size, 0}); it != by_size_.end(); ++it)
+    if (!lowest || it->second < lowest->begin)
+      lowest = Interval{it->second, it->second + it->first};
+  return lowest;
+}
+
+std::optional<Interval> IntervalSet::largest() const {
+  if (by_size_.empty()) return std::nullopt;
+  auto it = std::prev(by_size_.end());
+  return Interval{it->second, it->second + it->first};
 }
 
 std::vector<Interval> IntervalSet::intervals() const {

@@ -34,7 +34,7 @@ Dollop* DollopManager::split(Dollop* d, std::size_t pos) {
   recompute(d);
   recompute(tail.get());
   Dollop* out = tail.get();
-  dollops_.push_back(std::move(tail));
+  adopt(std::move(tail));
   return out;
 }
 
@@ -54,13 +54,14 @@ Dollop* DollopManager::split_to_fit(Dollop* d, std::uint64_t max_bytes) {
 
 void DollopManager::retire(Dollop* d) {
   for (irdb::InsnId id : d->insns) where_.erase(id);
-  for (auto it = dollops_.begin(); it != dollops_.end(); ++it) {
-    if (it->get() == d) {
-      dollops_.erase(it);
-      return;
-    }
+  std::size_t i = d->slot;
+  assert(i < dollops_.size() && dollops_[i].get() == d && "retiring unknown dollop");
+  if (i >= dollops_.size() || dollops_[i].get() != d) return;
+  if (i + 1 != dollops_.size()) {
+    dollops_[i] = std::move(dollops_.back());
+    dollops_[i]->slot = i;
   }
-  assert(false && "retiring unknown dollop");
+  dollops_.pop_back();
 }
 
 void DollopManager::index(Dollop* d) {

@@ -31,6 +31,10 @@ struct Dollop {
   /// Conservative byte size if emitted now (instructions at rel32 widths
   /// plus a 5-byte continuation jump when present).
   std::uint64_t size_estimate = 0;
+
+  /// Position in the owning DollopManager's list (maintained by the
+  /// manager; lets retire() swap-erase in O(1)).
+  std::size_t slot = 0;
 };
 
 class DollopManager {
@@ -63,7 +67,8 @@ class DollopManager {
   /// exists (the first instruction + jump already exceed `max_bytes`).
   Dollop* split_to_fit(Dollop* d, std::uint64_t max_bytes);
 
-  /// Remove a dollop that has been fully emitted.
+  /// Remove a dollop that has been fully emitted. O(1) in the number of
+  /// live dollops (swap-erase through the dollop's stored slot).
   void retire(Dollop* d);
 
   std::size_t unplaced_count() const { return dollops_.size(); }
@@ -90,12 +95,18 @@ class DollopManager {
     index(d.get());
     recompute(d.get());
     Dollop* out = d.get();
-    dollops_.push_back(std::move(d));
+    adopt(std::move(d));
     return out;
   }
 
   /// Split `d` at instruction index `pos` (tail begins at pos).
   Dollop* split(Dollop* d, std::size_t pos);
+
+  /// Take ownership of a dollop, recording its list slot.
+  void adopt(std::unique_ptr<Dollop> d) {
+    d->slot = dollops_.size();
+    dollops_.push_back(std::move(d));
+  }
 
   void index(Dollop* d);
   void recompute(Dollop* d);

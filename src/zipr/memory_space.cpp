@@ -16,10 +16,16 @@ Status MemorySpace::reserve(std::uint64_t addr, std::uint64_t size) {
   return Status::success();
 }
 
-void MemorySpace::release(std::uint64_t addr, std::uint64_t size) {
-  if (size == 0) return;
-  assert(addr >= main_.begin && addr + size <= main_.end);
+Status MemorySpace::release(std::uint64_t addr, std::uint64_t size) {
+  if (size == 0) return Status::success();
+  if (addr < main_.begin || addr + size > main_.end || addr + size < addr)
+    return Error::invalid_argument("release of " + std::to_string(size) + " bytes at " +
+                                   hex_addr(addr) + " outside main span [" +
+                                   hex_addr(main_.begin) + ", " + hex_addr(main_.end) + ")");
+  if (free_.overlaps(addr, addr + size))
+    return Error::internal("double release of bytes at " + hex_addr(addr));
   free_.insert(addr, addr + size);
+  return Status::success();
 }
 
 bool MemorySpace::is_free(std::uint64_t addr, std::uint64_t size) const {
@@ -28,27 +34,28 @@ bool MemorySpace::is_free(std::uint64_t addr, std::uint64_t size) const {
 }
 
 std::optional<std::uint64_t> MemorySpace::allocate(std::uint64_t size) {
-  for (const auto& iv : free_.intervals()) {
-    if (iv.size() >= size) {
-      free_.erase(iv.begin, iv.begin + size);
-      return iv.begin;
-    }
-  }
-  return std::nullopt;
+  auto iv = free_.best_fit(size);
+  if (!iv) return std::nullopt;
+  free_.erase(iv->begin, iv->begin + size);
+  return iv->begin;
 }
 
 std::optional<std::uint64_t> MemorySpace::allocate_in_window(std::uint64_t size, std::uint64_t lo,
                                                              std::uint64_t hi,
                                                              std::uint64_t prefer) {
+  if (size == 0 || lo > hi) return std::nullopt;
   std::optional<std::uint64_t> best;
   std::uint64_t best_dist = UINT64_MAX;
-  for (const auto& iv : free_.intervals()) {
-    if (iv.size() < size) continue;
+  // A candidate base b in [lo, hi] needs [b, b+size) inside one free range,
+  // so only ranges overlapping [lo, hi + size) matter.
+  std::uint64_t scan_hi = hi + size < hi ? UINT64_MAX : hi + size;
+  free_.for_each_in(lo, scan_hi, [&](const Interval& iv) {
+    if (iv.size() < size) return true;
     // Candidate base range within this interval intersected with [lo, hi].
     std::uint64_t base_lo = std::max(iv.begin, lo);
     std::uint64_t base_hi_excl = iv.end - size + 1;  // iv.size() >= size
     std::uint64_t base_hi = hi < base_hi_excl - 1 ? hi : base_hi_excl - 1;
-    if (base_lo > base_hi) continue;
+    if (base_lo > base_hi) return true;
     // Base nearest `prefer`, clamped into [base_lo, base_hi].
     std::uint64_t base = prefer < base_lo ? base_lo : (prefer > base_hi ? base_hi : prefer);
     std::uint64_t dist = base > prefer ? base - prefer : prefer - base;
@@ -56,7 +63,8 @@ std::optional<std::uint64_t> MemorySpace::allocate_in_window(std::uint64_t size,
       best_dist = dist;
       best = base;
     }
-  }
+    return best_dist != 0;  // cannot beat an exact hit
+  });
   if (best) free_.erase(*best, *best + size);
   return best;
 }
@@ -73,9 +81,8 @@ void MemorySpace::shrink_overflow(std::uint64_t addr) {
 }
 
 std::uint64_t MemorySpace::largest_free() const {
-  std::uint64_t best = 0;
-  for (const auto& iv : free_.intervals()) best = std::max(best, iv.size());
-  return best;
+  auto iv = free_.largest();
+  return iv ? iv->size() : 0;
 }
 
 }  // namespace zipr::rewriter

@@ -6,6 +6,12 @@
 // area beginning at the original text end absorbs whatever does not fit.
 // File-size overhead of a rewrite is, by construction, the number of
 // overflow bytes actually used.
+//
+// Every allocation-path query is O(log n) in the number of free ranges
+// and allocation-free: the free set is an IntervalSet with a size-ordered
+// secondary index (best-fit, largest) and window queries visit only the
+// ranges overlapping the window. Placement strategies read the free set
+// through free_set() visitors -- never through a materialized copy.
 #pragma once
 
 #include <optional>
@@ -22,23 +28,28 @@ class MemorySpace {
   /// begins at main.end.
   explicit MemorySpace(Interval main);
 
-  /// Mark [addr, addr+size) occupied. Must currently be free.
+  /// Mark [addr, addr+size) occupied. Must currently be free. O(log n).
   Status reserve(std::uint64_t addr, std::uint64_t size);
 
   /// Return [addr, addr+size) to the free list (e.g. the unused tail of a
-  /// conservatively-sized allocation). Only valid for main-span bytes.
-  void release(std::uint64_t addr, std::uint64_t size);
+  /// conservatively-sized allocation). Only valid for main-span bytes that
+  /// are currently occupied; out-of-span or already-free bytes yield an
+  /// error (and leave the free set untouched) rather than corrupting the
+  /// accounting when asserts are compiled out. O(log n).
+  Status release(std::uint64_t addr, std::uint64_t size);
 
-  /// True if [addr, addr+size) is entirely free main-span space.
+  /// True if [addr, addr+size) is entirely free main-span space. O(log n).
   bool is_free(std::uint64_t addr, std::uint64_t size) const;
 
-  /// Allocate `size` bytes anywhere in the main span (first fit).
-  /// Returns the base address, or nullopt if no free range fits.
+  /// Allocate `size` bytes anywhere in the main span (best fit: the
+  /// smallest free range that holds `size`). Returns the base address, or
+  /// nullopt if no free range fits. O(log n).
   std::optional<std::uint64_t> allocate(std::uint64_t size);
 
   /// Allocate `size` bytes whose base lies in [lo, hi] (inclusive bounds on
   /// the base address), nearest to `prefer`. Used for chain trampolines
-  /// that must sit within a short branch's reach.
+  /// that must sit within a short branch's reach. Visits only free ranges
+  /// overlapping the window: O(log n + k) for k such ranges.
   std::optional<std::uint64_t> allocate_in_window(std::uint64_t size, std::uint64_t lo,
                                                   std::uint64_t hi, std::uint64_t prefer);
 
@@ -49,10 +60,15 @@ class MemorySpace {
   /// after the most recent overflow allocation, to return its unused tail.
   void shrink_overflow(std::uint64_t addr);
 
-  /// All free main-span ranges, ascending.
+  /// The free set itself, for copy-free iteration / visitor queries
+  /// (placement strategies use for_each_fitting / for_each_in / best_fit).
+  const IntervalSet& free_set() const { return free_; }
+
+  /// All free main-span ranges, ascending. Materializes a vector --
+  /// stats/debug/test use only; allocation paths use free_set().
   std::vector<Interval> free_ranges() const { return free_.intervals(); }
 
-  /// Largest free main-span range size (0 when full).
+  /// Largest free main-span range size (0 when full). O(1).
   std::uint64_t largest_free() const;
 
   const Interval& main_span() const { return main_; }
@@ -60,6 +76,7 @@ class MemorySpace {
   std::uint64_t overflow_end() const { return overflow_next_; }
   std::uint64_t overflow_used() const { return overflow_next_ - main_.end; }
 
+  /// Total free main-span bytes. O(1).
   std::uint64_t free_bytes() const { return free_.total_size(); }
 
  private:

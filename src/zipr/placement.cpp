@@ -8,29 +8,40 @@ namespace {
 
 constexpr std::uint64_t kPage = zelf::layout::kPageSize;
 
+// All three strategies read the free set through the IntervalSet visitor /
+// size-index API: pick() never materializes the free list. Whole-fit scans
+// (size >= req.size) and viable-fragment scans (min_viable <= size <
+// req.size) walk only the size-index range that can actually satisfy the
+// request, so heavily fragmented spaces -- where almost every range is
+// dust -- cost O(log n + fitting) instead of O(n).
+
 class DiversityPlacement final : public PlacementStrategy {
  public:
   explicit DiversityPlacement(std::uint64_t seed) : rng_(seed) {}
 
   std::optional<Interval> pick(const MemorySpace& space,
                                const PlacementRequest& req) override {
-    std::vector<Interval> whole, partial;
-    for (const auto& iv : space.free_ranges()) {
-      if (iv.size() >= req.size)
-        whole.push_back(iv);
-      else if (iv.size() >= req.min_viable)
-        partial.push_back(iv);
-    }
-    if (!whole.empty()) {
+    const IntervalSet& free = space.free_set();
+    // Reservoir-sample one whole-fit range uniformly (single pass over the
+    // fitting ranges only), falling back to a viable fragment.
+    std::optional<Interval> chosen;
+    std::uint64_t seen = 0;
+    free.for_each_fitting(req.size, [&](const Interval& iv) {
+      if (rng_.below(++seen) == 0) chosen = iv;
+    });
+    if (chosen) {
       // Random range AND random start inside it: even a program with one
       // big free range gets a different layout per seed.
-      Interval iv = whole[rng_.below(whole.size())];
-      std::uint64_t slack = iv.size() - req.size;
+      std::uint64_t slack = chosen->size() - req.size;
       std::uint64_t offset = slack == 0 ? 0 : rng_.below(slack + 1);
-      return Interval{iv.begin + offset, iv.end};
+      return Interval{chosen->begin + offset, chosen->end};
     }
-    if (!partial.empty()) return partial[rng_.below(partial.size())];
-    return std::nullopt;
+    if (req.min_viable < req.size) {
+      free.for_each_sized_between(req.min_viable, req.size, [&](const Interval& iv) {
+        if (rng_.below(++seen) == 0) chosen = iv;
+      });
+    }
+    return chosen;
   }
 
   std::string name() const override { return "diversity"; }
@@ -43,28 +54,47 @@ class NearfitPlacement final : public PlacementStrategy {
  public:
   std::optional<Interval> pick(const MemorySpace& space,
                                const PlacementRequest& req) override {
+    const IntervalSet& free = space.free_set();
     const std::uint64_t anchor = req.preferred.value_or(space.main_span().begin);
-    std::optional<Interval> best_whole, best_partial;
-    std::uint64_t whole_dist = UINT64_MAX, partial_dist = UINT64_MAX;
-    for (const auto& iv : space.free_ranges()) {
+    // Whole fits first: if any range holds req.size (one O(log n) probe),
+    // walk outward from the anchor in both address directions and stop at
+    // the first fitting range -- by construction the nearest one. The walk
+    // touches only ranges nearer than the answer.
+    if (free.best_fit(req.size)) {
+      auto right = free.at_or_after(anchor);
+      auto left = right == free.begin() ? free.end() : std::prev(right);
+      if (left != free.end() && (*left).contains(anchor)) {
+        if ((*left).size() >= req.size) return *left;
+        left = left == free.begin() ? free.end() : std::prev(left);
+      }
+      while (left != free.end() || right != free.end()) {
+        std::uint64_t ldist = left != free.end() ? anchor - ((*left).end - 1) : UINT64_MAX;
+        std::uint64_t rdist = right != free.end() ? (*right).begin - anchor : UINT64_MAX;
+        if (ldist <= rdist) {
+          if ((*left).size() >= req.size) return *left;
+          left = left == free.begin() ? free.end() : std::prev(left);
+        } else {
+          if ((*right).size() >= req.size) return *right;
+          ++right;
+        }
+      }
+      // Unreachable: best_fit said a whole fit exists.
+    }
+    // No whole fit: nearest viable fragment, scanning only the size-index
+    // band [min_viable, req.size).
+    std::optional<Interval> best_partial;
+    std::uint64_t partial_dist = UINT64_MAX;
+    free.for_each_sized_between(req.min_viable, req.size, [&](const Interval& iv) {
       std::uint64_t dist =
           iv.contains(anchor) ? 0
           : (anchor < iv.begin ? iv.begin - anchor : anchor - (iv.end - 1));
-      if (iv.size() >= req.size) {
-        if (dist < whole_dist) {
-          whole_dist = dist;
-          best_whole = iv;
-        }
-      } else if (iv.size() >= req.min_viable) {
-        if (dist < partial_dist) {
-          partial_dist = dist;
-          best_partial = iv;
-        }
+      if (dist < partial_dist) {
+        partial_dist = dist;
+        best_partial = iv;
       }
-    }
-    if (best_whole) return best_whole;
-    if (best_partial) return best_partial;
-    return std::nullopt;
+      return partial_dist != 0;
+    });
+    return best_partial;
   }
 
   std::string name() const override { return "nearfit"; }
@@ -77,29 +107,25 @@ class PinPagePlacement final : public PlacementStrategy {
 
   std::optional<Interval> pick(const MemorySpace& space,
                                const PlacementRequest& req) override {
+    const IntervalSet& free = space.free_set();
     // Prefer the SMALLEST viable range on a pinned page (fill fragments
-    // first), then the smallest viable range anywhere.
-    std::optional<Interval> best_pinned, best_any;
-    for (const auto& iv : space.free_ranges()) {
-      if (iv.size() < req.min_viable) continue;
-      if (touches_pinned_page(iv)) {
+    // first), then the smallest viable range anywhere. Each pinned page is
+    // queried for its overlapping free ranges; the global fallback is one
+    // size-index probe.
+    std::optional<Interval> best_pinned;
+    for (std::uint64_t page : pinned_pages_) {
+      free.for_each_in(page, page + kPage, [&](const Interval& iv) {
+        if (iv.size() < req.min_viable) return;
         if (!best_pinned || iv.size() < best_pinned->size()) best_pinned = iv;
-      }
-      if (!best_any || iv.size() < best_any->size()) best_any = iv;
+      });
     }
     if (best_pinned) return best_pinned;
-    return best_any;
+    return free.best_fit(req.min_viable);
   }
 
   std::string name() const override { return "pinpage"; }
 
  private:
-  bool touches_pinned_page(const Interval& iv) const {
-    for (std::uint64_t page = iv.begin & ~(kPage - 1); page < iv.end; page += kPage)
-      if (pinned_pages_.count(page)) return true;
-    return false;
-  }
-
   std::set<std::uint64_t> pinned_pages_;
 };
 

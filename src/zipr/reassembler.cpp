@@ -48,16 +48,23 @@ std::optional<std::uint64_t> Reassembler::placed_at(InsnId id) const {
 }
 
 void Reassembler::write_bytes(std::uint64_t addr, ByteView bytes) {
+  if (bytes.empty()) return;
   const Interval& main = space_.main_span();
-  for (std::size_t i = 0; i < bytes.size(); ++i) {
-    std::uint64_t a = addr + i;
-    if (a < main.end) {
-      main_buf_[a - main.begin] = bytes[i];
-    } else {
-      std::size_t off = static_cast<std::size_t>(a - main.end);
-      if (off >= overflow_buf_.size()) overflow_buf_.resize(off + 1, kFillByte);
-      overflow_buf_[off] = bytes[i];
-    }
+  assert(addr >= main.begin);
+  // Bulk-copy the main-span prefix and the overflow suffix (one resize,
+  // one copy each) instead of dispatching per byte.
+  std::size_t head = 0;
+  if (addr < main.end) {
+    head = static_cast<std::size_t>(std::min<std::uint64_t>(bytes.size(), main.end - addr));
+    std::copy_n(bytes.data(), head,
+                main_buf_.begin() + static_cast<std::ptrdiff_t>(addr - main.begin));
+  }
+  if (head < bytes.size()) {
+    std::size_t off = static_cast<std::size_t>(addr + head - main.end);
+    std::size_t tail = bytes.size() - head;
+    if (off + tail > overflow_buf_.size()) overflow_buf_.resize(off + tail, kFillByte);
+    std::copy_n(bytes.data() + head, tail,
+                overflow_buf_.begin() + static_cast<std::ptrdiff_t>(off));
   }
 }
 
@@ -325,11 +332,12 @@ Status Reassembler::resolve_all() {
 Status Reassembler::resolve_pin(const PinSite& pin) {
   ZIPR_ASSIGN_OR_RETURN(std::uint64_t t, ensure_placed(pin.target, pin.addr));
 
-  auto release_trampoline = [&] {
+  auto release_trampoline = [&]() -> Status {
     if (pin.trampoline && !pin.trampoline_in_overflow)
-      space_.release(*pin.trampoline, kLongJump);
+      return space_.release(*pin.trampoline, kLongJump);
     // An unused overflow trampoline stays as 5 filler bytes; it is already
     // counted in overflow_bytes, keeping the file-size accounting honest.
+    return Status::success();
   };
 
   const bool short_ok = rel8_reaches(pin.addr, t);
@@ -341,8 +349,8 @@ Status Reassembler::resolve_pin(const PinSite& pin) {
         enc));
     write_bytes(pin.addr, enc);
     if (pin.reserved > kShortJump)
-      space_.release(pin.addr + kShortJump, pin.reserved - kShortJump);
-    release_trampoline();
+      ZIPR_TRY(space_.release(pin.addr + kShortJump, pin.reserved - kShortJump));
+    ZIPR_TRY(release_trampoline());
     ++stats_.pin_refs_short;
     return Status::success();
   }
@@ -353,7 +361,7 @@ Status Reassembler::resolve_pin(const PinSite& pin) {
                       BranchWidth::kRel32),
         enc));
     write_bytes(pin.addr, enc);
-    release_trampoline();
+    ZIPR_TRY(release_trampoline());
     ++stats_.pin_refs_long;
     return Status::success();
   }
@@ -514,7 +522,7 @@ Status Reassembler::emit_dollop_at(Dollop* d, std::uint64_t base, std::uint64_t 
     // The bump allocator can hand back the conservative tail immediately.
     space_.shrink_overflow(addr);
   } else if (used < budget) {
-    space_.release(addr, budget - used);
+    ZIPR_TRY(space_.release(addr, budget - used));
   }
   ++stats_.dollops_placed;
   dollops_.retire(d);
@@ -585,7 +593,6 @@ Result<zelf::Image> Reassembler::run() {
   stats_.dollop_splits = dollops_.total_splits();
   stats_.overflow_bytes = space_.overflow_used();
   stats_.free_bytes_left = space_.free_bytes();
-  stats_.output_text_bytes = main_buf_.size() + overflow_buf_.size();
 
   zelf::Image out = prog_.original;
   zelf::Segment& text = out.text();

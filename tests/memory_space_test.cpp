@@ -1,0 +1,295 @@
+// Differential tests for the size-indexed free-space core: the
+// IntervalSet fit queries and MemorySpace allocation paths are churned
+// against a naive byte-map reference model and must agree on every
+// observable at every step. Plus edge-case coverage for
+// allocate_in_window at window boundaries and the release() diagnostics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "support/rng.h"
+#include "zipr/memory_space.h"
+
+namespace zipr::rewriter {
+namespace {
+
+// ---- reference model: a byte map over a small address span ----
+
+class ByteModel {
+ public:
+  ByteModel(std::uint64_t lo, std::uint64_t hi) : lo_(lo), free_(hi - lo, false) {}
+
+  void set_free(std::uint64_t begin, std::uint64_t end, bool f) {
+    for (std::uint64_t a = begin; a < end; ++a) free_[a - lo_] = f;
+  }
+  bool all_free(std::uint64_t begin, std::uint64_t end) const {
+    if (begin < lo_ || end > lo_ + free_.size() || begin > end) return false;
+    for (std::uint64_t a = begin; a < end; ++a)
+      if (!free_[a - lo_]) return false;
+    return true;
+  }
+  bool any_free(std::uint64_t begin, std::uint64_t end) const {
+    for (std::uint64_t a = std::max(begin, lo_); a < std::min(end, lo_ + free_.size()); ++a)
+      if (free_[a - lo_]) return true;
+    return false;
+  }
+
+  /// Maximal free runs, ascending.
+  std::vector<Interval> intervals() const {
+    std::vector<Interval> out;
+    std::uint64_t n = free_.size();
+    for (std::uint64_t i = 0; i < n;) {
+      if (!free_[i]) { ++i; continue; }
+      std::uint64_t j = i;
+      while (j < n && free_[j]) ++j;
+      out.push_back({lo_ + i, lo_ + j});
+      i = j;
+    }
+    return out;
+  }
+
+  std::uint64_t total_free() const {
+    std::uint64_t t = 0;
+    for (bool f : free_) t += f ? 1 : 0;
+    return t;
+  }
+
+  /// Best-fit expectation: smallest maximal run >= size, ties by lowest base.
+  std::optional<std::uint64_t> best_fit(std::uint64_t size) const {
+    std::optional<Interval> best;
+    for (const auto& iv : intervals())
+      if (iv.size() >= size && (!best || iv.size() < best->size())) best = iv;
+    return best ? std::optional(best->begin) : std::nullopt;
+  }
+
+  /// allocate_in_window expectation: brute force over every base in
+  /// [lo, hi], nearest to prefer, ties to the lower base.
+  std::optional<std::uint64_t> window_fit(std::uint64_t size, std::uint64_t lo,
+                                          std::uint64_t hi, std::uint64_t prefer) const {
+    std::optional<std::uint64_t> best;
+    std::uint64_t best_dist = UINT64_MAX;
+    for (std::uint64_t b = lo; b <= hi; ++b) {
+      if (!all_free(b, b + size)) continue;
+      std::uint64_t dist = b > prefer ? b - prefer : prefer - b;
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = b;
+      }
+    }
+    return best;
+  }
+
+ private:
+  std::uint64_t lo_;
+  std::vector<bool> free_;
+};
+
+// ---- IntervalSet churn vs model: fit queries and copy-free visitors ----
+
+class IntervalSetDifferentialTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntervalSetDifferentialTest, SizeIndexMatchesModel) {
+  constexpr std::uint64_t kLo = 0x1000, kHi = 0x3000;
+  Rng rng(GetParam());
+  IntervalSet s;
+  ByteModel model(kLo, kHi);
+
+  for (int step = 0; step < 3000; ++step) {
+    std::uint64_t a = kLo + rng.below(kHi - kLo);
+    std::uint64_t b = std::min(kHi, a + 1 + rng.below(96));
+    if (rng.chance(3, 5)) {
+      s.insert(a, b);
+      model.set_free(a, b, true);
+    } else {
+      s.erase(a, b);
+      model.set_free(a, b, false);
+    }
+
+    ASSERT_EQ(s.total_size(), model.total_free()) << "step " << step;
+    if (step % 16 != 0) continue;  // full structural compare periodically
+
+    auto want = model.intervals();
+    ASSERT_EQ(s.intervals(), want) << "step " << step;
+
+    // Iterators agree with intervals().
+    std::vector<Interval> via_iter(s.begin(), s.end());
+    ASSERT_EQ(via_iter, want);
+
+    // for_each_in visits exactly the overlapping intervals.
+    std::uint64_t wl = kLo + rng.below(kHi - kLo), wh = std::min(kHi, wl + 1 + rng.below(512));
+    std::vector<Interval> in_window;
+    s.for_each_in(wl, wh, [&](const Interval& iv) { in_window.push_back(iv); });
+    std::vector<Interval> want_window;
+    for (const auto& iv : want)
+      if (iv.begin < wh && iv.end > wl) want_window.push_back(iv);
+    ASSERT_EQ(in_window, want_window) << "window [" << wl << "," << wh << ")";
+
+    // Fit queries agree with brute force over the model's runs.
+    for (std::uint64_t size : {1u, 2u, 7u, 31u, 64u, 200u}) {
+      auto best = s.best_fit(size);
+      std::optional<Interval> want_best, want_first, want_largest;
+      for (const auto& iv : want) {
+        if (iv.size() >= size) {
+          if (!want_best || iv.size() < want_best->size()) want_best = iv;
+          if (!want_first) want_first = iv;
+        }
+        if (!want_largest || iv.size() >= want_largest->size()) want_largest = iv;
+      }
+      ASSERT_EQ(best, want_best) << "best_fit(" << size << ") step " << step;
+      ASSERT_EQ(s.first_fit(size), want_first) << "first_fit(" << size << ")";
+      ASSERT_EQ(s.largest(), want_largest);
+
+      // for_each_fitting yields exactly the fitting intervals, smallest
+      // first, and honors early exit.
+      std::uint64_t fit_count = 0, want_fit_count = 0;
+      std::uint64_t prev_size = 0;
+      s.for_each_fitting(size, [&](const Interval& iv) {
+        EXPECT_GE(iv.size(), size);
+        EXPECT_GE(iv.size(), prev_size);
+        prev_size = iv.size();
+        ++fit_count;
+      });
+      for (const auto& iv : want) want_fit_count += iv.size() >= size ? 1 : 0;
+      ASSERT_EQ(fit_count, want_fit_count);
+      bool stopped = false;
+      s.for_each_fitting(size, [&](const Interval&) {
+        EXPECT_FALSE(stopped);
+        stopped = true;
+        return false;  // early exit after one
+      });
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetDifferentialTest, ::testing::Values(1, 7, 99));
+
+// ---- MemorySpace churn vs model ----
+
+class MemorySpaceDifferentialTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MemorySpaceDifferentialTest, ChurnMatchesModel) {
+  constexpr std::uint64_t kLo = 0x1000, kHi = 0x5000;
+  Rng rng(GetParam());
+  MemorySpace s({kLo, kHi});
+  ByteModel model(kLo, kHi);
+  model.set_free(kLo, kHi, true);
+
+  for (int step = 0; step < 10000; ++step) {
+    switch (rng.below(5)) {
+      case 0: {  // reserve
+        std::uint64_t a = kLo + rng.below(kHi - kLo);
+        std::uint64_t n = 1 + rng.below(64);
+        bool want_ok = a + n <= kHi && model.all_free(a, a + n);
+        EXPECT_EQ(s.reserve(a, n).ok(), want_ok) << "step " << step;
+        if (want_ok) model.set_free(a, a + n, false);
+        break;
+      }
+      case 1: {  // release: sometimes valid, sometimes out of span / double
+        std::uint64_t a = kLo - 8 + rng.below(kHi - kLo + 16);
+        std::uint64_t n = 1 + rng.below(64);
+        bool in_span = a >= kLo && a + n <= kHi;
+        bool want_ok = in_span && !model.any_free(a, a + n);
+        EXPECT_EQ(s.release(a, n).ok(), want_ok) << "step " << step;
+        if (want_ok) model.set_free(a, a + n, true);
+        break;
+      }
+      case 2: {  // allocate (best fit)
+        std::uint64_t n = 1 + rng.below(96);
+        auto got = s.allocate(n);
+        auto want = model.best_fit(n);
+        ASSERT_EQ(got, want) << "allocate(" << n << ") step " << step;
+        if (got) model.set_free(*got, *got + n, false);
+        break;
+      }
+      case 3: {  // allocate_in_window
+        std::uint64_t n = 1 + rng.below(8);
+        std::uint64_t prefer = kLo + rng.below(kHi - kLo);
+        std::uint64_t lo = prefer >= 126 ? prefer - 126 : 0;
+        std::uint64_t hi = prefer + 129;
+        auto got = s.allocate_in_window(n, lo, hi, prefer);
+        auto want = model.window_fit(n, lo, hi, prefer);
+        ASSERT_EQ(got, want) << "window alloc step " << step;
+        if (got) model.set_free(*got, *got + n, false);
+        break;
+      }
+      case 4: {  // read-only observables
+        EXPECT_EQ(s.free_bytes(), model.total_free());
+        auto runs = model.intervals();
+        std::uint64_t largest = 0;
+        for (const auto& iv : runs) largest = std::max(largest, iv.size());
+        EXPECT_EQ(s.largest_free(), largest);
+        std::uint64_t a = kLo + rng.below(kHi - kLo);
+        std::uint64_t n = 1 + rng.below(32);
+        EXPECT_EQ(s.is_free(a, n), a + n <= kHi && model.all_free(a, a + n));
+        break;
+      }
+    }
+  }
+  ASSERT_EQ(s.free_ranges(), model.intervals());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemorySpaceDifferentialTest, ::testing::Values(2, 17, 4242));
+
+// ---- allocate_in_window edge cases ----
+
+TEST(MemorySpaceWindow, SingleBaseWindow) {
+  MemorySpace s({0x1000, 0x2000});
+  // lo == hi: the only candidate base is 0x1800.
+  auto a = s.allocate_in_window(8, 0x1800, 0x1800, 0x1800);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, 0x1800u);
+  // The same single-base window is now occupied.
+  EXPECT_FALSE(s.allocate_in_window(8, 0x1800, 0x1800, 0x1800).has_value());
+  // A single-base window whose extent hangs past the free range fails.
+  ASSERT_TRUE(s.reserve(0x1900, 0x100).ok());
+  EXPECT_FALSE(s.allocate_in_window(8, 0x18f9, 0x18f9, 0x18f9).has_value());
+  EXPECT_TRUE(s.allocate_in_window(8, 0x18f8, 0x18f8, 0x18f8).has_value());
+}
+
+TEST(MemorySpaceWindow, InvertedWindowIsEmpty) {
+  MemorySpace s({0x1000, 0x2000});
+  EXPECT_FALSE(s.allocate_in_window(8, 0x1900, 0x1800, 0x1850).has_value());
+}
+
+TEST(MemorySpaceWindow, StraddlingOverflowFrontierStaysInMain) {
+  MemorySpace s({0x1000, 0x2000});
+  // Window reaches past main.end: only main-span bytes are allocatable, so
+  // the last viable base leaves the allocation flush with the frontier.
+  auto a = s.allocate_in_window(8, 0x1ff0, 0x2100, 0x2100);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, 0x2000u - 8);
+  // With the tail occupied, a window entirely past the frontier finds nothing.
+  EXPECT_FALSE(s.allocate_in_window(8, 0x2000, 0x2100, 0x2000).has_value());
+  EXPECT_EQ(s.overflow_used(), 0u) << "window allocation must never touch overflow";
+}
+
+TEST(MemorySpaceWindow, WindowClampedAtSpanStart) {
+  MemorySpace s({0x1000, 0x2000});
+  auto a = s.allocate_in_window(8, 0x0, 0x1000, 0x0);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, 0x1000u);  // nearest in-span base at the span edge
+}
+
+// ---- release diagnostics (no silent corruption without asserts) ----
+
+TEST(MemorySpaceRelease, OutOfSpanIsRejected) {
+  MemorySpace s({0x1000, 0x2000});
+  ASSERT_TRUE(s.reserve(0x1000, 0x1000).ok());
+  EXPECT_FALSE(s.release(0xff0, 0x20).ok());    // starts below the span
+  EXPECT_FALSE(s.release(0x1ff0, 0x20).ok());   // runs past the frontier
+  EXPECT_FALSE(s.release(0x2000, 0x10).ok());   // entirely in overflow
+  EXPECT_EQ(s.free_bytes(), 0u) << "failed releases must not free anything";
+}
+
+TEST(MemorySpaceRelease, DoubleReleaseIsRejected) {
+  MemorySpace s({0x1000, 0x2000});
+  ASSERT_TRUE(s.reserve(0x1000, 0x100).ok());
+  ASSERT_TRUE(s.release(0x1000, 0x100).ok());
+  EXPECT_FALSE(s.release(0x1000, 0x100).ok());  // exact double release
+  EXPECT_FALSE(s.release(0x10f8, 0x10).ok());   // partial overlap with free
+  EXPECT_EQ(s.free_bytes(), 0x1000u);
+}
+
+}  // namespace
+}  // namespace zipr::rewriter

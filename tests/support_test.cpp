@@ -204,6 +204,74 @@ TEST(IntervalSet, NextAtOrAfter) {
   EXPECT_FALSE(s.next_at_or_after(41).has_value());
 }
 
+TEST(IntervalSet, IteratorsWalkInAddressOrder) {
+  IntervalSet s;
+  s.insert(30, 40);
+  s.insert(10, 20);
+  std::vector<Interval> seen(s.begin(), s.end());
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (Interval{10, 20}));
+  EXPECT_EQ(seen[1], (Interval{30, 40}));
+}
+
+TEST(IntervalSet, ForEachInVisitsOverlapsOnly) {
+  IntervalSet s;
+  s.insert(0, 10);
+  s.insert(20, 30);
+  s.insert(40, 50);
+  std::vector<Interval> seen;
+  s.for_each_in(5, 41, [&](const Interval& iv) { seen.push_back(iv); });
+  ASSERT_EQ(seen.size(), 3u);
+  seen.clear();
+  s.for_each_in(10, 20, [&](const Interval& iv) { seen.push_back(iv); });
+  EXPECT_TRUE(seen.empty());  // half-open: touching intervals don't overlap
+  // Early exit on a false return.
+  int visits = 0;
+  s.for_each_in(0, 50, [&](const Interval&) {
+    ++visits;
+    return false;
+  });
+  EXPECT_EQ(visits, 1);
+}
+
+TEST(IntervalSet, FitQueries) {
+  IntervalSet s;
+  s.insert(100, 110);  // size 10
+  s.insert(200, 264);  // size 64
+  s.insert(300, 310);  // size 10
+  auto best = s.best_fit(8);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->begin, 100u);  // smallest fitting, lowest begin on tie
+  auto first = s.first_fit(11);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->begin, 200u);
+  auto big = s.largest();
+  ASSERT_TRUE(big.has_value());
+  EXPECT_EQ(big->size(), 64u);
+  EXPECT_FALSE(s.best_fit(65).has_value());
+  EXPECT_FALSE(s.first_fit(65).has_value());
+
+  // The size index tracks coalescing: joining the two 10-byte ranges with
+  // the 64-byte one produces a single 210-byte interval.
+  s.insert(110, 300);
+  ASSERT_TRUE(s.best_fit(65).has_value());
+  EXPECT_EQ(s.largest()->size(), 210u);
+  EXPECT_EQ(s.total_size(), 210u);
+}
+
+TEST(IntervalSet, ForEachFittingSmallestFirst) {
+  IntervalSet s;
+  s.insert(0, 64);     // size 64
+  s.insert(100, 110);  // size 10
+  s.insert(200, 232);  // size 32
+  std::vector<std::uint64_t> sizes;
+  s.for_each_fitting(11, [&](const Interval& iv) { sizes.push_back(iv.size()); });
+  EXPECT_EQ(sizes, (std::vector<std::uint64_t>{32, 64}));
+  sizes.clear();
+  s.for_each_sized_between(10, 64, [&](const Interval& iv) { sizes.push_back(iv.size()); });
+  EXPECT_EQ(sizes, (std::vector<std::uint64_t>{10, 32}));
+}
+
 // Property-style sweep: IntervalSet must agree with a bitmap model.
 class IntervalSetModelTest : public ::testing::TestWithParam<std::uint64_t> {};
 

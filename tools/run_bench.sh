@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Run the microbenchmark suite and record BENCH_micro.json.
+#
+# Usage: tools/run_bench.sh [benchmark-filter-regex]
+#
+# Environment:
+#   BUILD_DIR       build tree (default: <repo>/build)
+#   BENCH_OUT       output JSON path (default: <repo>/BENCH_micro.json)
+#   BENCH_MIN_TIME  per-benchmark min time (default: benchmark's own default)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+OUT="${BENCH_OUT:-$ROOT/BENCH_micro.json}"
+FILTER="${1:-.}"
+
+cmake -S "$ROOT" -B "$BUILD" >/dev/null
+cmake --build "$BUILD" --target micro -j "$(nproc)" >/dev/null
+
+args=(--benchmark_filter="$FILTER"
+      --benchmark_out="$OUT"
+      --benchmark_out_format=json)
+if [[ -n "${BENCH_MIN_TIME:-}" ]]; then
+  args+=(--benchmark_min_time="$BENCH_MIN_TIME")
+fi
+"$BUILD/bench/micro" "${args[@]}"
+echo "wrote $OUT"
