@@ -1,0 +1,161 @@
+// Corpus-scale batch-rewrite benchmark: the full 62-CB corpus through the
+// BatchRewriter at 1 (serial reference), 2, 4 and 8 workers.
+//
+// Emits machine-readable JSON (BENCH_corpus.json; see tools/run_bench.sh
+// for the format contract) recording per-run wall time, per-stage
+// percentiles, success/failure counts, the speedup of each pool size over
+// the serial run, and whether every pool size produced byte-identical
+// images to the serial pass (it must -- the engine is deterministic by
+// construction).
+//
+//   batch_corpus [--out=BENCH_corpus.json] [--repeats=N]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "batch/batch_rewriter.h"
+#include "cgc/generator.h"
+#include "zelf/io.h"
+
+namespace {
+
+using namespace zipr;
+
+constexpr int kPools[] = {1, 2, 4, 8};
+
+struct RunRecord {
+  int jobs = 0;
+  double wall_ms = 0;
+  std::size_t succeeded = 0;
+  std::size_t failed = 0;
+  batch::BatchStats stats;
+};
+
+std::uint64_t fnv1a(const Bytes& b, std::uint64_t h) {
+  for (Byte c : b) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Order-sensitive digest of every output image in the batch.
+std::uint64_t digest_outputs(const batch::BatchResult& r) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto& item : r.items) {
+    if (!item.result.ok()) continue;
+    h = fnv1a(zelf::write_image(item.result->image), h);
+  }
+  return h;
+}
+
+void emit_percentiles(std::FILE* f, const char* name, const batch::StagePercentiles& p,
+                      const char* trailing) {
+  std::fprintf(f,
+               "      \"%s\": {\"p50_ms\": %.3f, \"p90_ms\": %.3f, \"p99_ms\": %.3f, "
+               "\"max_ms\": %.3f}%s\n",
+               name, p.p50_ms, p.p90_ms, p.p99_ms, p.max_ms, trailing);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_corpus.json";
+  int repeats = 3;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+    if (std::strncmp(argv[i], "--repeats=", 10) == 0) repeats = std::atoi(argv[i] + 10);
+  }
+  if (repeats < 1) repeats = 1;
+
+  // Materialize the corpus once up front so every run measures pure
+  // batch-rewrite wall time over identical inputs.
+  std::vector<zelf::Image> images;
+  for (const auto& spec : cgc::cfe_corpus()) {
+    auto cb = cgc::generate_cb(spec);
+    if (!cb.ok()) {
+      std::fprintf(stderr, "CB generation failed: %s\n", cb.error().message.c_str());
+      return 1;
+    }
+    images.push_back(std::move(cb->image));
+  }
+  std::printf("== batch corpus: %zu CBs x {1,2,4,8} workers (best of %d) ==\n", images.size(),
+              repeats);
+
+  std::vector<RunRecord> runs;
+  std::uint64_t serial_digest = 0;
+  bool deterministic = true;
+  for (int jobs : kPools) {
+    batch::BatchOptions opts;
+    opts.jobs = jobs;
+    RunRecord best;
+    std::uint64_t digest = 0;
+    for (int rep = 0; rep < repeats; ++rep) {
+      batch::BatchResult r = batch::rewrite_batch(images, opts);
+      if (rep == 0) digest = digest_outputs(r);
+      if (rep == 0 || r.stats.wall_ms < best.wall_ms) {
+        best.jobs = jobs;
+        best.wall_ms = r.stats.wall_ms;
+        best.succeeded = r.stats.succeeded;
+        best.failed = r.stats.failed;
+        best.stats = r.stats;
+      }
+    }
+    if (jobs == 1) serial_digest = digest;
+    bool matches = digest == serial_digest;
+    deterministic &= matches;
+    runs.push_back(best);
+    std::printf("  jobs=%d  wall %8.1f ms  ok %zu  failed %zu  outputs %s serial\n", jobs,
+                best.wall_ms, best.succeeded, best.failed,
+                matches ? "identical to" : "DIVERGE from");
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"batch_corpus\",\n");
+  std::fprintf(f, "  \"corpus_size\": %zu,\n", images.size());
+  std::fprintf(f, "  \"repeats\": %d,\n", repeats);
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::max(1u, std::thread::hardware_concurrency()));
+  std::fprintf(f, "  \"outputs_identical_across_pool_sizes\": %s,\n",
+               deterministic ? "true" : "false");
+  std::fprintf(f, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunRecord& r = runs[i];
+    std::fprintf(f, "    {\"jobs\": %d, \"wall_ms\": %.3f, \"succeeded\": %zu, \"failed\": %zu,\n",
+                 r.jobs, r.wall_ms, r.succeeded, r.failed);
+    std::fprintf(f, "     \"speedup_vs_serial\": %.3f,\n",
+                 r.wall_ms > 0 ? runs[0].wall_ms / r.wall_ms : 0.0);
+    std::fprintf(f, "     \"stage_ms\": {\n");
+    emit_percentiles(f, "ir", r.stats.ir, ",");
+    emit_percentiles(f, "transform", r.stats.transform, ",");
+    emit_percentiles(f, "reassembly", r.stats.reassembly, ",");
+    emit_percentiles(f, "item_total", r.stats.item_total, "");
+    std::fprintf(f, "    }}%s\n", i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  // Correctness gates (speedup is hardware-dependent and NOT gated here:
+  // on a 1-core container every pool size necessarily runs ~1x).
+  if (!deterministic) {
+    std::fprintf(stderr, "FAIL: parallel outputs diverge from serial\n");
+    return 1;
+  }
+  for (const RunRecord& r : runs)
+    if (r.failed != 0) {
+      std::fprintf(stderr, "FAIL: %zu corpus rewrites failed at jobs=%d\n", r.failed, r.jobs);
+      return 1;
+    }
+  return 0;
+}

@@ -29,11 +29,15 @@ inline Config cfi_config() {
   return c;
 }
 
-/// Evaluate the 62-CB corpus under one configuration.
-inline std::vector<cgc::CbMetrics> evaluate(const Config& config, int polls = 8) {
+/// Evaluate the 62-CB corpus under one configuration. The corpus fans out
+/// across a batch worker pool (jobs <= 0 = hardware concurrency, 1 =
+/// serial); results are deterministic and order-preserving either way, so
+/// every figure is identical whichever pool size ran it.
+inline std::vector<cgc::CbMetrics> evaluate(const Config& config, int polls = 8, int jobs = 0) {
   cgc::EvalOptions opts;
   opts.rewrite = config.rewrite;
   opts.polls = polls;
+  opts.jobs = jobs;
   auto r = cgc::evaluate_corpus(cgc::cfe_corpus(), opts);
   if (!r.ok()) {
     std::fprintf(stderr, "corpus evaluation failed: %s\n", r.error().message.c_str());

@@ -11,6 +11,7 @@
 #include <map>
 
 #include "asm/assembler.h"
+#include "batch/batch_rewriter.h"
 #include "cgc/generator.h"
 #include "isa/insn.h"
 #include "support/interval.h"
@@ -299,6 +300,28 @@ void BM_RewriteLarge(benchmark::State& state) {
   state.SetLabel(cb.spec.name + " (" + std::to_string(text) + "B text)");
 }
 BENCHMARK(BM_RewriteLarge);
+
+// Batch-rewrite a 16-image corpus slice on 1/2/4/8 workers. Wall-clock
+// (real time) is the quantity of interest: on a multi-core host the
+// speedup vs Arg(1) approaches min(jobs, cores); on a single core it stays
+// ~1x and the pool overhead is what's being measured.
+void BM_BatchRewrite(benchmark::State& state) {
+  static const std::vector<zelf::Image>& images = [] {
+    static std::vector<zelf::Image> imgs;
+    for (std::size_t i = 0; i < 16; ++i)
+      imgs.push_back(shared_cb(i * 3 % shared_corpus().size()).image);
+    return std::ref(imgs);
+  }().get();
+  batch::BatchOptions opts;
+  opts.jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto r = batch::rewrite_batch(images, opts);
+    if (r.stats.failed != 0) std::abort();
+    benchmark::DoNotOptimize(r.stats.succeeded);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * images.size()));
+}
+BENCHMARK(BM_BatchRewrite)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 void BM_RewriteWithCfi(benchmark::State& state) {
   const auto& cb = shared_cb(5);

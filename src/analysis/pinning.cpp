@@ -16,6 +16,10 @@ void verbatim_range_targets(const zelf::Segment& text, const Interval& range,
   std::uint64_t addr = range.begin;
   while (addr < range.end) {
     std::uint64_t off = addr - text.vaddr;
+    // A range may extend into the zero-filled memsize tail of the segment
+    // (memsize > filesize images): no file bytes exist there to decode, and
+    // `bytes.size() - off` would underflow into a huge bogus span.
+    if (off >= text.bytes.size()) break;
     std::size_t avail = static_cast<std::size_t>(
         std::min<std::uint64_t>(range.end - addr, text.bytes.size() - off));
     auto insn = isa::decode(ByteView(text.bytes.data() + off, avail));

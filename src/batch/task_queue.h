@@ -1,0 +1,80 @@
+// A bounded multi-producer / multi-consumer task queue.
+//
+// The batch engine's backpressure primitive: producers block when the queue
+// is full (so a huge corpus never materializes all its tasks at once) and
+// consumers block when it is empty. close() wakes everyone; consumers drain
+// the remaining items and then observe end-of-stream.
+//
+// Implementation: ring buffer + one mutex + two condition variables. The
+// rewrite work units are milliseconds long, so a lock per push/pop is
+// negligible against the work they hand over; correctness and simplicity
+// beat a lock-free design here.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace zipr::batch {
+
+template <typename T>
+class TaskQueue {
+ public:
+  /// `capacity` must be >= 1: the queue holds at most that many items.
+  explicit TaskQueue(std::size_t capacity) : buf_(capacity == 0 ? 1 : capacity) {}
+
+  TaskQueue(const TaskQueue&) = delete;
+  TaskQueue& operator=(const TaskQueue&) = delete;
+
+  /// Block until there is room, then enqueue. Returns false (dropping
+  /// `item`) if the queue was closed.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || size_ < buf_.size(); });
+    if (closed_) return false;
+    buf_[(head_ + size_) % buf_.size()] = std::move(item);
+    ++size_;
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Block until an item is available, then dequeue. Returns nullopt once
+  /// the queue is closed AND drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || size_ > 0; });
+    if (size_ == 0) return std::nullopt;  // closed and drained
+    T out = std::move(buf_[head_]);
+    head_ = (head_ + 1) % buf_.size();
+    --size_;
+    lock.unlock();
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// End-of-stream: pending items remain poppable, new pushes fail, and all
+  /// blocked producers/consumers wake.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  std::size_t capacity() const { return buf_.size(); }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::vector<T> buf_;  // ring buffer: [head_, head_ + size_) mod capacity
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace zipr::batch

@@ -1,5 +1,6 @@
 #include "cgc/metrics.h"
 
+#include "batch/worker_pool.h"
 #include "zelf/io.h"
 
 namespace zipr::cgc {
@@ -55,12 +56,24 @@ Result<CbMetrics> evaluate_cb(const CbProgram& cb, const EvalOptions& opts) {
 
 Result<std::vector<CbMetrics>> evaluate_corpus(const std::vector<CbSpec>& corpus,
                                                const EvalOptions& opts) {
+  // Per-index slots: workers never share results, and corpus order is
+  // preserved by construction whatever the completion order.
+  std::vector<std::optional<Result<CbMetrics>>> slots(corpus.size());
+  batch::parallel_for(opts.jobs, corpus.size(), [&](std::size_t i) {
+    Result<CbProgram> cb = generate_cb(corpus[i]);
+    if (!cb.ok()) {
+      slots[i] = cb.error();
+      return;
+    }
+    slots[i] = evaluate_cb(*cb, opts);
+  });
+
   std::vector<CbMetrics> out;
   out.reserve(corpus.size());
-  for (const auto& spec : corpus) {
-    ZIPR_ASSIGN_OR_RETURN(CbProgram cb, generate_cb(spec));
-    ZIPR_ASSIGN_OR_RETURN(CbMetrics m, evaluate_cb(cb, opts));
-    out.push_back(std::move(m));
+  for (auto& slot : slots) {
+    if (!slot) return Error::internal("corpus evaluation slot never ran");
+    if (!slot->ok()) return slot->error();  // first failure in corpus order
+    out.push_back(std::move(*std::move(*slot)));
   }
   return out;
 }

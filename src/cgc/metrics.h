@@ -28,12 +28,19 @@ struct EvalOptions {
   RewriteOptions rewrite;
   int polls = 12;
   std::uint64_t poll_seed = 0xD0D0;
+  /// Worker threads for corpus evaluation: 1 = serial (the reference
+  /// path), <= 0 = hardware concurrency. Results are deterministic and
+  /// identical to the serial path regardless of the worker count (each CB
+  /// is generated, rewritten and polled independently; see src/batch).
+  int jobs = 1;
 };
 
 /// Rewrite `cb` and measure it against the original under the pollers.
 Result<CbMetrics> evaluate_cb(const CbProgram& cb, const EvalOptions& opts);
 
-/// Evaluate a whole corpus; stops at the first hard error.
+/// Evaluate a whole corpus across opts.jobs workers. All CBs are evaluated
+/// even when some fail; the FIRST failure (in corpus order, independent of
+/// scheduling) is then reported, preserving the serial contract.
 Result<std::vector<CbMetrics>> evaluate_corpus(const std::vector<CbSpec>& corpus,
                                                const EvalOptions& opts);
 

@@ -2,11 +2,26 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
+#include <utility>
 
 namespace zipr {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// Guards the sink pointer and serializes emission: a line is written (or a
+// custom sink invoked) atomically with respect to every other logging
+// thread and to set_log_sink.
+std::mutex& sink_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+LogSink& sink_slot() {
+  static LogSink sink;  // empty = default stderr writer
+  return sink;
+}
 
 const char* level_tag(LogLevel l) {
   switch (l) {
@@ -24,8 +39,18 @@ void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_rela
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  sink_slot() = std::move(sink);
+}
+
 namespace detail {
 void log_line(LogLevel level, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  if (LogSink& sink = sink_slot()) {
+    sink(level, msg);
+    return;
+  }
   std::fprintf(stderr, "[zipr %s] %s\n", level_tag(level), msg.c_str());
 }
 }  // namespace detail

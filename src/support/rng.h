@@ -46,4 +46,22 @@ class Rng {
   std::uint64_t state_;
 };
 
+/// Derive a decorrelated seed for consumer `stream` of a base seed.
+///
+/// Adjacent base seeds (or adjacent streams) map to statistically unrelated
+/// values: the pair is mixed through two full SplitMix64 finalization
+/// rounds. Used wherever one user-supplied seed fans out to several
+/// independent random consumers (chained transforms, placement, per-item
+/// batch seeds) so none of them draw correlated streams.
+inline std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream) {
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace zipr

@@ -52,16 +52,18 @@ Dollop* DollopManager::split_to_fit(Dollop* d, std::uint64_t max_bytes) {
   return split(d, pos);
 }
 
-void DollopManager::retire(Dollop* d) {
-  for (irdb::InsnId id : d->insns) where_.erase(id);
+Status DollopManager::retire(Dollop* d) {
   std::size_t i = d->slot;
-  assert(i < dollops_.size() && dollops_[i].get() == d && "retiring unknown dollop");
-  if (i >= dollops_.size() || dollops_[i].get() != d) return;
+  if (i >= dollops_.size() || dollops_[i].get() != d)
+    return Error::internal("retire of unknown (or already retired) dollop; slot " +
+                           std::to_string(i) + " of " + std::to_string(dollops_.size()));
+  for (irdb::InsnId id : d->insns) where_.erase(id);
   if (i + 1 != dollops_.size()) {
     dollops_[i] = std::move(dollops_.back());
     dollops_[i]->slot = i;
   }
   dollops_.pop_back();
+  return Status::success();
 }
 
 void DollopManager::index(Dollop* d) {

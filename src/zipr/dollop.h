@@ -68,8 +68,10 @@ class DollopManager {
   Dollop* split_to_fit(Dollop* d, std::uint64_t max_bytes);
 
   /// Remove a dollop that has been fully emitted. O(1) in the number of
-  /// live dollops (swap-erase through the dollop's stored slot).
-  void retire(Dollop* d);
+  /// live dollops (swap-erase through the dollop's stored slot). Retiring a
+  /// dollop the manager does not own -- including a double retire -- is an
+  /// internal error and leaves the manager untouched.
+  Status retire(Dollop* d);
 
   std::size_t unplaced_count() const { return dollops_.size(); }
   std::size_t total_splits() const { return splits_; }

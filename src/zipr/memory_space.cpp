@@ -1,7 +1,5 @@
 #include "zipr/memory_space.h"
 
-#include <cassert>
-
 namespace zipr::rewriter {
 
 MemorySpace::MemorySpace(Interval main) : main_(main), overflow_next_(main.end) {
@@ -75,9 +73,13 @@ std::uint64_t MemorySpace::allocate_overflow(std::uint64_t size) {
   return base;
 }
 
-void MemorySpace::shrink_overflow(std::uint64_t addr) {
-  assert(addr >= main_.end);
+Status MemorySpace::shrink_overflow(std::uint64_t addr) {
+  if (addr < main_.end)
+    return Error::invalid_argument("overflow shrink to " + hex_addr(addr) +
+                                   " below the overflow base " + hex_addr(main_.end) +
+                                   " would hand overflow bytes to the main span");
   if (addr < overflow_next_) overflow_next_ = addr;
+  return Status::success();
 }
 
 std::uint64_t MemorySpace::largest_free() const {

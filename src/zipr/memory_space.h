@@ -58,7 +58,10 @@ class MemorySpace {
 
   /// Roll the overflow bump pointer back to `addr`. Only valid immediately
   /// after the most recent overflow allocation, to return its unused tail.
-  void shrink_overflow(std::uint64_t addr);
+  /// An address below the overflow base is rejected (it would silently
+  /// donate main-span bytes to the bump allocator); addresses at or past
+  /// the current frontier are a no-op.
+  Status shrink_overflow(std::uint64_t addr);
 
   /// The free set itself, for copy-free iteration / visitor queries
   /// (placement strategies use for_each_fitting / for_each_in / best_fit).

@@ -47,10 +47,17 @@ std::optional<std::uint64_t> Reassembler::placed_at(InsnId id) const {
   return it->second;
 }
 
-void Reassembler::write_bytes(std::uint64_t addr, ByteView bytes) {
-  if (bytes.empty()) return;
+Status Reassembler::write_bytes(std::uint64_t addr, ByteView bytes) {
+  if (bytes.empty()) return Status::success();
   const Interval& main = space_.main_span();
-  assert(addr >= main.begin);
+  // An address below the main span has no byte to back it: the subtraction
+  // `addr - main.begin` below would underflow into a wild out-of-bounds
+  // write. Reject it as a checked invariant violation instead of relying on
+  // an assert that vanishes under NDEBUG.
+  if (addr < main.begin)
+    return Error::internal("write of " + std::to_string(bytes.size()) + " bytes at " +
+                           hex_addr(addr) + " below the output span base " +
+                           hex_addr(main.begin));
   // Bulk-copy the main-span prefix and the overflow suffix (one resize,
   // one copy each) instead of dispatching per byte.
   std::size_t head = 0;
@@ -66,14 +73,15 @@ void Reassembler::write_bytes(std::uint64_t addr, ByteView bytes) {
     std::copy_n(bytes.data() + head, tail,
                 overflow_buf_.begin() + static_cast<std::ptrdiff_t>(off));
   }
+  return Status::success();
 }
 
-void Reassembler::patch_rel32(std::uint64_t site, std::uint64_t target_addr) {
+Status Reassembler::patch_rel32(std::uint64_t site, std::uint64_t target_addr) {
   std::int64_t disp =
       static_cast<std::int64_t>(target_addr) - static_cast<std::int64_t>(site + kLongJump);
   Bytes enc;
   put_i32(enc, static_cast<std::int32_t>(disp));
-  write_bytes(site + 1, enc);
+  return write_bytes(site + 1, enc);
 }
 
 // ---- stage 0: verbatim ranges stay put ----
@@ -81,7 +89,7 @@ void Reassembler::patch_rel32(std::uint64_t site, std::uint64_t target_addr) {
 Status Reassembler::place_verbatim_ranges() {
   for (const auto& [range, row_id] : prog_.verbatim) {
     ZIPR_TRY(space_.reserve(range.begin, range.size()));
-    write_bytes(range.begin, prog_.db.insn(row_id).orig_bytes);
+    ZIPR_TRY(write_bytes(range.begin, prog_.db.insn(row_id).orig_bytes));
     placed_[row_id] = range.begin;
   }
   return Status::success();
@@ -140,7 +148,7 @@ Status Reassembler::build_sleds() {
     Bytes sled;
     for (std::uint64_t k = 0; k < push_len; ++k) sled.push_back(0x68);
     for (int k = 0; k < 4; ++k) sled.push_back(0x90);
-    write_bytes(first, sled);
+    ZIPR_TRY(write_bytes(first, sled));
 
     // Each 0x68 entry pushes the imm32 formed by the 4 bytes after it.
     std::vector<std::pair<std::uint64_t, std::uint32_t>> entries;  // (value, entry addr)
@@ -159,7 +167,7 @@ Status Reassembler::build_sleds() {
     // The jump after the nop tail carries control into the dispatcher.
     Bytes placeholder;
     ZIPR_TRY(isa::encode(isa::make_jmp(0, BranchWidth::kRel32), placeholder));
-    write_bytes(jmp_at, placeholder);
+    ZIPR_TRY(write_bytes(jmp_at, placeholder));
     pending_.push_back({jmp_at, dispatch_head, jmp_at});
 
     ++stats_.sleds;
@@ -291,7 +299,7 @@ Status Reassembler::reserve_pin_sites() {
         space_.is_free(addr, 1)) {
       ZIPR_TRY(space_.reserve(addr, 1));
       ZIPR_ASSIGN_OR_RETURN(Bytes enc, isa::encode(row.decoded));
-      write_bytes(addr, enc);
+      ZIPR_TRY(write_bytes(addr, enc));
       ++stats_.pins_in_place;
       continue;
     }
@@ -347,7 +355,7 @@ Status Reassembler::resolve_pin(const PinSite& pin) {
         isa::make_jmp(static_cast<std::int64_t>(t) - static_cast<std::int64_t>(pin.addr + 2),
                       BranchWidth::kRel8),
         enc));
-    write_bytes(pin.addr, enc);
+    ZIPR_TRY(write_bytes(pin.addr, enc));
     if (pin.reserved > kShortJump)
       ZIPR_TRY(space_.release(pin.addr + kShortJump, pin.reserved - kShortJump));
     ZIPR_TRY(release_trampoline());
@@ -360,7 +368,7 @@ Status Reassembler::resolve_pin(const PinSite& pin) {
         isa::make_jmp(static_cast<std::int64_t>(t) - static_cast<std::int64_t>(pin.addr + 5),
                       BranchWidth::kRel32),
         enc));
-    write_bytes(pin.addr, enc);
+    ZIPR_TRY(write_bytes(pin.addr, enc));
     ZIPR_TRY(release_trampoline());
     ++stats_.pin_refs_long;
     return Status::success();
@@ -382,10 +390,10 @@ Status Reassembler::chain_pin(const PinSite& pin) {
         isa::make_jmp(static_cast<std::int64_t>(b) - static_cast<std::int64_t>(cur + 2),
                       BranchWidth::kRel8),
         enc));
-    write_bytes(cur, enc);
+    ZIPR_TRY(write_bytes(cur, enc));
     Bytes placeholder;
     ZIPR_TRY(isa::encode(isa::make_jmp(0, BranchWidth::kRel32), placeholder));
-    write_bytes(b, placeholder);
+    ZIPR_TRY(write_bytes(b, placeholder));
     pending_.push_back({b, pin.target, b});
     return Status::success();
   }
@@ -407,10 +415,10 @@ Status Reassembler::chain_pin(const PinSite& pin) {
           isa::make_jmp(static_cast<std::int64_t>(*slot) - static_cast<std::int64_t>(cur + 2),
                         BranchWidth::kRel8),
           enc));
-      write_bytes(cur, enc);
+      ZIPR_TRY(write_bytes(cur, enc));
       Bytes placeholder;
       ZIPR_TRY(isa::encode(isa::make_jmp(0, BranchWidth::kRel32), placeholder));
-      write_bytes(*slot, placeholder);
+      ZIPR_TRY(write_bytes(*slot, placeholder));
       pending_.push_back({*slot, pin.target, *slot});
       return Status::success();
     }
@@ -421,7 +429,7 @@ Status Reassembler::chain_pin(const PinSite& pin) {
           isa::make_jmp(static_cast<std::int64_t>(*c) - static_cast<std::int64_t>(cur + 2),
                         BranchWidth::kRel8),
           enc));
-      write_bytes(cur, enc);
+      ZIPR_TRY(write_bytes(cur, enc));
       cur = *c;
       ++stats_.chain_hops;
       continue;
@@ -434,7 +442,7 @@ Status Reassembler::chain_pin(const PinSite& pin) {
 
 Status Reassembler::resolve_ref(const PendingRef& ref) {
   ZIPR_ASSIGN_OR_RETURN(std::uint64_t t, ensure_placed(ref.target, ref.preferred));
-  patch_rel32(ref.site, t);
+  ZIPR_TRY(patch_rel32(ref.site, t));
   ++stats_.refs_resolved;
   return Status::success();
 }
@@ -479,7 +487,7 @@ Status Reassembler::emit_dollop_at(Dollop* d, std::uint64_t base, std::uint64_t 
   std::uint64_t addr = base;
   for (InsnId id : d->insns) {
     ZIPR_ASSIGN_OR_RETURN(Bytes enc, emit_row(prog_.db.insn(id), addr));
-    write_bytes(addr, enc);
+    ZIPR_TRY(write_bytes(addr, enc));
     placed_[id] = addr;
     addr += enc.size();
     ++stats_.insns_placed;
@@ -495,7 +503,7 @@ Status Reassembler::emit_dollop_at(Dollop* d, std::uint64_t base, std::uint64_t 
             isa::make_jmp(static_cast<std::int64_t>(t) - static_cast<std::int64_t>(addr + 2),
                           BranchWidth::kRel8),
             enc));
-        write_bytes(addr, enc);
+        ZIPR_TRY(write_bytes(addr, enc));
         addr += enc.size();
       } else {
         Bytes enc;
@@ -503,13 +511,13 @@ Status Reassembler::emit_dollop_at(Dollop* d, std::uint64_t base, std::uint64_t 
             isa::make_jmp(static_cast<std::int64_t>(t) - static_cast<std::int64_t>(addr + 5),
                           BranchWidth::kRel32),
             enc));
-        write_bytes(addr, enc);
+        ZIPR_TRY(write_bytes(addr, enc));
         addr += enc.size();
       }
     } else {
       Bytes placeholder;
       ZIPR_TRY(isa::encode(isa::make_jmp(0, BranchWidth::kRel32), placeholder));
-      write_bytes(addr, placeholder);
+      ZIPR_TRY(write_bytes(addr, placeholder));
       pending_.push_back({addr, cont, addr});
       addr += placeholder.size();
     }
@@ -520,12 +528,12 @@ Status Reassembler::emit_dollop_at(Dollop* d, std::uint64_t base, std::uint64_t 
     return Error::internal("dollop emission overran its budget at " + hex_addr(base));
   if (in_overflow) {
     // The bump allocator can hand back the conservative tail immediately.
-    space_.shrink_overflow(addr);
+    ZIPR_TRY(space_.shrink_overflow(addr));
   } else if (used < budget) {
     ZIPR_TRY(space_.release(addr, budget - used));
   }
   ++stats_.dollops_placed;
-  dollops_.retire(d);
+  ZIPR_TRY(dollops_.retire(d));
   return Status::success();
 }
 

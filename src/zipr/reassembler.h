@@ -72,6 +72,8 @@ class Reassembler {
   std::optional<std::uint64_t> placed_at(irdb::InsnId id) const;
 
  private:
+  friend class ReassemblerTestPeer;  // regression tests for checked invariants
+
   struct PinSite {
     std::uint64_t addr = 0;
     std::uint8_t reserved = 0;  ///< 2..5 bytes held for this reference
@@ -106,14 +108,16 @@ class Reassembler {
   Status emit_dollop_at(Dollop* d, std::uint64_t base, std::uint64_t budget, bool in_overflow);
   Result<Bytes> emit_row(const irdb::Instruction& row, std::uint64_t addr);
   Status emit_jump_slot(std::uint64_t addr, std::uint8_t room, irdb::InsnId target);
-  void patch_rel32(std::uint64_t site, std::uint64_t target_addr);
+  Status patch_rel32(std::uint64_t site, std::uint64_t target_addr);
 
   // Sled construction (Sec. II-C2).
   Result<irdb::InsnId> build_sled_dispatch(const std::vector<std::pair<std::uint64_t, std::uint32_t>>& entries,
                                            irdb::InsnId nop_region_target);
 
   // -- output buffer over [main.begin, +inf) --
-  void write_bytes(std::uint64_t addr, ByteView bytes);
+  // Rejects addresses below the main span (checked even under NDEBUG: the
+  // offset arithmetic would otherwise underflow into a wild OOB write).
+  Status write_bytes(std::uint64_t addr, ByteView bytes);
 
   analysis::IrProgram& prog_;
   ReassemblyOptions opts_;

@@ -44,13 +44,27 @@ struct RewriteOptions {
   std::vector<std::string> transforms;
 };
 
+/// Wall-clock time spent in each pipeline phase of one rewrite() call.
+struct StageTimes {
+  double ir_ms = 0;          ///< Phase 1: IR construction
+  double transform_ms = 0;   ///< Phase 2: mandatory checks + transforms
+  double reassembly_ms = 0;  ///< Phase 3: reassembly
+  double total_ms() const { return ir_ms + transform_ms + reassembly_ms; }
+};
+
 struct RewriteResult {
   zelf::Image image;
   analysis::AnalysisStats analysis;
   rewriter::RewriteStats reassembly;
+  StageTimes timing;
 };
 
 /// Rewrite `input`, applying the configured transforms.
+///
+/// REENTRANT: all pipeline state is per-call; concurrent rewrites from
+/// multiple threads are safe (see the batch engine, src/batch). The only
+/// shared state touched is the mutex-guarded transform registry and the
+/// thread-safe logger.
 Result<RewriteResult> rewrite(const zelf::Image& input, const RewriteOptions& options = {});
 
 }  // namespace zipr

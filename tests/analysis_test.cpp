@@ -223,6 +223,40 @@ TEST(Aggregate, FullyCleanProgramHasNoAmbiguity) {
 
 // ---- pinning ----
 
+TEST(Pinning, VerbatimRangeIntoMemsizeTailDoesNotUnderflow) {
+  // A verbatim (ambiguous) range that extends past the text segment's file
+  // bytes into its zero-filled memsize tail used to compute
+  // `bytes.size() - off` with off beyond the file bytes: the subtraction
+  // underflowed into a huge bogus span and the decoder read out of bounds.
+  // The scan must clamp to the file bytes and terminate cleanly.
+  auto img = must_assemble(R"(
+    .entry main
+    .text
+    main:
+      movi r0, 1
+      movi r1, 0
+      syscall
+    tail:
+      .byte 0xde, 0xad
+  )");
+  zelf::Segment& text = img.text();
+  const std::uint64_t file_end = text.vaddr + text.bytes.size();
+  text.memsize = text.bytes.size() + 0x40;  // zero-filled in-memory tail
+
+  auto linear = linear_sweep(img.text());
+  auto rec = recursive_traversal(img);
+  auto agg = aggregate(img.text(), linear, rec);
+  // Force an ambiguous range straddling the end of the file bytes deep
+  // into the memsize tail.
+  agg.ambiguous.insert(file_end - 2, file_end + 0x20);
+
+  PinSet pins = compute_pins(img, agg, rec, {});
+  for (const auto& [addr, reason] : pins.pins) {
+    (void)reason;
+    EXPECT_LT(addr, file_end) << "pin conjured from the zero-filled tail";
+  }
+}
+
 struct PinFixture {
   zelf::Image img;
   Aggregate agg;

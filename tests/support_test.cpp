@@ -2,6 +2,8 @@
 // IntervalSet, and the deterministic RNG.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "support/bytes.h"
 #include "support/interval.h"
 #include "support/rng.h"
@@ -347,6 +349,33 @@ TEST(Rng, ForkIndependent) {
   Rng b(5);
   b.next();  // consume the value fork() consumed
   EXPECT_NE(child.next(), b.next());
+}
+
+TEST(Rng, DeriveSeedDistinctAcrossStreams) {
+  // Per-stage seeds inside one rewrite must be decorrelated: formerly the
+  // pipeline handed out seed, seed+1, ... and reused the base for
+  // placement, so nearby user seeds collided across stages. The mixer must
+  // give every (base, stream) pair its own seed with no cheap collisions.
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t base = 0; base < 64; ++base)
+    for (std::uint64_t stream = 0; stream < 8; ++stream)
+      seen.insert(derive_seed(base, stream));
+  EXPECT_EQ(seen.size(), 64u * 8u);
+
+  // The classic trap: derive(seed, k) colliding with derive(seed+1, k-1)
+  // (what plain seed+stream addition would do).
+  for (std::uint64_t base = 0; base < 32; ++base)
+    for (std::uint64_t stream = 1; stream < 8; ++stream)
+      EXPECT_NE(derive_seed(base, stream), derive_seed(base + 1, stream - 1))
+          << "base " << base << " stream " << stream;
+}
+
+TEST(Rng, DeriveSeedDeterministic) {
+  EXPECT_EQ(derive_seed(42, 3), derive_seed(42, 3));
+  EXPECT_NE(derive_seed(42, 3), derive_seed(42, 4));
+  EXPECT_NE(derive_seed(42, 3), derive_seed(43, 3));
+  // Streams of a zero base must still be distinct (zero-seed degeneracy).
+  EXPECT_NE(derive_seed(0, 0), derive_seed(0, 1));
 }
 
 }  // namespace

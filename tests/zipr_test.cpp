@@ -2,14 +2,29 @@
 // strategies, sleds/chaining, and full-pipeline Null-rewrite equivalence.
 #include <gtest/gtest.h>
 
+#include "analysis/ir_builder.h"
+#include "isa/opcodes.h"
 #include "testing_util.h"
 #include "zelf/io.h"
 #include "zipr/dollop.h"
 #include "zipr/memory_space.h"
 #include "zipr/placement.h"
+#include "zipr/reassembler.h"
 #include "zipr/zipr.h"
 
 namespace zipr {
+namespace rewriter {
+
+/// Friend of Reassembler: exposes checked-invariant internals to tests.
+class ReassemblerTestPeer {
+ public:
+  static Status write_bytes(Reassembler& r, std::uint64_t addr, ByteView bytes) {
+    return r.write_bytes(addr, bytes);
+  }
+};
+
+}  // namespace rewriter
+
 namespace {
 
 using rewriter::Dollop;
@@ -51,9 +66,24 @@ TEST(MemorySpace, OverflowBumpAndShrink) {
   auto b = s.allocate_overflow(100);
   EXPECT_EQ(b, 0x2000u);
   EXPECT_EQ(s.overflow_used(), 100u);
-  s.shrink_overflow(0x2040);
+  ASSERT_TRUE(s.shrink_overflow(0x2040).ok());
   EXPECT_EQ(s.overflow_used(), 0x40u);
   EXPECT_EQ(s.allocate_overflow(8), 0x2040u);
+}
+
+TEST(MemorySpace, ShrinkOverflowBelowBaseIsRejected) {
+  // Rolling the bump pointer below the overflow base would silently donate
+  // main-span bytes to the bump allocator; formerly an assert (a no-op
+  // under NDEBUG), now a checked error that leaves the frontier untouched.
+  MemorySpace s({0x1000, 0x2000});
+  s.allocate_overflow(0x80);
+  Status bad = s.shrink_overflow(0x1fff);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().kind, Error::Kind::kInvalidArgument);
+  EXPECT_EQ(s.overflow_used(), 0x80u);
+  // At/past the frontier is an explicit no-op, not an error.
+  ASSERT_TRUE(s.shrink_overflow(0x2100).ok());
+  EXPECT_EQ(s.overflow_used(), 0x80u);
 }
 
 TEST(MemorySpace, AllocateInWindowPrefersNearest) {
@@ -71,6 +101,54 @@ TEST(MemorySpace, AllocateInWindowRespectsSize) {
   ASSERT_TRUE(s.reserve(0x1004, 0xff0).ok());  // free: [0x1000,0x1004) + tail
   EXPECT_FALSE(s.allocate_in_window(5, 0x1000, 0x1003, 0x1000).has_value());
   EXPECT_TRUE(s.allocate_in_window(4, 0x1000, 0x1003, 0x1000).has_value());
+}
+
+TEST(MemorySpace, AllocateInWindowHiIsInclusive) {
+  // reserve_pin_sites/chain_pin pass [addr-126, addr+129] expecting both
+  // bounds to be valid bases; a half-open hi would silently lose the last
+  // reachable trampoline slot.
+  MemorySpace s({0x1000, 0x2000});
+  // Free space is exactly one 5-byte slot at 0x1800.
+  ASSERT_TRUE(s.reserve(0x1000, 0x800).ok());
+  ASSERT_TRUE(s.reserve(0x1805, 0x7fb).ok());
+  EXPECT_FALSE(s.allocate_in_window(5, 0x1700, 0x17ff, 0x1700).has_value());
+  auto at_hi = s.allocate_in_window(5, 0x1700, 0x1800, 0x1700);
+  ASSERT_TRUE(at_hi.has_value());
+  EXPECT_EQ(*at_hi, 0x1800u);
+}
+
+TEST(MemorySpace, Rel8WindowLowEdgeIsReachable) {
+  // A trampoline allocated at exactly addr-126 (the window's low bound)
+  // must be reachable by the 2-byte jump at addr: disp = -128 = kRel8Min.
+  const std::uint64_t addr = 0x1800;
+  MemorySpace s({0x1000, 0x2000});
+  ASSERT_TRUE(s.reserve(0x1000, (addr - 126) - 0x1000).ok());
+  ASSERT_TRUE(s.reserve(addr - 126 + 5, 0x2000 - (addr - 126 + 5)).ok());
+  auto slot = s.allocate_in_window(5, addr - 126, addr + 129, addr);
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_EQ(*slot, addr - 126);
+  std::int64_t disp = static_cast<std::int64_t>(*slot) - static_cast<std::int64_t>(addr + 2);
+  EXPECT_EQ(disp, isa::kRel8Min);
+}
+
+TEST(MemorySpace, Rel8WindowHighEdgeIsReachable) {
+  // Same at the high bound addr+129: disp = +127 = kRel8Max. One byte
+  // further and the window must reject it.
+  const std::uint64_t addr = 0x1800;
+  MemorySpace s({0x1000, 0x2000});
+  ASSERT_TRUE(s.reserve(0x1000, (addr + 129) - 0x1000).ok());
+  ASSERT_TRUE(s.reserve(addr + 129 + 5, 0x2000 - (addr + 129 + 5)).ok());
+  auto slot = s.allocate_in_window(5, addr - 126, addr + 129, addr);
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_EQ(*slot, addr + 129);
+  std::int64_t disp = static_cast<std::int64_t>(*slot) - static_cast<std::int64_t>(addr + 2);
+  EXPECT_EQ(disp, isa::kRel8Max);
+
+  // Shift the free slot one byte past the window: no allocation.
+  MemorySpace s2({0x1000, 0x2000});
+  ASSERT_TRUE(s2.reserve(0x1000, (addr + 130) - 0x1000).ok());
+  ASSERT_TRUE(s2.reserve(addr + 130 + 5, 0x2000 - (addr + 130 + 5)).ok());
+  EXPECT_FALSE(s2.allocate_in_window(5, addr - 126, addr + 129, addr).has_value());
 }
 
 // ---- DollopManager ----
@@ -135,6 +213,40 @@ TEST(DollopManager, SplitToFitRespectsBudget) {
   EXPECT_EQ(d->insns.size(), 3u);
   EXPECT_LE(d->size_estimate, 8u);
   EXPECT_EQ(tail->insns.size(), 7u);
+}
+
+TEST(DollopManager, RetireOfUnownedDollopIsRejected) {
+  // retire() used to assert on an unknown dollop and silently return on a
+  // stale slot; under NDEBUG a stale retire could erase another dollop's
+  // where_ entries. Now both are one checked error path that leaves the
+  // manager untouched.
+  DollopFixture f(4);
+  DollopManager dm(f.db);
+  auto never_placed = [](irdb::InsnId) { return false; };
+  Dollop* d = dm.dollop_starting_at(f.chain[0], never_placed);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(dm.unplaced_count(), 1u);
+
+  // Slot out of range (the shape a double retire leaves behind once the
+  // list has shrunk).
+  Dollop stray;
+  stray.slot = 99;
+  Status bad = dm.retire(&stray);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().kind, Error::Kind::kInternal);
+  EXPECT_EQ(dm.unplaced_count(), 1u);
+
+  // Slot in range but owned by a different dollop: pointer identity must
+  // catch it and not disturb the real occupant.
+  Dollop alias;
+  alias.slot = d->slot;
+  alias.insns = d->insns;  // even matching contents must not fool it
+  EXPECT_FALSE(dm.retire(&alias).ok());
+  EXPECT_EQ(dm.unplaced_count(), 1u);
+
+  // The legitimate owner still retires cleanly afterwards.
+  EXPECT_TRUE(dm.retire(d).ok());
+  EXPECT_EQ(dm.unplaced_count(), 0u);
 }
 
 TEST(DollopManager, SplitToFitFailsWhenFirstInsnTooBig) {
@@ -449,6 +561,33 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST(NullRewrite, CaseCountMatchesRange) { EXPECT_EQ(e2e_cases().size(), 12u); }
+
+// ---- checked invariants in the reassembler ----
+
+TEST(Reassembler, WriteBelowOutputSpanIsRejected) {
+  // write_bytes used to assert(addr >= main.begin); with NDEBUG the offset
+  // subtraction underflowed into a wild out-of-bounds write. It is now a
+  // checked error on every build.
+  zelf::Image img =
+      must_assemble(".entry main\n.text\nmain: movi r0, 1\nmovi r1, 0\nsyscall\n");
+  auto prog = analysis::build_ir(img);
+  ASSERT_TRUE(prog.ok()) << prog.error().message;
+  rewriter::Reassembler reasm(*prog, rewriter::ReassemblyOptions{});
+
+  const std::uint64_t base = prog->original.text().vaddr;
+  Bytes nop{0x90};
+  Status bad = rewriter::ReassemblerTestPeer::write_bytes(reasm, base - 1, nop);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().kind, Error::Kind::kInternal);
+
+  // The span base itself, and the overflow area past main.end, stay valid.
+  EXPECT_TRUE(rewriter::ReassemblerTestPeer::write_bytes(reasm, base, nop).ok());
+  const std::uint64_t end = base + prog->original.text().bytes.size();
+  EXPECT_TRUE(rewriter::ReassemblerTestPeer::write_bytes(reasm, end + 16, nop).ok());
+
+  // Empty writes are a no-op regardless of address.
+  EXPECT_TRUE(rewriter::ReassemblerTestPeer::write_bytes(reasm, 0, Bytes{}).ok());
+}
 
 // ---- structural properties of the rewritten binary ----
 

@@ -1,21 +1,46 @@
 #!/usr/bin/env bash
-# Run the microbenchmark suite and record BENCH_micro.json.
+# Run the microbenchmark suite (BENCH_micro.json) and the corpus-scale
+# batch-engine benchmark (BENCH_corpus.json).
 #
 # Usage: tools/run_bench.sh [benchmark-filter-regex]
 #
 # Environment:
-#   BUILD_DIR       build tree (default: <repo>/build)
-#   BENCH_OUT       output JSON path (default: <repo>/BENCH_micro.json)
-#   BENCH_MIN_TIME  per-benchmark min time (default: benchmark's own default)
+#   BUILD_DIR         build tree (default: <repo>/build)
+#   BENCH_OUT         micro output JSON path (default: <repo>/BENCH_micro.json)
+#   BENCH_CORPUS_OUT  corpus output JSON path (default: <repo>/BENCH_corpus.json)
+#   BENCH_MIN_TIME    per-benchmark min time (default: benchmark's own default)
+#   BENCH_REPEATS     batch_corpus repeats per pool size (default: 3, best-of)
+#
+# BENCH_corpus.json format (written by bench/batch_corpus.cpp):
+#   {
+#     "bench": "batch_corpus",
+#     "corpus_size": <CB count>,
+#     "repeats": <best-of repeat count>,
+#     "hardware_concurrency": <cores visible to the run>,
+#     "outputs_identical_across_pool_sizes": true|false,
+#     "runs": [
+#       {"jobs": <worker count>, "wall_ms": <best wall time>,
+#        "succeeded": N, "failed": N,
+#        "speedup_vs_serial": <serial wall / this wall>,
+#        "stage_ms": {"ir"|"transform"|"reassembly"|"item_total":
+#                     {"p50_ms","p90_ms","p99_ms","max_ms"}}},
+#       ...one entry per pool size (1, 2, 4, 8)...
+#     ]
+#   }
+# The binary exits non-zero if any pool size produced outputs differing from
+# the serial pass or any corpus rewrite failed. speedup_vs_serial is recorded
+# but NOT gated: it is hardware-dependent (on a 1-core machine every pool
+# size necessarily runs ~1x; interpret it against hardware_concurrency).
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${BUILD_DIR:-$ROOT/build}"
 OUT="${BENCH_OUT:-$ROOT/BENCH_micro.json}"
+CORPUS_OUT="${BENCH_CORPUS_OUT:-$ROOT/BENCH_corpus.json}"
 FILTER="${1:-.}"
 
 cmake -S "$ROOT" -B "$BUILD" >/dev/null
-cmake --build "$BUILD" --target micro -j "$(nproc)" >/dev/null
+cmake --build "$BUILD" --target micro batch_corpus -j "$(nproc)" >/dev/null
 
 args=(--benchmark_filter="$FILTER"
       --benchmark_out="$OUT"
@@ -25,3 +50,5 @@ if [[ -n "${BENCH_MIN_TIME:-}" ]]; then
 fi
 "$BUILD/bench/micro" "${args[@]}"
 echo "wrote $OUT"
+
+"$BUILD/bench/batch_corpus" --out="$CORPUS_OUT" --repeats="${BENCH_REPEATS:-3}"

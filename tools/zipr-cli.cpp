@@ -1,41 +1,99 @@
 // zipr-cli: the rewriter as a command-line tool.
 //
+// Single-binary mode:
 //   zipr-cli input.zelf --out=output.zelf
 //            [--transform=null|cfi|stackpad|canary|profile]...   (repeatable)
 //            [--placement=nearfit|diversity|pinpage] [--seed=N]
 //            [--pin-call-returns] [--naive-pins] [--stats]
 //            [--dump-ir=<file>] [--list-transforms]
+//
+// Batch mode (2+ inputs): rewrite a corpus on a worker pool; one failing
+// binary is reported and exits nonzero at the end but never stops the rest.
+//   zipr-cli a.zelf b.zelf ... --out-dir=DIR [--jobs=N] [batch-safe flags]
 #include <cinttypes>
+#include <filesystem>
 
+#include "batch/batch_rewriter.h"
 #include "cli_util.h"
 #include "irdb/serialize.h"
 #include "transform/api.h"
 #include "zelf/io.h"
 #include "zipr/zipr.h"
 
+namespace {
+
+int run_batch(const zipr::cli::Args& args, const zipr::RewriteOptions& options) {
+  using namespace zipr;
+  auto out_dir = args.value("out-dir");
+  if (!out_dir) cli::die("batch mode (2+ inputs) requires --out-dir=<dir>");
+  std::error_code ec;
+  std::filesystem::create_directories(*out_dir, ec);
+  if (ec) cli::die("cannot create --out-dir " + *out_dir + ": " + ec.message());
+
+  batch::BatchOptions bopts;
+  bopts.jobs = static_cast<int>(args.value_u64("jobs", 0));
+  bopts.rewrite = options;
+
+  // Loading is deferred into factories so file I/O parallelizes with
+  // rewriting across the pool.
+  std::vector<batch::BatchTask> tasks;
+  for (const auto& path : args.positional())
+    tasks.push_back({path, batch::ImageFactory([path] { return zelf::load_image(path); }),
+                     std::nullopt});
+
+  batch::BatchResult result = batch::BatchRewriter(bopts).run(std::move(tasks));
+
+  int failed = 0;
+  for (const auto& item : result.items) {
+    if (!item.result.ok()) {
+      std::fprintf(stderr, "FAIL %s: [%s] %s\n", item.name.c_str(),
+                   item.result.error().kind_name(), item.result.error().message.c_str());
+      ++failed;
+      continue;
+    }
+    std::string out_path =
+        (std::filesystem::path(*out_dir) / std::filesystem::path(item.name).filename()).string();
+    auto saved = zelf::save_image(item.result->image, out_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "FAIL %s: cannot save: %s\n", item.name.c_str(),
+                   saved.error().message.c_str());
+      ++failed;
+      continue;
+    }
+    std::printf("ok   %s -> %s (%.1f ms)\n", item.name.c_str(), out_path.c_str(), item.total_ms);
+  }
+  const auto& s = result.stats;
+  std::printf(
+      "batch: %zu ok, %zu failed of %zu on %zu worker(s) in %.1f ms "
+      "(item p50 %.1f / p90 %.1f / p99 %.1f ms)\n",
+      s.succeeded, s.failed, s.total, s.jobs, s.wall_ms, s.item_total.p50_ms,
+      s.item_total.p90_ms, s.item_total.p99_ms);
+  return failed == 0 ? 0 : 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace zipr;
   cli::Args args(argc, argv);
-  cli::reject_unknown(args, {"out", "transform", "placement", "seed", "pin-call-returns",
-                             "naive-pins", "stats", "dump-ir", "list-transforms", "help"});
+  cli::reject_unknown(args, {"out", "out-dir", "jobs", "transform", "placement", "seed",
+                             "pin-call-returns", "naive-pins", "stats", "dump-ir",
+                             "list-transforms", "help"});
 
   if (args.has("list-transforms")) {
     for (const auto& name : transform::registered_transforms()) std::printf("%s\n", name.c_str());
     return 0;
   }
-  if (args.has("help") || args.positional().size() != 1) {
+  if (args.has("help") || args.positional().empty()) {
     std::printf(
         "usage: zipr-cli <input.zelf> --out=<output.zelf>\n"
         "                [--transform=<name>]... [--placement=nearfit|diversity|pinpage]\n"
         "                [--seed=N] [--pin-call-returns] [--naive-pins] [--stats]\n"
-        "                [--dump-ir=<file>] [--list-transforms]\n");
+        "                [--dump-ir=<file>] [--list-transforms]\n"
+        "       zipr-cli <input.zelf>... --out-dir=<dir> [--jobs=N] [shared flags]\n"
+        "                (batch mode: rewrites all inputs on a worker pool)\n");
     return args.has("help") ? 0 : 2;
   }
-  auto out_path = args.value("out");
-  if (!out_path) cli::die("--out=<path> is required");
-
-  auto input = zelf::load_image(args.positional()[0]);
-  if (!input.ok()) cli::die(input.error().message);
 
   RewriteOptions options;
   options.transforms = args.values("transform");
@@ -52,15 +110,26 @@ int main(int argc, char** argv) {
   else
     cli::die("unknown placement '" + placement + "'");
 
+  // 2+ inputs (or an explicit --out-dir / --jobs): corpus batch mode.
+  if (args.positional().size() > 1 || args.has("out-dir") || args.has("jobs"))
+    return run_batch(args, options);
+
+  auto out_path = args.value("out");
+  if (!out_path) cli::die("--out=<path> is required");
+
+  auto input = zelf::load_image(args.positional()[0]);
+  if (!input.ok()) cli::die(input.error().message);
+
   // --dump-ir stops after IR construction + transforms: the tool-to-tool
   // exchange format the IRDB exists for.
   if (auto dump_path = args.value("dump-ir")) {
     auto prog = analysis::build_ir(*input, options.analysis);
     if (!prog.ok()) cli::die(prog.error().message);
+    std::uint64_t stream = 1;  // matches zipr::rewrite's per-transform seeds
     for (const auto& name : options.transforms) {
       auto t = transform::make_transform(name);
       if (!t.ok()) cli::die(t.error().message);
-      transform::TransformContext ctx(*prog, options.seed);
+      transform::TransformContext ctx(*prog, derive_seed(options.seed, stream++));
       auto applied = (*t)->apply(ctx);
       if (!applied.ok()) cli::die(applied.error().message);
     }
