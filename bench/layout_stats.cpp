@@ -1,0 +1,164 @@
+// Layout-quality benchmark: per-strategy dollop-coalescing statistics over
+// the 62-CB corpus, emitted as BENCH_layout.json so elision rate,
+// trailing-jump spend, and output-size overhead are tracked PR over PR.
+//
+// For each placement strategy the corpus is rewritten twice -- coalescing
+// on and coalescing off -- and the aggregate layout stats are compared:
+//
+//   {
+//     "bench": "layout_stats",
+//     "corpus_size": 62,
+//     "configs": [
+//       {"strategy": "nearfit", "coalesce": true,
+//        "jumps_elided": N, "cont_jumps": N, "elision_rate": 0..1,
+//        "trailing_jump_bytes": N, "bytes_saved": N,
+//        "overflow_bytes": N, "mean_filesize_overhead": frac,
+//        "functional": 62},
+//       ...one entry per strategy x {on, off}...
+//     ]
+//   }
+//
+// Usage: layout_stats [--out=PATH]  (default: ./BENCH_layout.json)
+#include <cstring>
+#include <string>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace zipr;
+using namespace zipr::bench;
+
+struct LayoutRow {
+  std::string strategy;
+  bool coalesce = false;
+  std::size_t jumps_elided = 0;
+  std::size_t cont_jumps = 0;
+  std::uint64_t trailing_jump_bytes = 0;
+  std::uint64_t bytes_saved = 0;
+  std::uint64_t overflow_bytes = 0;
+  double mean_filesize_overhead = 0;
+  int functional = 0;
+
+  double elision_rate() const {
+    std::size_t total = jumps_elided + cont_jumps;
+    return total == 0 ? 0.0 : static_cast<double>(jumps_elided) / static_cast<double>(total);
+  }
+};
+
+LayoutRow measure(const char* strategy, rewriter::PlacementKind kind, bool coalesce) {
+  Config c;
+  c.label = std::string(strategy) + (coalesce ? "" : " (no coalescing)");
+  c.rewrite.placement = kind;
+  c.rewrite.coalesce = coalesce;
+  auto metrics = evaluate(c, /*polls=*/2);
+
+  LayoutRow row;
+  row.strategy = strategy;
+  row.coalesce = coalesce;
+  row.functional = count_functional(metrics);
+  row.mean_filesize_overhead = cgc::mean_overhead(metrics, &cgc::CbMetrics::filesize_overhead);
+  for (const auto& m : metrics) {
+    row.jumps_elided += m.rewrite_stats.jumps_elided;
+    row.cont_jumps += m.rewrite_stats.cont_jumps;
+    row.trailing_jump_bytes += m.rewrite_stats.trailing_jump_bytes;
+    row.bytes_saved += m.rewrite_stats.bytes_saved;
+    row.overflow_bytes += m.rewrite_stats.overflow_bytes;
+  }
+  return row;
+}
+
+void print_row(const LayoutRow& r) {
+  std::printf("  %-10s coalesce=%-3s  elided %6zu  emitted %6zu  rate %5.1f%%  "
+              "jump bytes %8llu  saved %7llu  overflow %8llu  file ovh %5.2f%%\n",
+              r.strategy.c_str(), r.coalesce ? "on" : "off", r.jumps_elided, r.cont_jumps,
+              r.elision_rate() * 100, static_cast<unsigned long long>(r.trailing_jump_bytes),
+              static_cast<unsigned long long>(r.bytes_saved),
+              static_cast<unsigned long long>(r.overflow_bytes),
+              r.mean_filesize_overhead * 100);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_layout.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+  }
+
+  std::printf("== Layout stats: coalescing across placement strategies (62 CBs) ==\n\n");
+
+  const struct {
+    const char* name;
+    zipr::rewriter::PlacementKind kind;
+  } kStrategies[] = {
+      {"nearfit", zipr::rewriter::PlacementKind::kNearfit},
+      {"diversity", zipr::rewriter::PlacementKind::kDiversity},
+      {"pinpage", zipr::rewriter::PlacementKind::kPinPage},
+  };
+
+  std::vector<LayoutRow> rows;
+  for (const auto& s : kStrategies) {
+    rows.push_back(measure(s.name, s.kind, true));
+    rows.push_back(measure(s.name, s.kind, false));
+    print_row(rows[rows.size() - 2]);
+    print_row(rows.back());
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"layout_stats\",\n  \"corpus_size\": %zu,\n",
+               zipr::cgc::cfe_corpus().size());
+  std::fprintf(f, "  \"configs\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    std::fprintf(f,
+                 "    {\"strategy\": \"%s\", \"coalesce\": %s,\n"
+                 "     \"jumps_elided\": %zu, \"cont_jumps\": %zu, \"elision_rate\": %.4f,\n"
+                 "     \"trailing_jump_bytes\": %llu, \"bytes_saved\": %llu,\n"
+                 "     \"overflow_bytes\": %llu, \"mean_filesize_overhead\": %.6f,\n"
+                 "     \"functional\": %d}%s\n",
+                 r.strategy.c_str(), r.coalesce ? "true" : "false", r.jumps_elided, r.cont_jumps,
+                 r.elision_rate(), static_cast<unsigned long long>(r.trailing_jump_bytes),
+                 static_cast<unsigned long long>(r.bytes_saved),
+                 static_cast<unsigned long long>(r.overflow_bytes), r.mean_filesize_overhead,
+                 r.functional, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n\n", out_path.c_str());
+
+  // Qualitative gates: coalescing must actually fire where it defaults on,
+  // must stay off where randomization wants it off, and must never cost
+  // output size.
+  auto row = [&rows](const char* strategy, bool coalesce) -> const LayoutRow& {
+    for (const auto& r : rows)
+      if (r.strategy == strategy && r.coalesce == coalesce) return r;
+    std::abort();
+  };
+
+  ClaimChecker claims;
+  const std::size_t corpus = zipr::cgc::cfe_corpus().size();
+  for (const auto& r : rows)
+    if (r.functional != static_cast<int>(corpus)) {
+      claims.check(false, "all CBs functional under " + r.strategy +
+                              (r.coalesce ? " (coalesce)" : " (no coalesce)"));
+    }
+  claims.check(true, "all configurations keep the corpus functional");
+  for (const auto& s : kStrategies) {
+    const auto& on = row(s.name, true);
+    const auto& off = row(s.name, false);
+    claims.check(on.jumps_elided > 0,
+                 std::string(s.name) + ": coalescing elides trailing jumps");
+    claims.check(off.jumps_elided == 0,
+                 std::string(s.name) + ": --no-coalesce elides nothing");
+    claims.check(on.overflow_bytes <= off.overflow_bytes,
+                 std::string(s.name) + ": coalescing never grows the overflow area");
+    claims.check(on.mean_filesize_overhead <= off.mean_filesize_overhead + 1e-9,
+                 std::string(s.name) + ": coalescing never grows mean file-size overhead");
+  }
+  return claims.finish();
+}

@@ -8,7 +8,10 @@
 // trajectory is tracked PR over PR.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <map>
+#include <new>
 
 #include "asm/assembler.h"
 #include "batch/batch_rewriter.h"
@@ -21,9 +24,57 @@
 #include "zipr/placement.h"
 #include "zipr/zipr.h"
 
+// ---- allocation accounting ----
+//
+// Replacement global new/delete counting every heap allocation, so the
+// rewrite benchmarks can report allocations per iteration alongside
+// throughput: the zero-copy emission work is visible as a falling
+// allocs-per-rewrite counter, and a regression shows up in BENCH_micro.json
+// even when wall-clock noise hides it.
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
 namespace {
 
 using namespace zipr;
+
+/// RAII scope measuring heap traffic across a benchmark's iterations and
+/// reporting it as per-iteration counters.
+class AllocScope {
+ public:
+  explicit AllocScope(benchmark::State& state)
+      : state_(state),
+        count0_(g_alloc_count.load(std::memory_order_relaxed)),
+        bytes0_(g_alloc_bytes.load(std::memory_order_relaxed)) {}
+
+  ~AllocScope() {
+    auto iters = static_cast<double>(std::max<std::int64_t>(state_.iterations(), 1));
+    state_.counters["allocs/op"] = benchmark::Counter(
+        static_cast<double>(g_alloc_count.load(std::memory_order_relaxed) - count0_) / iters);
+    state_.counters["alloc_B/op"] = benchmark::Counter(
+        static_cast<double>(g_alloc_bytes.load(std::memory_order_relaxed) - bytes0_) / iters);
+  }
+
+ private:
+  benchmark::State& state_;
+  std::uint64_t count0_, bytes0_;
+};
 
 // ---- shared fixtures ----
 //
@@ -279,6 +330,7 @@ BENCHMARK(BM_VmExecution);
 void BM_RewriteCb(benchmark::State& state) {
   const auto& cb = shared_cb(static_cast<std::size_t>(state.range(0)));
   std::size_t text = cb.image.text().bytes.size();
+  AllocScope allocs(state);
   for (auto _ : state) {
     auto r = rewrite(cb.image, {});
     benchmark::DoNotOptimize(r->image.entry);
@@ -292,6 +344,7 @@ BENCHMARK(BM_RewriteCb)->Arg(0)->Arg(40)->Arg(61);
 void BM_RewriteLarge(benchmark::State& state) {
   const auto& cb = shared_large_cb();
   std::size_t text = cb.image.text().bytes.size();
+  AllocScope allocs(state);
   for (auto _ : state) {
     auto r = rewrite(cb.image, {});
     benchmark::DoNotOptimize(r->image.entry);

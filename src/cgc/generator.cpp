@@ -489,7 +489,9 @@ std::vector<CbSpec> cfe_corpus() {
   // of pinned interpreter cases fragment the address space into slivers no
   // dollop fits, so the case bodies -- most of the program's code -- end
   // up in the overflow area; every executed case then touches a pin page
-  // AND an overflow page.
+  // AND an overflow page. (Pin-site coalescing defuses this by emitting
+  // each body at its pinned address; fig6 demonstrates the mechanism with
+  // coalescing disabled.)
   // The hot interpreter region spills while the (large) cold filler code
   // re-packs into its own freed space, so file-size overhead stays small
   // even as the hot working set doubles.

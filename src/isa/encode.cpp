@@ -19,54 +19,85 @@ Status check_reg(std::uint8_t r) {
   return Status::success();
 }
 
-}  // namespace
+// Bounds-checked little-endian cursor over a caller-supplied span. The
+// allocation-free core of both encode() overloads: all wire bytes flow
+// through here, never through a heap-backed Bytes.
+class SpanWriter {
+ public:
+  explicit SpanWriter(std::span<Byte> out)
+      : p_(out.data()), begin_(out.data()), end_(out.data() + out.size()) {}
 
-Status encode(const Insn& insn, Bytes& out) {
+  bool overflowed() const { return overflowed_; }
+  std::size_t written() const { return static_cast<std::size_t>(p_ - begin_); }
+
+  void u8(std::uint8_t v) {
+    if (end_ - p_ < 1) { overflowed_ = true; return; }
+    *p_++ = v;
+  }
+  void i8(std::int8_t v) { u8(static_cast<std::uint8_t>(v)); }
+  void u32(std::uint32_t v) { put_le(&v, 4); }
+  void i32(std::int32_t v) { put_le(&v, 4); }
+  void u64(std::uint64_t v) { put_le(&v, 8); }
+
+ private:
+  void put_le(const void* v, std::ptrdiff_t n) {
+    if (end_ - p_ < n) { overflowed_ = true; return; }
+    std::memcpy(p_, v, static_cast<std::size_t>(n));  // VLX is little-endian
+    p_ += n;
+  }
+
+  Byte* p_;
+  Byte* begin_;
+  Byte* end_;
+  bool overflowed_ = false;
+};
+
+Status encode_impl(const Insn& insn, SpanWriter& out) {
   auto rr_form = [&](std::uint8_t opbyte) -> Status {
     ZIPR_TRY(check_reg(insn.ra));
     ZIPR_TRY(check_reg(insn.rb));
-    put_u8(out, opbyte);
-    put_u8(out, pack_rr(insn.ra, insn.rb));
+    out.u8(opbyte);
+    out.u8(pack_rr(insn.ra, insn.rb));
     return Status::success();
   };
   auto ri_form = [&](std::uint8_t opbyte) -> Status {
     ZIPR_TRY(check_reg(insn.ra));
     if (!fits_i32(insn.imm)) return Error::invalid_argument("imm32 out of range");
-    put_u8(out, opbyte);
-    put_u8(out, insn.ra);
-    put_i32(out, static_cast<std::int32_t>(insn.imm));
+    out.u8(opbyte);
+    out.u8(insn.ra);
+    out.i32(static_cast<std::int32_t>(insn.imm));
     return Status::success();
   };
   auto mem_form = [&](std::uint8_t opbyte) -> Status {
     ZIPR_TRY(check_reg(insn.ra));
     ZIPR_TRY(check_reg(insn.rb));
     if (!fits_i32(insn.imm)) return Error::invalid_argument("disp32 out of range");
-    put_u8(out, opbyte);
-    put_u8(out, pack_rr(insn.ra, insn.rb));
-    put_i32(out, static_cast<std::int32_t>(insn.imm));
+    out.u8(opbyte);
+    out.u8(pack_rr(insn.ra, insn.rb));
+    out.i32(static_cast<std::int32_t>(insn.imm));
     return Status::success();
   };
 
   switch (insn.op) {
     case Op::kNop:
-      put_u8(out, opc::kNop);
+      out.u8(opc::kNop);
       return Status::success();
     case Op::kHlt:
-      put_u8(out, opc::kHlt);
+      out.u8(opc::kHlt);
       return Status::success();
     case Op::kRet:
-      put_u8(out, opc::kRet);
+      out.u8(opc::kRet);
       return Status::success();
 
     case Op::kJmp:
       if (insn.width == BranchWidth::kRel8) {
         if (!fits_i8(insn.imm)) return Error::invalid_argument("jmp rel8 out of range");
-        put_u8(out, opc::kJmp8);
-        put_i8(out, static_cast<std::int8_t>(insn.imm));
+        out.u8(opc::kJmp8);
+        out.i8(static_cast<std::int8_t>(insn.imm));
       } else {
         if (!fits_i32(insn.imm)) return Error::invalid_argument("jmp rel32 out of range");
-        put_u8(out, opc::kJmp32);
-        put_i32(out, static_cast<std::int32_t>(insn.imm));
+        out.u8(opc::kJmp32);
+        out.i32(static_cast<std::int32_t>(insn.imm));
       }
       return Status::success();
 
@@ -74,64 +105,64 @@ Status encode(const Insn& insn, Bytes& out) {
       auto cc = static_cast<std::uint8_t>(insn.cond);
       if (insn.width == BranchWidth::kRel8) {
         if (!fits_i8(insn.imm)) return Error::invalid_argument("jcc rel8 out of range");
-        put_u8(out, static_cast<std::uint8_t>(opc::kJcc8Base | cc));
-        put_i8(out, static_cast<std::int8_t>(insn.imm));
+        out.u8(static_cast<std::uint8_t>(opc::kJcc8Base | cc));
+        out.i8(static_cast<std::int8_t>(insn.imm));
       } else {
         if (!fits_i32(insn.imm)) return Error::invalid_argument("jcc rel32 out of range");
-        put_u8(out, static_cast<std::uint8_t>(opc::kJcc32Base | cc));
-        put_i32(out, static_cast<std::int32_t>(insn.imm));
+        out.u8(static_cast<std::uint8_t>(opc::kJcc32Base | cc));
+        out.i32(static_cast<std::int32_t>(insn.imm));
       }
       return Status::success();
     }
 
     case Op::kCall:
       if (!fits_i32(insn.imm)) return Error::invalid_argument("call rel32 out of range");
-      put_u8(out, opc::kCall);
-      put_i32(out, static_cast<std::int32_t>(insn.imm));
+      out.u8(opc::kCall);
+      out.i32(static_cast<std::int32_t>(insn.imm));
       return Status::success();
 
     case Op::kCallR:
       ZIPR_TRY(check_reg(insn.ra));
-      put_u8(out, opc::kCallR);
-      put_u8(out, insn.ra);
+      out.u8(opc::kCallR);
+      out.u8(insn.ra);
       return Status::success();
     case Op::kJmpR:
       ZIPR_TRY(check_reg(insn.ra));
-      put_u8(out, opc::kJmpR);
-      put_u8(out, insn.ra);
+      out.u8(opc::kJmpR);
+      out.u8(insn.ra);
       return Status::success();
     case Op::kJmpT:
       ZIPR_TRY(check_reg(insn.ra));
       if (!fits_u32(insn.imm)) return Error::invalid_argument("jmpt table out of range");
-      put_u8(out, opc::kJmpT);
-      put_u8(out, insn.ra);
-      put_u32(out, static_cast<std::uint32_t>(insn.imm));
+      out.u8(opc::kJmpT);
+      out.u8(insn.ra);
+      out.u32(static_cast<std::uint32_t>(insn.imm));
       return Status::success();
 
     case Op::kSyscall:
-      put_u8(out, opc::kSysPrefix);
-      put_u8(out, opc::kSysSuffix);
+      out.u8(opc::kSysPrefix);
+      out.u8(opc::kSysSuffix);
       return Status::success();
 
     case Op::kPush:
       ZIPR_TRY(check_reg(insn.ra));
-      put_u8(out, static_cast<std::uint8_t>(opc::kPushBase | insn.ra));
+      out.u8(static_cast<std::uint8_t>(opc::kPushBase | insn.ra));
       return Status::success();
     case Op::kPop:
       ZIPR_TRY(check_reg(insn.ra));
-      put_u8(out, static_cast<std::uint8_t>(opc::kPopBase | insn.ra));
+      out.u8(static_cast<std::uint8_t>(opc::kPopBase | insn.ra));
       return Status::success();
     case Op::kPushI:
       if (!fits_u32(insn.imm)) return Error::invalid_argument("push imm32 out of range");
-      put_u8(out, opc::kPushI);
-      put_u32(out, static_cast<std::uint32_t>(insn.imm));
+      out.u8(opc::kPushI);
+      out.u32(static_cast<std::uint32_t>(insn.imm));
       return Status::success();
 
     case Op::kMovI64:
       ZIPR_TRY(check_reg(insn.ra));
-      put_u8(out, opc::kMovI64);
-      put_u8(out, insn.ra);
-      put_u64(out, static_cast<std::uint64_t>(insn.imm));
+      out.u8(opc::kMovI64);
+      out.u8(insn.ra);
+      out.u64(static_cast<std::uint64_t>(insn.imm));
       return Status::success();
     case Op::kMovI:
       return ri_form(opc::kMovI);
@@ -177,6 +208,24 @@ Status encode(const Insn& insn, Bytes& out) {
       break;
   }
   return Error::invalid_argument("cannot encode invalid instruction");
+}
+
+}  // namespace
+
+Result<std::size_t> encode_into(const Insn& insn, std::span<Byte> out) {
+  SpanWriter w(out);
+  ZIPR_TRY(encode_impl(insn, w));
+  if (w.overflowed())
+    return Error::invalid_argument("encode buffer too small (" + std::to_string(out.size()) +
+                                   " bytes) for instruction");
+  return w.written();
+}
+
+Status encode(const Insn& insn, Bytes& out) {
+  Byte buf[kMaxInsnLen];
+  ZIPR_ASSIGN_OR_RETURN(std::size_t n, encode_into(insn, std::span<Byte>(buf, sizeof buf)));
+  out.insert(out.end(), buf, buf + n);
+  return Status::success();
 }
 
 Result<Bytes> encode(const Insn& insn) {

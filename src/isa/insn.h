@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "isa/opcodes.h"
@@ -87,6 +88,13 @@ struct Insn {
 /// operands. Decoding never consults the address: VLX, like x86, has a
 /// position-independent wire format (targets are computed from addr+imm).
 Result<Insn> decode(ByteView bytes);
+
+/// Encode `insn` directly into `out`, returning the number of bytes written.
+/// Allocation-free: this is the hot-path entry used by the reassembler to
+/// write into the output image in place. Fails if the operand values do not
+/// fit the encoding or if `out` is too small (provide >= kMaxInsnLen to be
+/// safe for any instruction).
+Result<std::size_t> encode_into(const Insn& insn, std::span<Byte> out);
 
 /// Encode `insn` by appending its wire form to `out`. Fails if the operand
 /// values do not fit the encoding (e.g. rel8 displacement out of range).

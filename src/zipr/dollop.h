@@ -9,8 +9,8 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "irdb/ir.h"
@@ -39,7 +39,11 @@ struct Dollop {
 
 class DollopManager {
  public:
-  explicit DollopManager(const irdb::Database& db) : db_(db) {}
+  explicit DollopManager(const irdb::Database& db) : db_(db) {
+    // Nearly every row passes through the index once; size it up front so
+    // the resolution loop never rehashes.
+    where_.reserve(db.insn_count());
+  }
 
   /// The unplaced dollop that STARTS at `insn`, constructing or splitting
   /// as needed. Returns nullptr if `insn` is already placed (per
@@ -87,7 +91,7 @@ class DollopManager {
     auto d = std::make_unique<Dollop>();
     irdb::InsnId cur = start;
     while (cur != irdb::kNullInsn) {
-      if (is_placed(cur) || where_.count(cur)) {
+      if (is_placed(cur) || where_.find(cur) != where_.end()) {
         d->continuation = cur;
         break;
       }
@@ -115,7 +119,7 @@ class DollopManager {
 
   const irdb::Database& db_;
   std::vector<std::unique_ptr<Dollop>> dollops_;
-  std::map<irdb::InsnId, Location> where_;
+  std::unordered_map<irdb::InsnId, Location> where_;
   std::size_t splits_ = 0;
 };
 

@@ -67,6 +67,12 @@ std::optional<std::uint64_t> MemorySpace::allocate_in_window(std::uint64_t size,
   return best;
 }
 
+std::uint64_t MemorySpace::free_run_at(std::uint64_t addr) const {
+  auto iv = free_.interval_containing(addr);
+  if (!iv) return 0;
+  return iv->end - addr;
+}
+
 std::uint64_t MemorySpace::allocate_overflow(std::uint64_t size) {
   std::uint64_t base = overflow_next_;
   overflow_next_ += size;

@@ -53,6 +53,11 @@ class MemorySpace {
   std::optional<std::uint64_t> allocate_in_window(std::uint64_t size, std::uint64_t lo,
                                                   std::uint64_t hi, std::uint64_t prefer);
 
+  /// Length of the contiguous free run starting exactly at `addr` (0 when
+  /// `addr` is occupied or outside the main span). Lets the coalescing
+  /// emitter ask "how far can I keep writing past my cursor?" in O(log n).
+  std::uint64_t free_run_at(std::uint64_t addr) const;
+
   /// Allocate from the overflow area (always succeeds; bump pointer).
   std::uint64_t allocate_overflow(std::uint64_t size);
 

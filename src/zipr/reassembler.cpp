@@ -39,6 +39,10 @@ Reassembler::Reassembler(analysis::IrProgram& prog, const ReassemblyOptions& opt
     pinned_pages.insert(addr & ~(zelf::layout::kPageSize - 1));
   strategy_ = make_placement(opts.placement, opts.seed, std::move(pinned_pages));
   main_buf_.assign(space_.main_span().size(), kFillByte);
+  // Nearly every row lands in the placement map once; size it from the IR
+  // database so the resolution loop never rehashes (sled dispatch rows are
+  // added later but are few).
+  placed_.reserve(prog_.db.insn_count());
 }
 
 std::optional<std::uint64_t> Reassembler::placed_at(InsnId id) const {
@@ -79,9 +83,37 @@ Status Reassembler::write_bytes(std::uint64_t addr, ByteView bytes) {
 Status Reassembler::patch_rel32(std::uint64_t site, std::uint64_t target_addr) {
   std::int64_t disp =
       static_cast<std::int64_t>(target_addr) - static_cast<std::int64_t>(site + kLongJump);
-  Bytes enc;
-  put_i32(enc, static_cast<std::int32_t>(disp));
-  return write_bytes(site + 1, enc);
+  std::span<Byte> out = out_span(site + 1, 4);
+  if (out.size() < 4)
+    return Error::internal("rel32 patch at " + hex_addr(site) + " outside the output span");
+  std::uint32_t le = static_cast<std::uint32_t>(static_cast<std::int32_t>(disp));
+  std::memcpy(out.data(), &le, 4);  // VLX is little-endian
+  return Status::success();
+}
+
+std::span<Byte> Reassembler::out_span(std::uint64_t addr, std::size_t want) {
+  const Interval& main = space_.main_span();
+  if (addr < main.begin) return {};  // callers detect the empty span as an error
+  if (addr < main.end) {
+    std::size_t off = static_cast<std::size_t>(addr - main.begin);
+    return {main_buf_.data() + off, std::min(want, main_buf_.size() - off)};
+  }
+  std::size_t off = static_cast<std::size_t>(addr - main.end);
+  if (off + want > overflow_buf_.size()) overflow_buf_.resize(off + want, kFillByte);
+  return {overflow_buf_.data() + off, want};
+}
+
+Result<std::size_t> Reassembler::emit_insn_at(const isa::Insn& in, std::uint64_t addr) {
+  // encode_into's bounds check doubles as the below-span guard: out_span
+  // returns an empty view there, which no instruction fits.
+  return isa::encode_into(in, out_span(addr, isa::kMaxInsnLen));
+}
+
+isa::BranchWidth Reassembler::ref_width(std::uint64_t site, std::uint64_t target, bool can_short,
+                                        bool glue) const {
+  if (can_short && (glue || opts_.prefer_short_refs) && rel8_reaches(site, target))
+    return BranchWidth::kRel8;
+  return BranchWidth::kRel32;
 }
 
 // ---- stage 0: verbatim ranges stay put ----
@@ -165,9 +197,7 @@ Status Reassembler::build_sleds() {
     ZIPR_ASSIGN_OR_RETURN(InsnId dispatch_head,
                           build_sled_dispatch(entries, nop_region_target));
     // The jump after the nop tail carries control into the dispatcher.
-    Bytes placeholder;
-    ZIPR_TRY(isa::encode(isa::make_jmp(0, BranchWidth::kRel32), placeholder));
-    ZIPR_TRY(write_bytes(jmp_at, placeholder));
+    ZIPR_TRY(emit_insn_at(isa::make_jmp(0, BranchWidth::kRel32), jmp_at));
     pending_.push_back({jmp_at, dispatch_head, jmp_at});
 
     ++stats_.sleds;
@@ -298,8 +328,7 @@ Status Reassembler::reserve_pin_sites() {
     if (!row.verbatim && row.decoded.length == 1 && !row.decoded.has_fallthrough() &&
         space_.is_free(addr, 1)) {
       ZIPR_TRY(space_.reserve(addr, 1));
-      ZIPR_ASSIGN_OR_RETURN(Bytes enc, isa::encode(row.decoded));
-      ZIPR_TRY(write_bytes(addr, enc));
+      ZIPR_TRY(emit_insn_at(row.decoded, addr));
       ++stats_.pins_in_place;
       continue;
     }
@@ -338,24 +367,60 @@ Status Reassembler::resolve_all() {
 }
 
 Status Reassembler::resolve_pin(const PinSite& pin) {
+  // Pin-site coalescing, the "unmoved dollop" case (paper Sec. II-C4): if
+  // the pinned instruction is still unplaced and the pin's reserved bytes
+  // plus the free run behind them can hold the front of its dollop, emit
+  // the dollop directly at its pinned address and elide the reference jump
+  // altogether. The capacity gate runs BEFORE constructing the dollop:
+  // construction takes ownership of the downstream chain, which must not
+  // happen for attempts that cannot succeed.
+  if (opts_.coalesce && pin.reserved >= kLongJump &&
+      placed_.find(pin.target) == placed_.end()) {
+    const irdb::Instruction& trow = prog_.db.insn(pin.target);
+    std::uint64_t avail = pin.reserved + space_.free_run_at(pin.addr + pin.reserved);
+    std::uint64_t min_need = estimated_size(trow) +
+                             (trow.decoded.has_fallthrough() ? kLongJump : 0);
+    if (!trow.verbatim && min_need <= avail) {
+      auto is_placed = [this](InsnId id) { return placed_.find(id) != placed_.end(); };
+      Dollop* d = dollops_.dollop_starting_at(pin.target, is_placed);
+      if (d != nullptr) {
+        if (d->size_estimate > avail) dollops_.split_to_fit(d, avail);
+        if (d->size_estimate <= avail) {
+          std::uint64_t budget = std::max<std::uint64_t>(d->size_estimate, pin.reserved);
+          if (budget > pin.reserved)
+            ZIPR_TRY(space_.reserve(pin.addr + pin.reserved, budget - pin.reserved));
+          ++stats_.pins_in_place;
+          ++stats_.jumps_elided;
+          stats_.bytes_saved += kLongJump;
+          return emit_dollop_at(d, pin.addr, budget, /*in_overflow=*/false);
+        }
+        // Construction already happened; fall through and place the dollop
+        // through the strategy as usual.
+      }
+    }
+  }
+
   ZIPR_ASSIGN_OR_RETURN(std::uint64_t t, ensure_placed(pin.target, pin.addr));
 
   auto release_trampoline = [&]() -> Status {
-    if (pin.trampoline && !pin.trampoline_in_overflow)
-      return space_.release(*pin.trampoline, kLongJump);
-    // An unused overflow trampoline stays as 5 filler bytes; it is already
-    // counted in overflow_bytes, keeping the file-size accounting honest.
+    if (!pin.trampoline) return Status::success();
+    if (!pin.trampoline_in_overflow) return space_.release(*pin.trampoline, kLongJump);
+    // An unused overflow trampoline that is still the frontier allocation
+    // can be handed straight back to the bump allocator; otherwise it stays
+    // as 5 filler bytes already counted in overflow_bytes.
+    if (*pin.trampoline + kLongJump == space_.overflow_end())
+      return space_.shrink_overflow(*pin.trampoline);
     return Status::success();
   };
 
-  const bool short_ok = rel8_reaches(pin.addr, t);
-  if (short_ok && (opts_.prefer_short_refs || pin.reserved < kLongJump)) {
-    Bytes enc;
-    ZIPR_TRY(isa::encode(
+  // A squeezed pin (reserved < 5) is glue: it must take the short form
+  // whenever it reaches, there is no room for anything else.
+  BranchWidth w = ref_width(pin.addr, t, /*can_short=*/true, /*glue=*/pin.reserved < kLongJump);
+  if (w == BranchWidth::kRel8) {
+    ZIPR_TRY(emit_insn_at(
         isa::make_jmp(static_cast<std::int64_t>(t) - static_cast<std::int64_t>(pin.addr + 2),
                       BranchWidth::kRel8),
-        enc));
-    ZIPR_TRY(write_bytes(pin.addr, enc));
+        pin.addr));
     if (pin.reserved > kShortJump)
       ZIPR_TRY(space_.release(pin.addr + kShortJump, pin.reserved - kShortJump));
     ZIPR_TRY(release_trampoline());
@@ -363,12 +428,10 @@ Status Reassembler::resolve_pin(const PinSite& pin) {
     return Status::success();
   }
   if (pin.reserved >= kLongJump) {
-    Bytes enc;
-    ZIPR_TRY(isa::encode(
+    ZIPR_TRY(emit_insn_at(
         isa::make_jmp(static_cast<std::int64_t>(t) - static_cast<std::int64_t>(pin.addr + 5),
                       BranchWidth::kRel32),
-        enc));
-    ZIPR_TRY(write_bytes(pin.addr, enc));
+        pin.addr));
     ZIPR_TRY(release_trampoline());
     ++stats_.pin_refs_long;
     return Status::success();
@@ -385,15 +448,11 @@ Status Reassembler::chain_pin(const PinSite& pin) {
   // Fast path: the trampoline reserved before placement.
   if (pin.trampoline) {
     std::uint64_t b = *pin.trampoline;
-    Bytes enc;
-    ZIPR_TRY(isa::encode(
+    ZIPR_TRY(emit_insn_at(
         isa::make_jmp(static_cast<std::int64_t>(b) - static_cast<std::int64_t>(cur + 2),
                       BranchWidth::kRel8),
-        enc));
-    ZIPR_TRY(write_bytes(cur, enc));
-    Bytes placeholder;
-    ZIPR_TRY(isa::encode(isa::make_jmp(0, BranchWidth::kRel32), placeholder));
-    ZIPR_TRY(write_bytes(b, placeholder));
+        cur));
+    ZIPR_TRY(emit_insn_at(isa::make_jmp(0, BranchWidth::kRel32), b));
     pending_.push_back({b, pin.target, b});
     return Status::success();
   }
@@ -410,26 +469,20 @@ Status Reassembler::chain_pin(const PinSite& pin) {
       slot = space_.allocate_overflow(kLongJump);
     }
     if (slot) {
-      Bytes enc;
-      ZIPR_TRY(isa::encode(
+      ZIPR_TRY(emit_insn_at(
           isa::make_jmp(static_cast<std::int64_t>(*slot) - static_cast<std::int64_t>(cur + 2),
                         BranchWidth::kRel8),
-          enc));
-      ZIPR_TRY(write_bytes(cur, enc));
-      Bytes placeholder;
-      ZIPR_TRY(isa::encode(isa::make_jmp(0, BranchWidth::kRel32), placeholder));
-      ZIPR_TRY(write_bytes(*slot, placeholder));
+          cur));
+      ZIPR_TRY(emit_insn_at(isa::make_jmp(0, BranchWidth::kRel32), *slot));
       pending_.push_back({*slot, pin.target, *slot});
       return Status::success();
     }
     // No 5-byte slot in reach: take a 2-byte hop as far forward as we can.
     if (auto c = space_.allocate_in_window(kShortJump, win_lo, win_hi, win_hi)) {
-      Bytes enc;
-      ZIPR_TRY(isa::encode(
+      ZIPR_TRY(emit_insn_at(
           isa::make_jmp(static_cast<std::int64_t>(*c) - static_cast<std::int64_t>(cur + 2),
                         BranchWidth::kRel8),
-          enc));
-      ZIPR_TRY(write_bytes(cur, enc));
+          cur));
       cur = *c;
       ++stats_.chain_hops;
       continue;
@@ -450,7 +503,7 @@ Status Reassembler::resolve_ref(const PendingRef& ref) {
 Result<std::uint64_t> Reassembler::ensure_placed(InsnId insn,
                                                  std::optional<std::uint64_t> preferred) {
   if (auto it = placed_.find(insn); it != placed_.end()) return it->second;
-  auto is_placed = [this](InsnId id) { return placed_.count(id) != 0; };
+  auto is_placed = [this](InsnId id) { return placed_.find(id) != placed_.end(); };
   Dollop* d = dollops_.dollop_starting_at(insn, is_placed);
   if (!d) return Error::internal("instruction neither placed nor materializable");
   ZIPR_TRY(place_dollop(d, preferred));
@@ -485,59 +538,146 @@ Status Reassembler::place_dollop(Dollop* d, std::optional<std::uint64_t> preferr
 Status Reassembler::emit_dollop_at(Dollop* d, std::uint64_t base, std::uint64_t budget,
                                    bool in_overflow) {
   std::uint64_t addr = base;
-  for (InsnId id : d->insns) {
-    ZIPR_ASSIGN_OR_RETURN(Bytes enc, emit_row(prog_.db.insn(id), addr));
-    ZIPR_TRY(write_bytes(addr, enc));
-    placed_[id] = addr;
-    addr += enc.size();
-    ++stats_.insns_placed;
-  }
+  std::uint64_t region_end = base + budget;  // bytes this emission owns
+  std::size_t run = 0;                       // successors absorbed so far
+  auto is_placed = [this](InsnId id) { return placed_.find(id) != placed_.end(); };
 
-  if (d->continuation != kNullInsn) {
-    InsnId cont = d->continuation;
-    if (auto it = placed_.find(cont); it != placed_.end()) {
-      std::uint64_t t = it->second;
-      if (opts_.prefer_short_refs && rel8_reaches(addr, t)) {
-        Bytes enc;
-        ZIPR_TRY(isa::encode(
-            isa::make_jmp(static_cast<std::int64_t>(t) - static_cast<std::int64_t>(addr + 2),
-                          BranchWidth::kRel8),
-            enc));
-        ZIPR_TRY(write_bytes(addr, enc));
-        addr += enc.size();
+  // Bytes claimable past the cursor: slack inside our region plus the free
+  // run after it (main span), or unbounded at the bump frontier (overflow;
+  // emission performs no other overflow allocation, so our region is the
+  // frontier and can grow without bound). Checked BEFORE constructing the
+  // successor dollop: construction takes ownership of the downstream chain,
+  // which perturbs every later placement decision, so it must not happen
+  // for attempts that cannot possibly succeed (fragment regions walled in
+  // by occupied bytes).
+  auto claimable = [&]() -> std::uint64_t {
+    std::uint64_t avail = region_end - addr;
+    if (in_overflow)
+      return region_end == space_.overflow_end() ? UINT64_MAX : avail;
+    return avail + space_.free_run_at(region_end);
+  };
+
+  // Claim the successor dollop's bytes directly past the cursor, growing
+  // the region. Only absorbs the successor whole -- splitting it to fit
+  // would trade the elided jump for a new one at the split point. Returns
+  // false when it does not fit.
+  auto claim_successor = [&](Dollop* next) -> Result<bool> {
+    std::uint64_t avail = region_end - addr;
+    std::uint64_t cap = claimable();
+    if (next->size_estimate > cap) return false;
+    if (next->size_estimate > avail) {
+      std::uint64_t extra = next->size_estimate - avail;
+      if (in_overflow) {
+        if (space_.allocate_overflow(extra) != region_end)
+          return Error::internal("overflow frontier moved during dollop emission");
       } else {
-        Bytes enc;
-        ZIPR_TRY(isa::encode(
-            isa::make_jmp(static_cast<std::int64_t>(t) - static_cast<std::int64_t>(addr + 5),
-                          BranchWidth::kRel32),
-            enc));
-        ZIPR_TRY(write_bytes(addr, enc));
-        addr += enc.size();
+        ZIPR_TRY(space_.reserve(region_end, extra));
       }
-    } else {
-      Bytes placeholder;
-      ZIPR_TRY(isa::encode(isa::make_jmp(0, BranchWidth::kRel32), placeholder));
-      ZIPR_TRY(write_bytes(addr, placeholder));
-      pending_.push_back({addr, cont, addr});
-      addr += placeholder.size();
+      region_end += extra;
     }
+    ++run;
+    ++stats_.dollops_coalesced;
+    ++stats_.jumps_elided;
+    stats_.bytes_saved += kLongJump;
+    return true;
+  };
+
+  for (;;) {
+    const bool may_coalesce = opts_.coalesce && run < opts_.max_coalesce_run;
+
+    for (std::size_t i = 0; i + 1 < d->insns.size(); ++i) {
+      InsnId id = d->insns[i];
+      ZIPR_ASSIGN_OR_RETURN(std::size_t n, emit_row_at(prog_.db.insn(id), addr));
+      placed_[id] = addr;
+      addr += n;
+      ++stats_.insns_placed;
+    }
+
+    // The terminal row. An unconditional jmp to an unplaced target IS the
+    // dollop's fallthrough continuation in disguise (jmp never has a
+    // fallthrough, so it always ends its dollop): instead of emitting a
+    // rel32 placeholder and letting the uDR loop place the target anywhere,
+    // elide the jump and keep emitting the target dollop in place (paper
+    // Sec. III). The elided row resolves to the successor's first byte, so
+    // references to the jump itself still land on equivalent code.
+    InsnId last = d->insns.back();
+    const irdb::Instruction& lrow = prog_.db.insn(last);
+    Dollop* next = nullptr;
+    if (may_coalesce && !lrow.verbatim && lrow.decoded.op == Op::kJmp &&
+        lrow.target != kNullInsn && placed_.find(lrow.target) == placed_.end() &&
+        claimable() >= isa::kMaxInsnLen)
+      next = dollops_.dollop_starting_at(lrow.target, is_placed);
+    if (next != nullptr) {
+      ZIPR_ASSIGN_OR_RETURN(bool claimed, claim_successor(next));
+      if (claimed) {
+        placed_[last] = addr;  // the jump's address is its target's code
+        ++stats_.insns_placed;
+        ++stats_.dollops_placed;
+        ZIPR_TRY(dollops_.retire(d));
+        d = next;
+        continue;
+      }
+    }
+    ZIPR_ASSIGN_OR_RETURN(std::size_t n, emit_row_at(lrow, addr));
+    placed_[last] = addr;
+    addr += n;
+    ++stats_.insns_placed;
+
+    const InsnId cont = d->continuation;
+    ++stats_.dollops_placed;
+    ZIPR_TRY(dollops_.retire(d));
+    d = nullptr;  // retired: the manager destroyed it
+
+    if (cont == kNullInsn) break;  // ends in a non-fallthrough instruction
+
+    if (auto it = placed_.find(cont); it != placed_.end()) {
+      // Already placed: the trailing jump is glue, shortest reaching form.
+      std::uint64_t t = it->second;
+      BranchWidth w = ref_width(addr, t, /*can_short=*/true, /*glue=*/true);
+      std::uint64_t len = w == BranchWidth::kRel8 ? kShortJump : kLongJump;
+      ZIPR_TRY(emit_insn_at(
+          isa::make_jmp(static_cast<std::int64_t>(t) - static_cast<std::int64_t>(addr + len), w),
+          addr));
+      addr += len;
+      ++stats_.cont_jumps;
+      stats_.trailing_jump_bytes += len;
+      break;
+    }
+
+    // Unplaced continuation (a split tail): coalesce it in place if the
+    // bytes past the cursor are claimable.
+    if (may_coalesce && claimable() >= isa::kMaxInsnLen) {
+      next = dollops_.dollop_starting_at(cont, is_placed);
+      if (next != nullptr) {
+        ZIPR_ASSIGN_OR_RETURN(bool claimed, claim_successor(next));
+        if (claimed) {
+          d = next;
+          continue;
+        }
+      }
+    }
+
+    // Trailing rel32 placeholder; the uDR loop patches it later.
+    ZIPR_TRY(emit_insn_at(isa::make_jmp(0, BranchWidth::kRel32), addr));
+    pending_.push_back({addr, cont, addr});
+    addr += kLongJump;
+    ++stats_.cont_jumps;
+    stats_.trailing_jump_bytes += kLongJump;
+    break;
   }
 
-  std::uint64_t used = addr - base;
-  if (used > budget)
+  if (addr > region_end)
     return Error::internal("dollop emission overran its budget at " + hex_addr(base));
   if (in_overflow) {
     // The bump allocator can hand back the conservative tail immediately.
     ZIPR_TRY(space_.shrink_overflow(addr));
-  } else if (used < budget) {
-    ZIPR_TRY(space_.release(addr, budget - used));
+  } else if (addr < region_end) {
+    ZIPR_TRY(space_.release(addr, region_end - addr));
   }
-  ++stats_.dollops_placed;
-  ZIPR_TRY(dollops_.retire(d));
   return Status::success();
 }
 
-Result<Bytes> Reassembler::emit_row(const irdb::Instruction& row, std::uint64_t addr) {
+Result<std::size_t> Reassembler::emit_row_at(const irdb::Instruction& row, std::uint64_t addr) {
   if (row.verbatim)
     return Error::internal("verbatim row reached dollop emission");
 
@@ -545,38 +685,27 @@ Result<Bytes> Reassembler::emit_row(const irdb::Instruction& row, std::uint64_t 
 
   if (in.has_static_target()) {
     if (row.target != kNullInsn) {
-      auto it = placed_.find(row.target);
       const bool can_short = in.op != Op::kCall;  // call has no rel8 form
-      if (it != placed_.end()) {
+      if (auto it = placed_.find(row.target); it != placed_.end()) {
         std::uint64_t t = it->second;
-        if (can_short && opts_.prefer_short_refs && rel8_reaches(addr, t)) {
-          in.width = BranchWidth::kRel8;
-          in.imm = static_cast<std::int64_t>(t) - static_cast<std::int64_t>(addr + 2);
-        } else {
-          in.width = BranchWidth::kRel32;
-          in.imm = static_cast<std::int64_t>(t) -
-                   static_cast<std::int64_t>(addr + isa::kJmp32Len);
-        }
-        Bytes out;
-        ZIPR_TRY(isa::encode(in, out));
-        return out;
+        in.width = ref_width(addr, t, can_short, /*glue=*/false);
+        int len = isa::encoded_length(in);
+        in.imm = static_cast<std::int64_t>(t) - static_cast<std::int64_t>(addr + len);
+        return emit_insn_at(in, addr);
       }
       // Unplaced: emit the unconstrained form and register an unresolved
       // reference (all jmp32/jcc32/call encodings are [op][rel32]).
       in.width = BranchWidth::kRel32;
       in.imm = 0;
-      Bytes out;
-      ZIPR_TRY(isa::encode(in, out));
+      ZIPR_ASSIGN_OR_RETURN(std::size_t n, emit_insn_at(in, addr));
       pending_.push_back({addr, row.target, addr});
-      return out;
+      return n;
     }
     if (row.abs_target) {
       in.width = BranchWidth::kRel32;
       in.imm = static_cast<std::int64_t>(*row.abs_target) -
                static_cast<std::int64_t>(addr + isa::kJmp32Len);
-      Bytes out;
-      ZIPR_TRY(isa::encode(in, out));
-      return out;
+      return emit_insn_at(in, addr);
     }
     return Error::internal("branch row has neither logical nor absolute target");
   }
@@ -587,9 +716,7 @@ Result<Bytes> Reassembler::emit_row(const irdb::Instruction& row, std::uint64_t 
              static_cast<std::int64_t>(addr + isa::encoded_length(in));
   }
 
-  Bytes out;
-  ZIPR_TRY(isa::encode(in, out));
-  return out;
+  return emit_insn_at(in, addr);
 }
 
 Result<zelf::Image> Reassembler::run() {

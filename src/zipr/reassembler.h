@@ -21,6 +21,7 @@
 #pragma once
 
 #include <set>
+#include <span>
 #include <unordered_map>
 
 #include "analysis/ir_builder.h"
@@ -37,6 +38,15 @@ struct ReassemblyOptions {
   /// reach (Sec. III relaxation). When false every reference is emitted
   /// unconstrained (rel32), the paper's diversity-friendly default.
   bool prefer_short_refs = true;
+  /// Fallthrough coalescing (paper Sec. III): when a dollop's continuation
+  /// is unplaced and the bytes past the emission cursor are free, keep
+  /// emitting the successor in place and elide the trailing jump. Off for
+  /// the diversity strategy by default (it would correlate successor
+  /// layout with predecessor layout, weakening randomization).
+  bool coalesce = true;
+  /// Cap on how many successor dollops one emission region may absorb;
+  /// bounds the main-span space a single placement decision can claim.
+  std::size_t max_coalesce_run = 64;
 };
 
 struct RewriteStats {
@@ -52,9 +62,21 @@ struct RewriteStats {
   std::size_t dollop_splits = 0;
   std::size_t insns_placed = 0;
   std::size_t refs_resolved = 0;
+  std::size_t dollops_coalesced = 0;  ///< dollops emitted in place after a predecessor
+  std::size_t jumps_elided = 0;       ///< trailing jumps removed by coalescing
+  std::size_t cont_jumps = 0;         ///< trailing jumps actually emitted
+  std::uint64_t trailing_jump_bytes = 0;  ///< bytes spent on emitted trailing jumps
+  std::uint64_t bytes_saved = 0;      ///< bytes elision kept out of the output
   std::uint64_t overflow_bytes = 0;   ///< file-size overhead in text bytes
   std::uint64_t free_bytes_left = 0;  ///< unused main-span space
   std::uint64_t output_text_bytes = 0;
+
+  /// Fraction of truncated-dollop continuations whose trailing jump was
+  /// elided; 0 when no dollop needed one.
+  double elision_rate() const {
+    std::size_t total = jumps_elided + cont_jumps;
+    return total == 0 ? 0.0 : static_cast<double>(jumps_elided) / static_cast<double>(total);
+  }
 };
 
 class Reassembler {
@@ -106,9 +128,27 @@ class Reassembler {
   Result<std::uint64_t> ensure_placed(irdb::InsnId insn, std::optional<std::uint64_t> preferred);
   Status place_dollop(Dollop* d, std::optional<std::uint64_t> preferred);
   Status emit_dollop_at(Dollop* d, std::uint64_t base, std::uint64_t budget, bool in_overflow);
-  Result<Bytes> emit_row(const irdb::Instruction& row, std::uint64_t addr);
-  Status emit_jump_slot(std::uint64_t addr, std::uint8_t room, irdb::InsnId target);
+  /// Encode one IR row directly into the output buffer at `addr` (no
+  /// intermediate byte vector); returns the encoded length.
+  Result<std::size_t> emit_row_at(const irdb::Instruction& row, std::uint64_t addr);
+  /// Encode `in` directly into the output at `addr`; returns its length.
+  Result<std::size_t> emit_insn_at(const isa::Insn& in, std::uint64_t addr);
   Status patch_rel32(std::uint64_t site, std::uint64_t target_addr);
+
+  /// The one width decision shared by pins, continuation jumps and
+  /// emit_row_at, so the three sites cannot drift. `can_short`: the op has
+  /// a rel8 form at all (call does not). `glue`: the jump is rewriter glue
+  /// rather than an original program reference -- glue takes the short
+  /// form whenever it reaches regardless of prefer_short_refs (a squeezed
+  /// pin has no room for rel32; a shorter continuation jump is pure
+  /// savings and carries no diversity weight).
+  isa::BranchWidth ref_width(std::uint64_t site, std::uint64_t target, bool can_short,
+                             bool glue) const;
+
+  /// Writable view of the output at [addr, addr+want), clamped to the main
+  /// buffer's end when `addr` is in the main span (emission never straddles
+  /// the main/overflow boundary; allocations come from exactly one side).
+  std::span<Byte> out_span(std::uint64_t addr, std::size_t want);
 
   // Sled construction (Sec. II-C2).
   Result<irdb::InsnId> build_sled_dispatch(const std::vector<std::pair<std::uint64_t, std::uint32_t>>& entries,

@@ -55,6 +55,8 @@ Result<RewriteResult> rewrite(const zelf::Image& input, const RewriteOptions& op
   ropts.seed = derive_seed(options.seed, 0);
   ropts.prefer_short_refs = options.prefer_short_refs.value_or(
       options.placement != rewriter::PlacementKind::kDiversity);
+  ropts.coalesce = options.coalesce.value_or(
+      options.placement != rewriter::PlacementKind::kDiversity);
   rewriter::Reassembler reassembler(prog, ropts);
   ZIPR_ASSIGN_OR_RETURN(zelf::Image out, reassembler.run());
 

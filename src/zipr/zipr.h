@@ -39,6 +39,13 @@ struct RewriteOptions {
   /// everything as the paper's default does).
   std::optional<bool> prefer_short_refs;
 
+  /// Override fallthrough dollop coalescing (elide the trailing jump by
+  /// emitting an unplaced successor directly past the cursor). Defaults to
+  /// the strategy's preference: on for nearfit/pinpage, off for diversity
+  /// (coalescing correlates successor layout with predecessor layout,
+  /// which would weaken the randomization diversity exists to provide).
+  std::optional<bool> coalesce;
+
   /// Registered transform names, applied in order (Sec. II-B2). An empty
   /// list equals {"null"}.
   std::vector<std::string> transforms;

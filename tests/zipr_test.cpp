@@ -925,7 +925,9 @@ TEST(Pins, OneByteTerminatorSqueezedAgainstDataEmitsInPlace) {
   )";
   zelf::Image original = must_assemble(src);
   RewriteResult r = must_rewrite(original);
-  EXPECT_EQ(r.reassembly.pins_in_place, 1u);
+  // At least the squeezed terminator is in place; pin-site coalescing may
+  // keep other pinned dollops at their original addresses too.
+  EXPECT_GE(r.reassembly.pins_in_place, 1u);
   // The byte at the pin is the original ret, not a jump.
   std::uint64_t off = 6 + 2 + 6 + 6 + 2;  // movi,callr,movi,movi,syscall
   EXPECT_EQ(r.image.text().bytes[off], 0xC3);

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Guard against rewrite-throughput regressions.
+
+Compares a freshly produced google-benchmark JSON (BENCH_micro.json from
+`tools/run_bench.sh` or the `perf_smoke` CMake target) against the committed
+baseline at the repo root and fails when any shared benchmark slowed down by
+more than the threshold.
+
+Usage:
+  tools/perf_guard.py FRESH.json [--baseline BENCH_micro.json]
+                      [--threshold 0.25] [--filter REGEX]
+
+Notes:
+  - Only `iteration` entries present in BOTH files are compared (aggregate
+    rows like _mean/_stddev are skipped); new or removed benchmarks are
+    reported but never fail the guard.
+  - The default threshold is deliberately loose (25%): wall-clock noise on
+    shared machines is real. Tighten with --threshold for quiet hardware.
+  - Exit status: 0 = no regression, 1 = at least one benchmark regressed,
+    2 = bad input.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def load_times(path):
+    """benchmark name -> real_time in ns (iteration rows only)."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"perf_guard: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    times = {}
+    for row in doc.get("benchmarks", []):
+        if row.get("run_type", "iteration") != "iteration":
+            continue
+        unit = row.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+        if scale is None:
+            continue
+        times[row["name"]] = float(row["real_time"]) * scale
+    return times
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("fresh", help="freshly produced BENCH_micro.json")
+    ap.add_argument("--baseline", default="BENCH_micro.json",
+                    help="committed baseline to compare against")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="max tolerated slowdown fraction (default 0.25 = 25%%)")
+    ap.add_argument("--filter", default=".",
+                    help="only compare benchmarks matching this regex")
+    args = ap.parse_args()
+
+    fresh = load_times(args.fresh)
+    base = load_times(args.baseline)
+    pattern = re.compile(args.filter)
+
+    shared = sorted(n for n in fresh if n in base and pattern.search(n))
+    if not shared:
+        print("perf_guard: no shared benchmarks to compare", file=sys.stderr)
+        sys.exit(2)
+
+    only_fresh = sorted(n for n in fresh if n not in base)
+    only_base = sorted(n for n in base if n not in fresh)
+    for n in only_fresh:
+        print(f"  [new ]  {n}")
+    for n in only_base:
+        print(f"  [gone]  {n}")
+
+    regressed = []
+    for name in shared:
+        ratio = fresh[name] / base[name] if base[name] > 0 else float("inf")
+        delta = ratio - 1.0
+        status = "FAIL" if delta > args.threshold else "ok"
+        if delta > args.threshold:
+            regressed.append((name, delta))
+        print(f"  [{status:>4}]  {name}: {base[name]:12.0f} ns -> {fresh[name]:12.0f} ns "
+              f"({delta:+.1%})")
+
+    if regressed:
+        print(f"\nperf_guard: {len(regressed)} benchmark(s) regressed beyond "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for name, delta in regressed:
+            print(f"  {name}: {delta:+.1%}", file=sys.stderr)
+        return 1
+    print(f"\nperf_guard: {len(shared)} benchmarks within {args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

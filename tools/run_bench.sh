@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Run the microbenchmark suite (BENCH_micro.json) and the corpus-scale
-# batch-engine benchmark (BENCH_corpus.json).
+# Run the microbenchmark suite (BENCH_micro.json), the corpus-scale
+# batch-engine benchmark (BENCH_corpus.json), and the layout-quality bench
+# (BENCH_layout.json: per-strategy coalescing elision rate, trailing-jump
+# bytes, and output-size overhead).
 #
 # Usage: tools/run_bench.sh [benchmark-filter-regex]
 #
@@ -8,8 +10,10 @@
 #   BUILD_DIR         build tree (default: <repo>/build)
 #   BENCH_OUT         micro output JSON path (default: <repo>/BENCH_micro.json)
 #   BENCH_CORPUS_OUT  corpus output JSON path (default: <repo>/BENCH_corpus.json)
+#   BENCH_LAYOUT_OUT  layout output JSON path (default: <repo>/BENCH_layout.json)
 #   BENCH_MIN_TIME    per-benchmark min time (default: benchmark's own default)
 #   BENCH_REPEATS     batch_corpus repeats per pool size (default: 3, best-of)
+#   PERF_THRESHOLD    perf_guard slowdown tolerance (default: 0.25)
 #
 # BENCH_corpus.json format (written by bench/batch_corpus.cpp):
 #   {
@@ -37,10 +41,11 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${BUILD_DIR:-$ROOT/build}"
 OUT="${BENCH_OUT:-$ROOT/BENCH_micro.json}"
 CORPUS_OUT="${BENCH_CORPUS_OUT:-$ROOT/BENCH_corpus.json}"
+LAYOUT_OUT="${BENCH_LAYOUT_OUT:-$ROOT/BENCH_layout.json}"
 FILTER="${1:-.}"
 
 cmake -S "$ROOT" -B "$BUILD" >/dev/null
-cmake --build "$BUILD" --target micro batch_corpus -j "$(nproc)" >/dev/null
+cmake --build "$BUILD" --target micro batch_corpus layout_stats -j "$(nproc)" >/dev/null
 
 args=(--benchmark_filter="$FILTER"
       --benchmark_out="$OUT"
@@ -52,3 +57,13 @@ fi
 echo "wrote $OUT"
 
 "$BUILD/bench/batch_corpus" --out="$CORPUS_OUT" --repeats="${BENCH_REPEATS:-3}"
+
+"$BUILD/bench/layout_stats" --out="$LAYOUT_OUT"
+
+# Guard the throughput trajectory: a fresh run that regressed any shared
+# benchmark beyond the threshold fails the script. Skipped when the fresh
+# output IS the committed baseline path (first-time generation).
+if [[ "$OUT" != "$ROOT/BENCH_micro.json" && -f "$ROOT/BENCH_micro.json" ]]; then
+  python3 "$ROOT/tools/perf_guard.py" "$OUT" \
+    --baseline "$ROOT/BENCH_micro.json" --threshold "${PERF_THRESHOLD:-0.25}"
+fi

@@ -4,8 +4,8 @@
 //   zipr-cli input.zelf --out=output.zelf
 //            [--transform=null|cfi|stackpad|canary|profile]...   (repeatable)
 //            [--placement=nearfit|diversity|pinpage] [--seed=N]
-//            [--pin-call-returns] [--naive-pins] [--stats]
-//            [--dump-ir=<file>] [--list-transforms]
+//            [--coalesce|--no-coalesce] [--pin-call-returns] [--naive-pins]
+//            [--stats] [--dump-ir=<file>] [--list-transforms]
 //
 // Batch mode (2+ inputs): rewrite a corpus on a worker pool; one failing
 // binary is reported and exits nonzero at the end but never stops the rest.
@@ -77,8 +77,8 @@ int main(int argc, char** argv) {
   using namespace zipr;
   cli::Args args(argc, argv);
   cli::reject_unknown(args, {"out", "out-dir", "jobs", "transform", "placement", "seed",
-                             "pin-call-returns", "naive-pins", "stats", "dump-ir",
-                             "list-transforms", "help"});
+                             "coalesce", "no-coalesce", "pin-call-returns", "naive-pins",
+                             "stats", "dump-ir", "list-transforms", "help"});
 
   if (args.has("list-transforms")) {
     for (const auto& name : transform::registered_transforms()) std::printf("%s\n", name.c_str());
@@ -88,8 +88,8 @@ int main(int argc, char** argv) {
     std::printf(
         "usage: zipr-cli <input.zelf> --out=<output.zelf>\n"
         "                [--transform=<name>]... [--placement=nearfit|diversity|pinpage]\n"
-        "                [--seed=N] [--pin-call-returns] [--naive-pins] [--stats]\n"
-        "                [--dump-ir=<file>] [--list-transforms]\n"
+        "                [--seed=N] [--coalesce|--no-coalesce] [--pin-call-returns]\n"
+        "                [--naive-pins] [--stats] [--dump-ir=<file>] [--list-transforms]\n"
         "       zipr-cli <input.zelf>... --out-dir=<dir> [--jobs=N] [shared flags]\n"
         "                (batch mode: rewrites all inputs on a worker pool)\n");
     return args.has("help") ? 0 : 2;
@@ -109,6 +109,10 @@ int main(int argc, char** argv) {
     options.placement = rewriter::PlacementKind::kPinPage;
   else
     cli::die("unknown placement '" + placement + "'");
+  if (args.has("coalesce") && args.has("no-coalesce"))
+    cli::die("--coalesce and --no-coalesce are mutually exclusive");
+  if (args.has("coalesce")) options.coalesce = true;
+  if (args.has("no-coalesce")) options.coalesce = false;
 
   // 2+ inputs (or an explicit --out-dir / --jobs): corpus batch mode.
   if (args.positional().size() > 1 || args.has("out-dir") || args.has("jobs"))
@@ -166,6 +170,11 @@ int main(int argc, char** argv) {
         "%zu dollops (%zu splits), %zu insns placed, %" PRIu64 " overflow bytes\n",
         r.pins, r.pin_refs_short, r.pin_refs_long, r.pins_in_place, r.sleds, r.chains,
         r.dollops_placed, r.dollop_splits, r.insns_placed, r.overflow_bytes);
+    std::printf(
+        "coalescing: %zu dollops coalesced, %zu jumps elided (%.1f%% of continuations), "
+        "%" PRIu64 " bytes saved, %" PRIu64 " trailing-jump bytes remain\n",
+        r.dollops_coalesced, r.jumps_elided, r.elision_rate() * 100, r.bytes_saved,
+        r.trailing_jump_bytes);
   }
   return 0;
 }
