@@ -1,0 +1,55 @@
+#include "fuzz/executor.h"
+
+namespace zipr::fuzz {
+
+std::uint8_t classify_count(std::uint8_t count) {
+  if (count == 0) return 0;
+  if (count == 1) return 1;
+  if (count == 2) return 2;
+  if (count == 3) return 4;
+  if (count <= 7) return 8;
+  if (count <= 15) return 16;
+  if (count <= 31) return 32;
+  if (count <= 127) return 64;
+  return 128;
+}
+
+std::uint64_t path_hash(ByteView classified_map) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (Byte b : classified_map) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+Executor::Executor(const zelf::Image& image, vm::RunLimits limits)
+    : machine_(image, limits) {
+  map_addr_ = transform::cov_counters_addr(image.text().vaddr);
+  instrumented_ = image.segment_containing(map_addr_) != nullptr;
+  snapshot_ = machine_.snapshot();
+}
+
+Result<ExecResult> Executor::execute(ByteView input, std::uint64_t random_seed) {
+  if (first_run_) {
+    first_run_ = false;
+  } else {
+    ZIPR_TRY(machine_.restore(snapshot_));
+    ++resets_;
+  }
+  machine_.set_input(Bytes(input.begin(), input.end()));
+  machine_.set_random_seed(random_seed);
+
+  ExecResult res;
+  res.run = machine_.run();
+  res.crashed = !res.run.exited && res.run.fault != vm::Fault::kGasExhausted;
+
+  res.map.assign(kMapSize, 0);
+  if (instrumented_) {
+    ZIPR_ASSIGN_OR_RETURN(Bytes raw, machine_.memory().peek_block(map_addr_, kMapSize));
+    for (std::size_t i = 0; i < kMapSize; ++i) res.map[i] = classify_count(raw[i]);
+  }
+  return res;
+}
+
+}  // namespace zipr::fuzz

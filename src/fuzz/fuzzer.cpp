@@ -1,0 +1,289 @@
+#include "fuzz/fuzzer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+#include "batch/worker_pool.h"
+#include "fuzz/mutator.h"
+
+namespace zipr::fuzz {
+
+namespace {
+
+// Rng stream ids carved out of the campaign seed (support/rng.h's
+// derive_seed decorrelates adjacent streams, these just keep the spaces
+// disjoint and self-describing).
+constexpr std::uint64_t kGuestRngStream = 0x6775;     // guest random() syscall
+constexpr std::uint64_t kPlannerStreamBase = 1u << 20;  // + round
+constexpr std::uint64_t kTaskStreamBase = 1u << 30;     // + global task ordinal
+
+/// What the workers hand back to the sequential merge, per executed input.
+struct RunOut {
+  Bytes map;
+  bool crashed = false;
+  vm::Fault fault = vm::Fault::kNone;
+  std::uint64_t fault_pc = 0;
+  std::uint64_t exec_insns = 0;
+  std::size_t consumed = 0;
+};
+
+struct Task {
+  std::vector<Bytes> inputs;
+  std::vector<RunOut> outs;
+};
+
+/// Interchangeable-executor pool: workers borrow whichever executor is
+/// free. Legal because every run starts from the same startup snapshot,
+/// so results do not depend on which executor ran an input.
+class ExecutorPool {
+ public:
+  ExecutorPool(const zelf::Image& image, std::size_t lanes, vm::RunLimits limits) {
+    for (std::size_t i = 0; i < lanes; ++i)
+      all_.push_back(std::make_unique<Executor>(image, limits));
+    for (auto& e : all_) free_.push_back(e.get());
+  }
+
+  Executor* acquire() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !free_.empty(); });
+    Executor* e = free_.back();
+    free_.pop_back();
+    return e;
+  }
+
+  void release(Executor* e) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      free_.push_back(e);
+    }
+    cv_.notify_one();
+  }
+
+  Executor& first() { return *all_.front(); }
+
+  std::uint64_t total_resets() const {
+    std::uint64_t n = 0;
+    for (const auto& e : all_) n += e->resets();
+    return n;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Executor>> all_;
+  std::vector<Executor*> free_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+bool has_new_bits(const Bytes& map, const Bytes& virgin) {
+  for (std::size_t i = 0; i < map.size(); ++i)
+    if (map[i] & ~virgin[i]) return true;
+  return false;
+}
+
+void merge_bits(const Bytes& map, Bytes& virgin) {
+  for (std::size_t i = 0; i < map.size(); ++i) virgin[i] |= map[i];
+}
+
+/// Favored = for some map index, this entry is the cheapest way (smallest
+/// input-length x instructions product) to reach it. AFL's queue culling.
+void recompute_favored(std::vector<CorpusEntry>& corpus) {
+  for (auto& e : corpus) e.favored = false;
+  for (std::size_t i = 0; i < kMapSize; ++i) {
+    std::size_t best = corpus.size();
+    std::uint64_t best_score = 0;
+    for (std::size_t j = 0; j < corpus.size(); ++j) {
+      if (!corpus[j].map[i]) continue;
+      const std::uint64_t score =
+          static_cast<std::uint64_t>(corpus[j].input.size() + 1) * (corpus[j].exec_insns + 1);
+      if (best == corpus.size() || score < best_score) {
+        best = j;
+        best_score = score;
+      }
+    }
+    if (best != corpus.size()) corpus[best].favored = true;
+  }
+}
+
+}  // namespace
+
+Result<FuzzResult> fuzz(const zelf::Image& instrumented, const std::vector<Bytes>& seeds,
+                        const FuzzOptions& opts) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::size_t tasks_per_round = std::max<std::size_t>(1, opts.tasks_per_round);
+  const std::size_t jobs = batch::effective_jobs(opts.jobs, tasks_per_round);
+  const std::uint64_t guest_seed = derive_seed(opts.seed, kGuestRngStream);
+
+  ExecutorPool pool(instrumented, jobs, opts.limits);
+
+  FuzzResult result;
+  Bytes virgin(kMapSize, 0);
+  std::map<CrashKey, Bytes> crashes;  // ordered: deterministic triage output
+
+  auto record_crash = [&](const RunOut& out, const Bytes& input) {
+    ++result.stats.crashing_execs;
+    const std::uint64_t pc =
+        instrumented.segment_containing(out.fault_pc) ? out.fault_pc : kWildFaultPc;
+    crashes.try_emplace(CrashKey{out.fault, pc, path_hash(out.map)}, input);
+  };
+
+  // Trimmed admission: cut the unread tail off, then prove on the merge
+  // executor that the truncated input retires the exact same per-pc
+  // instruction counts (the vm's hot-counter hook) before adopting it.
+  auto admit = [&](Bytes input, RunOut out) -> Status {
+    if (opts.trim && out.consumed < input.size()) {
+      Bytes trimmed(input.begin(), input.begin() + static_cast<std::ptrdiff_t>(out.consumed));
+      Executor& ex = pool.first();
+      ex.machine().set_count_pcs(true);
+      ZIPR_ASSIGN_OR_RETURN(ExecResult full, ex.execute(input, guest_seed));
+      auto full_hist = ex.machine().insns_by_pc();
+      ZIPR_ASSIGN_OR_RETURN(ExecResult cut, ex.execute(trimmed, guest_seed));
+      ex.machine().set_count_pcs(false);
+      result.stats.execs += 2;
+      if (!cut.crashed && cut.map == full.map && ex.machine().insns_by_pc() == full_hist) {
+        input = std::move(trimmed);
+        out.exec_insns = cut.run.stats.insns;
+      }
+    }
+    merge_bits(out.map, virgin);
+    CorpusEntry entry;
+    entry.input = std::move(input);
+    entry.map = std::move(out.map);
+    entry.exec_insns = out.exec_insns;
+    result.corpus.push_back(std::move(entry));
+    return Status::success();
+  };
+
+  auto to_out = [](const ExecResult& res) {
+    RunOut out;
+    out.map = res.map;
+    out.crashed = res.crashed;
+    out.fault = res.run.fault;
+    out.fault_pc = res.run.fault_pc;
+    out.exec_insns = res.run.stats.insns;
+    out.consumed = res.run.input_bytes_consumed;
+    return out;
+  };
+
+  // ---- seed the corpus (sequentially, on the merge executor) ----
+  for (const auto& seed_input : seeds) {
+    ZIPR_ASSIGN_OR_RETURN(ExecResult res, pool.first().execute(seed_input, guest_seed));
+    ++result.stats.execs;
+    RunOut out = to_out(res);
+    if (out.crashed) {
+      record_crash(out, seed_input);
+      continue;
+    }
+    ZIPR_TRY(admit(seed_input, std::move(out)));
+  }
+  if (result.corpus.empty()) {
+    // Every seed crashed (or none were given): keep something schedulable.
+    CorpusEntry entry;
+    entry.input = seeds.empty() ? Bytes{} : seeds.front();
+    entry.map.assign(kMapSize, 0);
+    result.corpus.push_back(std::move(entry));
+  }
+  recompute_favored(result.corpus);
+
+  // ---- rounds ----
+  std::uint64_t task_ordinal = 0;
+  while (result.stats.execs < opts.max_execs) {
+    // 1. Plan: sequential, deterministic in (corpus, seed, round).
+    Rng planner(derive_seed(opts.seed, kPlannerStreamBase + result.stats.rounds));
+    std::vector<std::size_t> favored;
+    for (std::size_t j = 0; j < result.corpus.size(); ++j)
+      if (result.corpus[j].favored) favored.push_back(j);
+
+    std::vector<Task> tasks(tasks_per_round);
+    for (auto& task : tasks) {
+      const std::uint64_t ordinal = task_ordinal++;
+      std::size_t pick;
+      if (!favored.empty() && planner.chance(3, 4))
+        pick = favored[planner.below(favored.size())];
+      else
+        pick = planner.below(result.corpus.size());
+      CorpusEntry& entry = result.corpus[pick];
+
+      const std::size_t det_total = det_count(entry.input.size());
+      if (entry.det_done < det_total) {
+        const std::size_t end =
+            std::min(det_total, entry.det_done + opts.execs_per_task);
+        for (std::size_t i = entry.det_done; i < end; ++i)
+          task.inputs.push_back(det_mutate(entry.input, i));
+        entry.det_done = end;
+      } else {
+        Rng rng(derive_seed(opts.seed, kTaskStreamBase + ordinal));
+        for (std::size_t k = 0; k < opts.execs_per_task; ++k) {
+          if (result.corpus.size() > 1 && rng.chance(1, 4)) {
+            std::size_t other = rng.below(result.corpus.size() - 1);
+            if (other >= pick) ++other;
+            task.inputs.push_back(
+                splice_mutate(entry.input, result.corpus[other].input, rng));
+          } else {
+            task.inputs.push_back(havoc_mutate(entry.input, rng));
+          }
+        }
+      }
+      task.outs.resize(task.inputs.size());
+    }
+
+    // 2. Execute: workers borrow interchangeable executors; the only
+    // shared state they write is their own task's result slots.
+    std::mutex err_mu;
+    Status first_error;
+    batch::parallel_for(static_cast<int>(jobs), tasks.size(), [&](std::size_t t) {
+      Executor* ex = pool.acquire();
+      for (std::size_t k = 0; k < tasks[t].inputs.size(); ++k) {
+        auto res = ex->execute(tasks[t].inputs[k], guest_seed);
+        if (!res.ok()) {
+          std::lock_guard<std::mutex> lock(err_mu);
+          if (first_error.ok()) first_error = res.error();
+          break;
+        }
+        tasks[t].outs[k] = to_out(*res);
+      }
+      pool.release(ex);
+    });
+    ZIPR_TRY(first_error);
+
+    // 3. Merge: sequential, in task order; re-checks novelty against the
+    // LIVE virgin map so duplicates across concurrent tasks collapse
+    // identically no matter how they were scheduled.
+    for (auto& task : tasks) {
+      for (std::size_t k = 0; k < task.inputs.size(); ++k) {
+        RunOut& out = task.outs[k];
+        ++result.stats.execs;
+        if (out.crashed) {
+          record_crash(out, task.inputs[k]);
+          continue;
+        }
+        if (has_new_bits(out.map, virgin))
+          ZIPR_TRY(admit(std::move(task.inputs[k]), std::move(out)));
+      }
+    }
+    recompute_favored(result.corpus);
+    ++result.stats.rounds;
+  }
+
+  for (const auto& [key, input] : crashes) {
+    Crash c;
+    c.fault = std::get<0>(key);
+    c.fault_pc = std::get<1>(key);
+    c.path = std::get<2>(key);
+    c.input = input;
+    result.crashes.push_back(std::move(c));
+  }
+  result.stats.resets = pool.total_resets();
+  result.stats.map_indices_hit =
+      static_cast<std::size_t>(std::count_if(virgin.begin(), virgin.end(),
+                                             [](Byte b) { return b != 0; }));
+  const auto elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start);
+  result.stats.wall_seconds = elapsed.count();
+  result.stats.execs_per_sec =
+      result.stats.wall_seconds > 0 ? static_cast<double>(result.stats.execs) / result.stats.wall_seconds : 0;
+  return result;
+}
+
+}  // namespace zipr::fuzz

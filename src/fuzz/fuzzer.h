@@ -1,0 +1,86 @@
+// The coverage-guided fuzzer core: corpus scheduling, coverage-novelty
+// admission, crash triage, and a parallel execution plan that is
+// REPRODUCIBLE INDEPENDENT OF THE WORKER COUNT.
+//
+// Determinism design (the part worth reading twice): a campaign advances
+// in rounds. At every round boundary a sequential planner snapshots the
+// corpus, picks entries (favored first) and emits a fixed number of
+// tasks, each a concrete list of mutated inputs -- deterministic stages
+// are pure index enumerations (mutator.h) and randomized stages draw from
+// per-task Rng streams derived from (campaign seed, global task ordinal).
+// Workers only EXECUTE inputs; executors are interchangeable because each
+// run starts from the same startup snapshot. Results are merged back
+// sequentially in task order. Nothing observable depends on which worker
+// ran what, so `--jobs 1` and `--jobs 4` produce byte-identical corpora
+// and crash sets.
+#pragma once
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "fuzz/executor.h"
+
+namespace zipr::fuzz {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;          ///< campaign seed (mutations + scheduling)
+  int jobs = 1;                    ///< worker threads; <=0 = hardware
+  std::uint64_t max_execs = 20000; ///< stop after at least this many runs
+                                   ///< (checked at round boundaries)
+  std::size_t tasks_per_round = 8; ///< fixed per round, NOT scaled by jobs
+  std::size_t execs_per_task = 24;
+  vm::RunLimits limits{.max_insns = 2'000'000, .max_output = 1 << 20};
+  bool trim = true;                ///< cut unread tail bytes off new entries
+};
+
+struct CorpusEntry {
+  Bytes input;
+  Bytes map;                    ///< classified coverage of this input
+  std::uint64_t exec_insns = 0; ///< instructions the run retired
+  bool favored = false;         ///< minimal (len x insns) for some map index
+  std::size_t det_done = 0;     ///< deterministic-stage progress cursor
+};
+
+/// Crash identity for deduplication: two inputs are "the same bug" when
+/// they fault the same way, at the same pc, along the same coverage path.
+/// One wrinkle: a hijacked control transfer faults AT the attacker-chosen
+/// target, so a raw fault_pc would mint a "new bug" per mutated pointer.
+/// Triage therefore collapses fault pcs outside the image's mapped
+/// segments to kWildFaultPc and lets the path hash discriminate.
+using CrashKey = std::tuple<vm::Fault, std::uint64_t, std::uint64_t>;
+
+/// Sentinel fault_pc for wild transfers (pc outside every image segment).
+inline constexpr std::uint64_t kWildFaultPc = ~0ull;
+
+struct Crash {
+  vm::Fault fault = vm::Fault::kNone;
+  std::uint64_t fault_pc = 0;
+  std::uint64_t path = 0;       ///< path_hash of the crashing run's map
+  Bytes input;                  ///< first input (in schedule order) to hit it
+};
+
+struct FuzzStats {
+  std::uint64_t execs = 0;
+  std::uint64_t crashing_execs = 0;  ///< before triage deduplication
+  std::uint64_t rounds = 0;
+  std::uint64_t resets = 0;       ///< snapshot restores across all executors
+  double wall_seconds = 0;
+  double execs_per_sec = 0;
+  std::size_t map_indices_hit = 0;  ///< distinct map indices ever nonzero
+};
+
+struct FuzzResult {
+  std::vector<CorpusEntry> corpus;
+  std::vector<Crash> crashes;   ///< deduped, sorted by (fault, pc, path)
+  FuzzStats stats;
+};
+
+/// Fuzz a cov-instrumented image starting from `seeds`. Runs until
+/// opts.max_execs executions have been spent (rounded up to a whole
+/// round). Fully deterministic in (image, seeds, opts.seed) -- wall-clock
+/// stats aside -- regardless of opts.jobs.
+Result<FuzzResult> fuzz(const zelf::Image& instrumented, const std::vector<Bytes>& seeds,
+                        const FuzzOptions& opts);
+
+}  // namespace zipr::fuzz

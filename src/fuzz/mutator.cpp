@@ -1,0 +1,153 @@
+#include "fuzz/mutator.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace zipr::fuzz {
+
+namespace {
+
+// AFL's interesting 8-bit constants (boundary values that trip off-by-one
+// and sign bugs).
+constexpr std::int8_t kInteresting8[] = {-128, -1, 0, 1, 16, 32, 64, 100, 127};
+constexpr std::size_t kNumInteresting8 = sizeof(kInteresting8);
+
+// 64-bit constants worth writing whole: powers of two around address/size
+// boundaries plus all-ones patterns.
+constexpr std::uint64_t kInteresting64[] = {
+    0,
+    1,
+    0x7fULL,
+    0x80ULL,
+    0xffULL,
+    0x7fffULL,
+    0x8000ULL,
+    0xffffULL,
+    0x7fffffffULL,
+    0x80000000ULL,
+    0xffffffffULL,
+    0x4141414141414141ULL,
+    0x7fffffffffffffffULL,
+    0x8000000000000000ULL,
+    0xffffffffffffffffULL,
+};
+constexpr std::size_t kNumInteresting64 = sizeof(kInteresting64) / sizeof(kInteresting64[0]);
+
+// Per-byte deterministic sub-stage sizes.
+constexpr std::size_t kArithMax = 16;                      // +/- 1..16
+constexpr std::size_t kPerByte = 8                         // bitflips
+                                 + 1                       // invert
+                                 + 2 * kArithMax           // arith8
+                                 + kNumInteresting8;       // interesting8
+
+}  // namespace
+
+std::size_t det_count(std::size_t len) { return len * kPerByte; }
+
+Bytes det_mutate(ByteView input, std::size_t idx) {
+  Bytes out(input.begin(), input.end());
+  const std::size_t byte = idx / kPerByte;
+  std::size_t sub = idx % kPerByte;
+  if (byte >= out.size()) return out;  // defensive: idx past det_count
+  if (sub < 8) {
+    out[byte] ^= static_cast<Byte>(1u << sub);
+    return out;
+  }
+  sub -= 8;
+  if (sub < 1) {
+    out[byte] ^= 0xff;
+    return out;
+  }
+  sub -= 1;
+  if (sub < 2 * kArithMax) {
+    const auto delta = static_cast<Byte>(sub / 2 + 1);
+    out[byte] = sub % 2 == 0 ? static_cast<Byte>(out[byte] + delta)
+                             : static_cast<Byte>(out[byte] - delta);
+    return out;
+  }
+  sub -= 2 * kArithMax;
+  out[byte] = static_cast<Byte>(kInteresting8[sub]);
+  return out;
+}
+
+Bytes havoc_mutate(ByteView input, Rng& rng) {
+  Bytes out(input.begin(), input.end());
+  const auto ops = std::size_t{1} << rng.range(1, 5);  // 2..32 stacked edits
+  for (std::size_t n = 0; n < ops; ++n) {
+    switch (rng.below(8)) {
+      case 0:  // flip one bit
+        if (!out.empty()) out[rng.below(out.size())] ^= static_cast<Byte>(1u << rng.below(8));
+        break;
+      case 1:  // set a byte to a random value
+        if (!out.empty()) out[rng.below(out.size())] = static_cast<Byte>(rng.next());
+        break;
+      case 2:  // set a byte to an interesting value
+        if (!out.empty())
+          out[rng.below(out.size())] =
+              static_cast<Byte>(kInteresting8[rng.below(kNumInteresting8)]);
+        break;
+      case 3:  // add/subtract a small delta
+        if (!out.empty()) {
+          Byte& b = out[rng.below(out.size())];
+          const auto delta = static_cast<Byte>(rng.range(1, 35));
+          b = rng.chance(1, 2) ? static_cast<Byte>(b + delta) : static_cast<Byte>(b - delta);
+        }
+        break;
+      case 4:  // overwrite an aligned-size word with a random/interesting u64
+        if (out.size() >= 8) {
+          const std::size_t pos = rng.below(out.size() - 7);
+          const std::uint64_t v = rng.chance(3, 4)
+                                      ? kInteresting64[rng.below(kNumInteresting64)]
+                                      : rng.next();
+          for (int i = 0; i < 8; ++i)
+            out[pos + static_cast<std::size_t>(i)] = static_cast<Byte>(v >> (8 * i));
+        }
+        break;
+      case 5:  // delete a block
+        if (out.size() > 1) {
+          const std::size_t len = rng.range(1, out.size() - 1);
+          const std::size_t pos = rng.below(out.size() - len + 1);
+          out.erase(out.begin() + static_cast<std::ptrdiff_t>(pos),
+                    out.begin() + static_cast<std::ptrdiff_t>(pos + len));
+        }
+        break;
+      case 6: {  // insert a block (the growth operator)
+        const std::size_t len = rng.range(1, 64);
+        if (out.size() + len > kMaxInputLen) break;
+        const std::size_t pos = rng.below(out.size() + 1);
+        Bytes block(len);
+        if (rng.chance(1, 2)) {
+          const auto fill = static_cast<Byte>(rng.next());
+          std::memset(block.data(), fill, len);
+        } else {
+          for (auto& b : block) b = static_cast<Byte>(rng.next());
+        }
+        out.insert(out.begin() + static_cast<std::ptrdiff_t>(pos), block.begin(), block.end());
+        break;
+      }
+      case 7:  // clone an existing block to another position
+        if (out.size() > 1 && out.size() < kMaxInputLen) {
+          const std::size_t len = rng.range(1, std::min<std::size_t>(out.size(), 32));
+          const std::size_t src = rng.below(out.size() - len + 1);
+          const std::size_t dst = rng.below(out.size() + 1);
+          Bytes block(out.begin() + static_cast<std::ptrdiff_t>(src),
+                      out.begin() + static_cast<std::ptrdiff_t>(src + len));
+          out.insert(out.begin() + static_cast<std::ptrdiff_t>(dst), block.begin(), block.end());
+        }
+        break;
+    }
+  }
+  if (out.size() > kMaxInputLen) out.resize(kMaxInputLen);
+  return out;
+}
+
+Bytes splice_mutate(ByteView a, ByteView b, Rng& rng) {
+  Bytes out;
+  const std::size_t cut_a = a.empty() ? 0 : rng.below(a.size() + 1);
+  const std::size_t cut_b = b.empty() ? 0 : rng.below(b.size() + 1);
+  out.insert(out.end(), a.begin(), a.begin() + static_cast<std::ptrdiff_t>(cut_a));
+  out.insert(out.end(), b.begin() + static_cast<std::ptrdiff_t>(cut_b), b.end());
+  return havoc_mutate(out, rng);
+}
+
+}  // namespace zipr::fuzz

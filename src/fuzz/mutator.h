@@ -1,0 +1,37 @@
+// Deterministic mutation engine (AFL's stage lineup on a diet).
+//
+// Two families:
+//   * deterministic stages -- a pure enumeration over an input: walking
+//     bitflips, byte inversions, 8-bit arithmetic and "interesting"
+//     constants. det_mutate(input, i) is a pure function, so any slice of
+//     the enumeration can be (re)generated anywhere -- the fuzzer's
+//     planner hands index ranges to workers without sharing state;
+//   * randomized stages -- havoc (a stack of random edits, including
+//     block inserts so inputs can GROW, which buffer-overflow bugs need)
+//     and splice (crossover of two corpus entries followed by havoc).
+//     Both draw every decision from a caller-provided Rng, so a seed
+//     fully determines the mutation.
+#pragma once
+
+#include "support/bytes.h"
+#include "support/rng.h"
+
+namespace zipr::fuzz {
+
+/// Inputs never grow beyond this (receive() reads are bounded anyway).
+inline constexpr std::size_t kMaxInputLen = 4096;
+
+/// Number of deterministic mutations defined for an input of `len` bytes.
+std::size_t det_count(std::size_t len);
+
+/// The `idx`-th deterministic mutation of `input`; idx < det_count(size).
+Bytes det_mutate(ByteView input, std::size_t idx);
+
+/// A stacked batch of 2..32 random edits (flip/set/arith/word-overwrite/
+/// delete/insert/clone) of `input`.
+Bytes havoc_mutate(ByteView input, Rng& rng);
+
+/// Crossover: a prefix of `a` glued to a suffix of `b`, then havoc'd.
+Bytes splice_mutate(ByteView a, ByteView b, Rng& rng);
+
+}  // namespace zipr::fuzz

@@ -3,13 +3,18 @@
 #include <map>
 #include <mutex>
 
+#include "transform/cov.h"
+
 namespace zipr::transform {
 
 Status TransformContext::add_segment(zelf::Segment segment) {
+  const std::uint64_t seg_end = segment.vaddr + segment.memsize;
   for (const auto& existing : prog_.original.segments) {
-    if (segment.vaddr < existing.end() && existing.vaddr < segment.vaddr + segment.memsize)
-      return Error::invalid_argument("added segment overlaps existing segment at " +
-                                     hex_addr(existing.vaddr));
+    if (segment.vaddr < existing.end() && existing.vaddr < seg_end)
+      return Error::invalid_argument(
+          "added segment [" + hex_addr(segment.vaddr) + ", " + hex_addr(seg_end) +
+          ") overlaps existing segment [" + hex_addr(existing.vaddr) + ", " +
+          hex_addr(existing.end()) + ")");
   }
   prog_.original.segments.push_back(std::move(segment));
   return Status::success();
@@ -36,6 +41,7 @@ std::unique_ptr<Transform> make_cfi_transform();
 std::unique_ptr<Transform> make_stackpad_transform();
 std::unique_ptr<Transform> make_canary_transform();
 std::unique_ptr<Transform> make_profile_transform();
+std::unique_ptr<Transform> make_cov_transform(CovMode mode);
 
 namespace {
 
@@ -47,6 +53,8 @@ void ensure_builtins() {
     register_transform("stackpad", make_stackpad_transform);
     register_transform("canary", make_canary_transform);
     register_transform("profile", make_profile_transform);
+    register_transform("cov", [] { return make_cov_transform(CovMode::kEdge); });
+    register_transform("cov-block", [] { return make_cov_transform(CovMode::kBlock); });
   });
 }
 
@@ -64,7 +72,14 @@ Result<std::unique_ptr<Transform>> make_transform(const std::string& name) {
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mu);
   auto it = r.factories.find(name);
-  if (it == r.factories.end()) return Error::not_found("no transform named '" + name + "'");
+  if (it == r.factories.end()) {
+    std::string known;
+    for (const auto& n : r.order) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    return Error::not_found("no transform named '" + name + "' (registered: " + known + ")");
+  }
   return it->second();
 }
 

@@ -1,0 +1,200 @@
+// "cov": AFL-style edge/block coverage instrumentation (see cov.h for the
+// map ABI). Implementation notes:
+//
+//   * Basic-block entries are discovered from the IRDB's logical links:
+//     targets of static branches, fallthroughs of conditional branches,
+//     function entries, and every pinned address (anything reachable
+//     indirectly at runtime enters a block).
+//   * Stubs save/restore their scratch registers (r5, r6) but CANNOT save
+//     condition flags (VLX has no pushf). Instead of assuming flags are
+//     dead at every block entry, the transform runs a small forward
+//     liveness walk (ZAFL's liveness-aware instrumentation): a block whose
+//     entry can reach a jcc before any flag-writing instruction is left
+//     uninstrumented. Flags are assumed dead across indirect transfers and
+//     returns -- the same documented ABI assumption CFI and the canary
+//     transform already rely on.
+//   * Counters are 8-bit and wrap naturally (store8 keeps the low byte).
+#include <set>
+#include <vector>
+
+#include "transform/api.h"
+#include "transform/cov.h"
+
+namespace zipr::transform {
+
+namespace {
+
+using irdb::InsnId;
+using isa::Insn;
+using isa::Op;
+
+Insn ri(Op op, std::uint8_t reg, std::int64_t imm) {
+  Insn in;
+  in.op = op;
+  in.ra = reg;
+  in.imm = imm;
+  return in;
+}
+
+Insn reg1(Op op, std::uint8_t reg) {
+  Insn in;
+  in.op = op;
+  in.ra = reg;
+  return in;
+}
+
+Insn mem(Op op, std::uint8_t ra, std::uint8_t rb, std::int64_t disp) {
+  Insn in;
+  in.op = op;
+  in.ra = ra;
+  in.rb = rb;
+  in.imm = disp;
+  return in;
+}
+
+bool writes_flags(Op op) {
+  switch (op) {
+    case Op::kAdd: case Op::kSub: case Op::kAnd: case Op::kOr: case Op::kXor:
+    case Op::kMul: case Op::kDiv: case Op::kMod: case Op::kShl: case Op::kShr:
+    case Op::kSar: case Op::kAddI: case Op::kSubI: case Op::kAndI: case Op::kOrI:
+    case Op::kXorI: case Op::kShlI: case Op::kShrI: case Op::kCmp: case Op::kCmpI:
+    case Op::kTest:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// True if condition flags may be LIVE at the entry of `start`'s block: a
+/// forward walk over logical successors reaches a jcc before any
+/// flag-writing instruction. Conservative on anything it cannot see
+/// (verbatim rows, targets kept inside original text). `text_end` is the
+/// original text segment's end: the IR builder models control flow that
+/// runs off the end of text as a synthetic jump to the original address
+/// past the segment, which can only fault -- flags are dead there, and
+/// treating it as live would skip every block that ends the program.
+bool flags_live_at(const irdb::Database& db, InsnId start, std::uint64_t text_end) {
+  std::vector<InsnId> work{start};
+  std::set<InsnId> seen;
+  while (!work.empty()) {
+    InsnId id = work.back();
+    work.pop_back();
+    if (id == irdb::kNullInsn || !seen.insert(id).second) continue;
+    if (seen.size() > 256) return true;  // walk exploded: assume live
+    const irdb::Instruction& row = db.insn(id);
+    if (row.verbatim) return true;  // opaque bytes: assume live
+    const Insn& in = row.decoded;
+    if (in.op == Op::kJcc) return true;   // consumer before any writer
+    if (writes_flags(in.op)) continue;    // this path redefines flags first
+    switch (in.op) {
+      case Op::kRet: case Op::kCallR: case Op::kJmpR: case Op::kJmpT: case Op::kHlt:
+        continue;  // flags dead across indirect transfers/returns (ABI)
+      case Op::kJmp:
+      case Op::kCall:
+        // Follow the target (for calls, flags flow into the callee).
+        if (row.target != irdb::kNullInsn)
+          work.push_back(row.target);
+        else if (row.abs_target && *row.abs_target >= text_end)
+          continue;  // runs off text end: faults, flags cannot matter
+        else
+          return true;  // target kept inside original text: cannot see it
+        continue;
+      default:
+        break;
+    }
+    if (row.fallthrough != irdb::kNullInsn) work.push_back(row.fallthrough);
+  }
+  return false;
+}
+
+class CovTransform final : public Transform {
+ public:
+  explicit CovTransform(CovMode mode) : mode_(mode) {}
+
+  std::string name() const override { return mode_ == CovMode::kEdge ? "cov" : "cov-block"; }
+
+  Status apply(TransformContext& ctx) override {
+    irdb::Database& db = ctx.db();
+    const zelf::Segment& text = ctx.program().original.text();
+    const std::uint64_t text_vaddr = text.vaddr;
+    const std::uint64_t text_end = text.end();  // memsize end: zero tail stays conservative
+    const auto prev_slot = static_cast<std::int64_t>(cov_prev_addr(text_vaddr));
+    const auto counters = static_cast<std::int64_t>(cov_counters_addr(text_vaddr));
+
+    // ---- 1. basic-block entries, in ascending row-id order ----
+    std::set<InsnId> leaders;
+    db.for_each_insn([&](const irdb::Instruction& row) {
+      if (row.target != irdb::kNullInsn) leaders.insert(row.target);
+      if (row.decoded.op == Op::kJcc && row.fallthrough != irdb::kNullInsn)
+        leaders.insert(row.fallthrough);
+    });
+    db.for_each_function([&](const irdb::Function& func) {
+      if (func.entry != irdb::kNullInsn) leaders.insert(func.entry);
+    });
+    for (const auto& [addr, id] : db.pins()) leaders.insert(id);
+
+    // ---- 2. the map segment (zero-initialized rw, no file bytes) ----
+    zelf::Segment seg;
+    seg.kind = zelf::SegKind::kBss;
+    seg.vaddr = cov_map_base(text_vaddr);
+    seg.memsize = kCovSegBytes;
+    ZIPR_TRY(ctx.add_segment(std::move(seg)));
+
+    // ---- 3. one stub per safely-instrumentable block entry ----
+    for (InsnId leader : leaders) {
+      const irdb::Instruction& row = db.insn(leader);
+      if (row.verbatim) continue;
+      if (flags_live_at(db, leader, text_end)) {
+        ++skipped_flags_;
+        continue;
+      }
+      const auto cur =
+          static_cast<std::int64_t>(ctx.rng().below(kCovMapEntries));
+
+      std::vector<Insn> stub;
+      stub.push_back(reg1(Op::kPush, 5));
+      stub.push_back(reg1(Op::kPush, 6));
+      if (mode_ == CovMode::kEdge) {
+        // idx = prev ^ cur; map[idx]++; prev = cur >> 1
+        stub.push_back(ri(Op::kMovI, 5, prev_slot));
+        stub.push_back(mem(Op::kLoad, 6, 5, 0));
+        stub.push_back(ri(Op::kXorI, 6, cur));
+        stub.push_back(ri(Op::kMovI, 5, counters));
+        stub.push_back(mem(Op::kAdd, 5, 6, 0));
+        stub.push_back(mem(Op::kLoad8, 6, 5, 0));
+        stub.push_back(ri(Op::kAddI, 6, 1));
+        stub.push_back(mem(Op::kStore8, 5, 6, 0));
+        stub.push_back(ri(Op::kMovI, 5, prev_slot));
+        stub.push_back(ri(Op::kMovI, 6, cur >> 1));
+        stub.push_back(mem(Op::kStore, 5, 6, 0));
+      } else {
+        // map[cur]++
+        stub.push_back(ri(Op::kMovI, 5, counters + cur));
+        stub.push_back(mem(Op::kLoad8, 6, 5, 0));
+        stub.push_back(ri(Op::kAddI, 6, 1));
+        stub.push_back(mem(Op::kStore8, 5, 6, 0));
+      }
+      stub.push_back(reg1(Op::kPop, 6));
+      stub.push_back(reg1(Op::kPop, 5));
+
+      db.insert_before(leader, stub[0]);
+      InsnId cursor = leader;
+      for (std::size_t i = 1; i < stub.size(); ++i) cursor = db.insert_after(cursor, stub[i]);
+      ++instrumented_;
+    }
+    return db.validate();
+  }
+
+ private:
+  CovMode mode_;
+  std::size_t instrumented_ = 0;
+  std::size_t skipped_flags_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Transform> make_cov_transform(CovMode mode) {
+  return std::make_unique<CovTransform>(mode);
+}
+
+}  // namespace zipr::transform

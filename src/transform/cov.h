@@ -1,0 +1,53 @@
+// "cov": AFL/ZAFL-style coverage instrumentation (binary-only fuzzing,
+// the highest-impact Zipr application named by the follow-on papers).
+//
+// Every basic-block entry receives a compile-time random id and a short
+// stub that bumps an 8-bit hit counter in a writable coverage-map segment
+// added to the image. Two granularities:
+//
+//   * edge  (default, AFL classic): the counter index is cur ^ prev where
+//     prev is the previous block's id shifted right once, kept in a
+//     prev-loc slot at the head of the map segment -- distinguishes A->B
+//     from B->A and different predecessors of the same block;
+//   * block (ZAFL's cheaper mode): the counter index is the block id
+//     itself -- no prev-loc traffic, roughly half the stub length.
+//
+// This header is the coverage-map ABI shared between the transform (which
+// emits the stubs) and the fuzzing executor (which reads the map back out
+// of VM memory after every run); see fuzz/executor.h.
+#pragma once
+
+#include <cstdint>
+
+namespace zipr::transform {
+
+/// Coverage granularity of the "cov" transform.
+enum class CovMode { kEdge, kBlock };
+
+/// Hit-counter count; indices are block ids (block mode) or id xor
+/// shifted-prev (edge mode), both already reduced mod this value.
+inline constexpr std::uint64_t kCovMapEntries = 4096;
+
+/// Segment layout: [u64 prev-loc][kCovMapEntries 8-bit counters].
+inline constexpr std::uint64_t kCovPrevOffset = 0;
+inline constexpr std::uint64_t kCovMapOffset = 8;
+inline constexpr std::uint64_t kCovSegBytes = kCovMapOffset + kCovMapEntries;
+
+/// Where an image's coverage segment is mapped: a fixed arena plus the
+/// text base scaled down, so instrumented images with disjoint text spans
+/// keep disjoint maps (same scheme as CFI's bitmap and profile's
+/// counters, in a separate arena).
+inline constexpr std::uint64_t cov_map_base(std::uint64_t text_vaddr) {
+  return 0x7b000000 + (text_vaddr >> 2);
+}
+
+/// Address of the prev-loc slot / first counter for an image whose text
+/// starts at `text_vaddr`.
+inline constexpr std::uint64_t cov_prev_addr(std::uint64_t text_vaddr) {
+  return cov_map_base(text_vaddr) + kCovPrevOffset;
+}
+inline constexpr std::uint64_t cov_counters_addr(std::uint64_t text_vaddr) {
+  return cov_map_base(text_vaddr) + kCovMapOffset;
+}
+
+}  // namespace zipr::transform

@@ -135,6 +135,7 @@ std::optional<Fault> Machine::step() {
   const Insn in = *decoded;
 
   if (trace_) trace_(pc_, in);
+  if (count_pcs_) ++insns_by_pc_[pc_];
   ++stats_.insns;
   stats_.cycles += static_cast<std::uint64_t>(isa::cost_of(in.op));
 
@@ -326,7 +327,35 @@ RunResult Machine::run() {
   r.stats = stats_;
   r.stats.max_rss_pages = mem_.pages_touched();
   r.output = std::move(output_);
+  r.input_bytes_consumed = input_pos_;
   return r;
+}
+
+Machine::Snapshot Machine::snapshot() {
+  Snapshot snap;
+  snap.mem = mem_.snapshot();
+  for (int i = 0; i < isa::kNumRegs; ++i) snap.regs[i] = regs_[i];
+  snap.pc = pc_;
+  snap.flags = flags_;
+  snap.heap_next = heap_next_;
+  return snap;
+}
+
+Status Machine::restore(const Snapshot& snap) {
+  ZIPR_TRY(mem_.restore(snap.mem));
+  for (int i = 0; i < isa::kNumRegs; ++i) regs_[i] = snap.regs[i];
+  pc_ = snap.pc;
+  flags_ = snap.flags;
+  heap_next_ = snap.heap_next;
+  rng_ = Rng(0);
+  input_.clear();
+  input_pos_ = 0;
+  output_.clear();
+  stats_ = ExecStats{};
+  exited_ = false;
+  exit_status_ = -1;
+  insns_by_pc_.clear();
+  return Status::success();
 }
 
 RunResult run_program(const zelf::Image& image, ByteView input, std::uint64_t seed,

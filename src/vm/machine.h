@@ -18,6 +18,7 @@
 
 #include <functional>
 #include <optional>
+#include <unordered_map>
 
 #include "isa/insn.h"
 #include "support/rng.h"
@@ -46,9 +47,19 @@ struct RunResult {
   std::uint64_t fault_pc = 0;
   ExecStats stats;
   Bytes output;                    ///< transmitted bytes
+  /// Bytes of the input stream actually receive()d before the run ended.
+  /// Corpus trimming uses this to cut unread tail bytes off fuzz inputs.
+  std::size_t input_bytes_consumed = 0;
 };
 
 class Machine {
+ private:
+  struct Flags {
+    bool zf = false;
+    bool slt = false;  ///< signed less-than at last compare
+    bool ult = false;  ///< unsigned less-than at last compare
+  };
+
  public:
   explicit Machine(const zelf::Image& image, RunLimits limits = {});
 
@@ -65,8 +76,37 @@ class Machine {
   using TraceFn = std::function<void(std::uint64_t pc, const isa::Insn&)>;
   void set_trace(TraceFn fn) { trace_ = std::move(fn); }
 
+  /// Optional per-run hot counters: instructions retired by pc. Off by
+  /// default (it costs a hash insert per step); the fuzzer's trim stage
+  /// turns it on to prove a truncated input executes the same path.
+  void set_count_pcs(bool on) { count_pcs_ = on; }
+  const std::unordered_map<std::uint64_t, std::uint64_t>& insns_by_pc() const {
+    return insns_by_pc_;
+  }
+
   /// Run until terminate, fault, or gas exhaustion.
   RunResult run();
+
+  // ---- snapshot / restore (persistent-mode fuzzing) ----
+
+  /// Full machine state at a point in time; restore() rolls back to it.
+  struct Snapshot {
+    Memory::Snapshot mem;
+    std::uint64_t regs[isa::kNumRegs] = {};
+    std::uint64_t pc = 0;
+    Flags flags;
+    std::uint64_t heap_next = 0;
+  };
+
+  /// Capture registers + memory and arm the memory's dirty-page tracking;
+  /// typically taken right after construction ("after startup") so every
+  /// later run can start from a pristine address space without re-linking.
+  Snapshot snapshot();
+
+  /// Roll the machine back to `snap` and reset all per-run state (input,
+  /// output, statistics, termination). The caller re-arms input and the
+  /// random() seed for the next run.
+  Status restore(const Snapshot& snap);
 
   // ---- state access for white-box tests ----
   std::uint64_t reg(int i) const { return regs_[i]; }
@@ -75,12 +115,6 @@ class Machine {
   Memory& memory() { return mem_; }
 
  private:
-  struct Flags {
-    bool zf = false;
-    bool slt = false;  ///< signed less-than at last compare
-    bool ult = false;  ///< unsigned less-than at last compare
-  };
-
   std::optional<Fault> step();
   bool eval_cond(isa::Cond c) const;
   std::optional<Fault> do_syscall();
@@ -103,6 +137,8 @@ class Machine {
   bool exited_ = false;
   std::int64_t exit_status_ = -1;
   TraceFn trace_;
+  bool count_pcs_ = false;
+  std::unordered_map<std::uint64_t, std::uint64_t> insns_by_pc_;
 };
 
 /// Convenience: run `image` with `input` and `seed`, default limits.

@@ -1,5 +1,6 @@
 #include "vm/memory.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace zipr::vm {
@@ -41,7 +42,12 @@ Memory::Page& Memory::ensure_page(std::uint64_t page_base, std::uint8_t perms) {
   } else {
     p.perms |= perms;
   }
+  mark_dirty(page_base);  // new mapping or widened permissions
   return p;
+}
+
+void Memory::mark_dirty(std::uint64_t page_base) {
+  if (tracking_) dirty_.insert(page_base);
 }
 
 void Memory::map_segment(const zelf::Segment& seg) {
@@ -96,6 +102,7 @@ Status Memory::write_u8(std::uint64_t addr, std::uint8_t v) {
   if (!p) return Error::invalid_argument("write unmapped " + hex_addr(addr));
   if (!(p->perms & kPermWrite)) return Error::invalid_argument("write !W " + hex_addr(addr));
   touch(addr);
+  mark_dirty(addr & kPageMask);
   p->data[addr & (kPageSize - 1)] = v;
   return Status::success();
 }
@@ -136,6 +143,56 @@ Result<Bytes> Memory::read_block(std::uint64_t addr, std::size_t n) {
 
 Status Memory::write_block(std::uint64_t addr, ByteView data) {
   for (std::size_t i = 0; i < data.size(); ++i) ZIPR_TRY(write_u8(addr + i, data[i]));
+  return Status::success();
+}
+
+Result<Bytes> Memory::peek_block(std::uint64_t addr, std::size_t n) const {
+  Bytes out(n);
+  std::size_t done = 0;
+  while (done < n) {
+    const std::uint64_t a = addr + done;
+    const Page* p = page_at(a);
+    if (!p) return Error::invalid_argument("peek unmapped " + hex_addr(a));
+    const std::size_t in_page = static_cast<std::size_t>(kPageSize - (a & (kPageSize - 1)));
+    const std::size_t take = std::min(in_page, n - done);
+    std::memcpy(out.data() + done, p->data.get() + (a & (kPageSize - 1)), take);
+    done += take;
+  }
+  return out;
+}
+
+Memory::Snapshot Memory::snapshot() {
+  Snapshot snap;
+  snap.pages.reserve(pages_.size());
+  for (const auto& [base, page] : pages_) {
+    Snapshot::PageCopy copy;
+    copy.data.assign(page.data.get(), page.data.get() + kPageSize);
+    copy.perms = page.perms;
+    snap.pages.emplace(base, std::move(copy));
+  }
+  snap.touched = touched_;
+  tracking_ = true;
+  dirty_.clear();
+  return snap;
+}
+
+Status Memory::restore(const Snapshot& snap) {
+  if (!tracking_)
+    return Error::invalid_argument("restore without an active snapshot (dirty tracking off)");
+  for (std::uint64_t base : dirty_) {
+    auto it = snap.pages.find(base);
+    if (it == snap.pages.end()) {
+      pages_.erase(base);  // mapped after the snapshot
+      continue;
+    }
+    auto live = pages_.find(base);
+    if (live == pages_.end())
+      return Error::internal("dirty page " + hex_addr(base) + " vanished before restore");
+    std::memcpy(live->second.data.get(), it->second.data.data(), kPageSize);
+    live->second.perms = it->second.perms;
+  }
+  dirty_.clear();
+  touched_ = snap.touched;
   return Status::success();
 }
 

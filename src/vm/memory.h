@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "support/bytes.h"
 #include "support/status.h"
@@ -64,6 +65,35 @@ class Memory {
   Result<Bytes> read_block(std::uint64_t addr, std::size_t n);
   Status write_block(std::uint64_t addr, ByteView data);
 
+  /// Bulk introspection read that neither checks permissions nor marks
+  /// pages touched: harness/debugger access (e.g. the fuzzing executor
+  /// reading the coverage map back) that must not perturb the RSS metric.
+  /// Fails if any byte of the range is unmapped.
+  Result<Bytes> peek_block(std::uint64_t addr, std::size_t n) const;
+
+  // ---- snapshot / restore (the fuzzing executor's persistent mode) ----
+
+  /// A deep copy of the current contents, plus the touched-page set.
+  struct Snapshot {
+    struct PageCopy {
+      Bytes data;
+      std::uint8_t perms = 0;
+    };
+    std::unordered_map<std::uint64_t, PageCopy> pages;
+    std::unordered_map<std::uint64_t, bool> touched;
+  };
+
+  /// Capture the current state and begin dirty-page tracking: from now on
+  /// every written or newly mapped page is recorded so restore() can roll
+  /// back by copying only those pages instead of the whole address space.
+  Snapshot snapshot();
+
+  /// Roll memory back to `snap`. Only valid on the Memory that produced
+  /// the snapshot (dirty tracking must be active). Pages mapped since the
+  /// snapshot are unmapped; dirtied pages get their bytes and permissions
+  /// restored; the touched set reverts, so per-run RSS restarts clean.
+  Status restore(const Snapshot& snap);
+
   /// Pages ever touched (read, written, or executed): the MaxRSS metric.
   std::size_t pages_touched() const { return touched_.size(); }
 
@@ -81,9 +111,13 @@ class Memory {
   const Page* page_at(std::uint64_t addr) const;
   Page& ensure_page(std::uint64_t page_base, std::uint8_t perms);
   void touch(std::uint64_t addr);
+  void mark_dirty(std::uint64_t page_base);
 
   std::unordered_map<std::uint64_t, Page> pages_;
   std::unordered_map<std::uint64_t, bool> touched_;
+
+  bool tracking_ = false;
+  std::unordered_set<std::uint64_t> dirty_;  ///< pages written/mapped since snapshot
 };
 
 }  // namespace zipr::vm

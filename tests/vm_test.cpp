@@ -509,6 +509,110 @@ TEST(Vm, SledPushPathLeavesValueOnStack) {
   EXPECT_EQ(r.exit_status, 0x90909090);
 }
 
+TEST(Vm, InsnsByPcHookCountsRetiredInstructions) {
+  auto img = build(R"(
+    .entry m
+    .text
+    m:
+      movi r1, 3
+    loop:
+      subi r1, 1
+      jne loop
+      movi r0, 1
+      movi r1, 0
+      syscall
+  )");
+  Machine off(img);
+  EXPECT_TRUE(off.run().exited);
+  EXPECT_TRUE(off.insns_by_pc().empty()) << "hook must be off by default";
+
+  Machine m(img);
+  m.set_count_pcs(true);
+  auto r = m.run();
+  EXPECT_TRUE(r.exited);
+  const auto& hist = m.insns_by_pc();
+  std::uint64_t total = 0;
+  for (const auto& [pc, n] : hist) total += n;
+  EXPECT_EQ(total, r.stats.insns);
+  EXPECT_EQ(hist.at(zelf::layout::kTextBase), 1u);        // movi runs once
+  auto loop_pc = zelf::layout::kTextBase + 6;             // subi: 3 iterations
+  EXPECT_EQ(hist.at(loop_pc), 3u);
+}
+
+TEST(Vm, InputBytesConsumedTracksReceive) {
+  const char* src = R"(
+    .entry m
+    .text
+    m:
+      movi r0, 3
+      movi r1, 0
+      movi r2, buf
+      movi r3, 8
+      syscall
+      movi r0, 1
+      movi r1, 0
+      syscall
+    .bss
+    buf: .space 8
+  )";
+  Bytes fat(32, 5);
+  auto r = run_src(src, fat);
+  EXPECT_TRUE(r.exited);
+  EXPECT_EQ(r.input_bytes_consumed, 8u);  // 24 tail bytes never read
+  Bytes thin(3, 5);
+  auto r2 = run_src(src, thin);
+  EXPECT_TRUE(r2.exited);
+  EXPECT_EQ(r2.input_bytes_consumed, 3u);  // short read at EOF
+}
+
+TEST(Vm, SnapshotRestoreRewindsAllState) {
+  const char* src = R"(
+    .entry m
+    .text
+    m:
+      movi r0, 3
+      movi r1, 0
+      movi r2, buf
+      movi r3, 8
+      syscall
+      movi r6, buf
+      load r1, [r6]
+      movi r0, 1
+      syscall
+    .bss
+    buf: .space 8
+  )";
+  auto img = build(src);
+  Machine m(img);
+  auto snap = m.snapshot();
+
+  m.set_input(Bytes{1, 0, 0, 0, 0, 0, 0, 0});
+  auto r1 = m.run();
+  EXPECT_TRUE(r1.exited);
+  EXPECT_EQ(r1.exit_status, 1);
+
+  ASSERT_TRUE(m.restore(snap).ok());
+  m.set_input(Bytes{9, 0, 0, 0, 0, 0, 0, 0});
+  auto r2 = m.run();
+  EXPECT_TRUE(r2.exited);
+  EXPECT_EQ(r2.exit_status, 9) << "stale memory from the first run leaked through";
+  EXPECT_EQ(r2.stats.insns, r1.stats.insns);
+
+  // Restore also rewinds the touched-page accounting (MaxRSS metric).
+  ASSERT_TRUE(m.restore(snap).ok());
+  m.set_input(Bytes{2, 0, 0, 0, 0, 0, 0, 0});
+  auto r3 = m.run();
+  EXPECT_EQ(r3.stats.max_rss_pages, r2.stats.max_rss_pages);
+}
+
+TEST(Vm, RestoreWithoutSnapshotFails) {
+  auto img = build(".entry m\n.text\nm: movi r0, 1\nmovi r1, 0\nsyscall\n");
+  Machine a(img);
+  Machine b(img);
+  auto snap = a.snapshot();
+  EXPECT_FALSE(b.restore(snap).ok()) << "no snapshot was ever taken on b";
+}
+
 TEST(Vm, TraceHookSeesEveryInstruction) {
   auto img = build(".entry m\n.text\nm: nop\nnop\nmovi r0, 1\nmovi r1, 0\nsyscall\n");
   Machine m(img);

@@ -9,6 +9,8 @@ more than the threshold.
 Usage:
   tools/perf_guard.py FRESH.json [--baseline BENCH_micro.json]
                       [--threshold 0.25] [--filter REGEX]
+  tools/perf_guard.py --fuzz FRESH_fuzz.json [--baseline BENCH_fuzz.json]
+                      [--threshold 0.25]
 
 Notes:
   - Only `iteration` entries present in BOTH files are compared (aggregate
@@ -16,6 +18,10 @@ Notes:
     reported but never fail the guard.
   - The default threshold is deliberately loose (25%): wall-clock noise on
     shared machines is real. Tighten with --threshold for quiet hardware.
+  - `--fuzz` switches to the BENCH_fuzz.json schema (fuzz_overhead bench)
+    and gates two numbers: fuzz.execs_per_sec may not drop by more than the
+    threshold, and the zipr+cov mean_exec_overhead may not grow (relative
+    to baseline) by more than the threshold.
   - Exit status: 0 = no regression, 1 = at least one benchmark regressed,
     2 = bad input.
 """
@@ -46,16 +52,82 @@ def load_times(path):
     return times
 
 
+def load_json(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"perf_guard: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def cov_exec_overhead(doc):
+    for row in doc.get("configs", []):
+        if row.get("label") == "zipr+cov":
+            return float(row["mean_exec_overhead"])
+    print("perf_guard: no zipr+cov config row in fuzz JSON", file=sys.stderr)
+    sys.exit(2)
+
+
+def guard_fuzz(args):
+    """Gate the fuzz_overhead bench: throughput and instrumentation cost."""
+    fresh = load_json(args.fresh)
+    base = load_json(args.baseline)
+    regressed = []
+
+    fresh_eps = float(fresh.get("fuzz", {}).get("execs_per_sec", 0))
+    base_eps = float(base.get("fuzz", {}).get("execs_per_sec", 0))
+    if base_eps <= 0:
+        print("perf_guard: baseline execs_per_sec missing or zero", file=sys.stderr)
+        sys.exit(2)
+    drop = 1.0 - fresh_eps / base_eps
+    status = "FAIL" if drop > args.threshold else "ok"
+    if drop > args.threshold:
+        regressed.append(("fuzz.execs_per_sec", drop))
+    print(f"  [{status:>4}]  fuzz.execs_per_sec: {base_eps:10.1f} -> {fresh_eps:10.1f} "
+          f"({-drop:+.1%})")
+
+    fresh_ovh = cov_exec_overhead(fresh)
+    base_ovh = cov_exec_overhead(base)
+    if base_ovh <= 0:
+        print("perf_guard: baseline zipr+cov overhead missing or zero", file=sys.stderr)
+        sys.exit(2)
+    growth = fresh_ovh / base_ovh - 1.0
+    status = "FAIL" if growth > args.threshold else "ok"
+    if growth > args.threshold:
+        regressed.append(("zipr+cov.mean_exec_overhead", growth))
+    print(f"  [{status:>4}]  zipr+cov.mean_exec_overhead: {base_ovh:.4f} -> {fresh_ovh:.4f} "
+          f"({growth:+.1%})")
+
+    if regressed:
+        print(f"\nperf_guard: {len(regressed)} fuzz metric(s) regressed beyond "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for name, delta in regressed:
+            print(f"  {name}: {delta:+.1%}", file=sys.stderr)
+        return 1
+    print(f"\nperf_guard: fuzz metrics within {args.threshold:.0%} of baseline")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("fresh", help="freshly produced BENCH_micro.json")
-    ap.add_argument("--baseline", default="BENCH_micro.json",
+    ap.add_argument("--baseline", default=None,
                     help="committed baseline to compare against")
     ap.add_argument("--threshold", type=float, default=0.25,
                     help="max tolerated slowdown fraction (default 0.25 = 25%%)")
     ap.add_argument("--filter", default=".",
                     help="only compare benchmarks matching this regex")
+    ap.add_argument("--fuzz", action="store_true",
+                    help="treat inputs as fuzz_overhead BENCH_fuzz.json files")
     args = ap.parse_args()
+
+    if args.fuzz:
+        if args.baseline is None:
+            args.baseline = "BENCH_fuzz.json"
+        return guard_fuzz(args)
+    if args.baseline is None:
+        args.baseline = "BENCH_micro.json"
 
     fresh = load_times(args.fresh)
     base = load_times(args.baseline)

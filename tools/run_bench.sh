@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Run the microbenchmark suite (BENCH_micro.json), the corpus-scale
-# batch-engine benchmark (BENCH_corpus.json), and the layout-quality bench
+# batch-engine benchmark (BENCH_corpus.json), the layout-quality bench
 # (BENCH_layout.json: per-strategy coalescing elision rate, trailing-jump
-# bytes, and output-size overhead).
+# bytes, and output-size overhead), and the fuzzing-subsystem bench
+# (BENCH_fuzz.json: cov-instrumentation overhead, fuzzer throughput +
+# planted-bug rediscovery, snapshot-restore vs full re-link).
 #
 # Usage: tools/run_bench.sh [benchmark-filter-regex]
 #
@@ -11,6 +13,7 @@
 #   BENCH_OUT         micro output JSON path (default: <repo>/BENCH_micro.json)
 #   BENCH_CORPUS_OUT  corpus output JSON path (default: <repo>/BENCH_corpus.json)
 #   BENCH_LAYOUT_OUT  layout output JSON path (default: <repo>/BENCH_layout.json)
+#   BENCH_FUZZ_OUT    fuzz output JSON path (default: <repo>/BENCH_fuzz.json)
 #   BENCH_MIN_TIME    per-benchmark min time (default: benchmark's own default)
 #   BENCH_REPEATS     batch_corpus repeats per pool size (default: 3, best-of)
 #   PERF_THRESHOLD    perf_guard slowdown tolerance (default: 0.25)
@@ -42,10 +45,11 @@ BUILD="${BUILD_DIR:-$ROOT/build}"
 OUT="${BENCH_OUT:-$ROOT/BENCH_micro.json}"
 CORPUS_OUT="${BENCH_CORPUS_OUT:-$ROOT/BENCH_corpus.json}"
 LAYOUT_OUT="${BENCH_LAYOUT_OUT:-$ROOT/BENCH_layout.json}"
+FUZZ_OUT="${BENCH_FUZZ_OUT:-$ROOT/BENCH_fuzz.json}"
 FILTER="${1:-.}"
 
 cmake -S "$ROOT" -B "$BUILD" >/dev/null
-cmake --build "$BUILD" --target micro batch_corpus layout_stats -j "$(nproc)" >/dev/null
+cmake --build "$BUILD" --target micro batch_corpus layout_stats fuzz_overhead -j "$(nproc)" >/dev/null
 
 args=(--benchmark_filter="$FILTER"
       --benchmark_out="$OUT"
@@ -60,10 +64,16 @@ echo "wrote $OUT"
 
 "$BUILD/bench/layout_stats" --out="$LAYOUT_OUT"
 
+"$BUILD/bench/fuzz_overhead" --out="$FUZZ_OUT"
+
 # Guard the throughput trajectory: a fresh run that regressed any shared
 # benchmark beyond the threshold fails the script. Skipped when the fresh
 # output IS the committed baseline path (first-time generation).
 if [[ "$OUT" != "$ROOT/BENCH_micro.json" && -f "$ROOT/BENCH_micro.json" ]]; then
   python3 "$ROOT/tools/perf_guard.py" "$OUT" \
     --baseline "$ROOT/BENCH_micro.json" --threshold "${PERF_THRESHOLD:-0.25}"
+fi
+if [[ "$FUZZ_OUT" != "$ROOT/BENCH_fuzz.json" && -f "$ROOT/BENCH_fuzz.json" ]]; then
+  python3 "$ROOT/tools/perf_guard.py" --fuzz "$FUZZ_OUT" \
+    --baseline "$ROOT/BENCH_fuzz.json" --threshold "${PERF_THRESHOLD:-0.25}"
 fi

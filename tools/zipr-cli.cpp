@@ -10,11 +10,16 @@
 // Batch mode (2+ inputs): rewrite a corpus on a worker pool; one failing
 // binary is reported and exits nonzero at the end but never stops the rest.
 //   zipr-cli a.zelf b.zelf ... --out-dir=DIR [--jobs=N] [batch-safe flags]
+//
+// Fuzz mode: instrument with coverage and run the coverage-guided fuzzer.
+//   zipr-cli fuzz input.zelf [--transform=cov]... [--runs=N] [--jobs=N]
+//            [--seed=N] [--input=<seed file>]... [--crash-dir=DIR]
 #include <cinttypes>
 #include <filesystem>
 
 #include "batch/batch_rewriter.h"
 #include "cli_util.h"
+#include "fuzz/fuzzer.h"
 #include "irdb/serialize.h"
 #include "transform/api.h"
 #include "zelf/io.h"
@@ -71,11 +76,65 @@ int run_batch(const zipr::cli::Args& args, const zipr::RewriteOptions& options) 
   return failed == 0 ? 0 : 1;
 }
 
+int run_fuzz(const zipr::cli::Args& args) {
+  using namespace zipr;
+  cli::reject_unknown(args, {"transform", "runs", "jobs", "seed", "input", "crash-dir"});
+  if (args.positional().size() != 2)
+    cli::die("fuzz mode takes exactly one input image: zipr-cli fuzz <input.zelf>");
+
+  auto input = zelf::load_image(args.positional()[1]);
+  if (!input.ok()) cli::die(input.error().message);
+
+  RewriteOptions options;
+  options.transforms = args.values("transform");
+  if (options.transforms.empty()) options.transforms = {"cov"};
+  options.seed = args.value_u64("seed", 1);
+  auto rewritten = rewrite(*input, options);
+  if (!rewritten.ok()) cli::die("instrumentation failed: " + rewritten.error().message);
+
+  std::vector<Bytes> seeds;
+  for (const auto& path : args.values("input")) {
+    auto data = cli::read_file(path);
+    if (!data) cli::die("cannot read seed input " + path);
+    seeds.emplace_back(data->begin(), data->end());
+  }
+  if (seeds.empty()) seeds.push_back(Bytes(4, 0));  // minimal default seed
+
+  fuzz::FuzzOptions fopts;
+  fopts.seed = options.seed;
+  fopts.jobs = static_cast<int>(args.value_u64("jobs", 1));
+  fopts.max_execs = args.value_u64("runs", 20000);
+  auto result = fuzz::fuzz(rewritten->image, seeds, fopts);
+  if (!result.ok()) cli::die(result.error().message);
+
+  const auto& s = result->stats;
+  std::printf(
+      "fuzz: %" PRIu64 " execs in %" PRIu64 " rounds (%.0f/sec, %" PRIu64
+      " snapshot resets), corpus %zu, map %zu/%zu indices, %zu unique crash(es)\n",
+      s.execs, s.rounds, s.execs_per_sec, s.resets, result->corpus.size(), s.map_indices_hit,
+      fuzz::kMapSize, result->crashes.size());
+  for (std::size_t i = 0; i < result->crashes.size(); ++i) {
+    const auto& c = result->crashes[i];
+    std::printf("crash %zu: %s at %s (path %016" PRIx64 ", input %zu bytes)\n", i,
+                vm::fault_name(c.fault), hex_addr(c.fault_pc).c_str(), c.path, c.input.size());
+    if (auto dir = args.value("crash-dir")) {
+      std::error_code ec;
+      std::filesystem::create_directories(*dir, ec);
+      if (ec) cli::die("cannot create --crash-dir " + *dir + ": " + ec.message());
+      std::string path = (std::filesystem::path(*dir) / ("crash-" + std::to_string(i))).string();
+      if (!cli::write_file(path, std::string(c.input.begin(), c.input.end())))
+        cli::die("cannot write " + path);
+    }
+  }
+  return result->crashes.empty() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace zipr;
   cli::Args args(argc, argv);
+  if (!args.positional().empty() && args.positional()[0] == "fuzz") return run_fuzz(args);
   cli::reject_unknown(args, {"out", "out-dir", "jobs", "transform", "placement", "seed",
                              "coalesce", "no-coalesce", "pin-call-returns", "naive-pins",
                              "stats", "dump-ir", "list-transforms", "help"});
@@ -91,7 +150,10 @@ int main(int argc, char** argv) {
         "                [--seed=N] [--coalesce|--no-coalesce] [--pin-call-returns]\n"
         "                [--naive-pins] [--stats] [--dump-ir=<file>] [--list-transforms]\n"
         "       zipr-cli <input.zelf>... --out-dir=<dir> [--jobs=N] [shared flags]\n"
-        "                (batch mode: rewrites all inputs on a worker pool)\n");
+        "                (batch mode: rewrites all inputs on a worker pool)\n"
+        "       zipr-cli fuzz <input.zelf> [--transform=cov]... [--runs=N] [--jobs=N]\n"
+        "                [--seed=N] [--input=<seed file>]... [--crash-dir=<dir>]\n"
+        "                (coverage-guided fuzzing of the instrumented image)\n");
     return args.has("help") ? 0 : 2;
   }
 
