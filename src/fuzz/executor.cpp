@@ -1,5 +1,7 @@
 #include "fuzz/executor.h"
 
+#include <cstring>
+
 namespace zipr::fuzz {
 
 std::uint8_t classify_count(std::uint8_t count) {
@@ -15,11 +17,22 @@ std::uint8_t classify_count(std::uint8_t count) {
 }
 
 std::uint64_t path_hash(ByteView classified_map) {
+  // FNV-flavored mixing over 8-byte blocks with a final avalanche: one
+  // multiply per word instead of per byte. The value is purely a run-path
+  // identity for crash dedup, so any deterministic well-distributed
+  // function of the map works -- and this runs on every crashing exec, so
+  // it is squarely on the fuzzer's hot path.
   std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (Byte b : classified_map) {
-    h ^= b;
-    h *= 0x100000001b3ULL;
+  std::size_t i = 0;
+  for (; i + 8 <= classified_map.size(); i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, classified_map.data() + i, 8);
+    h = (h ^ w) * 0x100000001b3ULL;
   }
+  for (; i < classified_map.size(); ++i) h = (h ^ classified_map[i]) * 0x100000001b3ULL;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
   return h;
 }
 
@@ -46,8 +59,17 @@ Result<ExecResult> Executor::execute(ByteView input, std::uint64_t random_seed) 
 
   res.map.assign(kMapSize, 0);
   if (instrumented_) {
-    ZIPR_ASSIGN_OR_RETURN(Bytes raw, machine_.memory().peek_block(map_addr_, kMapSize));
-    for (std::size_t i = 0; i < kMapSize; ++i) res.map[i] = classify_count(raw[i]);
+    raw_map_.resize(kMapSize);
+    ZIPR_TRY(machine_.memory().peek_into(map_addr_, std::span<Byte>(raw_map_)));
+    // The map is almost entirely zero; scan word-wise and classify only
+    // the words with live counters (res.map is already zeroed).
+    static_assert(kMapSize % 8 == 0);
+    for (std::size_t i = 0; i < kMapSize; i += 8) {
+      std::uint64_t w;
+      std::memcpy(&w, raw_map_.data() + i, 8);
+      if (w == 0) continue;
+      for (std::size_t j = i; j < i + 8; ++j) res.map[j] = classify_count(raw_map_[j]);
+    }
   }
   return res;
 }

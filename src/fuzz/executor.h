@@ -56,6 +56,7 @@ class Executor {
  private:
   vm::Machine machine_;
   vm::Machine::Snapshot snapshot_;
+  Bytes raw_map_;  ///< reusable peek buffer: no per-run allocation
   std::uint64_t map_addr_ = 0;
   bool instrumented_ = false;
   bool first_run_ = true;

@@ -77,14 +77,31 @@ class ExecutorPool {
   std::condition_variable cv_;
 };
 
+// Word-wise map scans: these run against every executed input, and the
+// maps are kMapSize (4096) bytes of mostly zero.
 bool has_new_bits(const Bytes& map, const Bytes& virgin) {
-  for (std::size_t i = 0; i < map.size(); ++i)
+  std::size_t i = 0;
+  for (; i + 8 <= map.size(); i += 8) {
+    std::uint64_t m, v;
+    std::memcpy(&m, map.data() + i, 8);
+    std::memcpy(&v, virgin.data() + i, 8);
+    if (m & ~v) return true;
+  }
+  for (; i < map.size(); ++i)
     if (map[i] & ~virgin[i]) return true;
   return false;
 }
 
 void merge_bits(const Bytes& map, Bytes& virgin) {
-  for (std::size_t i = 0; i < map.size(); ++i) virgin[i] |= map[i];
+  std::size_t i = 0;
+  for (; i + 8 <= map.size(); i += 8) {
+    std::uint64_t m, v;
+    std::memcpy(&m, map.data() + i, 8);
+    std::memcpy(&v, virgin.data() + i, 8);
+    v |= m;
+    std::memcpy(virgin.data() + i, &v, 8);
+  }
+  for (; i < map.size(); ++i) virgin[i] |= map[i];
 }
 
 /// Favored = for some map index, this entry is the cheapest way (smallest
@@ -156,9 +173,9 @@ Result<FuzzResult> fuzz(const zelf::Image& instrumented, const std::vector<Bytes
     return Status::success();
   };
 
-  auto to_out = [](const ExecResult& res) {
+  auto to_out = [](ExecResult& res) {  // moves the map out of res
     RunOut out;
-    out.map = res.map;
+    out.map = std::move(res.map);
     out.crashed = res.crashed;
     out.fault = res.run.fault;
     out.fault_pc = res.run.fault_pc;

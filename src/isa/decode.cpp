@@ -256,6 +256,181 @@ Result<Insn> decode(ByteView bytes) {
   return Error::decode("invalid opcode " + hex_addr(op0));
 }
 
+// Allocation-free twin of decode(): same accepted encodings, same Insn
+// fields, but failures return false instead of composing an Error string.
+// Kept structurally parallel to decode() above; IsaDecode.DecodeAtAgrees
+// (isa_test) differentially checks the two over exhaustive-prefix and
+// random byte strings so they cannot drift apart.
+bool decode_at(ByteView bytes, Insn& out) {
+  const std::size_t n = bytes.size();
+  if (n == 0) return false;
+  const Byte* b = bytes.data();
+  const std::uint8_t op0 = b[0];
+
+  auto rr_form = [&](Op op) {
+    if (n < 2) return false;
+    const std::uint8_t hi = b[1] >> 4, lo = b[1] & 0x0f;
+    if (hi >= kNumRegs || lo >= kNumRegs) return false;
+    out.op = op;
+    out.ra = hi;
+    out.rb = lo;
+    out.length = 2;
+    return true;
+  };
+  auto ri_form = [&](Op op) {
+    if (n < 6 || b[1] >= kNumRegs) return false;
+    out.op = op;
+    out.ra = b[1];
+    out.imm = get_i32(bytes, 2);
+    out.length = 6;
+    return true;
+  };
+  auto mem_form = [&](Op op) {
+    if (n < 6) return false;
+    const std::uint8_t hi = b[1] >> 4, lo = b[1] & 0x0f;
+    if (hi >= kNumRegs || lo >= kNumRegs) return false;
+    out.op = op;
+    out.ra = hi;
+    out.rb = lo;
+    out.imm = get_i32(bytes, 2);
+    out.length = 6;
+    return true;
+  };
+  out = Insn{};
+  switch (op0) {
+    case opc::kNop: out.op = Op::kNop; out.length = 1; return true;
+    case opc::kHlt: out.op = Op::kHlt; out.length = 1; return true;
+    case opc::kRet: out.op = Op::kRet; out.length = 1; return true;
+
+    case opc::kJmp8:
+      if (n < 2) return false;
+      out.op = Op::kJmp;
+      out.width = BranchWidth::kRel8;
+      out.imm = static_cast<std::int8_t>(b[1]);
+      out.length = kJmp8Len;
+      return true;
+    case opc::kJmp32:
+      if (n < 5) return false;
+      out.op = Op::kJmp;
+      out.width = BranchWidth::kRel32;
+      out.imm = get_i32(bytes, 1);
+      out.length = kJmp32Len;
+      return true;
+    case opc::kCall:
+      if (n < 5) return false;
+      out.op = Op::kCall;
+      out.imm = get_i32(bytes, 1);
+      out.length = kCallLen;
+      return true;
+    case opc::kPushI:
+      if (n < 5) return false;
+      out.op = Op::kPushI;
+      out.imm = static_cast<std::int64_t>(get_u32(bytes, 1));  // zero-extended
+      out.length = 5;
+      return true;
+    case opc::kMovI64:
+      if (n < 10 || b[1] >= kNumRegs) return false;
+      out.op = Op::kMovI64;
+      out.ra = b[1];
+      out.imm = static_cast<std::int64_t>(get_u64(bytes, 2));
+      out.length = 10;
+      return true;
+    case opc::kMovI: return ri_form(Op::kMovI);
+    case opc::kMov: return rr_form(Op::kMov);
+    case opc::kLoad: return mem_form(Op::kLoad);
+    case opc::kStore: return mem_form(Op::kStore);
+    case opc::kLoad8: return mem_form(Op::kLoad8);
+    case opc::kStore8: return mem_form(Op::kStore8);
+    case opc::kLoadPc: return ri_form(Op::kLoadPc);
+    case opc::kLea: return ri_form(Op::kLea);
+
+    case opc::kCallR:
+      if (n < 2 || b[1] >= kNumRegs) return false;
+      out.op = Op::kCallR;
+      out.ra = b[1];
+      out.length = 2;
+      return true;
+    case opc::kJmpR:
+      if (n < 2 || b[1] >= kNumRegs) return false;
+      out.op = Op::kJmpR;
+      out.ra = b[1];
+      out.length = 2;
+      return true;
+    case opc::kJmpT:
+      if (n < 6 || b[1] >= kNumRegs) return false;
+      out.op = Op::kJmpT;
+      out.ra = b[1];
+      out.imm = static_cast<std::int64_t>(get_u32(bytes, 2));  // absolute table address
+      out.length = 6;
+      return true;
+
+    case opc::kSysPrefix:
+      if (n < 2 || b[1] != opc::kSysSuffix) return false;
+      out.op = Op::kSyscall;
+      out.length = 2;
+      return true;
+
+    case opc::kAdd: return rr_form(Op::kAdd);
+    case opc::kSub: return rr_form(Op::kSub);
+    case opc::kAnd: return rr_form(Op::kAnd);
+    case opc::kOr: return rr_form(Op::kOr);
+    case opc::kXor: return rr_form(Op::kXor);
+    case opc::kMul: return rr_form(Op::kMul);
+    case opc::kDiv: return rr_form(Op::kDiv);
+    case opc::kMod: return rr_form(Op::kMod);
+    case opc::kShl: return rr_form(Op::kShl);
+    case opc::kShr: return rr_form(Op::kShr);
+    case opc::kSar: return rr_form(Op::kSar);
+    case opc::kCmp: return rr_form(Op::kCmp);
+    case opc::kTest: return rr_form(Op::kTest);
+
+    case opc::kAddI: return ri_form(Op::kAddI);
+    case opc::kSubI: return ri_form(Op::kSubI);
+    case opc::kAndI: return ri_form(Op::kAndI);
+    case opc::kOrI: return ri_form(Op::kOrI);
+    case opc::kXorI: return ri_form(Op::kXorI);
+    case opc::kShlI: return ri_form(Op::kShlI);
+    case opc::kShrI: return ri_form(Op::kShrI);
+    case opc::kCmpI: return ri_form(Op::kCmpI);
+
+    default:
+      break;
+  }
+
+  if (op0 >= opc::kPushBase && op0 < opc::kPushBase + kNumRegs) {
+    out.op = Op::kPush;
+    out.ra = op0 & 0x07;
+    out.length = 1;
+    return true;
+  }
+  if (op0 >= opc::kPopBase && op0 < opc::kPopBase + kNumRegs) {
+    out.op = Op::kPop;
+    out.ra = op0 & 0x07;
+    out.length = 1;
+    return true;
+  }
+  if (op0 >= opc::kJcc8Base && op0 < opc::kJcc8Base + 8) {
+    if (n < 2) return false;
+    out.op = Op::kJcc;
+    out.cond = static_cast<Cond>(op0 & 0x07);
+    out.width = BranchWidth::kRel8;
+    out.imm = static_cast<std::int8_t>(b[1]);
+    out.length = kJcc8Len;
+    return true;
+  }
+  if (op0 >= opc::kJcc32Base && op0 < opc::kJcc32Base + 8) {
+    if (n < 5) return false;
+    out.op = Op::kJcc;
+    out.cond = static_cast<Cond>(op0 & 0x07);
+    out.width = BranchWidth::kRel32;
+    out.imm = get_i32(bytes, 1);
+    out.length = kJcc32Len;
+    return true;
+  }
+
+  return false;
+}
+
 int cost_of(Op op) {
   switch (op) {
     case Op::kLoad: case Op::kStore: case Op::kLoad8: case Op::kStore8:

@@ -89,6 +89,15 @@ struct Insn {
 /// position-independent wire format (targets are computed from addr+imm).
 Result<Insn> decode(ByteView bytes);
 
+/// Allocation-free decode of one instruction from `bytes` into `out`.
+/// Returns false (leaving `out` unspecified) on an invalid opcode or
+/// truncated operands -- exactly the inputs decode() rejects, without
+/// composing an error message. This is the hot-path entry used by the
+/// VM's predecoded-page builder and interpreter loop, where a failed
+/// decode is an expected outcome (data bytes inside an executable page),
+/// not a diagnostic event.
+bool decode_at(ByteView bytes, Insn& out);
+
 /// Encode `insn` directly into `out`, returning the number of bytes written.
 /// Allocation-free: this is the hot-path entry used by the reassembler to
 /// write into the output image in place. Fails if the operand values do not

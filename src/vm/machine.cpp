@@ -17,6 +17,11 @@ enum : std::uint64_t {
   kSysDeallocate = 6,
   kSysRandom = 7,
 };
+
+// allocate() may never grow the heap into the guard page below the stack
+// mapping (the stack itself is [kStackTop - kStackSize, kStackTop)).
+constexpr std::uint64_t kHeapCeiling =
+    zelf::layout::kStackTop - zelf::layout::kStackSize - kPageSize;
 }  // namespace
 
 Machine::Machine(const zelf::Image& image, RunLimits limits) : limits_(limits) {
@@ -104,6 +109,8 @@ std::optional<Fault> Machine::do_syscall() {
       if (size == 0 || size > (64ull << 20)) return Fault::kBadSyscall;
       std::uint64_t base = heap_next_;
       std::uint64_t mapped = (size + kPageSize - 1) & kPageMask;
+      if (base > kHeapCeiling || mapped > kHeapCeiling - base)
+        return Fault::kBadSyscall;  // heap would run into the stack guard
       mem_.map_anon(base, mapped, kPermRead | kPermWrite);
       heap_next_ += mapped;
       regs_[0] = base;
@@ -127,18 +134,7 @@ std::optional<Fault> Machine::do_syscall() {
   }
 }
 
-std::optional<Fault> Machine::step() {
-  auto bytes = mem_.fetch(pc_, isa::kMaxInsnLen);
-  if (!bytes.ok()) return Fault::kBadAccess;
-  auto decoded = isa::decode(*bytes);
-  if (!decoded.ok()) return Fault::kBadInsn;
-  const Insn in = *decoded;
-
-  if (trace_) trace_(pc_, in);
-  if (count_pcs_) ++insns_by_pc_[pc_];
-  ++stats_.insns;
-  stats_.cycles += static_cast<std::uint64_t>(isa::cost_of(in.op));
-
+std::optional<Fault> Machine::dispatch(const Insn& in) {
   const std::uint64_t next = pc_ + in.length;
   auto set_zs = [&](std::uint64_t r) {
     flags_.zf = r == 0;
@@ -306,22 +302,137 @@ std::optional<Fault> Machine::step() {
   return std::nullopt;
 }
 
-RunResult Machine::run() {
-  RunResult r;
+std::optional<Fault> Machine::step() {
+  auto bytes = mem_.fetch(pc_, isa::kMaxInsnLen);
+  if (!bytes.ok()) return Fault::kBadAccess;
+  Insn in;
+  if (!isa::decode_at(*bytes, in)) return Fault::kBadInsn;
+
+  if (trace_) trace_(pc_, in);
+  if (count_pcs_) count_pc(pc_);
+  ++stats_.insns;
+  stats_.cycles += static_cast<std::uint64_t>(isa::cost_of(in.op));
+  return dispatch(in);
+}
+
+void Machine::count_pc(std::uint64_t pc) {
+  const std::uint64_t base = pc & kPageMask;
+  if (base != pc_count_base_) {
+    auto [it, inserted] = pc_counts_.try_emplace(base);
+    if (inserted) it->second = std::make_unique<std::uint64_t[]>(kPageSize);  // zeroed
+    pc_count_base_ = base;
+    pc_count_page_ = it->second.get();
+  }
+  ++pc_count_page_[pc & (kPageSize - 1)];
+}
+
+std::unordered_map<std::uint64_t, std::uint64_t> Machine::insns_by_pc() const {
+  std::unordered_map<std::uint64_t, std::uint64_t> out;
+  for (const auto& [base, counters] : pc_counts_)
+    for (std::uint64_t off = 0; off < kPageSize; ++off)
+      if (counters[off] != 0) out.emplace(base + off, counters[off]);
+  return out;
+}
+
+const Machine::CodePage* Machine::code_page(std::uint64_t base) {
+  if (code_cache_epoch_ != mem_.code_epoch()) {
+    // Executable content changed somewhere: drop every decode table and
+    // rebuild lazily (events are rare -- exec pages are r-x in practice).
+    code_cache_.clear();
+    code_cache_epoch_ = mem_.code_epoch();
+  }
+  auto it = code_cache_.find(base);
+  if (it != code_cache_.end()) return it->second.get();
+  const Byte* data = mem_.exec_page_data(base);
+  if (data == nullptr) return nullptr;  // negatives are not cached: mappings can appear
+  auto page = std::make_unique<CodePage>();
+  page->slots.resize(kPageSize);
+  for (std::size_t off = 0; off < kPageSize; ++off) {
+    CodePage::Slot& slot = page->slots[off];
+    if (off + isa::kMaxInsnLen > kPageSize) {
+      slot.kind = CodePage::Kind::kBoundary;
+    } else if (isa::decode_at(ByteView(data + off, isa::kMaxInsnLen), slot.insn)) {
+      slot.cost = static_cast<std::uint16_t>(isa::cost_of(slot.insn.op));
+      slot.kind = CodePage::Kind::kDecoded;
+    }  // else stays kBadInsn
+  }
+  return code_cache_.emplace(base, std::move(page)).first->second.get();
+}
+
+void Machine::run_slow(RunResult& r) {
   while (!exited_) {
     if (stats_.insns >= limits_.max_insns) {
       r.fault = Fault::kGasExhausted;
       r.fault_pc = pc_;
-      break;
+      return;
     }
-    std::uint64_t pc_before = pc_;
+    const std::uint64_t pc_before = pc_;
     auto fault = step();
     if (fault) {
       r.fault = *fault;
       r.fault_pc = pc_before;
-      break;
+      return;
     }
   }
+}
+
+void Machine::run_fast(RunResult& r) {
+  const CodePage* page = nullptr;
+  std::uint64_t page_base = kNoPage;
+  std::uint64_t epoch = mem_.code_epoch();
+  while (!exited_) {
+    if (stats_.insns >= limits_.max_insns) {
+      r.fault = Fault::kGasExhausted;
+      r.fault_pc = pc_;
+      return;
+    }
+    const std::uint64_t base = pc_ & kPageMask;
+    if (base != page_base || epoch != mem_.code_epoch()) {
+      page = code_page(base);
+      epoch = mem_.code_epoch();
+      page_base = base;
+      // One page per retired instruction is exactly the slow path's
+      // touched set: non-boundary slots have in-page fetch windows.
+      if (page != nullptr) mem_.touch_page(base);
+    }
+    const std::uint64_t pc_before = pc_;
+    std::optional<Fault> fault;
+    if (page == nullptr) {
+      fault = step();      // unmapped / non-exec pc: fault via the slow path
+      page_base = kNoPage;  // pc may have moved into freshly visible code
+    } else {
+      const CodePage::Slot& slot = page->slots[pc_ & (kPageSize - 1)];
+      switch (slot.kind) {
+        case CodePage::Kind::kDecoded:
+          ++stats_.insns;
+          stats_.cycles += slot.cost;
+          fault = dispatch(slot.insn);
+          break;
+        case CodePage::Kind::kBoundary:
+          fault = step();  // fetch window crosses the page edge
+          page_base = kNoPage;
+          break;
+        case CodePage::Kind::kBadInsn:
+          fault = Fault::kBadInsn;
+          break;
+      }
+    }
+    if (fault) {
+      r.fault = *fault;
+      r.fault_pc = pc_before;
+      return;
+    }
+  }
+}
+
+RunResult Machine::run() {
+  RunResult r;
+  // Tracing and pc counting observe every retired instruction: take the
+  // per-instruction slow path so hook behavior is independent of caching.
+  if (decode_cache_on_ && !trace_ && !count_pcs_)
+    run_fast(r);
+  else
+    run_slow(r);
   r.exited = exited_;
   if (exited_) r.exit_status = exit_status_;
   r.stats = stats_;
@@ -354,7 +465,9 @@ Status Machine::restore(const Snapshot& snap) {
   stats_ = ExecStats{};
   exited_ = false;
   exit_status_ = -1;
-  insns_by_pc_.clear();
+  pc_counts_.clear();
+  pc_count_base_ = kNoPage;
+  pc_count_page_ = nullptr;
   return Status::success();
 }
 

@@ -14,11 +14,29 @@
 //   5 allocate(size)              maps zeroed rw pages, returns base address
 //   6 deallocate(addr, size)      accepted and ignored, returns 0
 //   7 random(buf, count)          fills buf from the seeded RNG
+//
+// Execution engine: the hot loop runs from a predecoded-instruction cache.
+// Each executable page is decoded once -- at every byte offset, superset
+// style, since control flow may land anywhere -- into a table of
+// {decoded Insn, cost, tag} slots, so retiring an instruction is a slot
+// load plus dispatch: no per-step fetch allocation, no re-decode, no page
+// hash probe (vm::Memory's inline TLB covers the data path). Slots whose
+// fetch window would cross the page edge are tagged to take the legacy
+// fetch+decode slow path, which keeps faults, stats and the touched-page
+// (MaxRSS) set bit-identical to the uncached interpreter. The cache keys
+// its validity on Memory::code_epoch(): writes to executable pages, new or
+// widened exec mappings, and snapshot-restore rollback of exec pages all
+// invalidate before the next instruction executes. Tracing and pc-count
+// hooks force the per-instruction slow path so observable behavior never
+// depends on the cache; set_decode_cache(false) disables it outright
+// (differential tests run both ways and assert identical results).
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "isa/insn.h"
 #include "support/rng.h"
@@ -72,17 +90,22 @@ class Machine {
   /// Seed for the random() syscall (deterministic pollers rely on this).
   void set_random_seed(std::uint64_t seed) { rng_ = Rng(seed); }
 
-  /// Optional per-instruction hook (tests/tracing).
+  /// Optional per-instruction hook (tests/tracing). Forces the slow path.
   using TraceFn = std::function<void(std::uint64_t pc, const isa::Insn&)>;
   void set_trace(TraceFn fn) { trace_ = std::move(fn); }
 
   /// Optional per-run hot counters: instructions retired by pc. Off by
-  /// default (it costs a hash insert per step); the fuzzer's trim stage
-  /// turns it on to prove a truncated input executes the same path.
+  /// default; the fuzzer's trim stage turns it on to prove a truncated
+  /// input executes the same path. Counted in flat per-exec-page arrays
+  /// (no hash insert per retired instruction); forces the slow path.
   void set_count_pcs(bool on) { count_pcs_ = on; }
-  const std::unordered_map<std::uint64_t, std::uint64_t>& insns_by_pc() const {
-    return insns_by_pc_;
-  }
+  std::unordered_map<std::uint64_t, std::uint64_t> insns_by_pc() const;
+
+  /// Toggle the predecoded-instruction cache (default on). The cached and
+  /// uncached interpreters are observably identical -- RunResult, faults,
+  /// stats, output -- which the differential tests assert corpus-wide.
+  void set_decode_cache(bool on) { decode_cache_on_ = on; }
+  bool decode_cache() const { return decode_cache_on_; }
 
   /// Run until terminate, fault, or gas exhaustion.
   RunResult run();
@@ -105,7 +128,8 @@ class Machine {
 
   /// Roll the machine back to `snap` and reset all per-run state (input,
   /// output, statistics, termination). The caller re-arms input and the
-  /// random() seed for the next run.
+  /// random() seed for the next run. Decode tables survive unless the
+  /// rollback touched an executable page (Memory::code_epoch()).
   Status restore(const Snapshot& snap);
 
   // ---- state access for white-box tests ----
@@ -113,13 +137,40 @@ class Machine {
   void set_reg(int i, std::uint64_t v) { regs_[i] = v; }
   std::uint64_t pc() const { return pc_; }
   Memory& memory() { return mem_; }
+  std::uint64_t heap_next() const { return heap_next_; }
+  void set_heap_next(std::uint64_t v) { heap_next_ = v; }
 
  private:
+  /// One executable page decoded at every byte offset.
+  struct CodePage {
+    enum class Kind : std::uint8_t {
+      kDecoded,   ///< valid instruction wholly inside the page
+      kBadInsn,   ///< undecodable bytes at this offset
+      kBoundary,  ///< fetch window crosses the page edge: slow path
+    };
+    struct Slot {
+      isa::Insn insn;
+      std::uint16_t cost = 0;  ///< precomputed isa::cost_of(insn.op)
+      Kind kind = Kind::kBadInsn;
+    };
+    std::vector<Slot> slots;  ///< kPageSize entries, indexed by page offset
+  };
+
   std::optional<Fault> step();
+  /// Everything after fetch+decode: stats are the caller's job.
+  std::optional<Fault> dispatch(const isa::Insn& in);
+  void run_slow(RunResult& r);
+  void run_fast(RunResult& r);
+  /// Decode table for the exec page at `base` (built on first use),
+  /// nullptr if the page is unmapped or not executable.
+  const CodePage* code_page(std::uint64_t base);
+  void count_pc(std::uint64_t pc);
   bool eval_cond(isa::Cond c) const;
   std::optional<Fault> do_syscall();
   std::optional<Fault> push64(std::uint64_t v);
   Result<std::uint64_t> pop64();
+
+  static constexpr std::uint64_t kNoPage = ~std::uint64_t{0};
 
   Memory mem_;
   RunLimits limits_;
@@ -138,7 +189,15 @@ class Machine {
   std::int64_t exit_status_ = -1;
   TraceFn trace_;
   bool count_pcs_ = false;
-  std::unordered_map<std::uint64_t, std::uint64_t> insns_by_pc_;
+
+  bool decode_cache_on_ = true;
+  std::unordered_map<std::uint64_t, std::unique_ptr<CodePage>> code_cache_;
+  std::uint64_t code_cache_epoch_ = 0;  ///< Memory::code_epoch() at last sync
+
+  /// Flat per-exec-page retired-instruction counters (count_pcs_ mode).
+  std::unordered_map<std::uint64_t, std::unique_ptr<std::uint64_t[]>> pc_counts_;
+  std::uint64_t pc_count_base_ = kNoPage;      ///< page of pc_count_page_
+  std::uint64_t* pc_count_page_ = nullptr;     ///< counters of the last page
 };
 
 /// Convenience: run `image` with `input` and `seed`, default limits.

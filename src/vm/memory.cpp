@@ -1,9 +1,15 @@
 #include "vm/memory.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 
 namespace zipr::vm {
+
+// The aligned u64 fast paths assemble values with memcpy straight from
+// page storage; guest memory is defined little-endian (bytes.h codecs).
+static_assert(std::endian::native == std::endian::little,
+              "VLX VM fast paths assume a little-endian host");
 
 const char* fault_name(Fault f) {
   switch (f) {
@@ -43,21 +49,30 @@ Memory::Page& Memory::ensure_page(std::uint64_t page_base, std::uint8_t perms) {
     p.perms |= perms;
   }
   mark_dirty(page_base);  // new mapping or widened permissions
+  if (p.perms & kPermExec) note_code_change();
   return p;
 }
 
 void Memory::mark_dirty(std::uint64_t page_base) {
-  if (tracking_) dirty_.insert(page_base);
+  if (!tracking_ || page_base == last_dirty_) return;
+  dirty_.insert(page_base);
+  last_dirty_ = page_base;
 }
 
 void Memory::map_segment(const zelf::Segment& seg) {
   const std::uint8_t perms = perms_for(seg.kind);
   for (std::uint64_t a = seg.vaddr & kPageMask; a < seg.end(); a += kPageSize)
     ensure_page(a, perms);
-  for (std::size_t i = 0; i < seg.bytes.size(); ++i) {
-    std::uint64_t addr = seg.vaddr + i;
-    Page& p = pages_.at(addr & kPageMask);
-    p.data[addr & (kPageSize - 1)] = seg.bytes[i];
+  // Copy file bytes per page run; ensure_page above already recorded the
+  // dirty/code-change events for every covered page.
+  std::size_t done = 0;
+  while (done < seg.bytes.size()) {
+    const std::uint64_t a = seg.vaddr + done;
+    const std::size_t off = static_cast<std::size_t>(a & (kPageSize - 1));
+    const std::size_t take = std::min(static_cast<std::size_t>(kPageSize) - off,
+                                      seg.bytes.size() - done);
+    std::memcpy(pages_.at(a & kPageMask).data.get() + off, seg.bytes.data() + done, take);
+    done += take;
   }
 }
 
@@ -66,22 +81,39 @@ void Memory::map_anon(std::uint64_t vaddr, std::uint64_t size, std::uint8_t perm
     ensure_page(a, perms);
 }
 
-bool Memory::is_mapped(std::uint64_t addr) const { return page_at(addr) != nullptr; }
+bool Memory::is_mapped(std::uint64_t addr) const { return lookup(addr) != nullptr; }
+
+void Memory::flush_tlb() const {
+  tlb_[0] = TlbEntry{};
+  tlb_[1] = TlbEntry{};
+}
+
+const Memory::Page* Memory::lookup(std::uint64_t addr) const {
+  const std::uint64_t base = addr & kPageMask;
+  TlbEntry& e = tlb_[(base / kPageSize) & 1];
+  if (e.base == base) return e.page;
+  auto it = pages_.find(base);
+  if (it == pages_.end()) return nullptr;  // negative results are not cached
+  e.base = base;
+  e.page = &it->second;
+  return e.page;
+}
 
 Memory::Page* Memory::page_at(std::uint64_t addr) {
-  auto it = pages_.find(addr & kPageMask);
-  return it == pages_.end() ? nullptr : &it->second;
+  return const_cast<Page*>(lookup(addr));
 }
 
-const Memory::Page* Memory::page_at(std::uint64_t addr) const {
-  auto it = pages_.find(addr & kPageMask);
-  return it == pages_.end() ? nullptr : &it->second;
-}
+const Memory::Page* Memory::page_at(std::uint64_t addr) const { return lookup(addr); }
 
-void Memory::touch(std::uint64_t addr) { touched_[addr & kPageMask] = true; }
+void Memory::touch(std::uint64_t addr) {
+  const std::uint64_t base = addr & kPageMask;
+  if (base == last_touched_) return;
+  touched_[base] = true;
+  last_touched_ = base;
+}
 
 Result<std::uint8_t> Memory::read_u8(std::uint64_t addr) {
-  const Page* p = page_at(addr);
+  const Page* p = lookup(addr);
   if (!p) return Error::invalid_argument("read unmapped " + hex_addr(addr));
   if (!(p->perms & kPermRead)) return Error::invalid_argument("read !R " + hex_addr(addr));
   touch(addr);
@@ -89,7 +121,17 @@ Result<std::uint8_t> Memory::read_u8(std::uint64_t addr) {
 }
 
 Result<std::uint64_t> Memory::read_u64(std::uint64_t addr) {
-  std::uint64_t v = 0;
+  const std::size_t off = static_cast<std::size_t>(addr & (kPageSize - 1));
+  if (off <= kPageSize - 8) {  // within one page: single lookup + memcpy
+    const Page* p = lookup(addr);
+    if (!p) return Error::invalid_argument("read unmapped " + hex_addr(addr));
+    if (!(p->perms & kPermRead)) return Error::invalid_argument("read !R " + hex_addr(addr));
+    touch(addr);
+    std::uint64_t v;
+    std::memcpy(&v, p->data.get() + off, 8);
+    return v;
+  }
+  std::uint64_t v = 0;  // page-crossing: byte loop keeps first-fault addressing
   for (int i = 0; i < 8; ++i) {
     ZIPR_ASSIGN_OR_RETURN(std::uint8_t b, read_u8(addr + static_cast<std::uint64_t>(i)));
     v |= static_cast<std::uint64_t>(b) << (8 * i);
@@ -103,11 +145,23 @@ Status Memory::write_u8(std::uint64_t addr, std::uint8_t v) {
   if (!(p->perms & kPermWrite)) return Error::invalid_argument("write !W " + hex_addr(addr));
   touch(addr);
   mark_dirty(addr & kPageMask);
+  if (p->perms & kPermExec) note_code_change();
   p->data[addr & (kPageSize - 1)] = v;
   return Status::success();
 }
 
 Status Memory::write_u64(std::uint64_t addr, std::uint64_t v) {
+  const std::size_t off = static_cast<std::size_t>(addr & (kPageSize - 1));
+  if (off <= kPageSize - 8) {
+    Page* p = page_at(addr);
+    if (!p) return Error::invalid_argument("write unmapped " + hex_addr(addr));
+    if (!(p->perms & kPermWrite)) return Error::invalid_argument("write !W " + hex_addr(addr));
+    touch(addr);
+    mark_dirty(addr & kPageMask);
+    if (p->perms & kPermExec) note_code_change();
+    std::memcpy(p->data.get() + off, &v, 8);
+    return Status::success();
+  }
   for (int i = 0; i < 8; ++i)
     ZIPR_TRY(write_u8(addr + static_cast<std::uint64_t>(i),
                       static_cast<std::uint8_t>((v >> (8 * i)) & 0xff)));
@@ -115,14 +169,14 @@ Status Memory::write_u64(std::uint64_t addr, std::uint64_t v) {
 }
 
 Result<Bytes> Memory::fetch(std::uint64_t addr, std::size_t n) {
-  const Page* p = page_at(addr);
+  const Page* p = lookup(addr);
   if (!p) return Error::invalid_argument("fetch unmapped " + hex_addr(addr));
   if (!(p->perms & kPermExec)) return Error::invalid_argument("fetch !X " + hex_addr(addr));
   Bytes out;
   out.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     std::uint64_t a = addr + i;
-    const Page* q = page_at(a);
+    const Page* q = lookup(a);
     if (!q || !(q->perms & kPermExec)) break;  // stop at mapping edge
     touch(a);
     out.push_back(q->data[a & (kPageSize - 1)]);
@@ -132,33 +186,65 @@ Result<Bytes> Memory::fetch(std::uint64_t addr, std::size_t n) {
 }
 
 Result<Bytes> Memory::read_block(std::uint64_t addr, std::size_t n) {
-  Bytes out;
-  out.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    ZIPR_ASSIGN_OR_RETURN(std::uint8_t b, read_u8(addr + i));
-    out.push_back(b);
+  Bytes out(n);
+  std::size_t done = 0;
+  while (done < n) {  // per contiguous page run
+    const std::uint64_t a = addr + done;
+    const Page* p = lookup(a);
+    if (!p) return Error::invalid_argument("read unmapped " + hex_addr(a));
+    if (!(p->perms & kPermRead)) return Error::invalid_argument("read !R " + hex_addr(a));
+    touch(a);
+    const std::size_t off = static_cast<std::size_t>(a & (kPageSize - 1));
+    const std::size_t take = std::min(static_cast<std::size_t>(kPageSize) - off, n - done);
+    std::memcpy(out.data() + done, p->data.get() + off, take);
+    done += take;
   }
   return out;
 }
 
 Status Memory::write_block(std::uint64_t addr, ByteView data) {
-  for (std::size_t i = 0; i < data.size(); ++i) ZIPR_TRY(write_u8(addr + i, data[i]));
+  std::size_t done = 0;
+  while (done < data.size()) {  // per page run; earlier pages stay written on fault
+    const std::uint64_t a = addr + done;
+    Page* p = page_at(a);
+    if (!p) return Error::invalid_argument("write unmapped " + hex_addr(a));
+    if (!(p->perms & kPermWrite)) return Error::invalid_argument("write !W " + hex_addr(a));
+    touch(a);
+    mark_dirty(a & kPageMask);
+    if (p->perms & kPermExec) note_code_change();
+    const std::size_t off = static_cast<std::size_t>(a & (kPageSize - 1));
+    const std::size_t take =
+        std::min(static_cast<std::size_t>(kPageSize) - off, data.size() - done);
+    std::memcpy(p->data.get() + off, data.data() + done, take);
+    done += take;
+  }
   return Status::success();
 }
 
 Result<Bytes> Memory::peek_block(std::uint64_t addr, std::size_t n) const {
   Bytes out(n);
+  ZIPR_TRY(peek_into(addr, std::span<Byte>(out)));
+  return out;
+}
+
+Status Memory::peek_into(std::uint64_t addr, std::span<Byte> out) const {
   std::size_t done = 0;
-  while (done < n) {
+  while (done < out.size()) {
     const std::uint64_t a = addr + done;
-    const Page* p = page_at(a);
+    const Page* p = lookup(a);
     if (!p) return Error::invalid_argument("peek unmapped " + hex_addr(a));
-    const std::size_t in_page = static_cast<std::size_t>(kPageSize - (a & (kPageSize - 1)));
-    const std::size_t take = std::min(in_page, n - done);
-    std::memcpy(out.data() + done, p->data.get() + (a & (kPageSize - 1)), take);
+    const std::size_t off = static_cast<std::size_t>(a & (kPageSize - 1));
+    const std::size_t take =
+        std::min(static_cast<std::size_t>(kPageSize) - off, out.size() - done);
+    std::memcpy(out.data() + done, p->data.get() + off, take);
     done += take;
   }
-  return out;
+  return Status::success();
+}
+
+const Byte* Memory::exec_page_data(std::uint64_t page_base) const {
+  const Page* p = lookup(page_base);
+  return (p != nullptr && (p->perms & kPermExec)) ? p->data.get() : nullptr;
 }
 
 Memory::Snapshot Memory::snapshot() {
@@ -173,26 +259,35 @@ Memory::Snapshot Memory::snapshot() {
   snap.touched = touched_;
   tracking_ = true;
   dirty_.clear();
+  last_dirty_ = kNoPage;
   return snap;
 }
 
 Status Memory::restore(const Snapshot& snap) {
   if (!tracking_)
     return Error::invalid_argument("restore without an active snapshot (dirty tracking off)");
+  flush_tlb();  // erasures below would dangle cached Page*
+  bool code_changed = false;
   for (std::uint64_t base : dirty_) {
+    auto live = pages_.find(base);
     auto it = snap.pages.find(base);
     if (it == snap.pages.end()) {
-      pages_.erase(base);  // mapped after the snapshot
+      // Mapped after the snapshot.
+      if (live != pages_.end() && (live->second.perms & kPermExec)) code_changed = true;
+      pages_.erase(base);
       continue;
     }
-    auto live = pages_.find(base);
     if (live == pages_.end())
       return Error::internal("dirty page " + hex_addr(base) + " vanished before restore");
+    if ((live->second.perms | it->second.perms) & kPermExec) code_changed = true;
     std::memcpy(live->second.data.get(), it->second.data.data(), kPageSize);
     live->second.perms = it->second.perms;
   }
+  if (code_changed) note_code_change();
   dirty_.clear();
+  last_dirty_ = kNoPage;
   touched_ = snap.touched;
+  last_touched_ = kNoPage;
   return Status::success();
 }
 

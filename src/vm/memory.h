@@ -4,10 +4,29 @@
 // MaxRSS statistic (in pages), the paper's memory-overhead metric. Page
 // permissions mirror segment kinds so the VM faults on writes to text or
 // rodata and on execution of non-executable pages.
+//
+// Hot-path design (the fuzzer's persistent-mode executor drives millions
+// of accesses per second through here):
+//   * a tiny inline TLB in front of the page hash map -- the overwhelmingly
+//     common same-page access skips the unordered_map probe entirely
+//     (page nodes are stable across inserts, so cached Page* stay valid;
+//     the TLB is flushed on restore(), the only path that erases pages);
+//   * single-entry dedup caches in front of the touched-page and dirty-page
+//     sets, so a run hammering one page pays the hash insert once;
+//   * aligned u64 accesses and block transfers move whole page runs with
+//     memcpy instead of byte-at-a-time loops.
+//
+// Code-cache contract: `code_epoch()` increments whenever the bytes or
+// permissions of any executable page may have changed -- writes landing on
+// an exec page, map_segment()/map_anon() creating or widening an exec
+// mapping, and restore() rolling back or unmapping an exec page. The
+// machine's predecoded-instruction cache keys its validity on this epoch
+// and drops stale decode tables before the next instruction executes.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -61,7 +80,11 @@ class Memory {
   /// on the first byte's page. May return fewer bytes at a mapping edge.
   Result<Bytes> fetch(std::uint64_t addr, std::size_t n);
 
-  /// Bulk access for syscalls (transmit/receive).
+  /// Bulk access for syscalls (transmit/receive). Copied per contiguous
+  /// page run with memcpy. Failure semantics match the byte-loop original:
+  /// a write that faults mid-range has already applied every byte before
+  /// the faulting page (page granularity == byte granularity here, since
+  /// mapping and permissions are per page).
   Result<Bytes> read_block(std::uint64_t addr, std::size_t n);
   Status write_block(std::uint64_t addr, ByteView data);
 
@@ -70,6 +93,29 @@ class Memory {
   /// reading the coverage map back) that must not perturb the RSS metric.
   /// Fails if any byte of the range is unmapped.
   Result<Bytes> peek_block(std::uint64_t addr, std::size_t n) const;
+
+  /// peek_block into a caller-owned buffer (allocation-free: the fuzzing
+  /// executor reuses one buffer across millions of runs). Reads
+  /// `out.size()` bytes starting at `addr`.
+  Status peek_into(std::uint64_t addr, std::span<Byte> out) const;
+
+  // ---- execution-engine access (vm::Machine's predecoded cache) ----
+
+  /// Raw bytes of an executable page, or nullptr if `page_base` is not a
+  /// mapped page with exec permission. Does not mark the page touched --
+  /// the machine pairs this with touch_page() at execution time so the RSS
+  /// metric matches the fetch-based slow path.
+  const Byte* exec_page_data(std::uint64_t page_base) const;
+
+  /// Mark one page touched (the predecoded fast path's replacement for
+  /// fetch()'s per-byte touching; slots whose fetch window would cross the
+  /// page edge take the slow path, so one page per retired instruction is
+  /// exactly what fetch would have touched).
+  void touch_page(std::uint64_t page_base) { touch(page_base); }
+
+  /// Monotone counter of "executable content may have changed" events; see
+  /// the header comment for the exact trigger set.
+  std::uint64_t code_epoch() const { return code_epoch_; }
 
   // ---- snapshot / restore (the fuzzing executor's persistent mode) ----
 
@@ -107,17 +153,37 @@ class Memory {
     std::uint8_t perms = 0;
   };
 
+  static constexpr std::uint64_t kNoPage = ~std::uint64_t{0};
+
   Page* page_at(std::uint64_t addr);
   const Page* page_at(std::uint64_t addr) const;
   Page& ensure_page(std::uint64_t page_base, std::uint8_t perms);
   void touch(std::uint64_t addr);
   void mark_dirty(std::uint64_t page_base);
+  void note_code_change() { ++code_epoch_; }
+  void flush_tlb() const;
+
+  /// TLB probe + fill: the resolved Page* for `addr`, or nullptr.
+  const Page* lookup(std::uint64_t addr) const;
 
   std::unordered_map<std::uint64_t, Page> pages_;
   std::unordered_map<std::uint64_t, bool> touched_;
 
   bool tracking_ = false;
   std::unordered_set<std::uint64_t> dirty_;  ///< pages written/mapped since snapshot
+
+  /// 2-entry direct-mapped TLB (indexed by page-number parity). Page*
+  /// values stay valid across pages_ inserts (node-based map); restore()
+  /// is the only eraser and flushes. Mutable: const reads warm it too.
+  struct TlbEntry {
+    std::uint64_t base = kNoPage;
+    const Page* page = nullptr;
+  };
+  mutable TlbEntry tlb_[2];
+
+  std::uint64_t last_touched_ = kNoPage;  ///< dedup cache over touched_
+  std::uint64_t last_dirty_ = kNoPage;    ///< dedup cache over dirty_
+  std::uint64_t code_epoch_ = 0;
 };
 
 }  // namespace zipr::vm

@@ -284,5 +284,46 @@ TEST(DecodeFuzz, ArbitraryBytesAreSafe) {
   }
 }
 
+// decode_at() is the allocation-free twin of decode() (the VM's predecoded
+// cache builds pages through it). The two are separate code paths, so this
+// differential keeps them from drifting: on every input they must agree on
+// accept/reject, and on accept produce the identical Insn.
+TEST(DecodeAt, AgreesWithDecodeOnAllTwoByteStrings) {
+  Bytes b(2);
+  for (int op0 = 0; op0 < 256; ++op0) {
+    for (int b1 = 0; b1 < 256; ++b1) {
+      b[0] = static_cast<Byte>(op0);
+      b[1] = static_cast<Byte>(b1);
+      Insn at;
+      bool ok = decode_at(b, at);
+      auto ref = decode(b);
+      ASSERT_EQ(ok, ref.ok()) << "op0=" << op0 << " b1=" << b1;
+      if (ok) {
+        EXPECT_EQ(at, *ref) << "op0=" << op0 << " b1=" << b1;
+      }
+    }
+  }
+}
+
+TEST(DecodeAt, AgreesWithDecodeOnRandomStrings) {
+  std::uint64_t seed = 0xdec0dea7;
+  for (int iter = 0; iter < 20000; ++iter) {
+    seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    Bytes b;
+    std::size_t n = 1 + (seed % static_cast<std::uint64_t>(kMaxInsnLen));
+    for (std::size_t i = 0; i < n; ++i) {
+      seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+      b.push_back(static_cast<Byte>(seed >> 33));
+    }
+    Insn at;
+    bool ok = decode_at(b, at);
+    auto ref = decode(b);
+    ASSERT_EQ(ok, ref.ok());
+    if (ok) {
+      EXPECT_EQ(at, *ref);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace zipr::isa

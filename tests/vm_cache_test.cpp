@@ -1,0 +1,186 @@
+// Differential tests for the VM's predecoded-instruction cache: the cached
+// and uncached interpreters must be observably identical -- exit status,
+// fault kind and pc, every statistic (including the touched-page MaxRSS
+// metric), output bytes and input consumption -- across the full 62-CB
+// evaluation corpus, the vulnerable corpus (benign and exploit inputs),
+// and fuzz-style garbage inputs. Plus regression tests for every cache
+// invalidation edge: writes to cached executable pages, snapshot-restore
+// rolling back a dirtied executable page, and map_segment() overlaying a
+// cached page.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+
+#include "asm/assembler.h"
+#include "cgc/exploits.h"
+#include "cgc/generator.h"
+#include "cgc/poller.h"
+#include "support/rng.h"
+#include "vm/machine.h"
+
+namespace zipr::vm {
+namespace {
+
+zelf::Image build(std::string_view src) {
+  auto img = assembler::assemble(src);
+  EXPECT_TRUE(img.ok()) << (img.ok() ? "" : img.error().message);
+  return std::move(img).value();
+}
+
+RunResult run_image(const zelf::Image& img, ByteView input, std::uint64_t seed,
+                    bool cache) {
+  Machine m(img);
+  m.set_decode_cache(cache);
+  m.set_input(Bytes(input.begin(), input.end()));
+  m.set_random_seed(seed);
+  return m.run();
+}
+
+/// The acceptance bar: every observable field identical.
+void expect_same(const RunResult& on, const RunResult& off, const std::string& what) {
+  EXPECT_EQ(on.exited, off.exited) << what;
+  EXPECT_EQ(on.exit_status, off.exit_status) << what;
+  EXPECT_EQ(on.fault, off.fault) << what;
+  EXPECT_EQ(on.fault_pc, off.fault_pc) << what;
+  EXPECT_EQ(on.stats.insns, off.stats.insns) << what;
+  EXPECT_EQ(on.stats.cycles, off.stats.cycles) << what;
+  EXPECT_EQ(on.stats.syscalls, off.stats.syscalls) << what;
+  EXPECT_EQ(on.stats.max_rss_pages, off.stats.max_rss_pages) << what;
+  EXPECT_EQ(on.output, off.output) << what;
+  EXPECT_EQ(on.input_bytes_consumed, off.input_bytes_consumed) << what;
+}
+
+TEST(VmCacheDifferential, CfeCorpusPollsAndGarbageIdentical) {
+  int checked = 0;
+  for (const auto& spec : cgc::cfe_corpus()) {
+    auto cb = cgc::generate_cb(spec);
+    ASSERT_TRUE(cb.ok()) << spec.name;
+    auto polls = cgc::make_polls(*cb, 2, 0xC0FFEE ^ spec.seed);
+    for (std::size_t pi = 0; pi < polls.size(); ++pi) {
+      auto on = run_image(cb->image, polls[pi].input, polls[pi].vm_seed, true);
+      auto off = run_image(cb->image, polls[pi].input, polls[pi].vm_seed, false);
+      expect_same(on, off, spec.name + " poll " + std::to_string(pi));
+      ++checked;
+    }
+    // A fuzz-style garbage input: exercises the error/fault paths too.
+    Rng rng(spec.seed * 7919 + 17);
+    Bytes junk;
+    const std::size_t n = rng.range(1, 64);
+    for (std::size_t i = 0; i < n; ++i) junk.push_back(static_cast<Byte>(rng.next() & 0xff));
+    expect_same(run_image(cb->image, junk, 1, true), run_image(cb->image, junk, 1, false),
+                spec.name + " junk");
+    ++checked;
+  }
+  EXPECT_GE(checked, 3 * 62);  // the full evaluation corpus really ran
+}
+
+TEST(VmCacheDifferential, VulnerableCorpusBenignAndExploitIdentical) {
+  for (const auto& v : cgc::vulnerable_corpus()) {
+    expect_same(run_image(v.image, v.benign_input, 0, true),
+                run_image(v.image, v.benign_input, 0, false), v.name + " benign");
+    expect_same(run_image(v.image, v.exploit_input, 0, true),
+                run_image(v.image, v.exploit_input, 0, false), v.name + " exploit");
+  }
+}
+
+// ---- invalidation regressions -------------------------------------------
+//
+// A trampoline in text jumps straight to a scratch rwx page at 0x500000
+// whose contents the tests rewrite between runs; the exit status reveals
+// which version of the code actually executed.
+
+constexpr const char* kTrampoline = R"(
+  .entry main
+  .text
+  main:
+    movi r2, 5242880   ; 0x500000, the rwx scratch page
+    jmpr r2
+)";
+
+constexpr std::uint64_t kScratch = 0x500000;
+
+Bytes exit_with(int status) {
+  auto src = std::string(".entry main\n.text\nmain:\n  movi r0, 1\n  movi r1, ") +
+             std::to_string(status) + "\n  syscall\n";
+  return build(src).text().bytes;
+}
+
+/// run codeA; restore + overwrite with codeB (write invalidation); run;
+/// restore (rolls the dirtied exec page back to codeA); run again.
+std::array<RunResult, 3> self_modify_sequence(bool cache) {
+  Machine m(build(kTrampoline));
+  m.set_decode_cache(cache);
+  m.memory().map_anon(kScratch, kPageSize, kPermRead | kPermWrite | kPermExec);
+  EXPECT_TRUE(m.memory().write_block(kScratch, exit_with(7)).ok());
+  auto snap = m.snapshot();
+
+  std::array<RunResult, 3> rs;
+  rs[0] = m.run();
+  EXPECT_TRUE(m.restore(snap).ok());
+  EXPECT_TRUE(m.memory().write_block(kScratch, exit_with(9)).ok());
+  rs[1] = m.run();
+  EXPECT_TRUE(m.restore(snap).ok());
+  rs[2] = m.run();
+  return rs;
+}
+
+TEST(VmCacheInvalidation, WriteAndRestoreOfExecPage) {
+  auto on = self_modify_sequence(true);
+  EXPECT_EQ(on[0].exit_status, 7);  // original code
+  EXPECT_EQ(on[1].exit_status, 9);  // write to a cached exec page took effect
+  EXPECT_EQ(on[2].exit_status, 7);  // restore rolled the exec page back
+  auto off = self_modify_sequence(false);
+  for (int i = 0; i < 3; ++i)
+    expect_same(on[i], off[i], "self-modify run " + std::to_string(i));
+}
+
+TEST(VmCacheInvalidation, MapSegmentOverCachedPage) {
+  for (bool cache : {true, false}) {
+    Machine m(build(".entry main\n.text\nmain:\n  movi r0, 1\n  movi r1, 7\n  syscall\n"));
+    m.set_decode_cache(cache);
+    auto snap = m.snapshot();
+    auto r1 = m.run();
+    EXPECT_EQ(r1.exit_status, 7) << "cache=" << cache;
+
+    ASSERT_TRUE(m.restore(snap).ok());
+    zelf::Segment seg;  // overlay new code on the (cached) text page
+    seg.kind = zelf::SegKind::kText;
+    seg.vaddr = zelf::layout::kTextBase;
+    seg.bytes = exit_with(9);
+    seg.memsize = seg.bytes.size();
+    m.memory().map_segment(seg);
+    auto r2 = m.run();
+    EXPECT_EQ(r2.exit_status, 9) << "cache=" << cache;
+  }
+}
+
+// Restores that touched no executable page must keep decode tables warm:
+// that is the fuzzing steady state (code_epoch is the cache's validity key,
+// so "epoch unchanged" == "cache survived").
+TEST(VmCacheInvalidation, DataOnlyRestoreKeepsCodeEpoch) {
+  Machine m(build(R"(
+    .entry main
+    .text
+    main:
+      movi r2, 7864320   ; 0x780000 bss
+      movi r3, 1
+      store8 [r2], r3    ; dirty a data page
+      movi r0, 1
+      movi r1, 0
+      syscall
+    .bss
+    buf: .space 4096
+  )"));
+  auto snap = m.snapshot();
+  auto r1 = m.run();
+  ASSERT_TRUE(r1.exited);
+  const std::uint64_t epoch_after_run = m.memory().code_epoch();
+  ASSERT_TRUE(m.restore(snap).ok());
+  EXPECT_EQ(m.memory().code_epoch(), epoch_after_run);
+  auto r2 = m.run();
+  expect_same(r1, r2, "rerun after data-only restore");
+}
+
+}  // namespace
+}  // namespace zipr::vm

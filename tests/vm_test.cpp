@@ -625,5 +625,66 @@ TEST(Vm, TraceHookSeesEveryInstruction) {
   EXPECT_EQ(pcs[1], zelf::layout::kTextBase + 1);
 }
 
+// allocate() must refuse to grow the heap into the guard page below the
+// stack mapping; a run of large allocations used to map pages straight
+// through the stack region.
+TEST(Vm, AllocateRefusesToGrowHeapIntoStackGuard) {
+  constexpr std::uint64_t kCeiling =
+      zelf::layout::kStackTop - zelf::layout::kStackSize - kPageSize;
+  const char* src = R"(
+    .entry main
+    .text
+    main:
+      movi r0, 5          ; allocate
+      movi r1, 1048576    ; 1 MiB
+      syscall
+      movi r0, 1
+      movi r1, 0
+      syscall
+  )";
+
+  {  // 1 MiB does not fit below the ceiling: must fault, not map.
+    Machine m(build(src));
+    m.set_heap_next(kCeiling - 0x1000);
+    auto r = m.run();
+    EXPECT_FALSE(r.exited);
+    EXPECT_EQ(r.fault, Fault::kBadSyscall);
+    // Nothing may have been mapped over the guard or the stack.
+    EXPECT_FALSE(m.memory().is_mapped(kCeiling));
+    EXPECT_EQ(m.heap_next(), kCeiling - 0x1000);
+  }
+  {  // An exact fit against the ceiling is still allowed.
+    Machine m(build(src));
+    m.set_heap_next(kCeiling - 0x100000);
+    auto r = m.run();
+    EXPECT_TRUE(r.exited);
+    EXPECT_EQ(r.exit_status, 0);
+    EXPECT_EQ(m.heap_next(), kCeiling);
+  }
+  {  // heap_next past the ceiling (overflow-adjacent) also faults.
+    Machine m(build(src));
+    m.set_heap_next(kCeiling + kPageSize);
+    auto r = m.run();
+    EXPECT_FALSE(r.exited);
+    EXPECT_EQ(r.fault, Fault::kBadSyscall);
+  }
+}
+
+// restore() erases pages mapped after the snapshot; the inline TLB must
+// not serve stale translations for them afterwards.
+TEST(VmMemory, RestoreDropsTlbEntriesForUnmappedPages) {
+  Memory mem;
+  mem.map_anon(0x1000, kPageSize, kPermRead | kPermWrite);
+  auto snap = mem.snapshot();
+
+  mem.map_anon(0x5000, kPageSize, kPermRead | kPermWrite);
+  ASSERT_TRUE(mem.write_u8(0x5000, 0xAB).ok());  // warms the TLB
+  ASSERT_TRUE(mem.read_u8(0x5000).ok());
+
+  ASSERT_TRUE(mem.restore(snap).ok());
+  EXPECT_FALSE(mem.read_u8(0x5000).ok());  // page is gone again
+  EXPECT_TRUE(mem.read_u8(0x1000).ok());   // surviving page still works
+}
+
 }  // namespace
 }  // namespace zipr::vm

@@ -19,9 +19,11 @@ Notes:
   - The default threshold is deliberately loose (25%): wall-clock noise on
     shared machines is real. Tighten with --threshold for quiet hardware.
   - `--fuzz` switches to the BENCH_fuzz.json schema (fuzz_overhead bench)
-    and gates two numbers: fuzz.execs_per_sec may not drop by more than the
-    threshold, and the zipr+cov mean_exec_overhead may not grow (relative
-    to baseline) by more than the threshold.
+    and gates three numbers: fuzz.execs_per_sec may not drop by more than
+    the threshold, the zipr+cov mean_exec_overhead may not grow (relative
+    to baseline) by more than the threshold, and -- when the baseline
+    records a fuzz.min_execs_per_sec floor -- the fresh throughput must
+    clear that absolute floor regardless of the relative threshold.
   - Exit status: 0 = no regression, 1 = at least one benchmark regressed,
     2 = bad input.
 """
@@ -86,6 +88,15 @@ def guard_fuzz(args):
         regressed.append(("fuzz.execs_per_sec", drop))
     print(f"  [{status:>4}]  fuzz.execs_per_sec: {base_eps:10.1f} -> {fresh_eps:10.1f} "
           f"({-drop:+.1%})")
+
+    floor = float(base.get("fuzz", {}).get("min_execs_per_sec", 0))
+    if floor > 0:
+        status = "FAIL" if fresh_eps < floor else "ok"
+        if fresh_eps < floor:
+            regressed.append(("fuzz.execs_per_sec below floor",
+                              fresh_eps / floor - 1.0))
+        print(f"  [{status:>4}]  fuzz.execs_per_sec floor: {floor:10.1f} "
+              f"(fresh {fresh_eps:10.1f})")
 
     fresh_ovh = cov_exec_overhead(fresh)
     base_ovh = cov_exec_overhead(base)
