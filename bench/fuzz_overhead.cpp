@@ -21,7 +21,14 @@
 //     "configs": [
 //       {"label": "zipr"|"zipr+cov"|"zipr+cov-block",
 //        "mean_filesize_overhead": frac, "mean_exec_overhead": frac,
-//        "mean_mem_overhead": frac, "functional": N}, ...
+//        "mean_mem_overhead": frac, "functional": N,
+//        -- instrumented configs additionally carry the selective-
+//        -- instrumentation counters and their gate levels:
+//        "max_exec_overhead": ceiling, "probes": N, "candidate_sites": N,
+//        "prune_rate": frac, "min_prune_rate": floor,
+//        "pruned_dominated": N, "collapsed_single_pred": N,
+//        "split_critical_edges": N, "elided_flag_saves": N,
+//        "elided_reg_saves": N}, ...
 //     ],
 //     "fuzz": {
 //       "execs_per_sec": mean across targets,
@@ -52,6 +59,7 @@ struct ConfigRow {
   double exec_ovh = 0;
   double mem_ovh = 0;
   int functional = 0;
+  transform::InstrumentationStats instr;  ///< summed across the corpus
 };
 
 ConfigRow measure_config(const Config& config) {
@@ -62,6 +70,7 @@ ConfigRow measure_config(const Config& config) {
   row.file_ovh = cgc::mean_overhead(metrics, &cgc::CbMetrics::filesize_overhead);
   row.exec_ovh = cgc::mean_overhead(metrics, &cgc::CbMetrics::exec_overhead);
   row.mem_ovh = cgc::mean_overhead(metrics, &cgc::CbMetrics::mem_overhead);
+  for (const auto& m : metrics) row.instr += m.instrumentation;
   return row;
 }
 
@@ -95,6 +104,18 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 // perf_guard --fuzz re-checks fresh runs against the committed floor.
 constexpr double kMinExecsPerSec = 4 * 30762.7;
 
+// Execution-overhead ceilings for the instrumented configs, the headline
+// numbers of the selective-instrumentation PR (dominator pruning +
+// liveness-elided stubs brought edge mode from 180% to ~30% and block
+// mode from 117% to ~15%). perf_guard --fuzz holds fresh runs to these.
+constexpr double kMaxCovExecOverhead = 0.40;
+constexpr double kMaxCovBlockExecOverhead = 0.30;
+
+// Floor on the fraction of candidate probe sites the CFG analysis prunes
+// or collapses; the measured corpus sits at ~29%. A regression below the
+// floor means the dominator/derivability rules stopped firing.
+constexpr double kMinPruneRate = 0.25;
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -119,6 +140,14 @@ int main(int argc, char** argv) {
     std::printf("  %-15s file %6.2f%%  exec %6.2f%%  mem %6.2f%%  functional %d/62\n",
                 r.label.c_str(), r.file_ovh * 100, r.exec_ovh * 100, r.mem_ovh * 100,
                 r.functional);
+    const auto& in = r.instr;
+    if (in.candidate_sites > 0)
+      std::printf(
+          "    %zu probes for %zu sites (%.0f%% pruned: %zu dominated + %zu collapsed; "
+          "%zu edges split, %zu flag + %zu reg saves elided)\n",
+          in.probes, in.candidate_sites, in.prune_rate() * 100, in.pruned_dominated,
+          in.collapsed_single_pred, in.split_critical_edges, in.elided_flag_saves,
+          in.elided_reg_saves);
   }
 
   // ---- 2. fuzzing throughput + planted-bug rediscovery ----
@@ -206,9 +235,24 @@ int main(int argc, char** argv) {
     std::fprintf(f,
                  "    {\"label\": \"%s\", \"mean_filesize_overhead\": %.6f,\n"
                  "     \"mean_exec_overhead\": %.6f, \"mean_mem_overhead\": %.6f,\n"
-                 "     \"functional\": %d}%s\n",
-                 r.label.c_str(), r.file_ovh, r.exec_ovh, r.mem_ovh, r.functional,
-                 i + 1 < configs.size() ? "," : "");
+                 "     \"functional\": %d",
+                 r.label.c_str(), r.file_ovh, r.exec_ovh, r.mem_ovh, r.functional);
+    if (r.instr.candidate_sites > 0) {
+      const double ceiling =
+          r.label == "zipr+cov" ? kMaxCovExecOverhead : kMaxCovBlockExecOverhead;
+      std::fprintf(f,
+                   ",\n     \"max_exec_overhead\": %.2f, \"probes\": %zu,"
+                   " \"candidate_sites\": %zu,\n"
+                   "     \"prune_rate\": %.6f, \"min_prune_rate\": %.2f,\n"
+                   "     \"pruned_dominated\": %zu, \"collapsed_single_pred\": %zu,\n"
+                   "     \"split_critical_edges\": %zu, \"elided_flag_saves\": %zu,"
+                   " \"elided_reg_saves\": %zu",
+                   ceiling, r.instr.probes, r.instr.candidate_sites, r.instr.prune_rate(),
+                   kMinPruneRate, r.instr.pruned_dominated, r.instr.collapsed_single_pred,
+                   r.instr.split_critical_edges, r.instr.elided_flag_saves,
+                   r.instr.elided_reg_saves);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < configs.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"fuzz\": {\n    \"execs_per_sec\": %.1f,\n", mean_eps);
   std::fprintf(f, "    \"min_execs_per_sec\": %.1f,\n", kMinExecsPerSec);
@@ -239,6 +283,13 @@ int main(int argc, char** argv) {
                "cov instrumentation costs measurable execution overhead over Null");
   claims.check(configs[2].exec_ovh <= configs[1].exec_ovh + 1e-9,
                "cov-block is no slower than edge mode");
+  claims.check(configs[1].exec_ovh < kMaxCovExecOverhead,
+               "selective edge instrumentation stays under 40% exec overhead");
+  claims.check(configs[2].exec_ovh < kMaxCovBlockExecOverhead,
+               "selective block instrumentation stays under 30% exec overhead");
+  for (std::size_t i = 1; i < configs.size(); ++i)
+    claims.check(configs[i].instr.prune_rate() >= kMinPruneRate,
+                 configs[i].label + ": CFG analysis prunes >= 25% of candidate sites");
   for (const auto& t : targets)
     claims.check(t.rediscovered,
                  t.name + ": planted bug rediscovered within the deterministic budget");

@@ -1,0 +1,371 @@
+#include "analysis/cfg.h"
+
+#include <algorithm>
+#include <set>
+
+namespace zipr::analysis {
+
+namespace {
+
+using irdb::InsnId;
+using isa::Op;
+
+bool is_terminator(Op op) {
+  switch (op) {
+    case Op::kJmp: case Op::kJcc: case Op::kCall: case Op::kCallR:
+    case Op::kJmpR: case Op::kJmpT: case Op::kRet: case Op::kHlt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+void Cfg::add_edge(BlockId from, BlockId to) {
+  blocks_[from].succs.push_back(to);
+  blocks_[to].preds.push_back(from);
+}
+
+BlockId Cfg::block_of(irdb::InsnId id) const {
+  auto it = row_block_.find(id);
+  return it == row_block_.end() ? kNoBlock : it->second;
+}
+
+Cfg Cfg::build(const IrProgram& prog) {
+  Cfg cfg;
+  const irdb::Database& db = prog.db;
+  const std::uint64_t text_end = prog.original.text().end();
+
+  // Virtual nodes first so their ids are the fixed constants.
+  for (int i = 0; i < 3; ++i) {
+    BasicBlock v;
+    v.is_virtual = true;
+    cfg.blocks_.push_back(std::move(v));
+  }
+
+  // ---- leaders ----
+  // The probe-site set matches the coverage transform's historical rule
+  // exactly; call continuations are CFG-only leaders (calls end blocks
+  // here so they can carry interprocedural edges).
+  std::set<InsnId> leaders;
+  std::set<InsnId> probe_sites;
+  std::set<InsnId> continuations;
+  db.for_each_insn([&](const irdb::Instruction& row) {
+    if (row.target != irdb::kNullInsn) {
+      leaders.insert(row.target);
+      probe_sites.insert(row.target);
+    }
+    if (row.decoded.op == Op::kJcc && row.fallthrough != irdb::kNullInsn) {
+      leaders.insert(row.fallthrough);
+      probe_sites.insert(row.fallthrough);
+    }
+    if ((row.decoded.op == Op::kCall || row.decoded.op == Op::kCallR) &&
+        row.fallthrough != irdb::kNullInsn)
+      leaders.insert(row.fallthrough);
+  });
+  db.for_each_function([&](const irdb::Function& func) {
+    if (func.entry != irdb::kNullInsn) {
+      leaders.insert(func.entry);
+      probe_sites.insert(func.entry);
+    }
+  });
+  std::set<InsnId> pinned_rows;
+  for (const auto& [addr, id] : db.pins()) {
+    leaders.insert(id);
+    probe_sites.insert(id);
+    pinned_rows.insert(id);
+  }
+
+  for (InsnId leader : leaders) {
+    BasicBlock b;
+    b.leader = leader;
+    b.pinned = pinned_rows.count(leader) > 0;
+    b.probe_site = probe_sites.count(leader) > 0;
+    BlockId id = static_cast<BlockId>(cfg.blocks_.size());
+    cfg.blocks_.push_back(std::move(b));
+    cfg.row_block_.emplace(leader, id);
+  }
+
+  // ---- chain rows into blocks ----
+  struct CallSite {
+    InsnId callee_entry;  ///< null when the callee is unresolved
+    BlockId cont;         ///< continuation block (kNoBlock if none)
+  };
+  std::vector<CallSite> call_sites;
+  std::map<irdb::FuncId, std::vector<BlockId>> ret_blocks;
+
+  auto leader_block = [&](InsnId row) -> BlockId {
+    auto it = cfg.row_block_.find(row);
+    return it == cfg.row_block_.end() ? kUnknown : it->second;
+  };
+  // Static-target edge: a lifted row, a fixed original address (off-text
+  // ends the program; inside text it enters verbatim bytes), or opaque.
+  auto target_edge = [&](const irdb::Instruction& row) -> BlockId {
+    if (row.target != irdb::kNullInsn) return leader_block(row.target);
+    if (row.abs_target && *row.abs_target >= text_end) return kExit;
+    return kUnknown;
+  };
+
+  for (BlockId bid = 3; bid < static_cast<BlockId>(cfg.blocks_.size()); ++bid) {
+    BasicBlock& b = cfg.blocks_[bid];
+    InsnId cur = b.leader;
+    bool have_unsafe = false;
+    while (cur != irdb::kNullInsn) {
+      const irdb::Instruction& row = db.insn(cur);
+      if (cur != b.leader && leaders.count(cur)) break;  // next block starts
+      b.insns.push_back(cur);
+      if (cur != b.leader) cfg.row_block_.emplace(cur, bid);
+      const Op op = row.decoded.op;
+      if (!have_unsafe &&
+          (op == Op::kCall || op == Op::kCallR || op == Op::kSyscall || row.verbatim)) {
+        b.first_unsafe = b.insns.size() - 1;
+        have_unsafe = true;
+      }
+      if (row.verbatim) {
+        b.opaque = true;
+        break;
+      }
+      if (op == Op::kSyscall) {
+        // Peephole: `movi r0, K` directly before resolves the number.
+        std::int64_t num = -1;
+        if (b.insns.size() >= 2) {
+          const irdb::Instruction& prev = db.insn(b.insns[b.insns.size() - 2]);
+          if ((prev.decoded.op == Op::kMovI || prev.decoded.op == Op::kMovI64) &&
+              prev.decoded.ra == 0)
+            num = prev.decoded.imm;
+        }
+        if (num == 1) {  // terminate: never falls through
+          b.may_exit = true;
+          break;
+        }
+        if (num < 0) b.may_exit = true;  // unknown number: may terminate
+      }
+      if (is_terminator(op)) break;
+      cur = row.fallthrough;
+      if (cur == irdb::kNullInsn) break;
+    }
+    if (!have_unsafe) b.first_unsafe = b.insns.size();
+  }
+
+  // ---- edges ----
+  for (BlockId bid = 3; bid < static_cast<BlockId>(cfg.blocks_.size()); ++bid) {
+    BasicBlock& b = cfg.blocks_[bid];
+    if (b.insns.empty()) {
+      cfg.add_edge(bid, kUnknown);
+      continue;
+    }
+    if (b.opaque) {
+      cfg.add_edge(bid, kUnknown);
+      continue;
+    }
+    if (b.may_exit) cfg.add_edge(bid, kExit);
+    const irdb::Instruction& last = db.insn(b.insns.back());
+    const Op op = last.decoded.op;
+    switch (op) {
+      case Op::kJmp:
+        cfg.add_edge(bid, target_edge(last));
+        break;
+      case Op::kJcc:
+        cfg.add_edge(bid, target_edge(last));
+        cfg.add_edge(bid, last.fallthrough != irdb::kNullInsn ? leader_block(last.fallthrough)
+                                                              : kExit);
+        break;
+      case Op::kCall:
+      case Op::kCallR: {
+        BlockId callee = op == Op::kCall ? target_edge(last) : kUnknown;
+        cfg.add_edge(bid, callee);
+        BlockId cont = last.fallthrough != irdb::kNullInsn ? leader_block(last.fallthrough)
+                                                           : kNoBlock;
+        InsnId callee_entry =
+            op == Op::kCall && last.target != irdb::kNullInsn ? last.target : irdb::kNullInsn;
+        call_sites.push_back({callee_entry, cont});
+        break;
+      }
+      case Op::kJmpR:
+      case Op::kJmpT:
+        cfg.add_edge(bid, kUnknown);
+        break;
+      case Op::kRet:
+        ret_blocks[last.function].push_back(bid);
+        break;
+      case Op::kHlt:
+        cfg.add_edge(bid, kExit);
+        break;
+      case Op::kSyscall: {
+        // Chain building only breaks on a syscall when the peephole
+        // resolved it to `terminate` -- which never falls through. (The
+        // EXIT edge was added above via may_exit.)
+        bool resolved_terminate = false;
+        if (b.insns.size() >= 2) {
+          const irdb::Instruction& prev = db.insn(b.insns[b.insns.size() - 2]);
+          resolved_terminate = (prev.decoded.op == Op::kMovI || prev.decoded.op == Op::kMovI64) &&
+                               prev.decoded.ra == 0 && prev.decoded.imm == 1;
+        }
+        if (!resolved_terminate)
+          cfg.add_edge(bid, last.fallthrough != irdb::kNullInsn ? leader_block(last.fallthrough)
+                                                                : kExit);
+        break;
+      }
+      default:
+        // Fell off at a leader boundary or a null fallthrough.
+        cfg.add_edge(bid, last.fallthrough != irdb::kNullInsn ? leader_block(last.fallthrough)
+                                                              : kExit);
+        break;
+    }
+  }
+
+  // Return edges. A function returns to the continuations of its known
+  // call sites -- context-insensitively, which only ADDS paths and so
+  // stays conservative for dominance. A function is only modeled this
+  // precisely when every way into it is a direct call we saw: a pinned
+  // entry (indirect callers) or any cross-function jmp/jcc into it
+  // (tail calls, shared tails) taints it, routing its rets -- and the
+  // continuations of its call sites -- through UNKNOWN instead.
+  std::set<irdb::FuncId> tainted;
+  db.for_each_insn([&](const irdb::Instruction& row) {
+    if (row.target == irdb::kNullInsn || row.decoded.op == Op::kCall) return;
+    irdb::FuncId tf = db.insn(row.target).function;
+    if (tf != irdb::kNullFunc && tf != row.function) tainted.insert(tf);
+  });
+  auto analyzable = [&](irdb::FuncId f) {
+    if (f == irdb::kNullFunc || tainted.count(f)) return false;
+    InsnId entry = db.function(f).entry;
+    BlockId eb = entry != irdb::kNullInsn ? cfg.block_of(entry) : kNoBlock;
+    return eb != kNoBlock && !cfg.block(eb).pinned;
+  };
+
+  std::map<irdb::FuncId, std::vector<BlockId>> conts_of;
+  std::set<BlockId> unknown_conts;  // continuations reachable from UNKNOWN
+  for (const auto& cs : call_sites) {
+    if (cs.cont == kNoBlock) continue;
+    irdb::FuncId f = cs.callee_entry != irdb::kNullInsn ? db.insn(cs.callee_entry).function
+                                                        : irdb::kNullFunc;
+    if (analyzable(f))
+      conts_of[f].push_back(cs.cont);
+    else
+      unknown_conts.insert(cs.cont);
+  }
+  for (auto& [func, rets] : ret_blocks) {
+    auto it = analyzable(func) ? conts_of.find(func) : conts_of.end();
+    if (it == conts_of.end()) {
+      for (BlockId r : rets) cfg.add_edge(r, kUnknown);
+      continue;
+    }
+    std::set<std::pair<BlockId, BlockId>> seen;
+    for (BlockId r : rets)
+      for (BlockId c : it->second)
+        if (seen.insert({r, c}).second) cfg.add_edge(r, c);
+  }
+
+  // UNKNOWN fans out to everything indirect flow can reach: pinned
+  // blocks, continuations of un-analyzable calls, and termination.
+  {
+    std::set<BlockId> fan(unknown_conts.begin(), unknown_conts.end());
+    for (InsnId pin : pinned_rows) {
+      BlockId p = cfg.block_of(pin);
+      if (p != kNoBlock) fan.insert(p);
+    }
+    for (BlockId t : fan) cfg.add_edge(kUnknown, t);
+    cfg.add_edge(kUnknown, kExit);
+  }
+
+  // ENTRY precedes the program's entry point.
+  {
+    InsnId entry_row = db.pinned_at(prog.original.entry);
+    BlockId eb = entry_row != irdb::kNullInsn ? cfg.block_of(entry_row) : kNoBlock;
+    cfg.add_edge(kEntry, eb != kNoBlock ? eb : kUnknown);
+  }
+
+  cfg.compute_dominators();
+  return cfg;
+}
+
+namespace {
+
+/// Reverse postorder from `root` following `next` (succs or preds).
+std::vector<BlockId> reverse_postorder(std::size_t n, BlockId root,
+                                       const std::vector<BasicBlock>& blocks,
+                                       std::vector<BlockId> BasicBlock::*next) {
+  std::vector<std::uint8_t> state(n, 0);  // 0 unseen, 1 on stack, 2 done
+  std::vector<BlockId> order;
+  order.reserve(n);
+  std::vector<std::pair<BlockId, std::size_t>> stack{{root, 0}};
+  state[root] = 1;
+  while (!stack.empty()) {
+    auto& [b, i] = stack.back();
+    const auto& edges = blocks[b].*next;
+    if (i < edges.size()) {
+      BlockId s = edges[i++];
+      if (state[s] == 0) {
+        state[s] = 1;
+        stack.emplace_back(s, 0);
+      }
+    } else {
+      state[b] = 2;
+      order.push_back(b);
+      stack.pop_back();
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+/// Cooper-Harvey-Kennedy: iterate idom to a fixpoint over RPO.
+std::vector<BlockId> iterate_doms(std::size_t n, BlockId root, const std::vector<BlockId>& rpo,
+                                  const std::vector<BasicBlock>& blocks,
+                                  std::vector<BlockId> BasicBlock::*pred_edges) {
+  std::vector<std::uint32_t> rpo_num(n, static_cast<std::uint32_t>(-1));
+  for (std::size_t i = 0; i < rpo.size(); ++i) rpo_num[rpo[i]] = static_cast<std::uint32_t>(i);
+  std::vector<BlockId> idom(n, kNoBlock);
+  idom[root] = root;
+  auto intersect = [&](BlockId u, BlockId v) {
+    while (u != v) {
+      while (rpo_num[u] > rpo_num[v]) u = idom[u];
+      while (rpo_num[v] > rpo_num[u]) v = idom[v];
+    }
+    return u;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (BlockId b : rpo) {
+      if (b == root) continue;
+      BlockId new_idom = kNoBlock;
+      for (BlockId p : blocks[b].*pred_edges) {
+        if (idom[p] == kNoBlock) continue;
+        new_idom = new_idom == kNoBlock ? p : intersect(p, new_idom);
+      }
+      if (new_idom != kNoBlock && idom[b] != new_idom) {
+        idom[b] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  return idom;
+}
+
+bool chain_reaches(const std::vector<BlockId>& idom, BlockId a, BlockId b) {
+  if (a == kNoBlock || b == kNoBlock || idom[b] == kNoBlock) return false;
+  for (BlockId cur = b;;) {
+    if (cur == a) return true;
+    BlockId up = idom[cur];
+    if (up == kNoBlock || up == cur) return false;
+    cur = up;
+  }
+}
+
+}  // namespace
+
+void Cfg::compute_dominators() {
+  const std::size_t n = blocks_.size();
+  rpo_ = reverse_postorder(n, kEntry, blocks_, &BasicBlock::succs);
+  idom_ = iterate_doms(n, kEntry, rpo_, blocks_, &BasicBlock::preds);
+  std::vector<BlockId> rrpo = reverse_postorder(n, kExit, blocks_, &BasicBlock::preds);
+  ipdom_ = iterate_doms(n, kExit, rrpo, blocks_, &BasicBlock::succs);
+}
+
+bool Cfg::dominates(BlockId a, BlockId b) const { return chain_reaches(idom_, a, b); }
+bool Cfg::postdominates(BlockId a, BlockId b) const { return chain_reaches(ipdom_, a, b); }
+
+}  // namespace zipr::analysis

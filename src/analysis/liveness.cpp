@@ -1,0 +1,209 @@
+#include "analysis/liveness.h"
+
+#include <set>
+#include <vector>
+
+namespace zipr::analysis {
+
+namespace {
+using irdb::InsnId;
+using isa::Insn;
+using isa::Op;
+
+constexpr std::uint16_t reg_bit(unsigned r) { return static_cast<std::uint16_t>(1u << r); }
+constexpr std::uint16_t kSp = reg_bit(isa::kSpReg);
+constexpr std::uint16_t kAllRegs = static_cast<std::uint16_t>((1u << isa::kNumRegs) - 1);
+}  // namespace
+
+bool writes_flags(Op op) {
+  switch (op) {
+    case Op::kAdd: case Op::kSub: case Op::kAnd: case Op::kOr: case Op::kXor:
+    case Op::kMul: case Op::kDiv: case Op::kMod: case Op::kShl: case Op::kShr:
+    case Op::kSar: case Op::kAddI: case Op::kSubI: case Op::kAndI: case Op::kOrI:
+    case Op::kXorI: case Op::kShlI: case Op::kShrI: case Op::kCmp: case Op::kCmpI:
+    case Op::kTest:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool flags_live_at(const irdb::Database& db, InsnId start, std::uint64_t text_end) {
+  std::vector<InsnId> work{start};
+  std::set<InsnId> seen;
+  while (!work.empty()) {
+    InsnId id = work.back();
+    work.pop_back();
+    if (id == irdb::kNullInsn || !seen.insert(id).second) continue;
+    if (seen.size() > 256) return true;  // walk exploded: assume live
+    const irdb::Instruction& row = db.insn(id);
+    if (row.verbatim) return true;  // opaque bytes: assume live
+    const Insn& in = row.decoded;
+    if (in.op == Op::kJcc) return true;   // consumer before any writer
+    if (writes_flags(in.op)) continue;    // this path redefines flags first
+    switch (in.op) {
+      case Op::kRet: case Op::kCallR: case Op::kJmpR: case Op::kJmpT: case Op::kHlt:
+        continue;  // flags dead across indirect transfers/returns (ABI)
+      case Op::kJmp:
+      case Op::kCall:
+        // Follow the target (for calls, flags flow into the callee).
+        if (row.target != irdb::kNullInsn)
+          work.push_back(row.target);
+        else if (row.abs_target && *row.abs_target >= text_end)
+          continue;  // runs off text end: faults, flags cannot matter
+        else
+          return true;  // target kept inside original text: cannot see it
+        continue;
+      default:
+        break;
+    }
+    if (row.fallthrough != irdb::kNullInsn) work.push_back(row.fallthrough);
+  }
+  return false;
+}
+
+InsnEffects effects_of(const Insn& in) {
+  InsnEffects e;
+  const std::uint16_t ra = reg_bit(in.ra), rb = reg_bit(in.rb);
+  switch (in.op) {
+    case Op::kNop: case Op::kHlt: case Op::kJmp:
+      break;
+    case Op::kSyscall:
+      e.use = reg_bit(0) | reg_bit(1) | reg_bit(2) | reg_bit(3);
+      e.def = reg_bit(0);
+      break;
+    case Op::kJcc:
+      e.use = kLiveFlagBit;
+      break;
+    case Op::kCall: case Op::kRet:
+      e.use = kSp;
+      e.def = kSp;
+      break;
+    case Op::kCallR:
+      e.use = ra | kSp;
+      e.def = kSp;
+      break;
+    case Op::kJmpR: case Op::kJmpT:
+      e.use = ra;
+      break;
+    case Op::kPush:
+      e.use = ra | kSp;
+      e.def = kSp;
+      break;
+    case Op::kPushI:
+      e.use = kSp;
+      e.def = kSp;
+      break;
+    case Op::kPop:
+      e.use = kSp;
+      e.def = ra | kSp;
+      break;
+    case Op::kMovI64: case Op::kMovI: case Op::kLea: case Op::kLoadPc:
+      e.def = ra;
+      break;
+    case Op::kMov:
+      e.use = rb;
+      e.def = ra;
+      break;
+    case Op::kLoad: case Op::kLoad8:
+      e.use = rb;
+      e.def = ra;
+      break;
+    case Op::kStore: case Op::kStore8:
+      e.use = ra | rb;
+      break;
+    case Op::kAdd: case Op::kSub: case Op::kAnd: case Op::kOr: case Op::kXor:
+    case Op::kMul: case Op::kDiv: case Op::kMod: case Op::kShl: case Op::kShr:
+    case Op::kSar:
+      e.use = ra | rb;
+      e.def = ra | kLiveFlagBit;
+      break;
+    case Op::kAddI: case Op::kSubI: case Op::kAndI: case Op::kOrI: case Op::kXorI:
+    case Op::kShlI: case Op::kShrI:
+      e.use = ra;
+      e.def = ra | kLiveFlagBit;
+      break;
+    case Op::kCmp: case Op::kTest:
+      e.use = ra | rb;
+      e.def = kLiveFlagBit;
+      break;
+    case Op::kCmpI:
+      e.use = ra;
+      e.def = kLiveFlagBit;
+      break;
+    case Op::kInvalid:
+      e.use = kAllRegs | kLiveFlagBit;  // faulting row: stay conservative
+      break;
+  }
+  return e;
+}
+
+namespace {
+
+/// Does `b`'s terminator drop flags on its outgoing edges? (The ABI
+/// assumption: flags are dead across indirect transfers and returns.)
+bool edge_kills_flags(const irdb::Database& db, const BasicBlock& b) {
+  if (b.insns.empty()) return false;
+  switch (db.insn(b.insns.back()).decoded.op) {
+    case Op::kRet: case Op::kCallR: case Op::kJmpR: case Op::kJmpT:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::uint16_t transfer(const irdb::Database& db, const BasicBlock& b, std::uint16_t live,
+                       std::size_t down_to) {
+  for (std::size_t i = b.insns.size(); i-- > down_to;) {
+    const irdb::Instruction& row = db.insn(b.insns[i]);
+    if (row.verbatim) {
+      live = kAllLive;
+      continue;
+    }
+    InsnEffects e = effects_of(row.decoded);
+    live = static_cast<std::uint16_t>((live & ~e.def) | e.use);
+  }
+  return live;
+}
+
+}  // namespace
+
+Liveness Liveness::compute(const IrProgram& prog, const Cfg& cfg) {
+  Liveness lv;
+  lv.db_ = &prog.db;
+  lv.cfg_ = &cfg;
+  const std::size_t n = cfg.size();
+  lv.in_.assign(n, 0);
+  lv.out_.assign(n, 0);
+  lv.in_[Cfg::kUnknown] = kAllLive;  // code we cannot see may read anything
+
+  // Backward fixpoint; post-order (reverse of RPO) converges fastest but
+  // correctness only needs iteration to stability over all blocks.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = n; i-- > 0;) {
+      const BlockId b = static_cast<BlockId>(i);
+      const BasicBlock& blk = cfg.block(b);
+      if (blk.is_virtual) continue;
+      std::uint16_t out = 0;
+      for (BlockId s : blk.succs) out |= lv.in_[s];
+      if (edge_kills_flags(prog.db, blk))
+        out = static_cast<std::uint16_t>(out & ~kLiveFlagBit);
+      std::uint16_t in = blk.opaque ? kAllLive : transfer(prog.db, blk, out, 0);
+      if (out != lv.out_[b] || in != lv.in_[b]) {
+        lv.out_[b] = out;
+        lv.in_[b] = in;
+        changed = true;
+      }
+    }
+  }
+  return lv;
+}
+
+std::uint16_t Liveness::live_before(BlockId b, std::size_t index) const {
+  // out_ already has the terminator's edge flag-kill applied.
+  return transfer(*db_, cfg_->block(b), out_[b], index);
+}
+
+}  // namespace zipr::analysis

@@ -1,0 +1,74 @@
+// Backward register + flag liveness over the CFG, plus the conservative
+// forward flag walk it generalizes.
+//
+// The coverage transform's original flag analysis -- a forward DFS from a
+// block entry that reports "live" if any path reaches a jcc before a
+// flag-writing instruction -- lives here now (`flags_live_at`), kept
+// bit-for-bit as the regression baseline and as the prune-off code path.
+//
+// The precise pass (`Liveness`) is a classic backward dataflow fixpoint
+// over `Cfg` blocks with a 9-bit lattice: one bit per general-purpose
+// register plus one for the condition flags. Conservatism:
+//
+//   * UNKNOWN and opaque (verbatim) blocks demand everything live;
+//   * flags are dropped on edges leaving ret/callr/jmpr/jmpt -- the
+//     documented VLX ABI assumption (flags dead across indirect
+//     transfers and returns) that CFI and the canary transform already
+//     rely on;
+//   * syscalls read r0-r3 and define r0; kInvalid rows read everything.
+//
+// One flag bit suffices even though the VM keeps zf/slt/ult separately:
+// ALU ops rewrite exactly zf/slt, and every instruction a coverage stub
+// can emit either writes no flags or writes only zf/slt, so the bits a
+// stub can clobber are precisely the bits an ALU "kill" redefines.
+#pragma once
+
+#include "analysis/cfg.h"
+
+namespace zipr::analysis {
+
+/// True for instructions that (re)define condition flags. ALU ops write
+/// zf/slt; cmp/cmpi/test write all flag bits.
+bool writes_flags(isa::Op op);
+
+/// The historical conservative answer: true if condition flags may be
+/// LIVE at the entry of `start`'s block, via a forward walk over logical
+/// successors that reports live on anything it cannot see (verbatim
+/// rows, targets kept inside original text) or when the walk explodes
+/// past 256 rows. `text_end` is the original text segment's end; control
+/// flow modeled as running off it can only fault, so flags are dead there.
+bool flags_live_at(const irdb::Database& db, irdb::InsnId start, std::uint64_t text_end);
+
+/// Liveness bit positions: bits 0..7 are r0..r7, bit 8 is the flags.
+inline constexpr std::uint16_t kLiveFlagBit = 1u << isa::kNumRegs;
+inline constexpr std::uint16_t kAllLive = (1u << (isa::kNumRegs + 1)) - 1;
+
+inline constexpr bool reg_live(std::uint16_t set, int r) { return (set >> r) & 1; }
+inline constexpr bool flags_live(std::uint16_t set) { return (set & kLiveFlagBit) != 0; }
+
+/// May-use / must-define sets of one instruction.
+struct InsnEffects {
+  std::uint16_t use = 0;
+  std::uint16_t def = 0;
+};
+InsnEffects effects_of(const isa::Insn& in);
+
+class Liveness {
+ public:
+  static Liveness compute(const IrProgram& prog, const Cfg& cfg);
+
+  std::uint16_t live_in(BlockId b) const { return in_[b]; }
+  std::uint16_t live_out(BlockId b) const { return out_[b]; }
+
+  /// Live set immediately before the `index`-th row of block `b`
+  /// (index == insns.size() gives live_out). Recomputed by a backward
+  /// scan; cheap for the short blocks this ISA produces.
+  std::uint16_t live_before(BlockId b, std::size_t index) const;
+
+ private:
+  const irdb::Database* db_ = nullptr;
+  const Cfg* cfg_ = nullptr;
+  std::vector<std::uint16_t> in_, out_;
+};
+
+}  // namespace zipr::analysis

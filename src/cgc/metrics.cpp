@@ -24,6 +24,7 @@ Result<CbMetrics> evaluate_cb(const CbProgram& cb, const EvalOptions& opts) {
 
   ZIPR_ASSIGN_OR_RETURN(RewriteResult rewritten, rewrite(cb.image, opts.rewrite));
   m.rewrite_stats = rewritten.reassembly;
+  m.instrumentation = rewritten.instrumentation;
 
   m.original_file = zelf::write_image(cb.image).size();
   m.rewritten_file = zelf::write_image(rewritten.image).size();

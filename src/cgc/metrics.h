@@ -22,6 +22,7 @@ struct CbMetrics {
   std::size_t original_file = 0;
   std::size_t rewritten_file = 0;
   rewriter::RewriteStats rewrite_stats;
+  transform::InstrumentationStats instrumentation;
 };
 
 struct EvalOptions {

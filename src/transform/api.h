@@ -23,17 +23,64 @@
 
 namespace zipr::transform {
 
+/// Per-rewrite knobs transforms consult (plumbed from RewriteOptions).
+struct TransformConfig {
+  /// CFG-aware selective coverage instrumentation: dominator/
+  /// post-dominator probe pruning, single-predecessor collapsing and
+  /// liveness-elided stubs. Off reproduces the conservative
+  /// every-block instrumentation bit-for-bit.
+  bool cov_prune = true;
+};
+
+/// Counters instrumentation transforms report (the coverage transform
+/// today); aggregated across transforms by zipr::rewrite and surfaced
+/// next to the reassembly stats.
+struct InstrumentationStats {
+  std::size_t candidate_sites = 0;      ///< probe-eligible block entries
+  std::size_t probes = 0;               ///< stubs actually emitted
+  std::size_t pruned_dominated = 0;     ///< implied by dom/postdom probes
+  std::size_t collapsed_single_pred = 0;///< straight-line chains: one probe
+  std::size_t split_critical_edges = 0; ///< edges split to keep precision
+  std::size_t elided_flag_saves = 0;    ///< probes the conservative flag
+                                        ///< walk would have refused
+  std::size_t elided_reg_saves = 0;     ///< push/pop pairs proven dead
+  std::size_t skipped_flags = 0;        ///< sites left bare: flags live
+
+  /// Fraction of probe-eligible sites whose probe was pruned away.
+  double prune_rate() const {
+    return candidate_sites == 0
+               ? 0.0
+               : static_cast<double>(pruned_dominated + collapsed_single_pred) /
+                     static_cast<double>(candidate_sites);
+  }
+
+  InstrumentationStats& operator+=(const InstrumentationStats& o) {
+    candidate_sites += o.candidate_sites;
+    probes += o.probes;
+    pruned_dominated += o.pruned_dominated;
+    collapsed_single_pred += o.collapsed_single_pred;
+    split_critical_edges += o.split_critical_edges;
+    elided_flag_saves += o.elided_flag_saves;
+    elided_reg_saves += o.elided_reg_saves;
+    skipped_flags += o.skipped_flags;
+    return *this;
+  }
+};
+
 /// Handed to Transform::apply. Wraps the IR program plus the services the
 /// paper's SDK provides (deterministic randomness, image-level additions).
 class TransformContext {
  public:
-  TransformContext(analysis::IrProgram& prog, std::uint64_t seed)
-      : prog_(prog), rng_(seed) {}
+  TransformContext(analysis::IrProgram& prog, std::uint64_t seed, TransformConfig config = {})
+      : prog_(prog), rng_(seed), config_(config) {}
 
   irdb::Database& db() { return prog_.db; }
   const irdb::Database& db() const { return prog_.db; }
   analysis::IrProgram& program() { return prog_; }
   Rng& rng() { return rng_; }
+  const TransformConfig& config() const { return config_; }
+  InstrumentationStats& instrumentation() { return instr_; }
+  const InstrumentationStats& instrumentation() const { return instr_; }
 
   /// Iterate over the ids of instructions that existed when the call was
   /// made (safe against rows the callback adds).
@@ -49,6 +96,8 @@ class TransformContext {
  private:
   analysis::IrProgram& prog_;
   Rng rng_;
+  TransformConfig config_;
+  InstrumentationStats instr_;
 };
 
 class Transform {

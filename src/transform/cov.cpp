@@ -1,22 +1,52 @@
 // "cov": AFL-style edge/block coverage instrumentation (see cov.h for the
-// map ABI). Implementation notes:
+// map ABI). Two code paths, selected by TransformConfig::cov_prune:
 //
-//   * Basic-block entries are discovered from the IRDB's logical links:
-//     targets of static branches, fallthroughs of conditional branches,
-//     function entries, and every pinned address (anything reachable
-//     indirectly at runtime enters a block).
-//   * Stubs save/restore their scratch registers (r5, r6) but CANNOT save
-//     condition flags (VLX has no pushf). Instead of assuming flags are
-//     dead at every block entry, the transform runs a small forward
-//     liveness walk (ZAFL's liveness-aware instrumentation): a block whose
-//     entry can reach a jcc before any flag-writing instruction is left
-//     uninstrumented. Flags are assumed dead across indirect transfers and
-//     returns -- the same documented ABI assumption CFI and the canary
-//     transform already rely on.
+//   * The CONSERVATIVE path (prune off) reproduces the historical
+//     transform bit-for-bit: every probe-eligible block entry -- targets
+//     of static branches, jcc fallthroughs, function entries, pins --
+//     gets a stub that saves/restores r5/r6, unless the forward flag
+//     walk (analysis::flags_live_at) says condition flags may be live at
+//     the entry (VLX has no pushf).
+//
+//   * The PRUNED path is ZAFL-style selective instrumentation on top of
+//     the analysis layer (Cfg + dominators + Liveness):
+//
+//       1. Equivalence merging: block b joins the class of a = idom(b)
+//          when b post-dominates a. All members of a class execute on
+//          exactly the same runs, so one probe per class suffices.
+//          Members folded away are counted as collapsed_single_pred
+//          (straight-line chains) or pruned_dominated.
+//       2. Pred-rule pruning: a class whose region entry a has only
+//          instrumented predecessors p with a pdom p (and, in edge
+//          mode, a single static successor) is implied by its preds'
+//          probes and is dropped. Accepting a prune LOCKS the
+//          supporting classes so later prunes cannot remove them.
+//       3. Probe placement: the class representative is the cheapest
+//          member position where flags are dead -- probes may sink past
+//          flag-live entries into the block body (never past a call or
+//          syscall), rescuing sites the conservative walk refused
+//          (elided_flag_saves).
+//       4. Stub codegen uses liveness to pick two DEAD scratch
+//          registers; each proven-dead register elides one push/pop
+//          pair (elided_reg_saves).
+//       5. Degenerate critical edges -- a jcc whose taken and
+//          fallthrough arms reach the same block -- are split in edge
+//          mode with a fresh probe on the taken arm, restoring the edge
+//          precision pruning would otherwise blur.
+//
+//     Soundness leans entirely on the CFG being a conservative
+//     over-approximation: indirectly-reachable (pinned) blocks keep an
+//     UNKNOWN predecessor, so neither rule ever removes their probes.
+//
 //   * Counters are 8-bit and wrap naturally (store8 keeps the low byte).
+#include <algorithm>
+#include <map>
 #include <set>
+#include <tuple>
 #include <vector>
 
+#include "analysis/cfg.h"
+#include "analysis/liveness.h"
 #include "transform/api.h"
 #include "transform/cov.h"
 
@@ -24,6 +54,9 @@ namespace zipr::transform {
 
 namespace {
 
+using analysis::BlockId;
+using analysis::Cfg;
+using analysis::kNoBlock;
 using irdb::InsnId;
 using isa::Insn;
 using isa::Op;
@@ -52,59 +85,66 @@ Insn mem(Op op, std::uint8_t ra, std::uint8_t rb, std::int64_t disp) {
   return in;
 }
 
-bool writes_flags(Op op) {
-  switch (op) {
-    case Op::kAdd: case Op::kSub: case Op::kAnd: case Op::kOr: case Op::kXor:
-    case Op::kMul: case Op::kDiv: case Op::kMod: case Op::kShl: case Op::kShr:
-    case Op::kSar: case Op::kAddI: case Op::kSubI: case Op::kAndI: case Op::kOrI:
-    case Op::kXorI: case Op::kShlI: case Op::kShrI: case Op::kCmp: case Op::kCmpI:
-    case Op::kTest:
-      return true;
-    default:
-      return false;
+/// Scratch preference: the historical pair first, then the argument
+/// registers (most often dead late in a block). Never sp.
+constexpr std::uint8_t kScratchOrder[] = {5, 6, 0, 1, 2, 3, 4};
+
+struct ScratchPlan {
+  std::uint8_t a = 5, b = 6;   ///< stub scratch registers
+  std::uint8_t saved[2];       ///< registers needing push/pop
+  std::size_t nsaved = 0;
+};
+
+ScratchPlan plan_scratch(std::uint16_t live) {
+  ScratchPlan p;
+  std::uint8_t picked[2];
+  std::size_t npicked = 0;
+  for (std::uint8_t r : kScratchOrder) {
+    if (npicked == 2) break;
+    if (!analysis::reg_live(live, r)) picked[npicked++] = r;
   }
+  for (std::uint8_t r : {std::uint8_t{5}, std::uint8_t{6}}) {
+    if (npicked == 2) break;
+    bool taken = false;
+    for (std::size_t i = 0; i < npicked; ++i) taken |= picked[i] == r;
+    if (taken) continue;
+    picked[npicked++] = r;
+    p.saved[p.nsaved++] = r;
+  }
+  p.a = picked[0];
+  p.b = picked[1];
+  return p;
 }
 
-/// True if condition flags may be LIVE at the entry of `start`'s block: a
-/// forward walk over logical successors reaches a jcc before any
-/// flag-writing instruction. Conservative on anything it cannot see
-/// (verbatim rows, targets kept inside original text). `text_end` is the
-/// original text segment's end: the IR builder models control flow that
-/// runs off the end of text as a synthetic jump to the original address
-/// past the segment, which can only fault -- flags are dead there, and
-/// treating it as live would skip every block that ends the program.
-bool flags_live_at(const irdb::Database& db, InsnId start, std::uint64_t text_end) {
-  std::vector<InsnId> work{start};
-  std::set<InsnId> seen;
-  while (!work.empty()) {
-    InsnId id = work.back();
-    work.pop_back();
-    if (id == irdb::kNullInsn || !seen.insert(id).second) continue;
-    if (seen.size() > 256) return true;  // walk exploded: assume live
-    const irdb::Instruction& row = db.insn(id);
-    if (row.verbatim) return true;  // opaque bytes: assume live
-    const Insn& in = row.decoded;
-    if (in.op == Op::kJcc) return true;   // consumer before any writer
-    if (writes_flags(in.op)) continue;    // this path redefines flags first
-    switch (in.op) {
-      case Op::kRet: case Op::kCallR: case Op::kJmpR: case Op::kJmpT: case Op::kHlt:
-        continue;  // flags dead across indirect transfers/returns (ABI)
-      case Op::kJmp:
-      case Op::kCall:
-        // Follow the target (for calls, flags flow into the callee).
-        if (row.target != irdb::kNullInsn)
-          work.push_back(row.target);
-        else if (row.abs_target && *row.abs_target >= text_end)
-          continue;  // runs off text end: faults, flags cannot matter
-        else
-          return true;  // target kept inside original text: cannot see it
-        continue;
-      default:
-        break;
+/// Natural-loop nesting depth per block: the number of distinct loop
+/// headers h (back edge p->h with h dominating p) whose loop body
+/// contains the block. Multiple back edges to one header share a body.
+/// Depth estimates execution frequency -- a probe at depth 2 fires once
+/// per inner-loop iteration, a probe at depth 0 once per entry -- which
+/// is what the prune pass orders by. Virtual nodes stay at depth 0 and
+/// loop bodies never grow through them.
+std::vector<int> loop_depth(const Cfg& cfg) {
+  const std::size_t n = cfg.size();
+  std::vector<int> depth(n, 0);
+  std::map<BlockId, std::set<BlockId>> loops;  // header -> unioned body
+  for (BlockId p = 3; p < n; ++p) {
+    for (BlockId h : cfg.block(p).succs) {
+      if (h < 3 || !cfg.dominates(h, p)) continue;
+      auto& body = loops[h];
+      body.insert(h);
+      std::vector<BlockId> work;
+      if (body.insert(p).second) work.push_back(p);
+      while (!work.empty()) {
+        BlockId b = work.back();
+        work.pop_back();
+        for (BlockId q : cfg.block(b).preds)
+          if (q >= 3 && body.insert(q).second) work.push_back(q);
+      }
     }
-    if (row.fallthrough != irdb::kNullInsn) work.push_back(row.fallthrough);
   }
-  return false;
+  for (const auto& [h, body] : loops)
+    for (BlockId b : body) ++depth[b];
+  return depth;
 }
 
 class CovTransform final : public Transform {
@@ -114,14 +154,71 @@ class CovTransform final : public Transform {
   std::string name() const override { return mode_ == CovMode::kEdge ? "cov" : "cov-block"; }
 
   Status apply(TransformContext& ctx) override {
-    irdb::Database& db = ctx.db();
     const zelf::Segment& text = ctx.program().original.text();
-    const std::uint64_t text_vaddr = text.vaddr;
-    const std::uint64_t text_end = text.end();  // memsize end: zero tail stays conservative
+    zelf::Segment seg;
+    seg.kind = zelf::SegKind::kBss;
+    seg.vaddr = cov_map_base(text.vaddr);
+    seg.memsize = kCovSegBytes;
+    ZIPR_TRY(ctx.add_segment(std::move(seg)));
+
+    if (ctx.config().cov_prune) return apply_pruned(ctx);
+    return apply_conservative(ctx);
+  }
+
+ private:
+  /// Emit one stub before `at_row`, scratch chosen from the dead set of
+  /// `live`. `cur` is the probe's map id.
+  void emit_stub(TransformContext& ctx, InsnId at_row, std::uint16_t live, std::int64_t cur) {
+    const std::uint64_t text_vaddr = ctx.program().original.text().vaddr;
     const auto prev_slot = static_cast<std::int64_t>(cov_prev_addr(text_vaddr));
     const auto counters = static_cast<std::int64_t>(cov_counters_addr(text_vaddr));
+    const ScratchPlan sp = plan_scratch(live);
+    const std::uint8_t A = sp.a, B = sp.b;
 
-    // ---- 1. basic-block entries, in ascending row-id order ----
+    std::vector<Insn> stub;
+    for (std::size_t i = 0; i < sp.nsaved; ++i) stub.push_back(reg1(Op::kPush, sp.saved[i]));
+    if (mode_ == CovMode::kEdge) {
+      // idx = prev ^ cur; map[idx]++; prev = cur >> 1
+      stub.push_back(ri(Op::kMovI, A, prev_slot));
+      stub.push_back(mem(Op::kLoad, B, A, 0));
+      stub.push_back(ri(Op::kXorI, B, cur));
+      stub.push_back(mem(Op::kAdd, B, A, 0));  // B = prev_slot + idx
+      stub.push_back(mem(Op::kLoad8, A, B, counters - prev_slot));
+      stub.push_back(ri(Op::kAddI, A, 1));
+      stub.push_back(mem(Op::kStore8, B, A, counters - prev_slot));
+      stub.push_back(ri(Op::kMovI, A, prev_slot));
+      stub.push_back(ri(Op::kMovI, B, cur >> 1));
+      stub.push_back(mem(Op::kStore, A, B, 0));
+    } else {
+      // map[cur]++
+      stub.push_back(ri(Op::kMovI, A, counters + cur));
+      stub.push_back(mem(Op::kLoad8, B, A, 0));
+      stub.push_back(ri(Op::kAddI, B, 1));
+      stub.push_back(mem(Op::kStore8, A, B, 0));
+    }
+    for (std::size_t i = sp.nsaved; i-- > 0;) stub.push_back(reg1(Op::kPop, sp.saved[i]));
+
+    irdb::Database& db = ctx.db();
+    db.insert_before(at_row, stub[0]);
+    InsnId cursor = at_row;
+    for (std::size_t i = 1; i < stub.size(); ++i) cursor = db.insert_after(cursor, stub[i]);
+
+    InstrumentationStats& st = ctx.instrumentation();
+    ++st.probes;
+    st.elided_reg_saves += 2 - sp.nsaved;
+  }
+
+  // ---- conservative path (prune off): the historical transform,
+  // preserved bit-for-bit (same stub bytes, same rng draw sequence) ----
+  Status apply_conservative(TransformContext& ctx) {
+    irdb::Database& db = ctx.db();
+    const std::uint64_t text_vaddr = ctx.program().original.text().vaddr;
+    const std::uint64_t text_end = ctx.program().original.text().end();
+    const auto prev_slot = static_cast<std::int64_t>(cov_prev_addr(text_vaddr));
+    const auto counters = static_cast<std::int64_t>(cov_counters_addr(text_vaddr));
+    InstrumentationStats& st = ctx.instrumentation();
+
+    // Basic-block entries, in ascending row-id order.
     std::set<InsnId> leaders;
     db.for_each_insn([&](const irdb::Instruction& row) {
       if (row.target != irdb::kNullInsn) leaders.insert(row.target);
@@ -133,23 +230,16 @@ class CovTransform final : public Transform {
     });
     for (const auto& [addr, id] : db.pins()) leaders.insert(id);
 
-    // ---- 2. the map segment (zero-initialized rw, no file bytes) ----
-    zelf::Segment seg;
-    seg.kind = zelf::SegKind::kBss;
-    seg.vaddr = cov_map_base(text_vaddr);
-    seg.memsize = kCovSegBytes;
-    ZIPR_TRY(ctx.add_segment(std::move(seg)));
-
-    // ---- 3. one stub per safely-instrumentable block entry ----
+    // One stub per safely-instrumentable block entry. The stub always
+    // saves r5/r6: register liveness is not consulted on this path.
     for (InsnId leader : leaders) {
-      const irdb::Instruction& row = db.insn(leader);
-      if (row.verbatim) continue;
-      if (flags_live_at(db, leader, text_end)) {
-        ++skipped_flags_;
+      if (db.insn(leader).verbatim) continue;
+      ++st.candidate_sites;
+      if (analysis::flags_live_at(db, leader, text_end)) {
+        ++st.skipped_flags;
         continue;
       }
-      const auto cur =
-          static_cast<std::int64_t>(ctx.rng().below(kCovMapEntries));
+      const auto cur = static_cast<std::int64_t>(ctx.rng().below(kCovMapEntries));
 
       std::vector<Insn> stub;
       stub.push_back(reg1(Op::kPush, 5));
@@ -180,15 +270,238 @@ class CovTransform final : public Transform {
       db.insert_before(leader, stub[0]);
       InsnId cursor = leader;
       for (std::size_t i = 1; i < stub.size(); ++i) cursor = db.insert_after(cursor, stub[i]);
-      ++instrumented_;
+      ++st.probes;
     }
     return db.validate();
   }
 
- private:
+  // ---- pruned path: CFG-aware selective instrumentation ----
+  Status apply_pruned(TransformContext& ctx) {
+    irdb::Database& db = ctx.db();
+    const std::uint64_t text_end = ctx.program().original.text().end();
+    InstrumentationStats& st = ctx.instrumentation();
+
+    const Cfg cfg = Cfg::build(ctx.program());
+    const analysis::Liveness lv = analysis::Liveness::compute(ctx.program(), cfg);
+    const std::size_t n = cfg.size();
+
+    std::vector<std::uint32_t> rpo_index(n, 0);
+    for (std::size_t i = 0; i < cfg.rpo().size(); ++i)
+      rpo_index[cfg.rpo()[i]] = static_cast<std::uint32_t>(i);
+
+    // -- 1. equivalence classes (union-find; roots are dom-most) --
+    std::vector<BlockId> uf(n);
+    for (std::size_t i = 0; i < n; ++i) uf[i] = static_cast<BlockId>(i);
+    auto find = [&](BlockId b) {
+      BlockId root = b;
+      while (uf[root] != root) root = uf[root];
+      while (uf[b] != root) {
+        BlockId up = uf[b];
+        uf[b] = root;
+        b = up;
+      }
+      return root;
+    };
+    for (BlockId b : cfg.rpo()) {
+      if (b < 3 || cfg.block(b).opaque) continue;
+      BlockId a = cfg.idom()[b];
+      if (a == kNoBlock || a < 3 || cfg.block(a).opaque) continue;
+      if (cfg.postdominates(b, a)) uf[b] = find(a);
+    }
+
+    struct Cls {
+      std::vector<BlockId> members;     ///< ascending block id
+      std::vector<BlockId> ps_members;  ///< probe-eligible members
+      bool instrumented = false;
+      bool pruned_by_pred = false;
+      bool locked = false;  ///< supports an accepted prune: keep
+      BlockId rep = kNoBlock;
+      std::size_t rep_idx = 0;       ///< row index within rep for the stub
+      std::uint16_t rep_live = analysis::kAllLive;
+    };
+    std::map<BlockId, Cls> classes;  // keyed by root: deterministic order
+    for (BlockId b = 3; b < static_cast<BlockId>(n); ++b) {
+      Cls& c = classes[find(b)];
+      c.members.push_back(b);
+      const analysis::BasicBlock& blk = cfg.block(b);
+      if (blk.probe_site && !db.insn(blk.leader).verbatim) {
+        c.ps_members.push_back(b);
+        ++st.candidate_sites;
+      }
+    }
+
+    // -- 2. pick each class's probe position --
+    // Score: avoid loop headers (members with a retreating-edge pred),
+    // then latest RPO (past loop exits), then most dead scratch
+    // registers, then shallowest sink.
+    for (auto& [root, cls] : classes) {
+      if (cls.ps_members.empty()) continue;
+      using Score = std::tuple<int, std::uint32_t, int, int>;
+      Score best{-1, 0, 0, 0};
+      for (BlockId m : cls.members) {
+        const analysis::BasicBlock& blk = cfg.block(m);
+        if (blk.opaque || blk.insns.empty()) continue;
+        bool back_pred = false;
+        for (BlockId p : blk.preds)
+          if (p >= 3 && rpo_index[p] >= rpo_index[m]) back_pred = true;
+        const std::size_t max_idx = std::min(blk.first_unsafe, blk.insns.size() - 1);
+        for (std::size_t idx = 0; idx <= max_idx; ++idx) {
+          const std::uint16_t live = lv.live_before(m, idx);
+          if (analysis::flags_live(live)) continue;
+          int dead = 0;
+          for (std::uint8_t r : kScratchOrder)
+            if (!analysis::reg_live(live, r)) ++dead;
+          Score s{back_pred ? 0 : 1, rpo_index[m], std::min(dead, 2),
+                  -static_cast<int>(idx)};
+          if (cls.rep == kNoBlock || s > best) {
+            best = s;
+            cls.rep = m;
+            cls.rep_idx = idx;
+            cls.rep_live = live;
+          }
+        }
+      }
+      if (cls.rep != kNoBlock)
+        cls.instrumented = true;
+      else
+        st.skipped_flags += cls.ps_members.size();  // flags live everywhere
+    }
+
+    // -- 3. pred-rule pruning, in RPO with a locked set --
+    // A class may lose its probe when its coverage is derivable from the
+    // probes around it: every external predecessor p is itself probed or
+    // was pruned the same way (derivability is transitive along p's own
+    // support chain), and every OTHER successor of each p keeps a live
+    // probe -- so whether control left p toward this class or elsewhere
+    // stays distinguishable in the map. EXIT needs no probe (the run
+    // ends); an UNKNOWN successor or a virtual/opaque pred blocks the
+    // prune, which automatically protects pinned (indirectly-targetable)
+    // blocks. Accepting a prune LOCKS the disambiguating other-successor
+    // probes so a later prune cannot remove them: every branch keeps at
+    // least one live arm. Predecessors are NOT locked -- a pruned pred
+    // only lengthens the derivation chain -- which is what lets whole
+    // loop spines and dispatch chains dissolve while their branch arms
+    // stay probed.
+    // Candidates are considered hottest-first: a class whose probe sits
+    // deep in a loop nest fires once per iteration, so it gets first
+    // claim on the prunes before shallower classes consume its
+    // disambiguators as locked. A payload loop then loses its
+    // per-iteration body probe and keeps the once-per-call probe at the
+    // handler entry it locked. Ties break in RPO for determinism.
+    const std::vector<int> depth = loop_depth(cfg);
+    std::vector<BlockId> prune_order;
+    for (BlockId a : cfg.rpo()) {
+      if (a < 3 || find(a) != a) continue;
+      const Cls& cls = classes[a];
+      if (cls.instrumented && cls.rep != kNoBlock) prune_order.push_back(a);
+    }
+    std::stable_sort(prune_order.begin(), prune_order.end(),
+                     [&](BlockId x, BlockId y) {
+                       return depth[classes[x].rep] > depth[classes[y].rep];
+                     });
+    for (BlockId a : prune_order) {
+      Cls& cls = classes[a];
+      if (!cls.instrumented || cls.locked || cfg.block(a).pinned) continue;
+      std::set<BlockId> preds;
+      for (BlockId p : cfg.block(a).preds)
+        if (find(p) != a) preds.insert(p);  // external region entries only
+      if (preds.empty()) continue;
+      bool ok = true;
+      std::vector<Cls*> disambiguators;
+      for (BlockId p : preds) {
+        if (p < 3 || cfg.block(p).opaque) { ok = false; break; }
+        Cls& pc = classes[find(p)];
+        if (!pc.instrumented && !pc.pruned_by_pred) { ok = false; break; }
+        std::set<BlockId> succs;
+        for (BlockId s : cfg.block(p).succs)
+          succs.insert(s < 3 ? s : find(s));
+        for (BlockId s : succs) {
+          if (s == a || s == Cfg::kExit) continue;
+          if (s < 3) { ok = false; break; }  // ENTRY/UNKNOWN: cannot account
+          Cls& scls = classes[s];
+          if (!scls.instrumented) { ok = false; break; }
+          disambiguators.push_back(&scls);
+        }
+        if (!ok) break;
+      }
+      if (!ok) continue;
+      cls.instrumented = false;
+      cls.pruned_by_pred = true;
+      for (Cls* c : disambiguators) c->locked = true;
+    }
+
+    // -- 4. accounting --
+    for (auto& [root, cls] : classes) {
+      if (cls.ps_members.empty() || (!cls.instrumented && !cls.pruned_by_pred)) continue;
+      bool billed = cls.pruned_by_pred;  // pred-pruned: every site saved
+      for (BlockId m : cls.ps_members) {
+        if (!billed && cls.instrumented) {
+          billed = true;  // this class's one probe covers m
+          continue;
+        }
+        std::set<BlockId> preds(cfg.block(m).preds.begin(), cfg.block(m).preds.end());
+        if (preds.size() == 1 && find(*preds.begin()) == root)
+          ++st.collapsed_single_pred;
+        else
+          ++st.pruned_dominated;
+      }
+    }
+
+    // -- 5. emit class probes in ascending insertion-row order --
+    struct Emit {
+      InsnId at_row;
+      std::uint16_t live;
+      BlockId rep;
+    };
+    std::vector<Emit> emits;
+    for (auto& [root, cls] : classes) {
+      if (!cls.instrumented || cls.ps_members.empty()) continue;
+      const analysis::BasicBlock& blk = cfg.block(cls.rep);
+      emits.push_back({blk.insns[cls.rep_idx], cls.rep_live, cls.rep});
+    }
+    std::sort(emits.begin(), emits.end(),
+              [](const Emit& x, const Emit& y) { return x.at_row < y.at_row; });
+    for (const Emit& e : emits) {
+      const auto cur = static_cast<std::int64_t>(ctx.rng().below(kCovMapEntries));
+      if (analysis::flags_live_at(db, cfg.block(e.rep).leader, text_end))
+        ++st.elided_flag_saves;  // the conservative walk refused this site
+      emit_stub(ctx, e.at_row, e.live, cur);
+    }
+
+    // -- 6. split degenerate critical edges (edge mode) --
+    // A jcc whose two arms enter the same block makes the taken and
+    // fallthrough paths indistinguishable in the edge map. Give the
+    // taken arm its own trampoline [stub; jmp target]; the edge keeps a
+    // distinct probe id and the fallthrough arm keeps the block's.
+    if (mode_ == CovMode::kEdge) {
+      std::vector<InsnId> degenerate;
+      const auto count = static_cast<InsnId>(db.insn_count());
+      for (InsnId id = 1; id <= count; ++id) {
+        const irdb::Instruction& row = db.insn(id);
+        if (row.verbatim || row.decoded.op != Op::kJcc) continue;
+        if (row.target != irdb::kNullInsn && row.target == row.fallthrough)
+          degenerate.push_back(id);
+      }
+      for (InsnId jcc : degenerate) {
+        const BlockId tb = cfg.block_of(db.insn(jcc).target);
+        if (tb == kNoBlock) continue;
+        const std::uint16_t live = lv.live_in(tb);
+        if (analysis::flags_live(live)) continue;  // cannot clobber: keep alias
+        Insn jmp;
+        jmp.op = Op::kJmp;
+        const InsnId wid = db.add_new(jmp);
+        db.insn(wid).target = db.insn(jcc).target;
+        db.insn(jcc).target = wid;
+        const auto cur = static_cast<std::int64_t>(ctx.rng().below(kCovMapEntries));
+        emit_stub(ctx, wid, live, cur);
+        ++st.split_critical_edges;
+      }
+    }
+
+    return db.validate();
+  }
+
   CovMode mode_;
-  std::size_t instrumented_ = 0;
-  std::size_t skipped_flags_ = 0;
 };
 
 }  // namespace

@@ -40,10 +40,14 @@ Result<RewriteResult> rewrite(const zelf::Image& input, const RewriteOptions& op
   // seeds (seed, seed+1, ...) would hand diversity placement and randomized
   // transforms correlated SplitMix64 streams.
   std::uint64_t stream = 1;
+  transform::TransformConfig tconfig;
+  tconfig.cov_prune = options.cov_prune;
+  transform::InstrumentationStats instrumentation;
   for (const auto& name : names) {
     ZIPR_ASSIGN_OR_RETURN(auto t, transform::make_transform(name));
-    transform::TransformContext ctx(prog, derive_seed(options.seed, stream++));
+    transform::TransformContext ctx(prog, derive_seed(options.seed, stream++), tconfig);
     ZIPR_TRY(t->apply(ctx));
+    instrumentation += ctx.instrumentation();
   }
   ZIPR_TRY(transform::verify_mandatory(prog));
   timing.transform_ms = ms_since(stage_start);
@@ -66,6 +70,7 @@ Result<RewriteResult> rewrite(const zelf::Image& input, const RewriteOptions& op
   result.image = std::move(out);
   result.analysis = prog.stats;
   result.reassembly = reassembler.stats();
+  result.instrumentation = instrumentation;
   result.timing = timing;
   return result;
 }

@@ -18,6 +18,7 @@
 #pragma once
 
 #include "analysis/ir_builder.h"
+#include "transform/api.h"
 #include "zipr/reassembler.h"
 
 namespace zipr {
@@ -49,6 +50,11 @@ struct RewriteOptions {
   /// Registered transform names, applied in order (Sec. II-B2). An empty
   /// list equals {"null"}.
   std::vector<std::string> transforms;
+
+  /// CFG-aware selective coverage instrumentation (dominator pruning,
+  /// liveness-elided stubs). Off falls back to the conservative
+  /// every-block instrumentation.
+  bool cov_prune = true;
 };
 
 /// Wall-clock time spent in each pipeline phase of one rewrite() call.
@@ -63,6 +69,7 @@ struct RewriteResult {
   zelf::Image image;
   analysis::AnalysisStats analysis;
   rewriter::RewriteStats reassembly;
+  transform::InstrumentationStats instrumentation;  ///< summed over transforms
   StageTimes timing;
 };
 

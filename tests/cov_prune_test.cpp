@@ -1,0 +1,195 @@
+// Tests for CFG-aware selective coverage instrumentation: the pruned and
+// conservative emission paths must preserve behaviour, the prune counters
+// must reflect the shapes that earn them, and -- the headline guarantee --
+// a pruned fuzzing campaign must find the same bugs as an unpruned one.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "cgc/exploits.h"
+#include "fuzz/fuzzer.h"
+#include "testing_util.h"
+
+namespace zipr {
+namespace {
+
+using ::zipr::testing::expect_equivalent;
+using ::zipr::testing::must_assemble;
+using ::zipr::testing::must_rewrite;
+
+RewriteOptions cov_options(const char* transform, bool prune) {
+  RewriteOptions opts;
+  opts.transforms = {transform};
+  opts.cov_prune = prune;
+  return opts;
+}
+
+// A diamond over a compare: the join is post-dominance-equivalent to the
+// top, so one of the two merged probe sites is pruned as dominated.
+constexpr const char* kDiamond = R"(
+  .entry main
+  .text
+  main:
+    cmpi r0, 1
+    jeq left
+    movi r3, 101
+    jmp join
+  left:
+    movi r3, 102
+  join:
+    addi r3, 1
+    movi r0, 1
+    movi r1, 0
+    syscall
+)";
+
+// A chain of unconditionally-linked blocks: every jmp target is a probe
+// site with a single predecessor inside its own equivalence class.
+constexpr const char* kChain = R"(
+  .entry main
+  .text
+  main:
+    movi r3, 1
+    jmp b
+  b:
+    addi r3, 1
+    jmp c
+  c:
+    addi r3, 1
+    jmp d
+  d:
+    movi r0, 1
+    movi r1, 0
+    syscall
+)";
+
+// A jcc whose target IS its fallthrough: both CFG edges connect the same
+// block pair, so edge-mode coverage cannot tell them apart without
+// splitting one through a trampoline.
+constexpr const char* kDoubleEdge = R"(
+  .entry main
+  .text
+  main:
+    cmpi r0, 0
+    jeq next
+  next:
+    movi r0, 1
+    movi r1, 0
+    syscall
+)";
+
+TEST(CovPrune, DiamondCountsDominatedSites) {
+  auto img = must_assemble(kDiamond);
+  auto r = must_rewrite(img, cov_options("cov", true));
+  EXPECT_GE(r.instrumentation.pruned_dominated, 1u);
+  EXPECT_LT(r.instrumentation.probes, r.instrumentation.candidate_sites);
+  expect_equivalent(img, r.image);
+}
+
+TEST(CovPrune, ChainCountsCollapsedSites) {
+  auto img = must_assemble(kChain);
+  auto r = must_rewrite(img, cov_options("cov", true));
+  EXPECT_GT(r.instrumentation.collapsed_single_pred, 0u);
+  expect_equivalent(img, r.image);
+}
+
+TEST(CovPrune, DoubleEdgeJccSplitsOnce) {
+  auto img = must_assemble(kDoubleEdge);
+  auto r = must_rewrite(img, cov_options("cov", true));
+  EXPECT_EQ(r.instrumentation.split_critical_edges, 1u);
+  expect_equivalent(img, r.image);
+}
+
+TEST(CovPrune, BlockModeNeverSplitsEdges) {
+  auto img = must_assemble(kDoubleEdge);
+  auto r = must_rewrite(img, cov_options("cov-block", true));
+  EXPECT_EQ(r.instrumentation.split_critical_edges, 0u);
+  expect_equivalent(img, r.image);
+}
+
+TEST(CovPrune, DeadRegistersElideSaves) {
+  // The programs above touch only r0/r1/r3, so liveness hands the stubs
+  // free scratch registers and the push/pop pairs disappear.
+  auto img = must_assemble(kChain);
+  auto r = must_rewrite(img, cov_options("cov", true));
+  EXPECT_GT(r.instrumentation.elided_reg_saves, 0u);
+}
+
+TEST(CovPrune, ConservativePathKeepsLegacyAccounting) {
+  // With pruning off the transform reproduces the historical emission:
+  // every candidate site is probed or flag-skipped, and no CFG-derived
+  // counter may fire.
+  for (const char* src : {kDiamond, kChain, kDoubleEdge}) {
+    auto img = must_assemble(src);
+    auto r = must_rewrite(img, cov_options("cov", false));
+    const auto& in = r.instrumentation;
+    EXPECT_EQ(in.probes + in.skipped_flags, in.candidate_sites);
+    EXPECT_EQ(in.pruned_dominated, 0u);
+    EXPECT_EQ(in.collapsed_single_pred, 0u);
+    EXPECT_EQ(in.split_critical_edges, 0u);
+    EXPECT_EQ(in.elided_flag_saves, 0u);
+    EXPECT_EQ(in.elided_reg_saves, 0u);
+    expect_equivalent(img, r.image);
+  }
+}
+
+TEST(CovPrune, PrunedEmitsFewerProbesSameBehaviour) {
+  for (const char* transform : {"cov", "cov-block"}) {
+    for (const char* src : {kDiamond, kChain}) {
+      auto img = must_assemble(src);
+      auto on = must_rewrite(img, cov_options(transform, true));
+      auto off = must_rewrite(img, cov_options(transform, false));
+      EXPECT_LT(on.instrumentation.probes, off.instrumentation.probes)
+          << transform << " pruning did not reduce probe count";
+      expect_equivalent(img, on.image);
+      expect_equivalent(img, off.image);
+      expect_equivalent(img, on.image, /*input=*/{}, /*seed=*/99);
+    }
+  }
+}
+
+// ---- differential bug rediscovery ----
+
+/// Fuzz an instrumented build of `vuln` and triage every crash by
+/// replaying its input on the ORIGINAL image. The key is the replayed
+/// fault class: unlike the fuzzer's own path-sensitive crash identity
+/// (or the faulting pc, which mutation steers to arbitrary addresses
+/// for the same planted out-of-bounds bug), the fault class survives a
+/// change of instrumentation.
+std::set<vm::Fault> triage_keys(const cgc::VulnCb& vuln, std::uint64_t seed, bool prune) {
+  auto rewritten = must_rewrite(vuln.image, cov_options("cov", prune));
+  fuzz::FuzzOptions fopts;
+  fopts.seed = seed;
+  fopts.jobs = 4;
+  fopts.max_execs = 6000;
+  auto result = fuzz::fuzz(rewritten.image, {vuln.benign_input}, fopts);
+  EXPECT_TRUE(result.ok()) << (result.ok() ? "" : result.error().message);
+  if (!result.ok()) return {};
+  std::set<vm::Fault> keys;
+  for (const auto& crash : result->crashes) {
+    auto replay = vm::run_program(vuln.image, crash.input);
+    if (!replay.exited && replay.fault != vm::Fault::kGasExhausted)
+      keys.insert(replay.fault);
+  }
+  return keys;
+}
+
+TEST(CovPruneDifferential, SameBugsWithAndWithoutPruning) {
+  // The planted-bug corpus must be rediscovered identically whether or
+  // not the instrumentation was pruned, across independent campaign
+  // seeds: pruning may drop probes, never signal.
+  for (const auto& vuln : cgc::vulnerable_corpus()) {
+    for (std::uint64_t seed : {7ull, 11ull}) {
+      auto pruned = triage_keys(vuln, seed, /*prune=*/true);
+      auto full = triage_keys(vuln, seed, /*prune=*/false);
+      EXPECT_FALSE(full.empty()) << vuln.name << " seed " << seed
+                                 << ": unpruned campaign found nothing";
+      EXPECT_EQ(pruned, full) << vuln.name << " seed " << seed
+                              << ": pruning changed the set of rediscovered bugs";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace zipr

@@ -19,11 +19,14 @@ Notes:
   - The default threshold is deliberately loose (25%): wall-clock noise on
     shared machines is real. Tighten with --threshold for quiet hardware.
   - `--fuzz` switches to the BENCH_fuzz.json schema (fuzz_overhead bench)
-    and gates three numbers: fuzz.execs_per_sec may not drop by more than
-    the threshold, the zipr+cov mean_exec_overhead may not grow (relative
-    to baseline) by more than the threshold, and -- when the baseline
-    records a fuzz.min_execs_per_sec floor -- the fresh throughput must
-    clear that absolute floor regardless of the relative threshold.
+    and gates: fuzz.execs_per_sec may not drop by more than the threshold,
+    the zipr+cov mean_exec_overhead may not grow (relative to baseline) by
+    more than the threshold, and -- when the baseline records absolute
+    levels -- the fresh run must clear them regardless of the relative
+    threshold: fuzz.min_execs_per_sec (throughput floor), each
+    instrumented config's max_exec_overhead (overhead ceiling) and
+    min_prune_rate (the CFG analysis must keep pruning at least that
+    fraction of candidate probe sites).
   - Exit status: 0 = no regression, 1 = at least one benchmark regressed,
     2 = bad input.
 """
@@ -109,6 +112,32 @@ def guard_fuzz(args):
         regressed.append(("zipr+cov.mean_exec_overhead", growth))
     print(f"  [{status:>4}]  zipr+cov.mean_exec_overhead: {base_ovh:.4f} -> {fresh_ovh:.4f} "
           f"({growth:+.1%})")
+
+    # Absolute levels recorded by the baseline: overhead ceilings and the
+    # prune-rate floor per instrumented config. The fresh run is matched
+    # to the baseline row by label; a fresh run missing the counters
+    # (older bench binary) fails the gate rather than silently passing.
+    fresh_rows = {r.get("label"): r for r in fresh.get("configs", [])}
+    for row in base.get("configs", []):
+        label = row.get("label")
+        frow = fresh_rows.get(label, {})
+        ceiling = float(row.get("max_exec_overhead", 0))
+        if ceiling > 0:
+            got = float(frow.get("mean_exec_overhead", float("inf")))
+            status = "FAIL" if got >= ceiling else "ok"
+            if got >= ceiling:
+                regressed.append((f"{label}.mean_exec_overhead above ceiling",
+                                  got / ceiling - 1.0))
+            print(f"  [{status:>4}]  {label}.mean_exec_overhead ceiling: {ceiling:.2f} "
+                  f"(fresh {got:.4f})")
+        floor = float(row.get("min_prune_rate", 0))
+        if floor > 0:
+            got = float(frow.get("prune_rate", 0))
+            status = "FAIL" if got < floor else "ok"
+            if got < floor:
+                regressed.append((f"{label}.prune_rate below floor", got - floor))
+            print(f"  [{status:>4}]  {label}.prune_rate floor: {floor:.2f} "
+                  f"(fresh {got:.4f})")
 
     if regressed:
         print(f"\nperf_guard: {len(regressed)} fuzz metric(s) regressed beyond "

@@ -4,7 +4,8 @@
 //   zipr-cli input.zelf --out=output.zelf
 //            [--transform=null|cfi|stackpad|canary|profile]...   (repeatable)
 //            [--placement=nearfit|diversity|pinpage] [--seed=N]
-//            [--coalesce|--no-coalesce] [--pin-call-returns] [--naive-pins]
+//            [--coalesce|--no-coalesce] [--cov-prune|--no-cov-prune]
+//            [--pin-call-returns] [--naive-pins]
 //            [--stats] [--dump-ir=<file>] [--list-transforms]
 //
 // Batch mode (2+ inputs): rewrite a corpus on a worker pool; one failing
@@ -65,7 +66,14 @@ int run_batch(const zipr::cli::Args& args, const zipr::RewriteOptions& options) 
       ++failed;
       continue;
     }
-    std::printf("ok   %s -> %s (%.1f ms)\n", item.name.c_str(), out_path.c_str(), item.total_ms);
+    const auto& in = item.result->instrumentation;
+    if (in.candidate_sites > 0)
+      std::printf("ok   %s -> %s (%.1f ms; %zu/%zu probes, %.0f%% pruned)\n", item.name.c_str(),
+                  out_path.c_str(), item.total_ms, in.probes, in.candidate_sites,
+                  in.prune_rate() * 100);
+    else
+      std::printf("ok   %s -> %s (%.1f ms)\n", item.name.c_str(), out_path.c_str(),
+                  item.total_ms);
   }
   const auto& s = result.stats;
   std::printf(
@@ -78,7 +86,8 @@ int run_batch(const zipr::cli::Args& args, const zipr::RewriteOptions& options) 
 
 int run_fuzz(const zipr::cli::Args& args) {
   using namespace zipr;
-  cli::reject_unknown(args, {"transform", "runs", "jobs", "seed", "input", "crash-dir"});
+  cli::reject_unknown(args, {"transform", "runs", "jobs", "seed", "input", "crash-dir",
+                             "cov-prune", "no-cov-prune"});
   if (args.positional().size() != 2)
     cli::die("fuzz mode takes exactly one input image: zipr-cli fuzz <input.zelf>");
 
@@ -89,8 +98,20 @@ int run_fuzz(const zipr::cli::Args& args) {
   options.transforms = args.values("transform");
   if (options.transforms.empty()) options.transforms = {"cov"};
   options.seed = args.value_u64("seed", 1);
+  if (args.has("cov-prune") && args.has("no-cov-prune"))
+    cli::die("--cov-prune and --no-cov-prune are mutually exclusive");
+  options.cov_prune = !args.has("no-cov-prune");
   auto rewritten = rewrite(*input, options);
   if (!rewritten.ok()) cli::die("instrumentation failed: " + rewritten.error().message);
+
+  const auto& in = rewritten->instrumentation;
+  if (in.candidate_sites > 0)
+    std::printf(
+        "instrument: %zu probes for %zu sites (%.0f%% pruned: %zu dominated, %zu collapsed; "
+        "%zu edges split, %zu flag saves + %zu reg saves elided, %zu sites flag-live)\n",
+        in.probes, in.candidate_sites, in.prune_rate() * 100, in.pruned_dominated,
+        in.collapsed_single_pred, in.split_critical_edges, in.elided_flag_saves,
+        in.elided_reg_saves, in.skipped_flags);
 
   std::vector<Bytes> seeds;
   for (const auto& path : args.values("input")) {
@@ -136,8 +157,9 @@ int main(int argc, char** argv) {
   cli::Args args(argc, argv);
   if (!args.positional().empty() && args.positional()[0] == "fuzz") return run_fuzz(args);
   cli::reject_unknown(args, {"out", "out-dir", "jobs", "transform", "placement", "seed",
-                             "coalesce", "no-coalesce", "pin-call-returns", "naive-pins",
-                             "stats", "dump-ir", "list-transforms", "help"});
+                             "coalesce", "no-coalesce", "cov-prune", "no-cov-prune",
+                             "pin-call-returns", "naive-pins", "stats", "dump-ir",
+                             "list-transforms", "help"});
 
   if (args.has("list-transforms")) {
     for (const auto& name : transform::registered_transforms()) std::printf("%s\n", name.c_str());
@@ -147,12 +169,14 @@ int main(int argc, char** argv) {
     std::printf(
         "usage: zipr-cli <input.zelf> --out=<output.zelf>\n"
         "                [--transform=<name>]... [--placement=nearfit|diversity|pinpage]\n"
-        "                [--seed=N] [--coalesce|--no-coalesce] [--pin-call-returns]\n"
-        "                [--naive-pins] [--stats] [--dump-ir=<file>] [--list-transforms]\n"
+        "                [--seed=N] [--coalesce|--no-coalesce] [--cov-prune|--no-cov-prune]\n"
+        "                [--pin-call-returns] [--naive-pins] [--stats] [--dump-ir=<file>]\n"
+        "                [--list-transforms]\n"
         "       zipr-cli <input.zelf>... --out-dir=<dir> [--jobs=N] [shared flags]\n"
         "                (batch mode: rewrites all inputs on a worker pool)\n"
         "       zipr-cli fuzz <input.zelf> [--transform=cov]... [--runs=N] [--jobs=N]\n"
         "                [--seed=N] [--input=<seed file>]... [--crash-dir=<dir>]\n"
+        "                [--cov-prune|--no-cov-prune]\n"
         "                (coverage-guided fuzzing of the instrumented image)\n");
     return args.has("help") ? 0 : 2;
   }
@@ -175,6 +199,9 @@ int main(int argc, char** argv) {
     cli::die("--coalesce and --no-coalesce are mutually exclusive");
   if (args.has("coalesce")) options.coalesce = true;
   if (args.has("no-coalesce")) options.coalesce = false;
+  if (args.has("cov-prune") && args.has("no-cov-prune"))
+    cli::die("--cov-prune and --no-cov-prune are mutually exclusive");
+  options.cov_prune = !args.has("no-cov-prune");
 
   // 2+ inputs (or an explicit --out-dir / --jobs): corpus batch mode.
   if (args.positional().size() > 1 || args.has("out-dir") || args.has("jobs"))
@@ -195,7 +222,8 @@ int main(int argc, char** argv) {
     for (const auto& name : options.transforms) {
       auto t = transform::make_transform(name);
       if (!t.ok()) cli::die(t.error().message);
-      transform::TransformContext ctx(*prog, derive_seed(options.seed, stream++));
+      transform::TransformContext ctx(*prog, derive_seed(options.seed, stream++),
+                                      transform::TransformConfig{options.cov_prune});
       auto applied = (*t)->apply(ctx);
       if (!applied.ok()) cli::die(applied.error().message);
     }
@@ -237,6 +265,14 @@ int main(int argc, char** argv) {
         "%" PRIu64 " bytes saved, %" PRIu64 " trailing-jump bytes remain\n",
         r.dollops_coalesced, r.jumps_elided, r.elision_rate() * 100, r.bytes_saved,
         r.trailing_jump_bytes);
+    const auto& in = result->instrumentation;
+    if (in.candidate_sites > 0)
+      std::printf(
+          "instrument: %zu probes for %zu sites (%.0f%% pruned: %zu dominated, %zu collapsed; "
+          "%zu edges split, %zu flag saves + %zu reg saves elided, %zu sites flag-live)\n",
+          in.probes, in.candidate_sites, in.prune_rate() * 100, in.pruned_dominated,
+          in.collapsed_single_pred, in.split_critical_edges, in.elided_flag_saves,
+          in.elided_reg_saves, in.skipped_flags);
   }
   return 0;
 }
