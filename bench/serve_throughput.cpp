@@ -1,0 +1,261 @@
+// Serve-layer throughput benchmark: the 62-CB corpus through a ServeEngine
+// cold, then warm (every request a content-addressed cache hit), then
+// through the delta path (each CB resubmitted with a perturbed data byte).
+//
+// Emits machine-readable JSON (BENCH_serve.json; format documented in
+// tools/run_bench.sh) recording cold/warm wall time, the warm speedup, the
+// cache hit rate, chained output digests for cold and warm passes (they
+// must match: a warm hit is byte-identical or it is a bug), and the delta
+// experiment's hit/fallback counts with its own byte-identity check
+// against direct cold rewrites.
+//
+// In-binary gates (exit 1 on violation):
+//   * every warm request is a cache hit and its bytes equal the cold pass;
+//   * warm throughput is at least kMinWarmSpeedup x cold;
+//   * every delta-path response -- hit or cold fallback -- is
+//     byte-identical to a direct rewrite of the perturbed input;
+//   * a text-byte perturbation is NEVER served from the delta path.
+//
+//   serve_throughput [--out=BENCH_serve.json] [--repeats=N]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cgc/generator.h"
+#include "serve/engine.h"
+#include "zelf/io.h"
+#include "zipr/zipr.h"
+
+namespace {
+
+using namespace zipr;
+using Clock = std::chrono::steady_clock;
+
+constexpr double kMinWarmSpeedup = 10.0;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+std::uint64_t fnv1a(const Bytes& b, std::uint64_t h) {
+  for (Byte c : b) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Flip the last byte of the last non-text segment with file bytes: a data
+/// perturbation a CI resubmission would make (changed blob, version tag).
+/// Whether the delta validator accepts it depends on the surrounding
+/// bytes -- both outcomes must stay byte-correct, which is what we gate.
+Bytes perturb_data(const Bytes& input) {
+  auto img = zelf::read_image(input);
+  if (!img.ok()) return {};
+  zelf::Segment* victim = nullptr;
+  for (auto& seg : img->segments)
+    if (!seg.executable() && !seg.bytes.empty()) victim = &seg;
+  if (victim == nullptr) return {};
+  victim->bytes.back() ^= 0x01;
+  return zelf::write_image(*img);
+}
+
+Bytes perturb_text(const Bytes& input) {
+  auto img = zelf::read_image(input);
+  if (!img.ok()) return {};
+  for (auto& seg : img->segments)
+    if (seg.executable() && !seg.bytes.empty()) {
+      seg.bytes.back() ^= 0x01;
+      return zelf::write_image(*img);
+    }
+  return {};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_serve.json";
+  int repeats = 3;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+    if (std::strncmp(argv[i], "--repeats=", 10) == 0) repeats = std::atoi(argv[i] + 10);
+  }
+  if (repeats < 1) repeats = 1;
+
+  // Materialize the corpus as serialized images: the serve layer's unit of
+  // exchange is bytes, exactly what a socket client would send.
+  std::vector<Bytes> corpus;
+  for (const auto& spec : cgc::cfe_corpus()) {
+    auto cb = cgc::generate_cb(spec);
+    if (!cb.ok()) {
+      std::fprintf(stderr, "CB generation failed: %s\n", cb.error().message.c_str());
+      return 1;
+    }
+    corpus.push_back(zelf::write_image(cb->image));
+  }
+  RewriteOptions opts;  // the CGC configuration: nearfit, no transforms
+
+  std::printf("== serve throughput: %zu CBs, cold -> warm x%d -> delta ==\n", corpus.size(),
+              repeats);
+
+  serve::ServeOptions sopts;
+  sopts.jobs = 1;  // handle() on this thread: pure engine cost, no pool noise
+  serve::ServeEngine engine(sopts);
+
+  // --- cold pass ---
+  std::uint64_t cold_digest = 0xcbf29ce484222325ULL;
+  Clock::time_point t0 = Clock::now();
+  std::vector<Bytes> cold_outputs;
+  cold_outputs.reserve(corpus.size());
+  for (const Bytes& input : corpus) {
+    auto r = engine.handle(input, opts);
+    if (!r.ok() || r->source != serve::Source::kCold) {
+      std::fprintf(stderr, "FAIL: cold pass request not cold-served\n");
+      return 1;
+    }
+    cold_digest = fnv1a(r->output, cold_digest);
+    cold_outputs.push_back(std::move(r->output));
+  }
+  double cold_ms = ms_since(t0);
+
+  // --- warm passes (best of `repeats`): every request must hit ---
+  std::uint64_t warm_digest = 0;
+  double warm_ms = 0;
+  bool warm_identical = true;
+  for (int rep = 0; rep < repeats; ++rep) {
+    std::uint64_t digest = 0xcbf29ce484222325ULL;
+    t0 = Clock::now();
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      auto r = engine.handle(corpus[i], opts);
+      if (!r.ok() || r->source != serve::Source::kCacheHit) {
+        std::fprintf(stderr, "FAIL: warm request %zu missed the cache\n", i);
+        return 1;
+      }
+      warm_identical &= r->output == cold_outputs[i];
+      digest = fnv1a(r->output, digest);
+    }
+    double ms = ms_since(t0);
+    if (rep == 0 || ms < warm_ms) warm_ms = ms;
+    warm_digest = digest;
+  }
+  double speedup = warm_ms > 0 ? cold_ms / warm_ms : 0.0;
+  warm_identical &= warm_digest == cold_digest;
+
+  auto after_warm = engine.stats();
+  double hit_rate = static_cast<double>(after_warm.cache_hits) /
+                    static_cast<double>(repeats * corpus.size());
+  std::printf("  cold %8.1f ms   warm %8.3f ms   speedup %8.1fx   hit rate %.3f   "
+              "digests %s\n",
+              cold_ms, warm_ms, speedup, hit_rate,
+              warm_identical ? "identical" : "DIVERGE");
+
+  // --- delta experiment: perturb one data byte per CB and resubmit ---
+  std::size_t delta_attempted = 0;
+  std::size_t delta_hits = 0;
+  std::size_t delta_cold = 0;
+  bool delta_identical = true;
+  t0 = Clock::now();
+  for (const Bytes& input : corpus) {
+    Bytes mutated = perturb_data(input);
+    if (mutated.empty() || mutated == input) continue;
+    ++delta_attempted;
+    auto r = engine.handle(mutated, opts);
+    if (!r.ok()) {
+      std::fprintf(stderr, "FAIL: perturbed resubmission errored: %s\n",
+                   r.error().message.c_str());
+      return 1;
+    }
+    r->source == serve::Source::kDeltaHit ? ++delta_hits : ++delta_cold;
+
+    // Byte-identity against a direct cold rewrite: the delta contract.
+    auto img = zelf::read_image(mutated);
+    auto direct = rewrite(*img, opts);
+    if (!direct.ok() || r->output != zelf::write_image(direct->image)) {
+      delta_identical = false;
+      std::fprintf(stderr, "FAIL: delta-path response diverges from cold rewrite\n");
+    }
+  }
+  double delta_ms = ms_since(t0);
+  std::printf("  delta: %zu resubmissions -> %zu delta hit(s), %zu cold fallback(s) in "
+              "%.1f ms; bytes %s\n",
+              delta_attempted, delta_hits, delta_cold, delta_ms,
+              delta_identical ? "identical to cold" : "DIVERGE");
+
+  // --- text perturbation must NEVER ride the delta path ---
+  bool text_never_delta = true;
+  for (std::size_t i = 0; i < corpus.size(); i += 8) {
+    Bytes mutated = perturb_text(corpus[i]);
+    if (mutated.empty()) continue;
+    auto r = engine.handle(mutated, opts);
+    // A broken text byte may legitimately fail to rewrite; what it may
+    // never do is come back stamped delta-hit.
+    if (r.ok() && r->source == serve::Source::kDeltaHit) text_never_delta = false;
+  }
+  std::printf("  text perturbations served from delta path: %s\n",
+              text_never_delta ? "none (correct)" : "YES (BUG)");
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  auto stats = engine.stats();
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"serve_throughput\",\n");
+  std::fprintf(f, "  \"corpus_size\": %zu,\n", corpus.size());
+  std::fprintf(f, "  \"repeats\": %d,\n", repeats);
+  std::fprintf(f, "  \"cold_wall_ms\": %.3f,\n", cold_ms);
+  std::fprintf(f, "  \"warm_wall_ms\": %.3f,\n", warm_ms);
+  std::fprintf(f, "  \"warm_speedup\": %.3f,\n", speedup);
+  std::fprintf(f, "  \"min_warm_speedup\": %.1f,\n", kMinWarmSpeedup);
+  std::fprintf(f, "  \"cache_hit_rate\": %.4f,\n", hit_rate);
+  std::fprintf(f, "  \"min_cache_hit_rate\": 1.0,\n");
+  std::fprintf(f, "  \"outputs_identical\": %s,\n", warm_identical ? "true" : "false");
+  std::fprintf(f, "  \"cold_digest\": \"%016llx\",\n",
+               static_cast<unsigned long long>(cold_digest));
+  std::fprintf(f, "  \"warm_digest\": \"%016llx\",\n",
+               static_cast<unsigned long long>(warm_digest));
+  std::fprintf(f, "  \"delta\": {\n");
+  std::fprintf(f, "    \"attempted\": %zu,\n", delta_attempted);
+  std::fprintf(f, "    \"hits\": %zu,\n", delta_hits);
+  std::fprintf(f, "    \"min_hits\": 10,\n");
+  std::fprintf(f, "    \"cold_fallbacks\": %zu,\n", delta_cold);
+  std::fprintf(f, "    \"wall_ms\": %.3f,\n", delta_ms);
+  std::fprintf(f, "    \"outputs_identical\": %s,\n", delta_identical ? "true" : "false");
+  std::fprintf(f, "    \"text_never_delta\": %s\n", text_never_delta ? "true" : "false");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"engine\": {\"requests\": %llu, \"cold\": %llu, \"cache_hits\": %llu, "
+               "\"delta_hits\": %llu, \"delta_fallbacks\": %llu, \"failures\": %llu,\n",
+               static_cast<unsigned long long>(stats.requests),
+               static_cast<unsigned long long>(stats.cold),
+               static_cast<unsigned long long>(stats.cache_hits),
+               static_cast<unsigned long long>(stats.delta_hits),
+               static_cast<unsigned long long>(stats.delta_fallbacks),
+               static_cast<unsigned long long>(stats.failures));
+  std::fprintf(f, "             \"cache_bytes\": %zu, \"cache_evictions\": %llu}\n",
+               stats.cache.bytes, static_cast<unsigned long long>(stats.cache.evictions));
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  // Correctness + throughput gates.
+  int failures = 0;
+  if (!warm_identical) {
+    std::fprintf(stderr, "FAIL: warm outputs not byte-identical to cold\n");
+    ++failures;
+  }
+  if (hit_rate < 1.0) {
+    std::fprintf(stderr, "FAIL: cache hit rate %.4f < 1.0 on repeat submissions\n", hit_rate);
+    ++failures;
+  }
+  if (speedup < kMinWarmSpeedup) {
+    std::fprintf(stderr, "FAIL: warm speedup %.1fx below the %.0fx floor\n", speedup,
+                 kMinWarmSpeedup);
+    ++failures;
+  }
+  if (!delta_identical) ++failures;
+  if (!text_never_delta) ++failures;
+  return failures == 0 ? 0 : 1;
+}

@@ -35,6 +35,7 @@ void WorkerPool::wait_idle() {
 
 void WorkerPool::shutdown() {
   queue_.close();
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
   threads_.clear();  // jthread dtor joins
 }
 

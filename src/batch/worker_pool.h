@@ -34,8 +34,9 @@ class WorkerPool {
   /// Block until every task submitted so far has completed.
   void wait_idle();
 
-  /// Close the queue and join all workers (idempotent; the destructor
-  /// calls it too).
+  /// Close the queue and join all workers. Idempotent AND safe to call
+  /// concurrently (the serve lifecycle can race an explicit close()
+  /// against the destructor): joining is serialized on its own mutex.
   void shutdown();
 
   std::size_t worker_count() const { return threads_.size(); }
@@ -44,6 +45,7 @@ class WorkerPool {
   void run_worker();
 
   TaskQueue<std::function<void()>> queue_;
+  std::mutex shutdown_mu_;  ///< serializes concurrent shutdown() calls
   std::vector<std::jthread> threads_;
 
   std::mutex mu_;

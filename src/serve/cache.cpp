@@ -1,0 +1,140 @@
+#include "serve/cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace zipr::serve {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// SplitMix64 finalizer: decorrelates the two key lanes so they are not
+/// related by a simple multiplicative factor.
+std::uint64_t avalanche(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+CacheKey make_cache_key(ByteView input, std::string_view canonical_options) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv1a(h, canonical_options.data(), canonical_options.size());
+  h = fnv1a(h, "\x1f", 1);  // unambiguous (options, input) boundary
+  h = fnv1a(h, input.data(), input.size());
+  CacheKey key;
+  key.lo = h;
+  key.hi = avalanche(h ^ (0x9e3779b97f4a7c15ULL + input.size()));
+  return key;
+}
+
+std::uint64_t text_digest_of(const zelf::Image& image) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv1a(h, &image.entry, sizeof(image.entry));
+  for (const auto& seg : image.segments) {
+    if (!seg.executable()) continue;
+    h = fnv1a(h, &seg.vaddr, sizeof(seg.vaddr));
+    h = fnv1a(h, seg.bytes.data(), seg.bytes.size());
+  }
+  return h;
+}
+
+std::shared_ptr<const Artifact> ArtifactCache::lookup(const CacheKey& key, ByteView input) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  const Artifact& a = *it->second.artifact;
+  if (a.input.size() != input.size() ||
+      (!input.empty() && std::memcmp(a.input.data(), input.data(), input.size()) != 0)) {
+    ++stats_.misses;
+    ++stats_.verify_rejects;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  ++stats_.hits;
+  return it->second.artifact;
+}
+
+void ArtifactCache::insert(const CacheKey& key, Artifact artifact) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t charge = artifact.charge();
+  if (charge > max_bytes_) {
+    ++stats_.oversize_skips;
+    return;
+  }
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Replace in place (same key => same content in practice; a replace
+    // still keeps the byte accounting exact).
+    stats_.bytes -= it->second.artifact->charge();
+    lru_.erase(it->second.lru_it);
+    entries_.erase(it);
+  }
+  evict_until_fits(charge);
+  lru_.push_front(key);
+  entries_.emplace(key, Slot{std::make_shared<const Artifact>(std::move(artifact)),
+                             lru_.begin()});
+  stats_.bytes += charge;
+  ++stats_.insertions;
+}
+
+void ArtifactCache::evict_until_fits(std::size_t incoming) {
+  while (!lru_.empty() && stats_.bytes + incoming > max_bytes_) {
+    const CacheKey& victim = lru_.back();
+    auto it = entries_.find(victim);
+    stats_.bytes -= it->second.artifact->charge();
+    entries_.erase(it);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+std::vector<CacheKey> ArtifactCache::recent_keys(std::uint64_t options_digest,
+                                                 std::uint64_t text_digest,
+                                                 std::size_t limit) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CacheKey> out;
+  for (const CacheKey& key : lru_) {
+    if (out.size() >= limit) break;
+    auto it = entries_.find(key);
+    if (it != entries_.end() && it->second.artifact->options_digest == options_digest &&
+        it->second.artifact->text_digest == text_digest)
+      out.push_back(key);
+  }
+  return out;
+}
+
+std::shared_ptr<const Artifact> ArtifactCache::peek(const CacheKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : it->second.artifact;
+}
+
+CacheStats ArtifactCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheStats s = stats_;
+  s.max_bytes = max_bytes_;
+  return s;
+}
+
+std::size_t ArtifactCache::entry_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace zipr::serve

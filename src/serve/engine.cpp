@@ -1,0 +1,173 @@
+#include "serve/engine.h"
+
+#include <chrono>
+
+#include "support/log.h"
+#include "zelf/io.h"
+#include "zipr/options_codec.h"
+
+namespace zipr::serve {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+}  // namespace
+
+const char* source_name(Source s) {
+  switch (s) {
+    case Source::kCold: return "cold";
+    case Source::kCacheHit: return "cache-hit";
+    case Source::kDeltaHit: return "delta-hit";
+  }
+  return "?";
+}
+
+ServeEngine::ServeEngine(ServeOptions options)
+    : options_(options),
+      cache_(options.cache_bytes),
+      pool_(std::make_unique<batch::WorkerPool>(
+          batch::effective_jobs(options.jobs, /*tasks=*/SIZE_MAX))) {}
+
+ServeEngine::~ServeEngine() { close(); }
+
+void ServeEngine::close() {
+  closed_.store(true, std::memory_order_release);
+  // WorkerPool::shutdown drains queued tasks before joining, so every
+  // accepted submit() still resolves its future.
+  pool_->shutdown();
+}
+
+Result<ServeResponse> ServeEngine::handle(ByteView input, const RewriteOptions& options) {
+  Clock::time_point start = Clock::now();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.requests;
+  }
+
+  const std::string canonical = serialize_options(options);
+  const CacheKey key = make_cache_key(input, canonical);
+  const std::uint64_t odigest = options_digest(options);
+
+  auto respond_from_artifact = [&](const Artifact& a, Source source,
+                                   std::size_t changed_pages) {
+    ServeResponse resp;
+    resp.output = a.output;
+    resp.source = source;
+    resp.analysis = a.analysis;
+    resp.reassembly = a.reassembly;
+    resp.instrumentation = a.instrumentation;
+    resp.cold_timing = a.cold_timing;
+    resp.delta_changed_pages = changed_pages;
+    resp.wall_ms = ms_since(start);
+    return resp;
+  };
+
+  // 1. Full content-addressed hit: byte-identical input under identical
+  //    canonical options. O(hash + memcmp + copy).
+  if (auto hit = cache_.lookup(key, input)) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.cache_hits;
+    return respond_from_artifact(*hit, Source::kCacheHit, 0);
+  }
+
+  // The request missed, so the input gets parsed exactly once here: the
+  // parse feeds the text digest (the delta-ancestor bucket) and, if no
+  // delta lands, the cold rewrite below.
+  auto fail = [&](Error e) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.failures;
+    return e;
+  };
+  auto image = zelf::read_image(input);
+  if (!image.ok()) return fail(image.error());
+  const std::uint64_t tdigest = text_digest_of(*image);
+
+  // 2. Delta path: probe same-options, same-text ancestors for a
+  //    page-level diff the validator can prove equivalent.
+  if (options_.enable_delta) {
+    bool probed = false;
+    for (const CacheKey& ck :
+         cache_.recent_keys(odigest, tdigest, options_.delta_candidates)) {
+      auto ancestor = cache_.peek(ck);
+      if (!ancestor) continue;
+      probed = true;
+      std::string reason;
+      auto delta = try_delta(ancestor->input, ancestor->output, input, options_.delta,
+                             &reason);
+      if (!delta) continue;
+      // Promote the delta result to a first-class artifact so the next
+      // byte-identical submission is a full O(copy) hit.
+      Artifact promoted = *ancestor;
+      promoted.input.assign(input.begin(), input.end());
+      promoted.output = delta->output;
+      cache_.insert(key, promoted);
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.delta_hits;
+      }
+      ServeResponse resp = respond_from_artifact(promoted, Source::kDeltaHit,
+                                                 delta->changed_pages);
+      return resp;
+    }
+    if (probed) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.delta_fallbacks;
+    }
+  }
+
+  // 3. Cold path. Failures return here WITHOUT touching the cache: caching
+  //    an error artifact would poison every retry of this key.
+  auto rewritten = rewrite(*image, options);
+  if (!rewritten.ok()) return fail(rewritten.error());
+
+  Artifact artifact;
+  artifact.input.assign(input.begin(), input.end());
+  artifact.output = zelf::write_image(rewritten->image);
+  artifact.options_digest = odigest;
+  artifact.text_digest = tdigest;
+  artifact.analysis = rewritten->analysis;
+  artifact.reassembly = rewritten->reassembly;
+  artifact.instrumentation = rewritten->instrumentation;
+  artifact.cold_timing = rewritten->timing;
+  ServeResponse resp = respond_from_artifact(artifact, Source::kCold, 0);
+  cache_.insert(key, std::move(artifact));
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.cold;
+  }
+  return resp;
+}
+
+std::future<Result<ServeResponse>> ServeEngine::submit(Bytes input, RewriteOptions options) {
+  auto promise = std::make_shared<std::promise<Result<ServeResponse>>>();
+  std::future<Result<ServeResponse>> future = promise->get_future();
+
+  auto reject = [&] {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.rejected_closed;
+    }
+    promise->set_value(Error::unsupported("serve engine is closed"));
+    return std::move(future);
+  };
+  if (closed_.load(std::memory_order_acquire)) return reject();
+
+  bool accepted = pool_->submit(
+      [this, promise, input = std::move(input), options = std::move(options)] {
+        promise->set_value(handle(input, options));
+      });
+  if (!accepted) return reject();
+  return future;
+}
+
+ServeStats ServeEngine::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ServeStats s = stats_;
+  s.cache = cache_.stats();
+  return s;
+}
+
+}  // namespace zipr::serve

@@ -1,0 +1,109 @@
+// ServeEngine: the rewriter as a long-running service.
+//
+// One engine owns the artifact cache and a batch::WorkerPool; requests
+// enter either synchronously (handle(), on the calling thread -- the
+// deterministic reference path) or asynchronously (submit(), returning a
+// future resolved by a pool worker). Request flow:
+//
+//   digest(input x canonical options) --> cache hit?   O(memcmp + copy)
+//                                     --> delta hit?   O(page diff)
+//                                     --> cold rewrite, cache on SUCCESS
+//
+// Failure paths never touch the cache: a malformed input or failing
+// transform yields an error response and leaves the cache exactly as it
+// was, so a retry after a transient condition re-runs cold (tested).
+// close() stops admission and drains in-flight jobs; the destructor does
+// the same, so futures handed out are always eventually resolved.
+#pragma once
+
+#include <atomic>
+#include <future>
+#include <memory>
+
+#include "batch/worker_pool.h"
+#include "serve/cache.h"
+#include "serve/delta.h"
+#include "zipr/zipr.h"
+
+namespace zipr::serve {
+
+struct ServeOptions {
+  /// Pool workers for submit(); <= 0 means hardware concurrency.
+  int jobs = 1;
+  /// Artifact-cache budget (input + output bytes across entries).
+  std::size_t cache_bytes = std::size_t{64} << 20;
+  /// Delta path on/off plus its page threshold.
+  bool enable_delta = true;
+  DeltaOptions delta;
+  /// How many same-options ancestors a miss probes before going cold.
+  std::size_t delta_candidates = 8;
+};
+
+enum class Source : std::uint8_t {
+  kCold = 0,      ///< full pipeline ran
+  kCacheHit = 1,  ///< byte-for-byte repeat served from the cache
+  kDeltaHit = 2,  ///< derived from a near-identical cached ancestor
+};
+
+const char* source_name(Source s);
+
+struct ServeResponse {
+  Bytes output;  ///< serialized rewritten image
+  Source source = Source::kCold;
+
+  /// Stats of the rewrite that produced these bytes. For kCacheHit and
+  /// kDeltaHit these replay the ORIGINAL cold rewrite's stats (cached with
+  /// the artifact), so clients see consistent numbers either way.
+  analysis::AnalysisStats analysis;
+  rewriter::RewriteStats reassembly;
+  transform::InstrumentationStats instrumentation;
+  StageTimes cold_timing;
+
+  double wall_ms = 0;  ///< time THIS request took inside the engine
+  std::size_t delta_changed_pages = 0;  ///< kDeltaHit only
+};
+
+struct ServeStats {
+  std::uint64_t requests = 0;
+  std::uint64_t cold = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t delta_hits = 0;
+  std::uint64_t delta_fallbacks = 0;  ///< candidates probed, all refused
+  std::uint64_t failures = 0;
+  std::uint64_t rejected_closed = 0;  ///< submits after close()
+  CacheStats cache;
+};
+
+class ServeEngine {
+ public:
+  explicit ServeEngine(ServeOptions options = {});
+  ~ServeEngine();
+
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+
+  /// Serve one request on the calling thread.
+  Result<ServeResponse> handle(ByteView input, const RewriteOptions& options);
+
+  /// Enqueue a request on the pool. The future always resolves: with the
+  /// response, the rewrite error, or an "engine closed" error when the
+  /// engine shut down before the job could be accepted.
+  std::future<Result<ServeResponse>> submit(Bytes input, RewriteOptions options);
+
+  /// Stop admitting work and drain in-flight jobs (idempotent).
+  void close();
+
+  ServeStats stats() const;
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  ServeOptions options_;
+  ArtifactCache cache_;
+  std::atomic<bool> closed_{false};
+  std::unique_ptr<batch::WorkerPool> pool_;
+
+  mutable std::mutex stats_mu_;
+  ServeStats stats_;
+};
+
+}  // namespace zipr::serve

@@ -1,0 +1,204 @@
+#include "serve/socket.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/log.h"
+#include "zipr/options_codec.h"
+
+namespace zipr::serve {
+
+namespace {
+
+constexpr std::uint32_t kRequestMagic = 0x3151535AU;   // 'ZSQ1' little-endian
+constexpr std::uint32_t kResponseMagic = 0x3150535AU;  // 'ZSP1' little-endian
+
+Error sys_error(const std::string& what) {
+  return Error::internal(what + ": " + std::strerror(errno));
+}
+
+/// Full-buffer read/write with EINTR retry; short end-of-stream is an error.
+Status read_exact(int fd, void* buf, std::size_t n) {
+  auto* p = static_cast<unsigned char*>(buf);
+  while (n > 0) {
+    ssize_t got = ::read(fd, p, n);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return sys_error("socket read");
+    }
+    if (got == 0) return Error::parse("socket closed mid-frame");
+    p += got;
+    n -= static_cast<std::size_t>(got);
+  }
+  return {};
+}
+
+Status write_exact(int fd, const void* buf, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(buf);
+  while (n > 0) {
+    ssize_t put = ::write(fd, p, n);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return sys_error("socket write");
+    }
+    p += put;
+    n -= static_cast<std::size_t>(put);
+  }
+  return {};
+}
+
+struct FdCloser {
+  int fd;
+  ~FdCloser() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+Status fill_sockaddr(const std::string& path, sockaddr_un* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr->sun_path))
+    return Error::invalid_argument("socket path empty or too long: '" + path + "'");
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return {};
+}
+
+Status send_response(int fd, bool ok, Source source, Error::Kind kind, double wall_ms,
+                     ByteView payload) {
+  Bytes frame;
+  put_u32(frame, kResponseMagic);
+  put_u8(frame, ok ? 1 : 0);
+  put_u8(frame, static_cast<std::uint8_t>(source));
+  put_u8(frame, static_cast<std::uint8_t>(kind));
+  put_u8(frame, 0);
+  std::uint64_t wall_bits;
+  std::memcpy(&wall_bits, &wall_ms, sizeof wall_bits);
+  put_u64(frame, wall_bits);
+  put_u64(frame, payload.size());
+  put_bytes(frame, payload);
+  return write_exact(fd, frame.data(), frame.size());
+}
+
+Status send_error(int fd, const Error& e) {
+  const auto* msg = reinterpret_cast<const Byte*>(e.message.data());
+  return send_response(fd, false, Source::kCold, e.kind, 0.0,
+                       ByteView(msg, e.message.size()));
+}
+
+/// One request/response exchange. Frame-level failures are returned (the
+/// connection is dead); engine-level failures are answered in-band.
+Status serve_connection(ServeEngine& engine, int fd, std::uint64_t max_request_bytes) {
+  std::uint8_t header[4 + 4 + 8];
+  ZIPR_TRY(read_exact(fd, header, sizeof header));
+  ByteView hv(header, sizeof header);
+  if (get_u32(hv, 0) != kRequestMagic) {
+    (void)send_error(fd, Error::parse("bad request magic"));
+    return Error::parse("bad request magic");
+  }
+  std::uint64_t options_len = get_u32(hv, 4);
+  std::uint64_t input_len = get_u64(hv, 8);
+  if (input_len > max_request_bytes || options_len + input_len > max_request_bytes) {
+    Error e = Error::invalid_argument("request exceeds max_request_bytes");
+    (void)send_error(fd, e);
+    return e;
+  }
+
+  std::string options_text(options_len, '\0');
+  ZIPR_TRY(read_exact(fd, options_text.data(), options_text.size()));
+  Bytes input(static_cast<std::size_t>(input_len));
+  ZIPR_TRY(read_exact(fd, input.data(), input.size()));
+
+  auto options = parse_options(options_text);
+  if (!options.ok()) return send_error(fd, options.error());
+
+  auto response = engine.handle(input, *options);
+  if (!response.ok()) return send_error(fd, response.error());
+  return send_response(fd, true, response->source, Error::Kind::kInternal,
+                       response->wall_ms, response->output);
+}
+
+}  // namespace
+
+Status serve_on_socket(ServeEngine& engine, const SocketServerOptions& options) {
+  sockaddr_un addr;
+  ZIPR_TRY(fill_sockaddr(options.path, &addr));
+
+  int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) return sys_error("socket");
+  FdCloser listen_closer{listen_fd};
+
+  ::unlink(options.path.c_str());  // stale socket from a previous run
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0)
+    return sys_error("bind " + options.path);
+  if (::listen(listen_fd, options.backlog) < 0) return sys_error("listen");
+
+  for (long served = 0; options.max_requests < 0 || served < options.max_requests;
+       ++served) {
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        --served;
+        continue;
+      }
+      return sys_error("accept");
+    }
+    FdCloser conn_closer{fd};
+    Status st = serve_connection(engine, fd, options.max_request_bytes);
+    if (!st.ok()) {
+      ZIPR_WARN << "serve: connection failed: " << st.error().message;
+    }
+  }
+  ::unlink(options.path.c_str());
+  return {};
+}
+
+Result<SubmitReply> submit_over_socket(const std::string& path, ByteView input,
+                                       const RewriteOptions& options) {
+  sockaddr_un addr;
+  ZIPR_TRY(fill_sockaddr(path, &addr));
+
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return sys_error("socket");
+  FdCloser closer{fd};
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0)
+    return sys_error("connect " + path);
+
+  std::string options_text = serialize_options(options);
+  Bytes frame;
+  put_u32(frame, kRequestMagic);
+  put_u32(frame, static_cast<std::uint32_t>(options_text.size()));
+  put_u64(frame, input.size());
+  frame.insert(frame.end(), options_text.begin(), options_text.end());
+  put_bytes(frame, input);
+  ZIPR_TRY(write_exact(fd, frame.data(), frame.size()));
+
+  std::uint8_t header[4 + 1 + 1 + 1 + 1 + 8 + 8];
+  ZIPR_TRY(read_exact(fd, header, sizeof header));
+  ByteView hv(header, sizeof header);
+  if (get_u32(hv, 0) != kResponseMagic) return Error::parse("bad response magic");
+  bool ok = header[4] == 1;
+  auto source = static_cast<Source>(header[5]);
+  auto kind = static_cast<Error::Kind>(header[6]);
+  std::uint64_t wall_bits = get_u64(hv, 8);
+  std::uint64_t payload_len = get_u64(hv, 16);
+  if (payload_len > (std::uint64_t{1} << 31))
+    return Error::parse("implausible response payload length");
+
+  Bytes payload(static_cast<std::size_t>(payload_len));
+  ZIPR_TRY(read_exact(fd, payload.data(), payload.size()));
+
+  if (!ok)
+    return Error(kind, "server: " + std::string(payload.begin(), payload.end()));
+
+  SubmitReply reply;
+  reply.output = std::move(payload);
+  reply.source = source;
+  std::memcpy(&reply.wall_ms, &wall_bits, sizeof reply.wall_ms);
+  return reply;
+}
+
+}  // namespace zipr::serve

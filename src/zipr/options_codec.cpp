@@ -1,0 +1,219 @@
+#include "zipr/options_codec.h"
+
+#include <bit>
+#include <charconv>
+#include <cstdio>
+
+namespace zipr {
+
+namespace {
+
+// ---- completeness guard -------------------------------------------------
+//
+// Every aggregate that feeds the canonical form is counted here. If any of
+// these asserts fire you added (or removed) an option field: update
+// serialize_options(), parse_options(), the round-trip test in
+// tests/serve_test.cpp, and then the expected count. Skipping this step
+// would let two different configurations hash to the same cache key and
+// serve each other's artifacts.
+using codec_detail::field_count;
+
+static_assert(field_count<analysis::TraversalOptions>() == 2,
+              "TraversalOptions changed: update the canonical options serialization "
+              "(options_codec.cpp) and its round-trip test before bumping this count");
+static_assert(field_count<analysis::PinningOptions>() == 4,
+              "PinningOptions changed: update the canonical options serialization "
+              "(options_codec.cpp) and its round-trip test before bumping this count");
+static_assert(field_count<analysis::AnalysisOptions>() == 2,
+              "AnalysisOptions changed: update the canonical options serialization "
+              "(options_codec.cpp) and its round-trip test before bumping this count");
+static_assert(field_count<RewriteOptions>() == 7,
+              "RewriteOptions changed: update the canonical options serialization "
+              "(options_codec.cpp) and its round-trip test before bumping this count");
+
+/// Total leaf fields the canonical form must carry (nested aggregates
+/// flattened). Mirrored by the per-field checklist in serve_test.cpp.
+constexpr std::size_t kLeafFields = field_count<analysis::TraversalOptions>() +
+                                    field_count<analysis::PinningOptions>() +
+                                    (field_count<RewriteOptions>() - 1);
+static_assert(kLeafFields == 12);
+
+void append_u64(std::string& out, const char* key, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += key;
+  out += '=';
+  out += buf;
+  out += ';';
+}
+
+void append_bool(std::string& out, const char* key, bool v) {
+  out += key;
+  out += v ? "=1;" : "=0;";
+}
+
+void append_tristate(std::string& out, const char* key, const std::optional<bool>& v) {
+  out += key;
+  out += !v.has_value() ? "=a;" : (*v ? "=1;" : "=0;");
+}
+
+const char* placement_name(rewriter::PlacementKind k) {
+  switch (k) {
+    case rewriter::PlacementKind::kNearfit: return "nearfit";
+    case rewriter::PlacementKind::kDiversity: return "diversity";
+    case rewriter::PlacementKind::kPinPage: return "pinpage";
+  }
+  return "?";
+}
+
+/// Cursor over the serialized text; every reader fails with the offending
+/// region of the input rather than silently defaulting.
+struct Reader {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  Error fail(const std::string& what) const {
+    return Error::parse("options: " + what + " at '" +
+                        std::string(text.substr(pos, 24)) + "'");
+  }
+
+  Status expect_key(const char* key) {
+    std::string want = std::string(key) + "=";
+    if (text.substr(pos, want.size()) != want) return fail("expected '" + want + "'");
+    pos += want.size();
+    return {};
+  }
+
+  Result<std::string> until_semicolon() {
+    auto end = text.find(';', pos);
+    if (end == std::string_view::npos) return fail("missing ';' terminator");
+    std::string out(text.substr(pos, end - pos));
+    pos = end + 1;
+    return out;
+  }
+
+  Result<std::uint64_t> read_u64(const char* key) {
+    ZIPR_TRY(expect_key(key));
+    auto tok = until_semicolon();
+    if (!tok.ok()) return tok.error();
+    std::uint64_t v = 0;
+    auto [p, ec] = std::from_chars(tok->data(), tok->data() + tok->size(), v);
+    if (ec != std::errc() || p != tok->data() + tok->size())
+      return Error::parse("options: bad integer '" + *tok + "' for " + key);
+    return v;
+  }
+
+  Result<bool> read_bool(const char* key) {
+    ZIPR_ASSIGN_OR_RETURN(std::uint64_t v, read_u64(key));
+    if (v > 1) return Error::parse(std::string("options: bad flag value for ") + key);
+    return v == 1;
+  }
+
+  Result<std::optional<bool>> read_tristate(const char* key) {
+    ZIPR_TRY(expect_key(key));
+    auto tok = until_semicolon();
+    if (!tok.ok()) return tok.error();
+    if (*tok == "a") return std::optional<bool>();
+    if (*tok == "0") return std::optional<bool>(false);
+    if (*tok == "1") return std::optional<bool>(true);
+    return Error::parse(std::string("options: bad tristate '") + *tok + "' for " + key);
+  }
+};
+
+}  // namespace
+
+std::string serialize_options(const RewriteOptions& o) {
+  std::string out = "zopt1;";
+  // analysis.traversal
+  append_u64(out, "jts", o.analysis.traversal.max_jump_table_slots);
+  append_bool(out, "scan", o.analysis.traversal.scan_data_for_pointers);
+  // analysis.pinning
+  append_bool(out, "pcr", o.analysis.pinning.pin_call_returns);
+  append_bool(out, "npa", o.analysis.pinning.naive_pin_all);
+  // Doubles go through their bit pattern: no formatting round-trip loss,
+  // and distinct values can never canonicalize to the same text.
+  append_u64(out, "epf", std::bit_cast<std::uint64_t>(o.analysis.pinning.extra_pin_fraction));
+  append_u64(out, "eps", o.analysis.pinning.extra_pin_seed);
+  // top-level rewrite knobs
+  out += "place=";
+  out += placement_name(o.placement);
+  out += ';';
+  append_u64(out, "seed", o.seed);
+  append_tristate(out, "short", o.prefer_short_refs);
+  append_tristate(out, "coal", o.coalesce);
+  append_bool(out, "covp", o.cov_prune);
+  // transforms: length-prefixed names, so names survive any separator char
+  append_u64(out, "tf", o.transforms.size());
+  for (const auto& name : o.transforms) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%zu.", name.size());
+    out += buf;
+    out += name;
+    out += ';';
+  }
+  return out;
+}
+
+Result<RewriteOptions> parse_options(std::string_view text) {
+  Reader r{text};
+  if (text.substr(0, 6) != "zopt1;") return r.fail("bad options header");
+  r.pos = 6;
+
+  RewriteOptions o;
+  ZIPR_ASSIGN_OR_RETURN(o.analysis.traversal.max_jump_table_slots, r.read_u64("jts"));
+  ZIPR_ASSIGN_OR_RETURN(o.analysis.traversal.scan_data_for_pointers, r.read_bool("scan"));
+  ZIPR_ASSIGN_OR_RETURN(o.analysis.pinning.pin_call_returns, r.read_bool("pcr"));
+  ZIPR_ASSIGN_OR_RETURN(o.analysis.pinning.naive_pin_all, r.read_bool("npa"));
+  std::uint64_t frac_bits = 0;
+  ZIPR_ASSIGN_OR_RETURN(frac_bits, r.read_u64("epf"));
+  o.analysis.pinning.extra_pin_fraction = std::bit_cast<double>(frac_bits);
+  ZIPR_ASSIGN_OR_RETURN(o.analysis.pinning.extra_pin_seed, r.read_u64("eps"));
+
+  ZIPR_TRY(r.expect_key("place"));
+  ZIPR_ASSIGN_OR_RETURN(std::string place, r.until_semicolon());
+  if (place == "nearfit")
+    o.placement = rewriter::PlacementKind::kNearfit;
+  else if (place == "diversity")
+    o.placement = rewriter::PlacementKind::kDiversity;
+  else if (place == "pinpage")
+    o.placement = rewriter::PlacementKind::kPinPage;
+  else
+    return Error::parse("options: unknown placement '" + place + "'");
+
+  ZIPR_ASSIGN_OR_RETURN(o.seed, r.read_u64("seed"));
+  ZIPR_ASSIGN_OR_RETURN(o.prefer_short_refs, r.read_tristate("short"));
+  ZIPR_ASSIGN_OR_RETURN(o.coalesce, r.read_tristate("coal"));
+  ZIPR_ASSIGN_OR_RETURN(o.cov_prune, r.read_bool("covp"));
+
+  std::uint64_t n = 0;
+  ZIPR_ASSIGN_OR_RETURN(n, r.read_u64("tf"));
+  if (n > 1024) return Error::parse("options: implausible transform count");
+  o.transforms.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    auto dot = r.text.find('.', r.pos);
+    if (dot == std::string_view::npos) return r.fail("expected '<len>.<name>;'");
+    std::size_t len = 0;
+    auto [p, ec] = std::from_chars(r.text.data() + r.pos, r.text.data() + dot, len);
+    if (ec != std::errc() || p != r.text.data() + dot || len > 4096)
+      return r.fail("bad transform-name length");
+    r.pos = dot + 1;
+    if (r.pos + len + 1 > r.text.size() || r.text[r.pos + len] != ';')
+      return r.fail("truncated transform name");
+    o.transforms.emplace_back(r.text.substr(r.pos, len));
+    r.pos += len + 1;
+  }
+  if (r.pos != r.text.size()) return r.fail("trailing bytes after options");
+  return o;
+}
+
+std::uint64_t options_digest(const RewriteOptions& options) {
+  std::string s = serialize_options(options);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace zipr

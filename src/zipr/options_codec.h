@@ -1,0 +1,63 @@
+// Canonical serialization of RewriteOptions.
+//
+// The serve layer's artifact cache is keyed on EVERYTHING that can change
+// rewrite output: the input bytes and the full option set. Hashing the
+// in-memory struct would silently alias entries whenever padding differs or
+// a new field is added, so the cache key goes through this canonical text
+// form instead: a single line with every field in a fixed order, stable
+// across processes and rebuilds. The same encoding doubles as the
+// wire format for options in the zipr-serve socket protocol.
+//
+// Completeness is enforced, not hoped for: options_codec.cpp counts the
+// aggregate fields of RewriteOptions (and each nested options struct) at
+// compile time and static_asserts the expected count. Adding an option
+// without teaching serialize_options()/parse_options() about it fails the
+// build instead of silently serving stale artifacts across configs.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "zipr/zipr.h"
+
+namespace zipr {
+
+namespace codec_detail {
+
+/// Implicitly convertible to anything: probe argument for aggregate
+/// initialization (boost::pfr style field counting).
+struct AnyField {
+  template <typename T>
+  operator T() const;  // never defined; used in unevaluated contexts only
+};
+
+template <typename T, std::size_t N>
+constexpr bool initializable_with_n = []<std::size_t... I>(std::index_sequence<I...>) {
+  return requires { T{(static_cast<void>(I), AnyField{})...}; };
+}(std::make_index_sequence<N>{});
+
+/// Number of direct (non-flattened) fields of aggregate T.
+template <typename T, std::size_t N = 0>
+constexpr std::size_t field_count() {
+  if constexpr (initializable_with_n<T, N + 1>)
+    return field_count<T, N + 1>();
+  else
+    return N;
+}
+
+}  // namespace codec_detail
+
+/// Canonical single-line text form of `options`. Deterministic: equal
+/// option sets serialize identically, differing option sets differ.
+std::string serialize_options(const RewriteOptions& options);
+
+/// Inverse of serialize_options. Rejects malformed or trailing input with
+/// the offending text in the error message.
+Result<RewriteOptions> parse_options(std::string_view text);
+
+/// FNV-1a digest of the canonical form; the options half of a cache key
+/// and the bucket id for delta-ancestor lookup (only artifacts produced
+/// under identical options are delta candidates).
+std::uint64_t options_digest(const RewriteOptions& options);
+
+}  // namespace zipr

@@ -111,6 +111,82 @@ TEST(WorkerPool, SubmitAfterShutdownFails) {
   pool.wait_idle();  // the rejected submit must not leave in_flight stuck
 }
 
+// ---- shutdown edges (the serve engine's close() path leans on these) ----
+
+TEST(WorkerPool, ShutdownWakesMultipleBlockedProducers) {
+  // One slow worker, capacity-1 queue: several producers block inside
+  // submit() simultaneously; shutdown() must wake every one of them and
+  // each must observe the rejection (false), with wait_idle() consistent.
+  auto pool = std::make_unique<WorkerPool>(1, 1);
+  std::atomic<bool> release{false};
+  pool->submit([&] {
+    while (!release.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+
+  constexpr int kProducers = 4;
+  std::atomic<int> accepted{0};
+  std::atomic<int> rejected{0};
+  std::vector<std::jthread> producers;
+  for (int i = 0; i < kProducers; ++i)
+    producers.emplace_back([&] {
+      if (pool->submit([] {}))
+        ++accepted;
+      else
+        ++rejected;
+    });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  release = true;   // let the slow task finish so shutdown can join
+  pool->shutdown();  // closes the queue: every blocked producer wakes
+  for (auto& t : producers) t.join();
+
+  // Producers that won a queue slot before close ran; the rest were
+  // rejected. Nobody is left blocked and the accounting balances.
+  EXPECT_EQ(accepted.load() + rejected.load(), kProducers);
+  pool->wait_idle();
+  pool.reset();  // second shutdown via destructor: idempotent
+}
+
+TEST(WorkerPool, ShutdownDrainsQueuedTasksBeforeJoining) {
+  // Tasks accepted before shutdown() must RUN, not be dropped: the serve
+  // engine's close() promises every accepted future resolves.
+  std::atomic<int> ran{0};
+  {
+    WorkerPool pool(1, 16);
+    std::atomic<bool> gate{false};
+    pool.submit([&] {
+      while (!gate.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    });
+    for (int i = 0; i < 10; ++i) pool.submit([&ran] { ++ran; });  // all queued
+    gate = true;
+    pool.shutdown();
+  }
+  EXPECT_EQ(ran.load(), 10) << "shutdown dropped accepted tasks";
+}
+
+TEST(WorkerPool, WaitIdleDuringShutdownReturns) {
+  WorkerPool pool(2);
+  for (int i = 0; i < 8; ++i)
+    pool.submit([] { std::this_thread::sleep_for(std::chrono::milliseconds(2)); });
+  std::jthread waiter([&] { pool.wait_idle(); });
+  pool.shutdown();  // drains the 8 tasks; wait_idle sees in_flight hit 0
+  waiter.join();
+  pool.wait_idle();  // and again after shutdown: immediate
+}
+
+TEST(WorkerPool, ConcurrentShutdownCallsAreSafe) {
+  for (int round = 0; round < 8; ++round) {
+    WorkerPool pool(2);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 4; ++i) pool.submit([&ran] { ++ran; });
+    std::vector<std::jthread> closers;
+    for (int i = 0; i < 4; ++i) closers.emplace_back([&] { pool.shutdown(); });
+    for (auto& t : closers) t.join();
+    EXPECT_EQ(ran.load(), 4);
+    EXPECT_FALSE(pool.submit([] {}));
+  }
+}
+
 TEST(WorkerPool, EffectiveJobsClampsToTaskCount) {
   EXPECT_EQ(batch::effective_jobs(8, 3), 3u);
   EXPECT_EQ(batch::effective_jobs(2, 100), 2u);

@@ -1,0 +1,614 @@
+// Tests for the zipr-serve layer: canonical options codec (cache-key
+// completeness), the content-addressed artifact cache (LRU-by-bytes,
+// input verification), the delta path (byte-identical or refused, never
+// divergent), the serve engine's hit/miss/failure accounting, and the
+// Unix-socket front end. The concurrency tests here are part of the TSan
+// workload (`make tsan_smoke`).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "serve/cache.h"
+#include "serve/delta.h"
+#include "serve/engine.h"
+#include "serve/socket.h"
+#include "testing_util.h"
+#include "transform/api.h"
+#include "zelf/io.h"
+#include "zipr/options_codec.h"
+
+namespace zipr {
+namespace {
+
+using serve::Artifact;
+using serve::ArtifactCache;
+using serve::CacheKey;
+using serve::make_cache_key;
+using serve::ServeEngine;
+using serve::ServeOptions;
+using serve::ServeResponse;
+using serve::Source;
+using ::zipr::testing::must_assemble;
+using ::zipr::testing::must_rewrite;
+
+// A program with a text segment plus rodata AND data payloads, so the
+// delta tests have non-text pages to perturb.
+constexpr const char* kDataProgram = R"(
+.entry main
+.text
+main:
+  movi r4, greet
+  callr r4
+  movi r0, 1
+  movi r1, 0
+  syscall
+greet:
+  movi r0, 2
+  movi r1, 1
+  movi r2, msg
+  movi r3, 3
+  syscall
+  ret
+.rodata
+msg: .ascii "ok."
+blob: .ascii "build-id: 0123456789abcdef"
+.data
+counters: .quad 0
+tag: .ascii "version-A"
+)";
+
+Bytes assemble_bytes(std::string_view src) {
+  return zelf::write_image(must_assemble(src));
+}
+
+Bytes cold_reference(ByteView input, const RewriteOptions& opts) {
+  auto img = zelf::read_image(input);
+  EXPECT_TRUE(img.ok());
+  return zelf::write_image(must_rewrite(*img, opts).image);
+}
+
+// ---- options codec: cache-key completeness (satellite #1) ----
+
+RewriteOptions all_fields_non_default() {
+  RewriteOptions o;
+  o.analysis.traversal.max_jump_table_slots = 17;
+  o.analysis.traversal.scan_data_for_pointers = false;
+  o.analysis.pinning.pin_call_returns = true;
+  o.analysis.pinning.naive_pin_all = true;
+  o.analysis.pinning.extra_pin_fraction = 0.375;
+  o.analysis.pinning.extra_pin_seed = 99;
+  o.placement = rewriter::PlacementKind::kDiversity;
+  o.seed = 0xdeadbeefcafe;
+  o.prefer_short_refs = false;
+  o.coalesce = true;
+  o.transforms = {"cfi", "stackpad"};
+  o.cov_prune = false;
+  return o;
+}
+
+TEST(OptionsCodec, RoundTripsEveryFieldNonDefault) {
+  RewriteOptions o = all_fields_non_default();
+  std::string text = serialize_options(o);
+
+  auto parsed = parse_options(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(serialize_options(*parsed), text) << "round trip is not a fixpoint";
+
+  EXPECT_EQ(parsed->analysis.traversal.max_jump_table_slots, 17u);
+  EXPECT_FALSE(parsed->analysis.traversal.scan_data_for_pointers);
+  EXPECT_TRUE(parsed->analysis.pinning.pin_call_returns);
+  EXPECT_TRUE(parsed->analysis.pinning.naive_pin_all);
+  EXPECT_DOUBLE_EQ(parsed->analysis.pinning.extra_pin_fraction, 0.375);
+  EXPECT_EQ(parsed->analysis.pinning.extra_pin_seed, 99u);
+  EXPECT_EQ(parsed->placement, rewriter::PlacementKind::kDiversity);
+  EXPECT_EQ(parsed->seed, 0xdeadbeefcafeull);
+  ASSERT_TRUE(parsed->prefer_short_refs.has_value());
+  EXPECT_FALSE(*parsed->prefer_short_refs);
+  ASSERT_TRUE(parsed->coalesce.has_value());
+  EXPECT_TRUE(*parsed->coalesce);
+  EXPECT_EQ(parsed->transforms, (std::vector<std::string>{"cfi", "stackpad"}));
+  EXPECT_FALSE(parsed->cov_prune);
+}
+
+TEST(OptionsCodec, DefaultOptionsRoundTrip) {
+  RewriteOptions o;
+  auto parsed = parse_options(serialize_options(o));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(serialize_options(*parsed), serialize_options(o));
+}
+
+// Reflection checklist: every leaf option field must perturb the canonical
+// form (and therefore the cache key). The mutator count below is pinned to
+// the compile-time field count that options_codec.cpp static_asserts, so a
+// newly added option fails BOTH the build (until serialized) and this list
+// (until covered here).
+TEST(OptionsCodec, EveryFieldChangesTheCanonicalForm) {
+  using Mutator = void (*)(RewriteOptions&);
+  const std::vector<std::pair<const char*, Mutator>> mutators = {
+      {"max_jump_table_slots",
+       [](RewriteOptions& o) { o.analysis.traversal.max_jump_table_slots = 5; }},
+      {"scan_data_for_pointers",
+       [](RewriteOptions& o) { o.analysis.traversal.scan_data_for_pointers = false; }},
+      {"pin_call_returns",
+       [](RewriteOptions& o) { o.analysis.pinning.pin_call_returns = true; }},
+      {"naive_pin_all", [](RewriteOptions& o) { o.analysis.pinning.naive_pin_all = true; }},
+      {"extra_pin_fraction",
+       [](RewriteOptions& o) { o.analysis.pinning.extra_pin_fraction = 0.25; }},
+      {"extra_pin_seed", [](RewriteOptions& o) { o.analysis.pinning.extra_pin_seed = 7; }},
+      {"placement",
+       [](RewriteOptions& o) { o.placement = rewriter::PlacementKind::kPinPage; }},
+      {"seed", [](RewriteOptions& o) { o.seed = 424242; }},
+      {"prefer_short_refs", [](RewriteOptions& o) { o.prefer_short_refs = true; }},
+      {"coalesce", [](RewriteOptions& o) { o.coalesce = false; }},
+      {"transforms", [](RewriteOptions& o) { o.transforms = {"cfi"}; }},
+      {"cov_prune", [](RewriteOptions& o) { o.cov_prune = false; }},
+  };
+
+  // One mutator per flattened leaf field (the codec's compile-time count).
+  constexpr std::size_t kLeaves =
+      codec_detail::field_count<analysis::TraversalOptions>() +
+      codec_detail::field_count<analysis::PinningOptions>() +
+      (codec_detail::field_count<RewriteOptions>() -
+       1 /* analysis replaced by its leaves */ +
+       codec_detail::field_count<analysis::AnalysisOptions>() - 2);
+  static_assert(codec_detail::field_count<analysis::AnalysisOptions>() == 2);
+  EXPECT_EQ(mutators.size(), kLeaves)
+      << "RewriteOptions gained/lost a leaf field; update this checklist";
+
+  const std::string base = serialize_options(RewriteOptions{});
+  for (const auto& [name, mutate] : mutators) {
+    RewriteOptions o;
+    mutate(o);
+    EXPECT_NE(serialize_options(o), base)
+        << "field '" << name << "' does not reach the canonical form "
+        << "(cache keys would alias across configs)";
+  }
+}
+
+TEST(OptionsCodec, RejectsMalformedTextWithOffendingInput) {
+  for (const char* bad :
+       {"", "nonsense", "zopt2;", "zopt1;jts=banana;", "zopt1;jts=1"}) {
+    auto r = parse_options(bad);
+    EXPECT_FALSE(r.ok()) << "accepted: '" << bad << "'";
+  }
+  // Trailing garbage after a valid form is rejected, with the garbage named.
+  std::string valid = serialize_options(RewriteOptions{});
+  auto r = parse_options(valid + "XTRA");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("XTRA"), std::string::npos) << r.error().message;
+
+  auto bad_num = parse_options("zopt1;jts=banana;");
+  ASSERT_FALSE(bad_num.ok());
+  EXPECT_NE(bad_num.error().message.find("banana"), std::string::npos)
+      << bad_num.error().message;
+}
+
+TEST(OptionsCodec, DigestSeparatesOptionSets) {
+  EXPECT_NE(options_digest(RewriteOptions{}), options_digest(all_fields_non_default()));
+  EXPECT_EQ(options_digest(RewriteOptions{}), options_digest(RewriteOptions{}));
+}
+
+// ---- artifact cache ----
+
+Artifact tiny_artifact(std::string tag, std::size_t pad = 0) {
+  Artifact a;
+  a.input.assign(tag.begin(), tag.end());
+  a.output.assign(pad, 0xAB);
+  return a;
+}
+
+TEST(ArtifactCache, KeyDependsOnInputAndOptions) {
+  Bytes in1 = {1, 2, 3};
+  Bytes in2 = {1, 2, 4};
+  EXPECT_EQ(make_cache_key(in1, "opts"), make_cache_key(in1, "opts"));
+  EXPECT_NE(make_cache_key(in1, "opts"), make_cache_key(in2, "opts"));
+  EXPECT_NE(make_cache_key(in1, "opts"), make_cache_key(in1, "stpo"));
+}
+
+TEST(ArtifactCache, LookupVerifiesStoredInputBytes) {
+  ArtifactCache cache(1 << 20);
+  Bytes real = {1, 2, 3};
+  CacheKey key = make_cache_key(real, "o");
+  cache.insert(key, tiny_artifact("\x01\x02\x03"));
+
+  EXPECT_NE(cache.lookup(key, real), nullptr);
+  // Same key, different bytes (simulated collision): must MISS, not serve.
+  Bytes impostor = {9, 9, 9};
+  EXPECT_EQ(cache.lookup(key, impostor), nullptr);
+  EXPECT_EQ(cache.stats().verify_rejects, 1u);
+}
+
+TEST(ArtifactCache, EvictsLeastRecentlyUsedByBytes) {
+  // Each artifact charges ~256 + input + output bytes; budget fits two.
+  ArtifactCache cache(2 * (256 + 1 + 100));
+  auto key_of = [](const std::string& tag) {
+    Bytes b(tag.begin(), tag.end());
+    return make_cache_key(b, "o");
+  };
+  cache.insert(key_of("a"), tiny_artifact("a", 100));
+  cache.insert(key_of("b"), tiny_artifact("b", 100));
+  ASSERT_EQ(cache.entry_count(), 2u);
+
+  // Touch "a" so "b" becomes the LRU victim.
+  Bytes a_in = {'a'};
+  ASSERT_NE(cache.lookup(key_of("a"), a_in), nullptr);
+  cache.insert(key_of("c"), tiny_artifact("c", 100));
+
+  EXPECT_EQ(cache.entry_count(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  Bytes b_in = {'b'};
+  Bytes c_in = {'c'};
+  EXPECT_NE(cache.lookup(key_of("a"), a_in), nullptr) << "recently-used entry evicted";
+  EXPECT_EQ(cache.lookup(key_of("b"), b_in), nullptr) << "LRU entry survived";
+  EXPECT_NE(cache.lookup(key_of("c"), c_in), nullptr);
+  EXPECT_LE(cache.stats().bytes, 2u * (256 + 1 + 100));
+}
+
+TEST(ArtifactCache, RecentKeysFilterOnOptionsAndTextDigest) {
+  ArtifactCache cache(1 << 20);
+  auto put = [&](const std::string& tag, std::uint64_t odigest, std::uint64_t tdigest) {
+    Artifact a = tiny_artifact(tag);
+    a.options_digest = odigest;
+    a.text_digest = tdigest;
+    Bytes b(tag.begin(), tag.end());
+    cache.insert(make_cache_key(b, "o"), a);
+  };
+  put("a", /*odigest=*/1, /*tdigest=*/7);
+  put("b", /*odigest=*/1, /*tdigest=*/8);  // same options, different text
+  put("c", /*odigest=*/2, /*tdigest=*/7);  // same text, different options
+  put("d", /*odigest=*/1, /*tdigest=*/7);  // the only true sibling of "a"
+
+  auto keys = cache.recent_keys(/*options_digest=*/1, /*text_digest=*/7, /*limit=*/10);
+  ASSERT_EQ(keys.size(), 2u);  // "a" and "d", neither "b" nor "c"
+  for (const CacheKey& k : keys) {
+    auto art = cache.peek(k);
+    ASSERT_NE(art, nullptr);
+    EXPECT_EQ(art->options_digest, 1u);
+    EXPECT_EQ(art->text_digest, 7u);
+  }
+  EXPECT_EQ(cache.recent_keys(1, 7, /*limit=*/1).size(), 1u);
+}
+
+TEST(ArtifactCache, OversizeArtifactIsSkippedNotHalfInserted) {
+  ArtifactCache cache(300);
+  cache.insert(make_cache_key(Bytes{'x'}, "o"), tiny_artifact("x", 4096));
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_EQ(cache.stats().oversize_skips, 1u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+// ---- serve engine: warm hits ----
+
+TEST(ServeEngine, WarmHitIsByteIdenticalAndReplaysColdStats) {
+  Bytes input = assemble_bytes(kDataProgram);
+  RewriteOptions opts;
+  opts.transforms = {"cfi"};
+
+  ServeEngine engine;
+  auto cold = engine.handle(input, opts);
+  ASSERT_TRUE(cold.ok()) << cold.error().message;
+  EXPECT_EQ(cold->source, Source::kCold);
+  EXPECT_EQ(cold->output, cold_reference(input, opts));
+
+  auto warm = engine.handle(input, opts);
+  ASSERT_TRUE(warm.ok()) << warm.error().message;
+  EXPECT_EQ(warm->source, Source::kCacheHit);
+  EXPECT_EQ(warm->output, cold->output) << "warm hit diverged from cold bytes";
+  // Stats replay the producing cold rewrite, not zeros.
+  EXPECT_EQ(warm->analysis.code_insns, cold->analysis.code_insns);
+  EXPECT_EQ(warm->reassembly.dollops_placed, cold->reassembly.dollops_placed);
+  EXPECT_DOUBLE_EQ(warm->cold_timing.total_ms(), cold->cold_timing.total_ms());
+
+  auto stats = engine.stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.cold, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+}
+
+TEST(ServeEngine, DifferentOptionsMissTheCache) {
+  Bytes input = assemble_bytes(kDataProgram);
+  ServeEngine engine;
+  RewriteOptions a;
+  RewriteOptions b;
+  b.seed = 1234;  // seed participates in the cache key
+
+  ASSERT_TRUE(engine.handle(input, a).ok());
+  auto second = engine.handle(input, b);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->source, Source::kCold);
+  EXPECT_EQ(engine.stats().cache_hits, 0u);
+}
+
+// ---- serve engine: failures never poison the cache (satellite #3) ----
+
+std::atomic<int> g_flaky_failures_left{0};
+
+class FlakyTransform : public transform::Transform {
+ public:
+  std::string name() const override { return "test_flaky"; }
+  Status apply(transform::TransformContext&) override {
+    int left = g_flaky_failures_left.load();
+    while (left > 0 &&
+           !g_flaky_failures_left.compare_exchange_weak(left, left - 1)) {
+    }
+    if (left > 0) return Error::internal("transient failure (flaky test transform)");
+    return Status::success();
+  }
+};
+
+TEST(ServeEngine, FailedRewriteIsNotCachedAndRetrySucceedsCold) {
+  transform::register_transform("test_flaky",
+                                [] { return std::make_unique<FlakyTransform>(); });
+  Bytes input = assemble_bytes(kDataProgram);
+  RewriteOptions opts;
+  opts.transforms = {"test_flaky"};
+
+  ServeEngine engine;
+  g_flaky_failures_left.store(1);
+  auto first = engine.handle(input, opts);
+  ASSERT_FALSE(first.ok()) << "flaky transform unexpectedly succeeded";
+  EXPECT_EQ(engine.stats().failures, 1u);
+  EXPECT_EQ(engine.stats().cache.insertions, 0u) << "a FAILURE was cached";
+
+  // The transient condition clears; the retry must re-run cold (a poisoned
+  // cache would replay the failure or serve stale bytes).
+  auto retry = engine.handle(input, opts);
+  ASSERT_TRUE(retry.ok()) << retry.error().message;
+  EXPECT_EQ(retry->source, Source::kCold);
+  EXPECT_EQ(retry->output, cold_reference(input, opts));
+
+  // And the SUCCESS is now cached.
+  auto warm = engine.handle(input, opts);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->source, Source::kCacheHit);
+}
+
+TEST(ServeEngine, MalformedInputFailsWithoutTouchingTheCache) {
+  ServeEngine engine;
+  Bytes garbage = {'n', 'o', 't', 'z', 'e', 'l', 'f'};
+  EXPECT_FALSE(engine.handle(garbage, RewriteOptions{}).ok());
+  EXPECT_EQ(engine.stats().failures, 1u);
+  EXPECT_EQ(engine.stats().cache.insertions, 0u);
+}
+
+// ---- serve engine: delta path ----
+
+// Flip data bytes that are NOT code-pointer shaped: mutate the "version-A"
+// tag in .data. Every 8-byte window over ASCII text decodes far outside
+// [kTextBase, text end), so the validator can prove IR equivalence.
+Bytes perturb_data_tag(ByteView input) {
+  auto img = zelf::read_image(input);
+  EXPECT_TRUE(img.ok());
+  bool patched = false;
+  for (auto& seg : img->segments) {
+    if (seg.kind != zelf::SegKind::kData) continue;
+    for (std::size_t i = 0; i + 1 < seg.bytes.size(); ++i) {
+      if (seg.bytes[i] == '-' && seg.bytes[i + 1] == 'A') {
+        seg.bytes[i + 1] = 'B';  // "version-A" -> "version-B"
+        patched = true;
+      }
+    }
+  }
+  EXPECT_TRUE(patched) << "test program lost its .data tag";
+  return zelf::write_image(*img);
+}
+
+TEST(ServeEngine, DeltaHitIsByteIdenticalToColdRewrite) {
+  Bytes v1 = assemble_bytes(kDataProgram);
+  Bytes v2 = perturb_data_tag(v1);
+  ASSERT_NE(v1, v2);
+  RewriteOptions opts;
+  opts.transforms = {"cfi"};
+
+  ServeEngine engine;
+  ASSERT_TRUE(engine.handle(v1, opts).ok());
+
+  auto delta = engine.handle(v2, opts);
+  ASSERT_TRUE(delta.ok()) << delta.error().message;
+  EXPECT_EQ(delta->source, Source::kDeltaHit);
+  EXPECT_EQ(delta->delta_changed_pages, 1u);
+  EXPECT_EQ(delta->output, cold_reference(v2, opts))
+      << "delta path emitted bytes a cold rewrite would not";
+
+  // The delta result was promoted: resubmitting v2 is now a full hit.
+  auto warm = engine.handle(v2, opts);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->source, Source::kCacheHit);
+  EXPECT_EQ(warm->output, delta->output);
+
+  auto stats = engine.stats();
+  EXPECT_EQ(stats.delta_hits, 1u);
+  EXPECT_EQ(stats.cold, 1u);
+}
+
+TEST(ServeEngine, DeltaRefusesCodePointerShapedWordAndFallsBackCold) {
+  Bytes v1 = assemble_bytes(kDataProgram);
+  RewriteOptions opts;
+
+  // Plant a text address into the .data quad: analysis COULD see this word
+  // (the data-pointer scan), so the validator must refuse and the engine
+  // must fall back to a full cold rewrite -- still byte-correct.
+  auto img = zelf::read_image(v1);
+  ASSERT_TRUE(img.ok());
+  std::uint64_t text_addr = 0;
+  for (auto& seg : img->segments)
+    if (seg.executable()) text_addr = seg.vaddr + 8;
+  bool planted = false;
+  for (auto& seg : img->segments) {
+    if (seg.kind != zelf::SegKind::kData || seg.bytes.size() < 8) continue;
+    for (int i = 0; i < 8; ++i)  // overwrite the `counters:` quad in place
+      seg.bytes[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(text_addr >> (8 * i));
+    planted = true;
+  }
+  ASSERT_TRUE(planted);
+  Bytes v2 = zelf::write_image(*img);
+
+  ServeEngine engine;
+  ASSERT_TRUE(engine.handle(v1, opts).ok());
+  auto second = engine.handle(v2, opts);
+  ASSERT_TRUE(second.ok()) << second.error().message;
+  EXPECT_EQ(second->source, Source::kCold) << "unsafe delta was served";
+  EXPECT_EQ(second->output, cold_reference(v2, opts));
+  EXPECT_EQ(engine.stats().delta_fallbacks, 1u);
+  EXPECT_EQ(engine.stats().delta_hits, 0u);
+}
+
+TEST(ServeEngine, DeltaRefusesTextChanges) {
+  Bytes v1 = assemble_bytes(kDataProgram);
+  std::string changed(kDataProgram);
+  auto pos = changed.find("movi r3, 3");
+  ASSERT_NE(pos, std::string::npos);
+  changed.replace(pos, 10, "movi r3, 2");  // text differs, data identical
+  Bytes v2 = assemble_bytes(changed);
+
+  ServeEngine engine;
+  ASSERT_TRUE(engine.handle(v1, RewriteOptions{}).ok());
+  auto second = engine.handle(v2, RewriteOptions{});
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->source, Source::kCold);
+  EXPECT_EQ(second->output, cold_reference(v2, RewriteOptions{}));
+  EXPECT_EQ(engine.stats().delta_hits, 0u);
+}
+
+TEST(TryDelta, RefusesWhenDiffSpansTooManyPages) {
+  Bytes v1 = assemble_bytes(kDataProgram);
+  Bytes out = cold_reference(v1, RewriteOptions{});
+
+  auto img = zelf::read_image(v1);
+  ASSERT_TRUE(img.ok());
+  for (auto& seg : img->segments)
+    if (seg.kind == zelf::SegKind::kData && !seg.bytes.empty())
+      seg.bytes.back() ^= 0x01;
+  Bytes v2 = zelf::write_image(*img);
+
+  serve::DeltaOptions zero_budget;
+  zero_budget.max_changed_pages = 0;
+  std::string reason;
+  EXPECT_FALSE(serve::try_delta(v1, out, v2, zero_budget, &reason).has_value());
+  EXPECT_NE(reason.find("pages"), std::string::npos) << reason;
+}
+
+// ---- serve engine: async submits + close (satellite #4 companion) ----
+
+TEST(ServeEngine, ConcurrentSubmitsAllResolveAndAgree) {
+  Bytes input = assemble_bytes(kDataProgram);
+  RewriteOptions opts;
+  ServeOptions sopts;
+  sopts.jobs = 4;
+  ServeEngine engine(sopts);
+
+  constexpr int kJobs = 16;
+  std::vector<std::future<Result<ServeResponse>>> futures;
+  futures.reserve(kJobs);
+  for (int i = 0; i < kJobs; ++i) futures.push_back(engine.submit(input, opts));
+
+  Bytes reference = cold_reference(input, opts);
+  for (auto& f : futures) {
+    auto r = f.get();
+    ASSERT_TRUE(r.ok()) << r.error().message;
+    EXPECT_EQ(r->output, reference);
+  }
+  auto stats = engine.stats();
+  EXPECT_EQ(stats.requests, static_cast<std::uint64_t>(kJobs));
+  // Determinism means every response agrees; at least one ran cold and
+  // every non-cold request was served from the cache it populated.
+  EXPECT_GE(stats.cold, 1u);
+  EXPECT_EQ(stats.cold + stats.cache_hits, static_cast<std::uint64_t>(kJobs));
+}
+
+TEST(ServeEngine, CloseDrainsAcceptedJobsAndRejectsNewOnes) {
+  Bytes input = assemble_bytes(kDataProgram);
+  ServeOptions sopts;
+  sopts.jobs = 2;
+  ServeEngine engine(sopts);
+
+  std::vector<std::future<Result<ServeResponse>>> futures;
+  for (int i = 0; i < 8; ++i) futures.push_back(engine.submit(input, RewriteOptions{}));
+  engine.close();
+
+  // Every accepted future resolves (drained, not abandoned)...
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(30)), std::future_status::ready)
+        << "close() abandoned an accepted job";
+    ASSERT_TRUE(f.get().ok());
+  }
+  // ...and post-close submits resolve immediately with a checked error.
+  auto rejected = engine.submit(input, RewriteOptions{});
+  auto r = rejected.get();
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("closed"), std::string::npos) << r.error().message;
+  EXPECT_GE(engine.stats().rejected_closed, 1u);
+}
+
+TEST(ServeEngine, ConcurrentCloseIsSafe) {
+  Bytes input = assemble_bytes(kDataProgram);
+  ServeOptions sopts;
+  sopts.jobs = 2;
+  auto engine = std::make_unique<ServeEngine>(sopts);
+  for (int i = 0; i < 4; ++i) (void)engine->submit(input, RewriteOptions{});
+
+  std::vector<std::thread> closers;
+  for (int i = 0; i < 4; ++i) closers.emplace_back([&] { engine->close(); });
+  for (auto& t : closers) t.join();
+  engine.reset();  // destructor close() after explicit close()s
+}
+
+// ---- socket front end ----
+
+TEST(ServeSocket, RoundTripThenCacheHit) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("zipr_serve_test_" + std::to_string(::getpid()) + ".sock"))
+          .string();
+  std::remove(path.c_str());
+
+  ServeEngine engine;
+  serve::SocketServerOptions sopts;
+  sopts.path = path;
+  sopts.max_requests = 3;
+  std::thread server([&] {
+    Status st = serve::serve_on_socket(engine, sopts);
+    EXPECT_TRUE(st.ok()) << st.error().message;
+  });
+
+  Bytes input = assemble_bytes(kDataProgram);
+  RewriteOptions opts;
+  opts.transforms = {"cfi"};
+
+  // The server binds asynchronously; retry until it accepts.
+  Result<serve::SubmitReply> first = Error::internal("never connected");
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    first = serve::submit_over_socket(path, input, opts);
+    if (first.ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(first.ok()) << first.error().message;
+  EXPECT_EQ(first->source, Source::kCold);
+  EXPECT_EQ(first->output, cold_reference(input, opts));
+
+  auto second = serve::submit_over_socket(path, input, opts);
+  ASSERT_TRUE(second.ok()) << second.error().message;
+  EXPECT_EQ(second->source, Source::kCacheHit);
+  EXPECT_EQ(second->output, first->output);
+
+  // A garbage frame gets an in-band error and does not kill the server.
+  Bytes garbage = {'j', 'u', 'n', 'k'};
+  auto bad = serve::submit_over_socket(path, garbage, opts);
+  EXPECT_FALSE(bad.ok());
+
+  server.join();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace zipr

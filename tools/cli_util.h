@@ -2,6 +2,8 @@
 // file slurping. Deliberately dependency-free.
 #pragma once
 
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -54,11 +56,8 @@ class Args {
     return out;
   }
 
-  std::uint64_t value_u64(const std::string& key, std::uint64_t fallback) const {
-    auto v = value(key);
-    if (!v) return fallback;
-    return std::strtoull(v->c_str(), nullptr, 0);
-  }
+  // NOTE: there is deliberately no lax value_u64 here; numeric flags go
+  // through cli::checked_u64 below so malformed values always die loudly.
 
   const std::vector<std::string>& positional() const { return positional_; }
 
@@ -101,6 +100,31 @@ inline bool write_file(const std::string& path, const std::string& data) {
 inline void reject_unknown(const Args& args, const std::vector<std::string>& known) {
   auto bad = args.unknown(known);
   if (!bad.empty()) die("unknown option --" + bad.front());
+}
+
+/// Strictly-parsed unsigned integer flag. Unlike Args::value_u64 (which
+/// strtoull's whatever it is given and silently yields 0 or a wrapped
+/// value), malformed text, trailing garbage, signs, and out-of-range
+/// values all die with the offending text, so `--jobs=banana` or
+/// `--seed=-1` can never be mistaken for a configuration.
+inline std::uint64_t checked_u64(const Args& args, const std::string& key,
+                                 std::uint64_t fallback,
+                                 std::uint64_t max = UINT64_MAX) {
+  if (!args.has(key)) return fallback;
+  auto v = args.value(key);
+  if (!v || v->empty()) die("--" + key + " requires a value (--" + key + "=N)");
+  const char* s = v->c_str();
+  if (!(s[0] >= '0' && s[0] <= '9'))
+    die("invalid --" + key + " value '" + *v + "': expected an unsigned integer");
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(s, &end, 0);
+  if (end == s || *end != '\0')
+    die("invalid --" + key + " value '" + *v + "': expected an unsigned integer");
+  if (errno == ERANGE || parsed > max)
+    die("--" + key + " value '" + *v + "' is out of range (max " + std::to_string(max) +
+        ")");
+  return parsed;
 }
 
 }  // namespace zipr::cli

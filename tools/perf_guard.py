@@ -11,6 +11,8 @@ Usage:
                       [--threshold 0.25] [--filter REGEX]
   tools/perf_guard.py --fuzz FRESH_fuzz.json [--baseline BENCH_fuzz.json]
                       [--threshold 0.25]
+  tools/perf_guard.py --serve FRESH_serve.json [--baseline BENCH_serve.json]
+                      [--threshold 0.25]
 
 Notes:
   - Only `iteration` entries present in BOTH files are compared (aggregate
@@ -27,6 +29,13 @@ Notes:
     instrumented config's max_exec_overhead (overhead ceiling) and
     min_prune_rate (the CFG analysis must keep pruning at least that
     fraction of candidate probe sites).
+  - `--serve` switches to the BENCH_serve.json schema (serve_throughput
+    bench) and gates correctness ABSOLUTELY (warm outputs byte-identical to
+    cold -- outputs_identical true and warm_digest == cold_digest -- plus
+    delta.outputs_identical and delta.text_never_delta) and throughput
+    against the baseline's recorded floors: warm_speedup >=
+    min_warm_speedup, cache_hit_rate >= min_cache_hit_rate. The relative
+    threshold additionally flags a warm_speedup drop vs the baseline run.
   - Exit status: 0 = no regression, 1 = at least one benchmark regressed,
     2 = bad input.
 """
@@ -149,6 +158,80 @@ def guard_fuzz(args):
     return 0
 
 
+def guard_serve(args):
+    """Gate the serve_throughput bench: byte-identity and warm throughput."""
+    fresh = load_json(args.fresh)
+    base = load_json(args.baseline)
+    regressed = []
+
+    # Correctness gates: these are bugs, not regressions, so they fail at
+    # any threshold. A warm hit that is not byte-identical to the cold
+    # rewrite means the cache served the wrong artifact.
+    for name, ok in [
+        ("outputs_identical", bool(fresh.get("outputs_identical"))),
+        ("warm_digest == cold_digest",
+         fresh.get("warm_digest") == fresh.get("cold_digest")
+         and fresh.get("cold_digest") is not None),
+        ("delta.outputs_identical", bool(fresh.get("delta", {}).get("outputs_identical"))),
+        ("delta.text_never_delta", bool(fresh.get("delta", {}).get("text_never_delta"))),
+    ]:
+        status = "ok" if ok else "FAIL"
+        if not ok:
+            regressed.append((f"serve.{name}", 0.0))
+        print(f"  [{status:>4}]  serve.{name}")
+
+    fresh_speedup = float(fresh.get("warm_speedup", 0))
+    base_speedup = float(base.get("warm_speedup", 0))
+    floor = float(base.get("min_warm_speedup", 0))
+    if floor > 0:
+        status = "FAIL" if fresh_speedup < floor else "ok"
+        if fresh_speedup < floor:
+            regressed.append(("serve.warm_speedup below floor",
+                              fresh_speedup / floor - 1.0))
+        print(f"  [{status:>4}]  serve.warm_speedup floor: {floor:8.1f}x "
+              f"(fresh {fresh_speedup:8.1f}x)")
+    if base_speedup > 0:
+        drop = 1.0 - fresh_speedup / base_speedup
+        status = "FAIL" if drop > args.threshold else "ok"
+        if drop > args.threshold:
+            regressed.append(("serve.warm_speedup", drop))
+        print(f"  [{status:>4}]  serve.warm_speedup: {base_speedup:8.1f}x -> "
+              f"{fresh_speedup:8.1f}x ({-drop:+.1%})")
+
+    fresh_hits = float(fresh.get("cache_hit_rate", 0))
+    hit_floor = float(base.get("min_cache_hit_rate", 0))
+    if hit_floor > 0:
+        status = "FAIL" if fresh_hits < hit_floor else "ok"
+        if fresh_hits < hit_floor:
+            regressed.append(("serve.cache_hit_rate below floor",
+                              fresh_hits - hit_floor))
+        print(f"  [{status:>4}]  serve.cache_hit_rate floor: {hit_floor:.3f} "
+              f"(fresh {fresh_hits:.4f})")
+
+    # The delta validator is intentionally conservative, but it must not be
+    # USELESS: the baseline records how many corpus resubmissions it proved
+    # safe, and a fresh run may not fall below that floor (a validator that
+    # started refusing everything would silently degrade to all-cold).
+    delta_floor = int(base.get("delta", {}).get("min_hits", 0))
+    if delta_floor > 0:
+        got = int(fresh.get("delta", {}).get("hits", 0))
+        status = "FAIL" if got < delta_floor else "ok"
+        if got < delta_floor:
+            regressed.append(("serve.delta.hits below floor",
+                              (got - delta_floor) / float(delta_floor)))
+        print(f"  [{status:>4}]  serve.delta.hits floor: {delta_floor} (fresh {got})")
+
+    if regressed:
+        print(f"\nperf_guard: {len(regressed)} serve metric(s) regressed:",
+              file=sys.stderr)
+        for name, delta in regressed:
+            print(f"  {name}: {delta:+.1%}", file=sys.stderr)
+        return 1
+    print(f"\nperf_guard: serve metrics correct and within {args.threshold:.0%} "
+          f"of baseline")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("fresh", help="freshly produced BENCH_micro.json")
@@ -160,12 +243,18 @@ def main():
                     help="only compare benchmarks matching this regex")
     ap.add_argument("--fuzz", action="store_true",
                     help="treat inputs as fuzz_overhead BENCH_fuzz.json files")
+    ap.add_argument("--serve", action="store_true",
+                    help="treat inputs as serve_throughput BENCH_serve.json files")
     args = ap.parse_args()
 
     if args.fuzz:
         if args.baseline is None:
             args.baseline = "BENCH_fuzz.json"
         return guard_fuzz(args)
+    if args.serve:
+        if args.baseline is None:
+            args.baseline = "BENCH_serve.json"
+        return guard_serve(args)
     if args.baseline is None:
         args.baseline = "BENCH_micro.json"
 

@@ -2,9 +2,11 @@
 # Run the microbenchmark suite (BENCH_micro.json), the corpus-scale
 # batch-engine benchmark (BENCH_corpus.json), the layout-quality bench
 # (BENCH_layout.json: per-strategy coalescing elision rate, trailing-jump
-# bytes, and output-size overhead), and the fuzzing-subsystem bench
+# bytes, and output-size overhead), the fuzzing-subsystem bench
 # (BENCH_fuzz.json: cov-instrumentation overhead, fuzzer throughput +
-# planted-bug rediscovery, snapshot-restore vs full re-link).
+# planted-bug rediscovery, snapshot-restore vs full re-link), and the
+# serve-layer bench (BENCH_serve.json: content-addressed cache warm
+# throughput + the delta-resubmission experiment).
 #
 # Usage: tools/run_bench.sh [benchmark-filter-regex]
 #
@@ -14,6 +16,7 @@
 #   BENCH_CORPUS_OUT  corpus output JSON path (default: <repo>/BENCH_corpus.json)
 #   BENCH_LAYOUT_OUT  layout output JSON path (default: <repo>/BENCH_layout.json)
 #   BENCH_FUZZ_OUT    fuzz output JSON path (default: <repo>/BENCH_fuzz.json)
+#   BENCH_SERVE_OUT   serve output JSON path (default: <repo>/BENCH_serve.json)
 #   BENCH_MIN_TIME    per-benchmark min time (default: benchmark's own default)
 #   BENCH_REPEATS     batch_corpus repeats per pool size (default: 3, best-of)
 #   PERF_THRESHOLD    perf_guard slowdown tolerance (default: 0.25)
@@ -38,6 +41,27 @@
 # the serial pass or any corpus rewrite failed. speedup_vs_serial is recorded
 # but NOT gated: it is hardware-dependent (on a 1-core machine every pool
 # size necessarily runs ~1x; interpret it against hardware_concurrency).
+#
+# BENCH_serve.json format (written by bench/serve_throughput.cpp):
+#   {
+#     "bench": "serve_throughput",
+#     "corpus_size": <CB count>, "repeats": <warm-pass best-of count>,
+#     "cold_wall_ms": <62 cold rewrites>, "warm_wall_ms": <62 cache hits>,
+#     "warm_speedup": <cold/warm>, "min_warm_speedup": <gated floor, 10x>,
+#     "cache_hit_rate": <warm-pass hit fraction>, "min_cache_hit_rate": 1.0,
+#     "outputs_identical": <warm bytes == cold bytes, per request>,
+#     "cold_digest"/"warm_digest": <chained fnv1a over outputs; must match>,
+#     "delta": {"attempted": N, "hits": N, "min_hits": <gated floor>,
+#               "cold_fallbacks": N, "wall_ms": ...,
+#               "outputs_identical": <every delta response == direct rewrite>,
+#               "text_never_delta": <text edits never served as delta>},
+#     "engine": {<ServeStats counters>}
+#   }
+# The binary exits non-zero when warm outputs diverge from cold, the hit
+# rate is below 1.0, the warm speedup is under min_warm_speedup, any
+# delta-path response differs from a direct cold rewrite, or a text-byte
+# perturbation was served from the delta path. perf_guard --serve re-checks
+# the identity bits plus the baseline's recorded floors.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -46,10 +70,12 @@ OUT="${BENCH_OUT:-$ROOT/BENCH_micro.json}"
 CORPUS_OUT="${BENCH_CORPUS_OUT:-$ROOT/BENCH_corpus.json}"
 LAYOUT_OUT="${BENCH_LAYOUT_OUT:-$ROOT/BENCH_layout.json}"
 FUZZ_OUT="${BENCH_FUZZ_OUT:-$ROOT/BENCH_fuzz.json}"
+SERVE_OUT="${BENCH_SERVE_OUT:-$ROOT/BENCH_serve.json}"
 FILTER="${1:-.}"
 
 cmake -S "$ROOT" -B "$BUILD" >/dev/null
-cmake --build "$BUILD" --target micro batch_corpus layout_stats fuzz_overhead -j "$(nproc)" >/dev/null
+cmake --build "$BUILD" --target micro batch_corpus layout_stats fuzz_overhead serve_throughput \
+  -j "$(nproc)" >/dev/null
 
 args=(--benchmark_filter="$FILTER"
       --benchmark_out="$OUT"
@@ -66,6 +92,8 @@ echo "wrote $OUT"
 
 "$BUILD/bench/fuzz_overhead" --out="$FUZZ_OUT"
 
+"$BUILD/bench/serve_throughput" --out="$SERVE_OUT"
+
 # Guard the throughput trajectory: a fresh run that regressed any shared
 # benchmark beyond the threshold fails the script. Skipped when the fresh
 # output IS the committed baseline path (first-time generation).
@@ -76,4 +104,8 @@ fi
 if [[ "$FUZZ_OUT" != "$ROOT/BENCH_fuzz.json" && -f "$ROOT/BENCH_fuzz.json" ]]; then
   python3 "$ROOT/tools/perf_guard.py" --fuzz "$FUZZ_OUT" \
     --baseline "$ROOT/BENCH_fuzz.json" --threshold "${PERF_THRESHOLD:-0.25}"
+fi
+if [[ "$SERVE_OUT" != "$ROOT/BENCH_serve.json" && -f "$ROOT/BENCH_serve.json" ]]; then
+  python3 "$ROOT/tools/perf_guard.py" --serve "$SERVE_OUT" \
+    --baseline "$ROOT/BENCH_serve.json" --threshold "${PERF_THRESHOLD:-0.25}"
 fi

@@ -50,10 +50,10 @@ int main(int argc, char** argv) {
   }
 
   vm::RunLimits limits;
-  limits.max_insns = args.value_u64("max-insns", limits.max_insns);
+  limits.max_insns = cli::checked_u64(args, "max-insns", limits.max_insns);
   vm::Machine machine(*linked, limits);
   machine.set_input(std::move(input));
-  machine.set_random_seed(args.value_u64("seed", 0));
+  machine.set_random_seed(cli::checked_u64(args, "seed", 0));
   if (args.has("trace"))
     machine.set_trace([](std::uint64_t pc, const isa::Insn& in) {
       std::fprintf(stderr, "%s: %s\n", hex_addr(pc).c_str(), isa::to_string_at(in, pc).c_str());

@@ -15,18 +15,133 @@
 // Fuzz mode: instrument with coverage and run the coverage-guided fuzzer.
 //   zipr-cli fuzz input.zelf [--transform=cov]... [--runs=N] [--jobs=N]
 //            [--seed=N] [--input=<seed file>]... [--crash-dir=DIR]
+//
+// Serve mode: long-running rewrite service on a local Unix socket, with a
+// content-addressed artifact cache and a page-delta fast path.
+//   zipr-cli serve --socket=PATH [--jobs=N] [--cache-mb=N] [--no-delta]
+//            [--max-delta-pages=N] [--max-requests=N]
+//   zipr-cli submit <input.zelf> --socket=PATH --out=<output.zelf>
+//            [rewrite flags as in single-binary mode]
 #include <cinttypes>
+#include <climits>
 #include <filesystem>
 
 #include "batch/batch_rewriter.h"
 #include "cli_util.h"
 #include "fuzz/fuzzer.h"
 #include "irdb/serialize.h"
+#include "serve/engine.h"
+#include "serve/socket.h"
 #include "transform/api.h"
 #include "zelf/io.h"
 #include "zipr/zipr.h"
 
 namespace {
+
+// Rewrite-configuration flags shared by single-binary, batch, and submit
+// modes; every numeric flag is strictly parsed (cli::checked_u64).
+const std::vector<std::string> kRewriteFlags = {
+    "transform", "placement", "seed",          "coalesce",  "no-coalesce",
+    "cov-prune", "no-cov-prune", "pin-call-returns", "naive-pins"};
+
+zipr::RewriteOptions parse_rewrite_options(const zipr::cli::Args& args) {
+  using namespace zipr;
+  RewriteOptions options;
+  options.transforms = args.values("transform");
+  options.seed = cli::checked_u64(args, "seed", 1);
+  options.analysis.pinning.pin_call_returns = args.has("pin-call-returns");
+  options.analysis.pinning.naive_pin_all = args.has("naive-pins");
+  std::string placement = args.value("placement").value_or("nearfit");
+  if (placement == "nearfit")
+    options.placement = rewriter::PlacementKind::kNearfit;
+  else if (placement == "diversity")
+    options.placement = rewriter::PlacementKind::kDiversity;
+  else if (placement == "pinpage")
+    options.placement = rewriter::PlacementKind::kPinPage;
+  else
+    cli::die("unknown placement '" + placement + "'");
+  if (args.has("coalesce") && args.has("no-coalesce"))
+    cli::die("--coalesce and --no-coalesce are mutually exclusive");
+  if (args.has("coalesce")) options.coalesce = true;
+  if (args.has("no-coalesce")) options.coalesce = false;
+  if (args.has("cov-prune") && args.has("no-cov-prune"))
+    cli::die("--cov-prune and --no-cov-prune are mutually exclusive");
+  options.cov_prune = !args.has("no-cov-prune");
+  return options;
+}
+
+std::vector<std::string> with_flags(std::vector<std::string> base,
+                                    std::initializer_list<const char*> extra) {
+  for (const char* f : extra) base.emplace_back(f);
+  return base;
+}
+
+int run_serve(const zipr::cli::Args& args) {
+  using namespace zipr;
+  cli::reject_unknown(args, {"socket", "jobs", "cache-mb", "no-delta", "max-delta-pages",
+                             "max-requests"});
+  auto socket_path = args.value("socket");
+  if (!socket_path) cli::die("serve mode requires --socket=<path>");
+
+  serve::ServeOptions sopts;
+  sopts.jobs = static_cast<int>(cli::checked_u64(args, "jobs", 1, 4096));
+  sopts.cache_bytes =
+      static_cast<std::size_t>(cli::checked_u64(args, "cache-mb", 64, 1 << 20)) << 20;
+  sopts.enable_delta = !args.has("no-delta");
+  sopts.delta.max_changed_pages =
+      static_cast<std::size_t>(cli::checked_u64(args, "max-delta-pages", 8, 1 << 20));
+  serve::ServeEngine engine(sopts);
+
+  serve::SocketServerOptions server;
+  server.path = *socket_path;
+  server.max_requests =
+      static_cast<long>(cli::checked_u64(args, "max-requests", 0, LONG_MAX));
+  if (server.max_requests == 0) server.max_requests = -1;  // 0/absent = unbounded
+
+  std::printf("serve: listening on %s (jobs %d, cache %zu MiB, delta %s)\n",
+              socket_path->c_str(), sopts.jobs, sopts.cache_bytes >> 20,
+              sopts.enable_delta ? "on" : "off");
+  std::fflush(stdout);
+
+  Status st = serve::serve_on_socket(engine, server);
+  if (!st.ok()) cli::die(st.error().message);
+
+  serve::ServeStats s = engine.stats();
+  std::printf(
+      "serve: %" PRIu64 " request(s): %" PRIu64 " cold, %" PRIu64 " cache hit(s), %" PRIu64
+      " delta hit(s), %" PRIu64 " delta fallback(s), %" PRIu64
+      " failure(s); cache %zu bytes, %" PRIu64 " eviction(s)\n",
+      s.requests, s.cold, s.cache_hits, s.delta_hits, s.delta_fallbacks, s.failures,
+      s.cache.bytes, s.cache.evictions);
+  return 0;
+}
+
+int run_submit(const zipr::cli::Args& args) {
+  using namespace zipr;
+  cli::reject_unknown(args, with_flags(kRewriteFlags, {"socket", "out"}));
+  if (args.positional().size() != 2)
+    cli::die("submit mode takes exactly one input image: zipr-cli submit <input.zelf>");
+  auto socket_path = args.value("socket");
+  if (!socket_path) cli::die("submit mode requires --socket=<path>");
+  auto out_path = args.value("out");
+  if (!out_path) cli::die("--out=<path> is required");
+
+  auto data = cli::read_file(args.positional()[1]);
+  if (!data) cli::die("cannot read " + args.positional()[1]);
+  const auto* bytes = reinterpret_cast<const Byte*>(data->data());
+
+  RewriteOptions options = parse_rewrite_options(args);
+  auto reply = serve::submit_over_socket(*socket_path, ByteView(bytes, data->size()), options);
+  if (!reply.ok()) cli::die(reply.error().message);
+
+  if (!cli::write_file(*out_path,
+                       std::string(reply->output.begin(), reply->output.end())))
+    cli::die("cannot write " + *out_path);
+  std::printf("%s -> %s: %zu -> %zu bytes (%s, %.2f ms)\n", args.positional()[1].c_str(),
+              out_path->c_str(), data->size(), reply->output.size(),
+              serve::source_name(reply->source), reply->wall_ms);
+  return 0;
+}
 
 int run_batch(const zipr::cli::Args& args, const zipr::RewriteOptions& options) {
   using namespace zipr;
@@ -37,7 +152,7 @@ int run_batch(const zipr::cli::Args& args, const zipr::RewriteOptions& options) 
   if (ec) cli::die("cannot create --out-dir " + *out_dir + ": " + ec.message());
 
   batch::BatchOptions bopts;
-  bopts.jobs = static_cast<int>(args.value_u64("jobs", 0));
+  bopts.jobs = static_cast<int>(cli::checked_u64(args, "jobs", 0, 4096));
   bopts.rewrite = options;
 
   // Loading is deferred into factories so file I/O parallelizes with
@@ -97,7 +212,7 @@ int run_fuzz(const zipr::cli::Args& args) {
   RewriteOptions options;
   options.transforms = args.values("transform");
   if (options.transforms.empty()) options.transforms = {"cov"};
-  options.seed = args.value_u64("seed", 1);
+  options.seed = cli::checked_u64(args, "seed", 1);
   if (args.has("cov-prune") && args.has("no-cov-prune"))
     cli::die("--cov-prune and --no-cov-prune are mutually exclusive");
   options.cov_prune = !args.has("no-cov-prune");
@@ -123,8 +238,8 @@ int run_fuzz(const zipr::cli::Args& args) {
 
   fuzz::FuzzOptions fopts;
   fopts.seed = options.seed;
-  fopts.jobs = static_cast<int>(args.value_u64("jobs", 1));
-  fopts.max_execs = args.value_u64("runs", 20000);
+  fopts.jobs = static_cast<int>(cli::checked_u64(args, "jobs", 1, 4096));
+  fopts.max_execs = cli::checked_u64(args, "runs", 20000);
   auto result = fuzz::fuzz(rewritten->image, seeds, fopts);
   if (!result.ok()) cli::die(result.error().message);
 
@@ -156,10 +271,11 @@ int main(int argc, char** argv) {
   using namespace zipr;
   cli::Args args(argc, argv);
   if (!args.positional().empty() && args.positional()[0] == "fuzz") return run_fuzz(args);
-  cli::reject_unknown(args, {"out", "out-dir", "jobs", "transform", "placement", "seed",
-                             "coalesce", "no-coalesce", "cov-prune", "no-cov-prune",
-                             "pin-call-returns", "naive-pins", "stats", "dump-ir",
-                             "list-transforms", "help"});
+  if (!args.positional().empty() && args.positional()[0] == "serve") return run_serve(args);
+  if (!args.positional().empty() && args.positional()[0] == "submit") return run_submit(args);
+  cli::reject_unknown(args, with_flags(kRewriteFlags, {"out", "out-dir", "jobs", "stats",
+                                                       "dump-ir", "list-transforms",
+                                                       "help"}));
 
   if (args.has("list-transforms")) {
     for (const auto& name : transform::registered_transforms()) std::printf("%s\n", name.c_str());
@@ -177,31 +293,17 @@ int main(int argc, char** argv) {
         "       zipr-cli fuzz <input.zelf> [--transform=cov]... [--runs=N] [--jobs=N]\n"
         "                [--seed=N] [--input=<seed file>]... [--crash-dir=<dir>]\n"
         "                [--cov-prune|--no-cov-prune]\n"
-        "                (coverage-guided fuzzing of the instrumented image)\n");
+        "                (coverage-guided fuzzing of the instrumented image)\n"
+        "       zipr-cli serve --socket=<path> [--jobs=N] [--cache-mb=N] [--no-delta]\n"
+        "                [--max-delta-pages=N] [--max-requests=N]\n"
+        "                (rewrite service: content-addressed cache + delta path)\n"
+        "       zipr-cli submit <input.zelf> --socket=<path> --out=<output.zelf>\n"
+        "                [shared rewrite flags]\n"
+        "                (send one job to a running serve instance)\n");
     return args.has("help") ? 0 : 2;
   }
 
-  RewriteOptions options;
-  options.transforms = args.values("transform");
-  options.seed = args.value_u64("seed", 1);
-  options.analysis.pinning.pin_call_returns = args.has("pin-call-returns");
-  options.analysis.pinning.naive_pin_all = args.has("naive-pins");
-  std::string placement = args.value("placement").value_or("nearfit");
-  if (placement == "nearfit")
-    options.placement = rewriter::PlacementKind::kNearfit;
-  else if (placement == "diversity")
-    options.placement = rewriter::PlacementKind::kDiversity;
-  else if (placement == "pinpage")
-    options.placement = rewriter::PlacementKind::kPinPage;
-  else
-    cli::die("unknown placement '" + placement + "'");
-  if (args.has("coalesce") && args.has("no-coalesce"))
-    cli::die("--coalesce and --no-coalesce are mutually exclusive");
-  if (args.has("coalesce")) options.coalesce = true;
-  if (args.has("no-coalesce")) options.coalesce = false;
-  if (args.has("cov-prune") && args.has("no-cov-prune"))
-    cli::die("--cov-prune and --no-cov-prune are mutually exclusive");
-  options.cov_prune = !args.has("no-cov-prune");
+  RewriteOptions options = parse_rewrite_options(args);
 
   // 2+ inputs (or an explicit --out-dir / --jobs): corpus batch mode.
   if (args.positional().size() > 1 || args.has("out-dir") || args.has("jobs"))
