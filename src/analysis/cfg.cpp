@@ -51,7 +51,7 @@ Cfg Cfg::build(const IrProgram& prog) {
   std::set<InsnId> leaders;
   std::set<InsnId> probe_sites;
   std::set<InsnId> continuations;
-  db.for_each_insn([&](const irdb::Instruction& row) {
+  db.for_each_insn([&](const auto& row) {
     if (row.target != irdb::kNullInsn) {
       leaders.insert(row.target);
       probe_sites.insert(row.target);
@@ -101,7 +101,7 @@ Cfg Cfg::build(const IrProgram& prog) {
   };
   // Static-target edge: a lifted row, a fixed original address (off-text
   // ends the program; inside text it enters verbatim bytes), or opaque.
-  auto target_edge = [&](const irdb::Instruction& row) -> BlockId {
+  auto target_edge = [&](const auto& row) -> BlockId {
     if (row.target != irdb::kNullInsn) return leader_block(row.target);
     if (row.abs_target && *row.abs_target >= text_end) return kExit;
     return kUnknown;
@@ -112,7 +112,7 @@ Cfg Cfg::build(const IrProgram& prog) {
     InsnId cur = b.leader;
     bool have_unsafe = false;
     while (cur != irdb::kNullInsn) {
-      const irdb::Instruction& row = db.insn(cur);
+      const auto row = db.insn(cur);
       if (cur != b.leader && leaders.count(cur)) break;  // next block starts
       b.insns.push_back(cur);
       if (cur != b.leader) cfg.row_block_.emplace(cur, bid);
@@ -130,7 +130,7 @@ Cfg Cfg::build(const IrProgram& prog) {
         // Peephole: `movi r0, K` directly before resolves the number.
         std::int64_t num = -1;
         if (b.insns.size() >= 2) {
-          const irdb::Instruction& prev = db.insn(b.insns[b.insns.size() - 2]);
+          const auto prev = db.insn(b.insns[b.insns.size() - 2]);
           if ((prev.decoded.op == Op::kMovI || prev.decoded.op == Op::kMovI64) &&
               prev.decoded.ra == 0)
             num = prev.decoded.imm;
@@ -160,7 +160,7 @@ Cfg Cfg::build(const IrProgram& prog) {
       continue;
     }
     if (b.may_exit) cfg.add_edge(bid, kExit);
-    const irdb::Instruction& last = db.insn(b.insns.back());
+    const auto last = db.insn(b.insns.back());
     const Op op = last.decoded.op;
     switch (op) {
       case Op::kJmp:
@@ -198,7 +198,7 @@ Cfg Cfg::build(const IrProgram& prog) {
         // EXIT edge was added above via may_exit.)
         bool resolved_terminate = false;
         if (b.insns.size() >= 2) {
-          const irdb::Instruction& prev = db.insn(b.insns[b.insns.size() - 2]);
+          const auto prev = db.insn(b.insns[b.insns.size() - 2]);
           resolved_terminate = (prev.decoded.op == Op::kMovI || prev.decoded.op == Op::kMovI64) &&
                                prev.decoded.ra == 0 && prev.decoded.imm == 1;
         }
@@ -223,7 +223,7 @@ Cfg Cfg::build(const IrProgram& prog) {
   // (tail calls, shared tails) taints it, routing its rets -- and the
   // continuations of its call sites -- through UNKNOWN instead.
   std::set<irdb::FuncId> tainted;
-  db.for_each_insn([&](const irdb::Instruction& row) {
+  db.for_each_insn([&](const auto& row) {
     if (row.target == irdb::kNullInsn || row.decoded.op == Op::kCall) return;
     irdb::FuncId tf = db.insn(row.target).function;
     if (tf != irdb::kNullFunc && tf != row.function) tainted.insert(tf);

@@ -2,23 +2,26 @@
 
 #include <deque>
 
+#include "batch/worker_pool.h"
 #include "support/log.h"
 
 namespace zipr::analysis {
 
 namespace {
 
-/// Decode the instruction at `addr` out of the text segment. Fails past
-/// the FILE-backed bytes (a text segment's memsize may exceed its file
-/// size; the zero-filled tail holds no decodable content) or on an
-/// invalid encoding.
-Result<isa::Insn> decode_at(const zelf::Segment& text, std::uint64_t addr) {
-  if (addr < text.vaddr) return Error::decode("address outside text");
+/// Decode the instruction at `addr` out of the text segment into `out`.
+/// False past the FILE-backed bytes (a text segment's memsize may exceed
+/// its file size; the zero-filled tail holds no decodable content) or on
+/// an invalid encoding. Allocation-free: both sweeps probe every data
+/// byte embedded in text, so a failed decode must not compose an error
+/// message.
+bool decode_at(const zelf::Segment& text, std::uint64_t addr, isa::Insn& out) {
+  if (addr < text.vaddr) return false;
   std::uint64_t off = addr - text.vaddr;
-  if (off >= text.bytes.size()) return Error::decode("past end of text bytes");
+  if (off >= text.bytes.size()) return false;
   std::size_t avail = text.bytes.size() - static_cast<std::size_t>(off);
   std::size_t want = std::min<std::size_t>(isa::kMaxInsnLen, avail);
-  return isa::decode(ByteView(text.bytes.data() + off, want));
+  return isa::decode_at(ByteView(text.bytes.data() + off, want), out);
 }
 
 /// True if `insn` carries an immediate that plausibly names a code address
@@ -43,40 +46,167 @@ bool immediate_names_code(const isa::Insn& insn, const zelf::Segment& text,
   }
 }
 
-}  // namespace
+/// Insert the byte coverage of an address-sorted, non-overlapping
+/// instruction sequence as maximal contiguous runs: one IntervalSet node
+/// per run instead of two transient node allocations per instruction
+/// (insert-then-coalesce).
+template <typename Range>
+void insert_coverage(const Range& insns, IntervalSet* code) {
+  std::uint64_t run_lo = 0, run_hi = 0;
+  for (const auto& [addr, insn] : insns) {
+    if (addr != run_hi) {
+      if (run_lo != run_hi) code->insert(run_lo, run_hi);
+      run_lo = addr;
+    }
+    run_hi = addr + insn.length;
+  }
+  if (run_lo != run_hi) code->insert(run_lo, run_hi);
+}
 
-DisasmResult linear_sweep(const zelf::Segment& text) {
-  DisasmResult out;
-  std::uint64_t addr = text.vaddr;
-  const std::uint64_t end = text.vaddr + text.bytes.size();
-  while (addr < end) {
-    auto insn = decode_at(text, addr);
-    if (!insn.ok()) {
+/// One parallel sweep chunk: the decode stream started at `start`,
+/// truncated to entries below the next chunk's start, plus the address the
+/// stream exited the chunk at (>= the next chunk's start).
+struct SweepChunk {
+  std::vector<AddrInsnMap::value_type> insns;
+  std::uint64_t exit = 0;
+};
+
+/// Decode forward from `addr`, recording entries with address < `limit`;
+/// returns the first reached address >= `limit` (the stream's exit point).
+std::uint64_t sweep_run(const zelf::Segment& text, std::uint64_t addr, std::uint64_t limit,
+                        std::vector<AddrInsnMap::value_type>* out) {
+  isa::Insn insn;
+  while (addr < limit) {
+    if (!decode_at(text, addr, insn)) {
       // Resynchronize one byte later, like objdump's ".byte" fallback.
       ++addr;
       continue;
     }
-    out.insns.emplace(addr, *insn);
-    out.code.insert(addr, addr + insn->length);
-    addr += insn->length;
+    out->emplace_back(addr, insn);
+    addr += insn.length;
   }
+  return addr;
+}
+
+}  // namespace
+
+DisasmResult linear_sweep(const zelf::Segment& text, int jobs) {
+  const std::uint64_t begin = text.vaddr;
+  const std::uint64_t end = text.vaddr + text.bytes.size();
+  DisasmResult out;
+
+  // Chunks below ~16 KB are not worth a dispatch; this also keeps tiny
+  // binaries on the serial path regardless of the requested job count.
+  std::size_t workers = batch::effective_jobs(jobs, text.bytes.size() / (16 * 1024));
+  if (workers <= 1) {
+    std::vector<AddrInsnMap::value_type> v;
+    v.reserve(text.bytes.size() / 4);
+    sweep_run(text, begin, end, &v);
+    insert_coverage(v, &out.code);
+    out.insns.adopt_sorted(std::move(v));
+    return out;
+  }
+
+  // Parallel sweep: fixed chunks decode independently, then a sequential
+  // stitch repairs each boundary. Decoding at an address is memoryless --
+  // it depends only on the bytes there, not on how the sweep arrived -- so
+  // once the true stream reaches ANY address a chunk's local stream also
+  // decoded, the two streams coincide from that point on. The stitch
+  // re-decodes from the previous chunk's exit address until it hits such
+  // an address (usually within a few instructions) and splices the rest.
+  const std::uint64_t chunk = (end - begin + workers - 1) / workers;
+  std::vector<SweepChunk> chunks(workers);
+  batch::parallel_for(static_cast<int>(workers), workers, [&](std::size_t i) {
+    std::uint64_t lo = begin + chunk * i;
+    std::uint64_t hi = std::min<std::uint64_t>(end, lo + chunk);
+    if (lo >= hi) {
+      chunks[i].exit = lo;
+      return;
+    }
+    chunks[i].insns.reserve(static_cast<std::size_t>(hi - lo) / 4);
+    chunks[i].exit = sweep_run(text, lo, hi, &chunks[i].insns);
+  });
+
+  // Chunk 0's local stream IS the true stream over its range.
+  std::vector<AddrInsnMap::value_type> merged = std::move(chunks[0].insns);
+  std::uint64_t stream_pos = chunks[0].exit;  // true stream's next address
+  for (std::size_t i = 1; i < workers; ++i) {
+    const std::uint64_t lo = begin + chunk * i;
+    const std::uint64_t hi = std::min<std::uint64_t>(end, lo + chunk);
+    if (lo >= hi) continue;
+    const auto& local = chunks[i].insns;
+    // Walk the true stream until it lands on a locally-decoded start (or
+    // leaves the chunk). Locally decoded starts form one monotone chain,
+    // so membership is a binary search.
+    std::size_t sync = 0;
+    while (stream_pos < hi) {
+      auto it = std::lower_bound(
+          local.begin(), local.end(), stream_pos,
+          [](const AddrInsnMap::value_type& p, std::uint64_t a) { return p.first < a; });
+      if (it != local.end() && it->first == stream_pos) {
+        sync = static_cast<std::size_t>(it - local.begin());
+        break;
+      }
+      isa::Insn insn;
+      if (!decode_at(text, stream_pos, insn)) {
+        ++stream_pos;
+        continue;
+      }
+      merged.emplace_back(stream_pos, insn);
+      stream_pos += insn.length;
+    }
+    if (stream_pos >= hi) continue;  // never synchronized; chunk fully re-decoded
+    merged.insert(merged.end(), local.begin() + static_cast<std::ptrdiff_t>(sync),
+                  local.end());
+    stream_pos = chunks[i].exit;
+  }
+
+  insert_coverage(merged, &out.code);
+  out.insns.adopt_sorted(std::move(merged));
   return out;
 }
 
 namespace {
 
-/// Shared traversal state.
+/// Shared traversal state. Claim-tracking lives in a per-byte state array
+/// over the text segment (bit 0: an instruction STARTS here; bit 1: the
+/// byte is covered by some claimed instruction) -- O(1) queries with no
+/// per-claim allocation; the sorted claim table is built once at the end.
 struct Traverser {
+  static constexpr std::uint8_t kStart = 1;
+  static constexpr std::uint8_t kCovered = 2;
+
   const zelf::Image& image;
   const zelf::Segment& text;
   const TraversalOptions& opts;
   TraversalResult result;
   std::deque<std::uint64_t> worklist;
+  std::vector<std::uint8_t> state;  ///< per text byte
+  std::size_t claim_count = 0;
 
   explicit Traverser(const zelf::Image& img, const TraversalOptions& o)
-      : image(img), text(img.text()), opts(o) {}
+      : image(img), text(img.text()), opts(o), state(text.bytes.size(), 0) {}
 
-  bool claimed_at(std::uint64_t addr) const { return result.dis.insns.count(addr) != 0; }
+  bool in_text(std::uint64_t addr) const {
+    return addr >= text.vaddr && addr - text.vaddr < state.size();
+  }
+  bool claimed_at(std::uint64_t addr) const {
+    return in_text(addr) && (state[addr - text.vaddr] & kStart);
+  }
+  bool covered_at(std::uint64_t addr) const {
+    return in_text(addr) && (state[addr - text.vaddr] & kCovered);
+  }
+  bool covered_any(std::uint64_t lo, std::uint64_t hi) const {
+    for (std::uint64_t a = lo; a < hi; ++a)
+      if (covered_at(a)) return true;
+    return false;
+  }
+  void claim(std::uint64_t addr, const isa::Insn& insn) {
+    ++claim_count;
+    std::uint64_t off = addr - text.vaddr;
+    state[off] |= kStart;
+    for (std::uint8_t b = 0; b < insn.length; ++b) state[off + b] |= kCovered;
+  }
 
   /// Validate a tentative code seed: walk the fallthrough chain from
   /// `seed`; accept only if every byte decodes and the run terminates at a
@@ -85,21 +215,21 @@ struct Traverser {
   /// decodes into a clean, properly-terminated run.
   bool validate_run(std::uint64_t seed) const {
     std::uint64_t addr = seed;
+    isa::Insn insn;
     for (int steps = 0; steps < 100000; ++steps) {
       if (claimed_at(addr)) return true;  // flows into known code
-      if (result.dis.code.contains(addr)) return false;  // mid-insn overlap
-      auto insn = decode_at(text, addr);
-      if (!insn.ok()) return false;
-      if (insn->has_static_target()) {
-        std::uint64_t t = insn->target(addr);
+      if (covered_at(addr)) return false;  // mid-insn overlap
+      if (!decode_at(text, addr, insn)) return false;
+      if (insn.has_static_target()) {
+        std::uint64_t t = insn.target(addr);
         if (!text.contains(t)) return false;  // branch out of text
       }
-      if (!insn->has_fallthrough()) return true;  // clean terminator
-      addr += insn->length;
+      if (!insn.has_fallthrough()) return true;  // clean terminator
+      addr += insn.length;
       if (addr >= text.vaddr + text.bytes.size()) {
         // Ran off the end. A trailing syscall is an idiomatic terminator
         // (terminate never returns); anything else is rejected.
-        return insn->op == isa::Op::kSyscall;
+        return insn.op == isa::Op::kSyscall;
       }
     }
     return false;
@@ -108,40 +238,39 @@ struct Traverser {
   /// Claim one instruction; push its control-flow successors.
   void visit(std::uint64_t addr) {
     if (claimed_at(addr)) return;
-    if (result.dis.code.contains(addr)) {
+    if (covered_at(addr)) {
       // Overlaps a previously-claimed instruction at a different offset --
       // conflicting evidence; leave for the aggregator.
       ZIPR_WARN << "traversal: misaligned overlap at " << hex_addr(addr);
       return;
     }
-    auto insn = decode_at(text, addr);
-    if (!insn.ok()) {
+    isa::Insn insn;
+    if (!decode_at(text, addr, insn)) {
       ZIPR_DEBUG << "traversal: undecodable at " << hex_addr(addr);
       return;
     }
-    if (result.dis.code.overlaps(addr, addr + insn->length)) {
+    if (covered_any(addr, addr + insn.length)) {
       ZIPR_WARN << "traversal: tail overlap at " << hex_addr(addr);
       return;
     }
-    result.dis.insns.emplace(addr, *insn);
-    result.dis.code.insert(addr, addr + insn->length);
+    claim(addr, insn);
 
-    if (insn->has_fallthrough()) worklist.push_back(addr + insn->length);
-    if (insn->has_static_target()) {
-      std::uint64_t t = insn->target(addr);
+    if (insn.has_fallthrough()) worklist.push_back(addr + insn.length);
+    if (insn.has_static_target()) {
+      std::uint64_t t = insn.target(addr);
       if (text.contains(t)) {
         worklist.push_back(t);
-        if (insn->is_call()) result.function_entries.insert(t);
+        if (insn.is_call()) result.function_entries.insert(t);
       }
     }
-    if (insn->op == isa::Op::kJmpT) discover_jump_table(addr, *insn);
+    if (insn.op == isa::Op::kJmpT) discover_jump_table(addr, insn);
 
     std::uint64_t const_target = 0;
-    if (immediate_names_code(*insn, text, &const_target)) {
+    if (immediate_names_code(insn, text, &const_target)) {
       accept_indirect_target(const_target);
     }
-    if (insn->op == isa::Op::kLea) {
-      std::uint64_t ref = insn->pc_ref(addr);
+    if (insn.op == isa::Op::kLea) {
+      std::uint64_t ref = insn.pc_ref(addr);
       if (text.contains(ref)) accept_indirect_target(ref);
     }
   }
@@ -201,6 +330,25 @@ struct Traverser {
       }
     }
   }
+
+  /// Build the sorted claim table + coverage set by scanning the state
+  /// bitmap in address order and re-decoding each claimed start (decoding
+  /// is deterministic in the bytes, so this reproduces exactly what
+  /// claim() saw). One sequential pass over text-sized data, instead of
+  /// accumulating claims in discovery order and paying an O(n log n) sort
+  /// over a multi-MB table -- the only superlinear term in the pipeline.
+  void finalize() {
+    std::vector<AddrInsnMap::value_type> sorted;
+    sorted.reserve(claim_count);
+    isa::Insn insn;
+    for (std::size_t off = 0; off < state.size(); ++off) {
+      if (!(state[off] & kStart)) continue;
+      std::uint64_t addr = text.vaddr + off;
+      if (decode_at(text, addr, insn)) sorted.emplace_back(addr, insn);
+    }
+    insert_coverage(sorted, &result.dis.code);
+    result.dis.insns.adopt_sorted(std::move(sorted));
+  }
 };
 
 }  // namespace
@@ -223,14 +371,17 @@ TraversalResult recursive_traversal(const zelf::Image& image, const TraversalOpt
     t.scan_data_segments();
     t.drain();
   }
+  t.finalize();
   return std::move(t.result);
 }
 
-Aggregate aggregate(const zelf::Segment& text, const DisasmResult& linear,
-                    const TraversalResult& recursive) {
+namespace {
+
+Aggregate aggregate_impl(const zelf::Segment& text, const DisasmResult& linear,
+                         AddrInsnMap code_insns, IntervalSet definite_code) {
   Aggregate out;
-  out.code_insns = recursive.dis.insns;
-  out.definite_code = recursive.dis.code;
+  out.code_insns = std::move(code_insns);
+  out.definite_code = std::move(definite_code);
 
   // Everything in the text segment's file bytes that conclusive traversal
   // did not claim is Case 2/3: kept verbatim (data) AND decodable as code.
@@ -242,15 +393,23 @@ Aggregate aggregate(const zelf::Segment& text, const DisasmResult& linear,
   // Count active disagreements: ambiguous ranges where linear sweep claims
   // decodable instructions (the paper's Case 3, engines disagree).
   for (const auto& iv : out.ambiguous.intervals()) {
-    bool linear_claims = false;
-    for (auto it = linear.insns.lower_bound(iv.begin);
-         it != linear.insns.end() && it->first < iv.end; ++it) {
-      linear_claims = true;
-      break;
-    }
-    if (linear_claims) ++out.disagreements;
+    auto it = linear.insns.lower_bound(iv.begin);
+    if (it != linear.insns.end() && it->first < iv.end) ++out.disagreements;
   }
   return out;
+}
+
+}  // namespace
+
+Aggregate aggregate(const zelf::Segment& text, const DisasmResult& linear,
+                    const TraversalResult& recursive) {
+  return aggregate_impl(text, linear, recursive.dis.insns, recursive.dis.code);
+}
+
+Aggregate aggregate(const zelf::Segment& text, const DisasmResult& linear,
+                    TraversalResult&& recursive) {
+  return aggregate_impl(text, linear, std::move(recursive.dis.insns),
+                        std::move(recursive.dis.code));
 }
 
 }  // namespace zipr::analysis

@@ -30,8 +30,10 @@
 //           whose decode runs fail validation stay in Case 3.
 #pragma once
 
-#include <map>
+#include <algorithm>
+#include <cassert>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "isa/insn.h"
@@ -41,10 +43,64 @@
 
 namespace zipr::analysis {
 
+/// Sorted flat (address -> decoded instruction) table. Exposes the subset
+/// of the std::map interface the pipeline uses -- count/find/lower_bound/
+/// ranged iteration over pairs -- but stores one contiguous vector, so
+/// building a 20k-instruction table is a handful of allocations instead
+/// of 20k node allocations, and iteration streams linearly.
+class AddrInsnMap {
+ public:
+  using value_type = std::pair<std::uint64_t, isa::Insn>;
+  using const_iterator = std::vector<value_type>::const_iterator;
+
+  /// Append an entry with an address greater than every existing one
+  /// (engines discover code in ascending order or sort before adoption).
+  void append(std::uint64_t addr, const isa::Insn& insn) {
+    v_.emplace_back(addr, insn);
+  }
+
+  /// Take ownership of unsorted (addr, insn) claims; sorts by address.
+  /// Addresses must be unique (one claim per address).
+  void adopt_unsorted(std::vector<value_type> v) {
+    v_ = std::move(v);
+    std::sort(v_.begin(), v_.end(),
+              [](const value_type& a, const value_type& b) { return a.first < b.first; });
+  }
+
+  /// Take ownership of claims already in ascending address order (the
+  /// linear sweep discovers them that way); skips the sort AND the
+  /// element-wise copy a rebuild through append() would cost.
+  void adopt_sorted(std::vector<value_type> v) {
+    assert(std::is_sorted(v.begin(), v.end(),
+                          [](const value_type& a, const value_type& b) { return a.first < b.first; }));
+    v_ = std::move(v);
+  }
+
+  std::size_t count(std::uint64_t addr) const { return find(addr) ? 1 : 0; }
+  const isa::Insn* find(std::uint64_t addr) const {
+    auto it = lower_bound(addr);
+    return (it != v_.end() && it->first == addr) ? &it->second : nullptr;
+  }
+  const_iterator lower_bound(std::uint64_t addr) const {
+    return std::lower_bound(
+        v_.begin(), v_.end(), addr,
+        [](const value_type& p, std::uint64_t a) { return p.first < a; });
+  }
+
+  const_iterator begin() const { return v_.begin(); }
+  const_iterator end() const { return v_.end(); }
+  std::size_t size() const { return v_.size(); }
+  bool empty() const { return v_.empty(); }
+  void reserve(std::size_t n) { v_.reserve(n); }
+
+ private:
+  std::vector<value_type> v_;
+};
+
 /// Output of one disassembly engine.
 struct DisasmResult {
   /// Decoded instruction at each address the engine claims is code.
-  std::map<std::uint64_t, isa::Insn> insns;
+  AddrInsnMap insns;
   /// Byte ranges covered by claimed instructions.
   IntervalSet code;
 };
@@ -58,8 +114,11 @@ struct JumpTable {
 };
 
 /// objdump-like engine. Decodes `text` sequentially; after an undecodable
-/// byte it advances one byte and resynchronizes.
-DisasmResult linear_sweep(const zelf::Segment& text);
+/// byte it advances one byte and resynchronizes. `jobs` > 1 decodes fixed
+/// chunks in parallel and stitches boundaries sequentially; because a
+/// decode at a given address is independent of how the sweep arrived
+/// there, the stitched result is EXACTLY the serial sweep's output.
+DisasmResult linear_sweep(const zelf::Segment& text, int jobs = 1);
 
 struct TraversalResult {
   DisasmResult dis;
@@ -86,7 +145,7 @@ TraversalResult recursive_traversal(const zelf::Image& image, const TraversalOpt
 /// Aggregated classification of the text segment.
 struct Aggregate {
   /// Authoritative decodes for relocatable (Case 1) code.
-  std::map<std::uint64_t, isa::Insn> code_insns;
+  AddrInsnMap code_insns;
   IntervalSet definite_code;
   /// Case 2/3 byte ranges: kept verbatim, also decoded for CFG purposes.
   IntervalSet ambiguous;
@@ -97,5 +156,13 @@ struct Aggregate {
 
 Aggregate aggregate(const zelf::Segment& text, const DisasmResult& linear,
                     const TraversalResult& recursive);
+
+/// Move overload for the pipeline hot path: steals `recursive.dis` (a
+/// multi-MB table on big binaries) instead of copying it. The traversal's
+/// metadata fields -- function_entries, jump_tables, indirect_targets,
+/// rejected_seeds -- are NOT consumed and stay valid for compute_pins and
+/// function grouping.
+Aggregate aggregate(const zelf::Segment& text, const DisasmResult& linear,
+                    TraversalResult&& recursive);
 
 }  // namespace zipr::analysis

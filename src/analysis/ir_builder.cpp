@@ -1,7 +1,5 @@
 #include "analysis/ir_builder.h"
 
-#include <deque>
-
 #include "support/log.h"
 
 namespace zipr::analysis {
@@ -9,18 +7,7 @@ namespace zipr::analysis {
 using irdb::InsnId;
 using irdb::kNullInsn;
 
-namespace {
-
-/// Instruction bytes as they appear in the original image.
-Bytes original_bytes(const zelf::Segment& text, std::uint64_t addr, std::uint8_t len) {
-  std::uint64_t off = addr - text.vaddr;
-  return Bytes(text.bytes.begin() + static_cast<std::ptrdiff_t>(off),
-               text.bytes.begin() + static_cast<std::ptrdiff_t>(off + len));
-}
-
-}  // namespace
-
-Result<IrProgram> build_ir(const zelf::Image& image, const AnalysisOptions& opts) {
+Result<IrProgram> build_ir(const zelf::Image& image, const AnalysisOptions& opts, int jobs) {
   ZIPR_TRY(image.validate());
   IrProgram prog;
   prog.original = image;
@@ -29,21 +16,30 @@ Result<IrProgram> build_ir(const zelf::Image& image, const AnalysisOptions& opts
   prog.original.symbols.clear();
 
   const zelf::Segment& text = image.text();
-  DisasmResult linear = linear_sweep(text);
+  DisasmResult linear = linear_sweep(text, jobs);
   TraversalResult recursive = recursive_traversal(image, opts.traversal);
-  Aggregate agg = aggregate(text, linear, recursive);
+  // The move overload steals recursive.dis (the traversal metadata the
+  // later stages read stays valid).
+  Aggregate agg = aggregate(text, linear, std::move(recursive));
   PinSet pins = compute_pins(image, agg, recursive, opts.pinning);
 
+  // The database references original bytes as views into one retained
+  // copy of the text image -- rows carry (offset, length), not buffers.
+  prog.db.set_backing(text.bytes, text.vaddr);
+  prog.db.reserve_insns(agg.code_insns.size() + agg.code_insns.size() / 8 + 64);
+
   // ---- lift definite code into rows ----
-  std::map<std::uint64_t, InsnId> row_at;
-  for (const auto& [addr, insn] : agg.code_insns) {
-    irdb::Instruction row;
-    row.decoded = insn;
-    row.orig_addr = addr;
-    row.orig_bytes = original_bytes(text, addr, insn.length);
-    row_at[addr] = prog.db.add_instruction(std::move(row));
-  }
-  prog.stats.code_insns = row_at.size();
+  // row_at: text offset -> row id, a dense array instead of a tree (lookup
+  // is one load; the text segment is at most a few MB).
+  std::vector<InsnId> row_at(text.bytes.size(), kNullInsn);
+  auto row_at_addr = [&](std::uint64_t addr) -> InsnId {
+    return (addr >= text.vaddr && addr - text.vaddr < row_at.size())
+               ? row_at[addr - text.vaddr]
+               : kNullInsn;
+  };
+  for (const auto& [addr, insn] : agg.code_insns)
+    row_at[addr - text.vaddr] = prog.db.add_original(insn, addr);
+  prog.stats.code_insns = agg.code_insns.size();
 
   // ---- link fallthroughs and targets (the mandatory transformation) ----
   // Synthetic jumps are appended when control flows from lifted code into
@@ -57,43 +53,37 @@ Result<IrProgram> build_ir(const zelf::Image& image, const AnalysisOptions& opts
     return prog.db.add_instruction(std::move(j));
   };
 
-  for (const auto& [addr, id] : row_at) {
-    // Copy the decoded form: adding synthetic rows below may reallocate
-    // the instruction table and invalidate references into it.
-    const isa::Insn insn = prog.db.insn(id).decoded;
+  for (const auto& [addr, insn] : agg.code_insns) {
+    // (`insn` is read from the aggregate, not the database: appending
+    // synthetic rows below may reallocate the decoded column.)
+    InsnId row_id = row_at[addr - text.vaddr];
 
     if (insn.has_static_target()) {
       std::uint64_t t = insn.target(addr);
-      auto it = row_at.find(t);
-      if (it != row_at.end())
-        prog.db.insn(id).target = it->second;
+      if (InsnId tid = row_at_addr(t); tid != kNullInsn)
+        prog.db.insn(row_id).target = tid;
       else
-        prog.db.insn(id).abs_target = t;  // stays at its original address
+        prog.db.insn(row_id).abs_target = t;  // stays at its original address
     }
-    if (insn.is_pc_relative_data()) prog.db.insn(id).data_ref = insn.pc_ref(addr);
+    if (insn.is_pc_relative_data()) prog.db.insn(row_id).data_ref = insn.pc_ref(addr);
 
     if (insn.has_fallthrough()) {
       std::uint64_t next = addr + insn.length;
-      auto it = row_at.find(next);
-      if (it != row_at.end()) {
-        prog.db.insn(id).fallthrough = it->second;
+      if (InsnId nid = row_at_addr(next); nid != kNullInsn) {
+        prog.db.insn(row_id).fallthrough = nid;
       } else {
         // Falls into verbatim bytes / past text end: jump to the original
         // address, reproducing in-place behaviour.
         InsnId j = synthesize_jump_to(next, irdb::kNullFunc);
-        prog.db.insn(id).fallthrough = j;
+        prog.db.insn(row_id).fallthrough = j;
       }
     }
   }
 
   // ---- verbatim rows for ambiguous ranges ----
   for (const auto& range : agg.ambiguous.intervals()) {
-    irdb::Instruction row;
-    row.verbatim = true;
-    row.orig_addr = range.begin;
-    row.orig_bytes = Bytes(text.bytes.begin() + static_cast<std::ptrdiff_t>(range.begin - text.vaddr),
-                           text.bytes.begin() + static_cast<std::ptrdiff_t>(range.end - text.vaddr));
-    InsnId id = prog.db.add_instruction(std::move(row));
+    InsnId id = prog.db.add_verbatim_range(range.begin,
+                                           static_cast<std::uint32_t>(range.size()));
     prog.verbatim.emplace_back(range, id);
     prog.stats.verbatim_bytes += range.size();
   }
@@ -101,10 +91,10 @@ Result<IrProgram> build_ir(const zelf::Image& image, const AnalysisOptions& opts
 
   // ---- record pins ----
   for (const auto& [addr, reasons] : pins.pins) {
-    auto it = row_at.find(addr);
-    if (it == row_at.end())
+    InsnId id = row_at_addr(addr);
+    if (id == kNullInsn)
       return Error::internal("pin at " + hex_addr(addr) + " has no lifted row");
-    ZIPR_TRY(prog.db.pin(addr, it->second));
+    ZIPR_TRY(prog.db.pin(addr, id));
     prog.pin_reasons[addr] = reasons;
   }
   prog.stats.pins = pins.pins.size();
@@ -118,28 +108,31 @@ Result<IrProgram> build_ir(const zelf::Image& image, const AnalysisOptions& opts
   // through another function's entry (a fallthrough off one function's
   // final instruction into the next function's first is a layout accident,
   // not membership).
-  std::set<InsnId> entry_rows;
+  // Entry membership as a bitmap over row ids: the BFS below queries it
+  // once per visited row, so a node-based set would be a cache miss per
+  // instruction on big binaries.
+  std::vector<bool> entry_rows(prog.db.insn_count() + 1, false);
   for (std::uint64_t entry : recursive.function_entries) {
-    auto eit = row_at.find(entry);
-    if (eit != row_at.end()) entry_rows.insert(eit->second);
+    if (InsnId id = row_at_addr(entry); id != kNullInsn) entry_rows[id] = true;
   }
+  std::vector<InsnId> work;  // FIFO via head index (same order as a deque)
   for (std::uint64_t entry : recursive.function_entries) {
-    auto eit = row_at.find(entry);
-    if (eit == row_at.end()) continue;
-    if (prog.db.insn(eit->second).function != irdb::kNullFunc) continue;
+    InsnId entry_id = row_at_addr(entry);
+    if (entry_id == kNullInsn) continue;
+    if (prog.db.insn(entry_id).function != irdb::kNullFunc) continue;
 
     irdb::Function f;
     f.name = "func_" + hex_addr(entry).substr(2);
-    f.entry = eit->second;
+    f.entry = entry_id;
     irdb::FuncId fid = prog.db.add_function(std::move(f));
 
-    std::deque<InsnId> work{eit->second};
-    while (!work.empty()) {
-      InsnId id = work.front();
-      work.pop_front();
-      irdb::Instruction& row = prog.db.insn(id);
+    work.clear();
+    work.push_back(entry_id);
+    for (std::size_t head = 0; head < work.size(); ++head) {
+      InsnId id = work[head];
+      auto row = prog.db.insn(id);
       if (row.function != irdb::kNullFunc) continue;
-      if (id != eit->second && entry_rows.count(id)) continue;
+      if (id != entry_id && entry_rows[id]) continue;
       row.function = fid;
       prog.db.function(fid).members.push_back(id);
       if (row.fallthrough != kNullInsn) work.push_back(row.fallthrough);

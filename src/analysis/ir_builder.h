@@ -56,7 +56,10 @@ struct IrProgram {
   AnalysisStats stats;
 };
 
-/// Run the full IR Construction phase on a binary image.
-Result<IrProgram> build_ir(const zelf::Image& image, const AnalysisOptions& opts = {});
+/// Run the full IR Construction phase on a binary image. `jobs` bounds
+/// intra-phase parallelism (the linear-sweep engine); it NEVER affects the
+/// resulting IR, so it is an execution knob, not an analysis option.
+Result<IrProgram> build_ir(const zelf::Image& image, const AnalysisOptions& opts = {},
+                           int jobs = 1);
 
 }  // namespace zipr::analysis

@@ -36,7 +36,7 @@ bool flags_live_at(const irdb::Database& db, InsnId start, std::uint64_t text_en
     work.pop_back();
     if (id == irdb::kNullInsn || !seen.insert(id).second) continue;
     if (seen.size() > 256) return true;  // walk exploded: assume live
-    const irdb::Instruction& row = db.insn(id);
+    const auto row = db.insn(id);
     if (row.verbatim) return true;  // opaque bytes: assume live
     const Insn& in = row.decoded;
     if (in.op == Op::kJcc) return true;   // consumer before any writer
@@ -155,7 +155,7 @@ bool edge_kills_flags(const irdb::Database& db, const BasicBlock& b) {
 std::uint16_t transfer(const irdb::Database& db, const BasicBlock& b, std::uint16_t live,
                        std::size_t down_to) {
   for (std::size_t i = b.insns.size(); i-- > down_to;) {
-    const irdb::Instruction& row = db.insn(b.insns[i]);
+    const auto row = db.insn(b.insns[i]);
     if (row.verbatim) {
       live = kAllLive;
       continue;

@@ -22,17 +22,17 @@ void verbatim_range_targets(const zelf::Segment& text, const Interval& range,
     if (off >= text.bytes.size()) break;
     std::size_t avail = static_cast<std::size_t>(
         std::min<std::uint64_t>(range.end - addr, text.bytes.size() - off));
-    auto insn = isa::decode(ByteView(text.bytes.data() + off, avail));
-    if (!insn.ok()) {
+    isa::Insn insn;
+    if (!isa::decode_at(ByteView(text.bytes.data() + off, avail), insn)) {
       ++addr;
       continue;
     }
-    if (insn->has_static_target()) {
-      std::uint64_t t = insn->target(addr);
+    if (insn.has_static_target()) {
+      std::uint64_t t = insn.target(addr);
       if (!range.contains(t) && text.contains(t)) out_targets->insert(t);
     }
-    addr += insn->length;
-    if (addr >= range.end && insn->has_fallthrough()) *out_falls_off_end = true;
+    addr += insn.length;
+    if (addr >= range.end && insn.has_fallthrough()) *out_falls_off_end = true;
   }
 }
 

@@ -12,16 +12,32 @@
 //     to live there (Sec. II-A2);
 //   * a function table used by the user-transform API and by CFI.
 //
+// Storage is struct-of-arrays: each column of the instruction table is a
+// dense vector indexed by id-1, so the hot reassembly loops (which touch
+// only fallthrough/target/length) stream over contiguous memory instead of
+// chasing 120-byte row objects. `insn(id)` returns a lightweight row PROXY
+// whose members are references into the columns -- call sites keep the
+// `row.field` syntax of a materialized struct. Original bytes are not
+// copied per row: the database retains ONE copy of the input text image
+// (`set_backing`) and rows reference (offset, length) views into it;
+// synthetic bytes (deserialized rows, tests) are interned into an overflow
+// region of the same blob.
+//
 // A pinned address `a` corresponds to exactly one instruction id at any
 // time. Transforms that rewrite the instruction in place keep the pin
 // attached (Fig. 2's i -> i' example); insert_before() exploits this by
 // rewriting the pinned id and moving the original payload to a fresh id.
+// The pin table is a sorted flat vector: IR construction appends pins in
+// ascending address order (the common case is O(1)), and lookup is a
+// binary search.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "isa/insn.h"
@@ -37,7 +53,9 @@ inline constexpr InsnId kNullInsn = 0;
 using FuncId = std::uint32_t;
 inline constexpr FuncId kNullFunc = 0;
 
-/// One row of the instruction table.
+/// A materialized instruction row: the INSERTION RECORD for
+/// Database::add_instruction and the snapshot type for structured edits.
+/// The database itself does not store these -- see the column arrays.
 struct Instruction {
   InsnId id = kNullInsn;
   isa::Insn decoded;  ///< semantic form; branch displacement fields are NOT
@@ -57,7 +75,7 @@ struct Instruction {
   /// Static CF target expressed as an ORIGINAL absolute address, used when
   /// the target was not lifted to a row (it lies inside a verbatim
   /// code/data range that stays at its original location). Mutually
-  /// exclusive with `target`.
+  /// exclusive with `target` (enforced by validate()).
   std::optional<std::uint64_t> abs_target;
 
   /// For PC-relative data instructions (lea/loadpc): the absolute address
@@ -84,45 +102,174 @@ struct Function {
   std::vector<InsnId> members;  ///< instruction ids, entry first
 };
 
+class Database;
+
+/// (offset, length) view into the database's retained byte blob.
+struct OrigView {
+  std::uint32_t off = 0;
+  std::uint32_t len = 0;
+};
+
+/// Read-only handle to a row's original bytes (a view into the blob).
+class ConstOrigBytesRef {
+ public:
+  ConstOrigBytesRef(const Database* db, const OrigView* v) : db_(db), v_(v) {}
+  std::size_t size() const { return v_->len; }
+  bool empty() const { return v_->len == 0; }
+  inline ByteView view() const;
+  operator ByteView() const { return view(); }
+  friend bool operator==(const ConstOrigBytesRef& a, ByteView b) {
+    ByteView av = a.view();
+    return std::equal(av.begin(), av.end(), b.begin(), b.end());
+  }
+
+ protected:
+  const Database* db_;
+  const OrigView* v_;
+};
+
+/// Mutable handle: assignment interns bytes into the blob; clear() drops
+/// the view (the blob itself is append-only within a database lifetime).
+class OrigBytesRef : public ConstOrigBytesRef {
+ public:
+  OrigBytesRef(Database* db, OrigView* v) : ConstOrigBytesRef(db, v) {}
+  void clear() { const_cast<OrigView*>(v_)->len = 0; }
+  inline OrigBytesRef& operator=(ByteView bytes);
+};
+
+/// Read-only row proxy over the column arrays. Cheap to construct; member
+/// access compiles to a column load. `id` is the row's identity, not a
+/// mutable field.
+struct ConstRowRef {
+  const InsnId id;
+  const isa::Insn& decoded;
+  const std::optional<std::uint64_t>& orig_addr;
+  ConstOrigBytesRef orig_bytes;
+  const InsnId& fallthrough;
+  const InsnId& target;
+  const std::optional<std::uint64_t>& abs_target;
+  const std::optional<std::uint64_t>& data_ref;
+  const FuncId& function;
+  const std::uint8_t& verbatim;
+
+  bool is_valid() const { return id != kNullInsn; }
+};
+
+/// Mutable row proxy.
+struct RowRef {
+  const InsnId id;
+  isa::Insn& decoded;
+  std::optional<std::uint64_t>& orig_addr;
+  OrigBytesRef orig_bytes;
+  InsnId& fallthrough;
+  InsnId& target;
+  std::optional<std::uint64_t>& abs_target;
+  std::optional<std::uint64_t>& data_ref;
+  FuncId& function;
+  std::uint8_t& verbatim;  ///< boolean; stored dense as one byte
+
+  bool is_valid() const { return id != kNullInsn; }
+  operator ConstRowRef() const {
+    return ConstRowRef{id,         decoded,    orig_addr, orig_bytes, fallthrough,
+                       target,     abs_target, data_ref,  function,   verbatim};
+  }
+};
+
 /// The database. Owns all rows; ids are stable for the database's lifetime.
 class Database {
  public:
+  // ---- byte backing ----
+
+  /// Retain one copy of the original text image. Rows whose orig_bytes lie
+  /// inside [vaddr, vaddr+text.size()) reference it with zero copies; call
+  /// once, before lifting rows. Safe to skip (all bytes are then interned
+  /// into the overflow region).
+  void set_backing(ByteView text, std::uint64_t vaddr);
+
+  ByteView blob() const { return blob_; }
+
   // ---- instruction table ----
 
-  /// Add a new instruction row; returns its id.
+  /// Add a new instruction row; returns its id. Non-empty orig_bytes are
+  /// interned: referenced in place when they alias the backing image,
+  /// appended to the overflow blob otherwise.
   InsnId add_instruction(Instruction insn);
 
   /// Convenience: add a brand-new (transform-created) instruction from its
   /// semantic form, with no original address.
   InsnId add_new(const isa::Insn& decoded);
 
-  Instruction& insn(InsnId id);
-  const Instruction& insn(InsnId id) const;
-  bool has_insn(InsnId id) const { return id > 0 && id <= insns_.size(); }
+  /// Fast path for IR construction: a row lifted from the original image
+  /// at `addr`, whose original bytes are backing[addr .. addr+length).
+  /// No byte copy is made.
+  InsnId add_original(const isa::Insn& decoded, std::uint64_t addr);
 
-  std::size_t insn_count() const { return insns_.size(); }
+  /// Fast path for IR construction: a verbatim row covering the backing
+  /// range [addr, addr+len) byte-exactly.
+  InsnId add_verbatim_range(std::uint64_t addr, std::uint32_t len);
 
-  /// Iterate all instruction ids in creation order.
+  RowRef insn(InsnId id) {
+    assert(has_insn(id));
+    std::size_t i = id - 1;
+    return RowRef{id,           decoded_[i],
+                  orig_addr_[i], OrigBytesRef(this, &orig_[i]),
+                  fallthrough_[i], target_[i],
+                  abs_target_[i], data_ref_[i],
+                  function_[i],  verbatim_[i]};
+  }
+  ConstRowRef insn(InsnId id) const {
+    assert(has_insn(id));
+    std::size_t i = id - 1;
+    return ConstRowRef{id,           decoded_[i],
+                       orig_addr_[i], ConstOrigBytesRef(this, &orig_[i]),
+                       fallthrough_[i], target_[i],
+                       abs_target_[i], data_ref_[i],
+                       function_[i],  verbatim_[i]};
+  }
+
+  /// Materialize a full copy of a row (structured edits, serialization).
+  Instruction snapshot(InsnId id) const;
+
+  bool has_insn(InsnId id) const { return id > 0 && id <= decoded_.size(); }
+  std::size_t insn_count() const { return decoded_.size(); }
+
+  // Hot single-column accessors for inner loops (skip proxy construction).
+  InsnId fallthrough_of(InsnId id) const { return fallthrough_[id - 1]; }
+  InsnId target_of(InsnId id) const { return target_[id - 1]; }
+  const isa::Insn& decoded_of(InsnId id) const { return decoded_[id - 1]; }
+  bool is_verbatim(InsnId id) const { return verbatim_[id - 1] != 0; }
+  ByteView orig_bytes_of(InsnId id) const {
+    const OrigView& v = orig_[id - 1];
+    return ByteView(blob_).subspan(v.off, v.len);
+  }
+
+  /// Reserve column capacity ahead of bulk row insertion.
+  void reserve_insns(std::size_t n);
+
+  /// Iterate all instruction rows in creation order (proxy per row).
   template <typename Fn>
   void for_each_insn(Fn&& fn) {
-    for (auto& row : insns_) fn(row);
+    for (InsnId id = 1; id <= decoded_.size(); ++id) fn(insn(id));
   }
   template <typename Fn>
   void for_each_insn(Fn&& fn) const {
-    for (const auto& row : insns_) fn(row);
+    for (InsnId id = 1; id <= decoded_.size(); ++id) fn(insn(id));
   }
 
   // ---- pinned-address table ----
 
+  using PinVec = std::vector<std::pair<std::uint64_t, InsnId>>;
+
   /// Pin `addr` to instruction `id`. An address pins at most one id;
-  /// re-pinning an address is an error (internal invariant).
+  /// re-pinning an address is an error (internal invariant). Ascending
+  /// insertion (IR construction order) is amortized O(1).
   Status pin(std::uint64_t addr, InsnId id);
 
   /// The instruction pinned at `addr`, or null.
   InsnId pinned_at(std::uint64_t addr) const;
 
   /// All (address, id) pins in ascending address order.
-  const std::map<std::uint64_t, InsnId>& pins() const { return pins_; }
+  const PinVec& pins() const { return pins_; }
 
   /// Move the pin at `addr` to a different instruction (used by
   /// insert_before-style edits at pin boundaries).
@@ -166,14 +313,54 @@ class Database {
   // ---- integrity ----
 
   /// Check referential integrity: all links and pins name existing rows,
-  /// verbatim rows have original addresses and bytes, functions' members
-  /// exist. Cheap enough to run in tests after every transform.
+  /// verbatim rows have original addresses and bytes, target/abs_target
+  /// are mutually exclusive, functions' members exist. Cheap enough to
+  /// run in tests after every transform.
   Status validate() const;
 
  private:
-  std::vector<Instruction> insns_;  // id = index + 1
-  std::map<std::uint64_t, InsnId> pins_;
-  std::vector<Function> funcs_;     // id = index + 1
+  friend class ConstOrigBytesRef;
+  friend class OrigBytesRef;
+
+  /// Intern `bytes` (known not to alias the backing image region).
+  OrigView intern(ByteView bytes);
+  /// View for bytes at original address `addr`; references the backing
+  /// image when covered, interns a copy otherwise.
+  OrigView intern_at(std::uint64_t addr, ByteView bytes);
+  InsnId push_row(const isa::Insn& decoded, std::optional<std::uint64_t> orig_addr,
+                  OrigView orig, InsnId fallthrough, InsnId target,
+                  std::optional<std::uint64_t> abs_target,
+                  std::optional<std::uint64_t> data_ref, FuncId function, bool verbatim);
+
+  // Instruction table columns; id = index + 1.
+  std::vector<isa::Insn> decoded_;
+  std::vector<std::optional<std::uint64_t>> orig_addr_;
+  std::vector<OrigView> orig_;
+  std::vector<InsnId> fallthrough_;
+  std::vector<InsnId> target_;
+  std::vector<std::optional<std::uint64_t>> abs_target_;
+  std::vector<std::optional<std::uint64_t>> data_ref_;
+  std::vector<FuncId> function_;
+  std::vector<std::uint8_t> verbatim_;
+
+  /// Retained bytes: [0, backing_len_) is the original text image (vaddr
+  /// backing_vaddr_); the tail is the append-only overflow region for
+  /// synthetic bytes. Views are offsets, so blob growth never dangles.
+  Bytes blob_;
+  std::uint64_t backing_vaddr_ = 0;
+  std::size_t backing_len_ = 0;
+
+  PinVec pins_;                  ///< sorted by address
+  std::vector<Function> funcs_;  ///< id = index + 1
 };
+
+inline ByteView ConstOrigBytesRef::view() const {
+  return db_->blob().subspan(v_->off, v_->len);
+}
+
+inline OrigBytesRef& OrigBytesRef::operator=(ByteView bytes) {
+  *const_cast<OrigView*>(v_) = const_cast<Database*>(db_)->intern(bytes);
+  return *this;
+}
 
 }  // namespace zipr::irdb

@@ -63,9 +63,11 @@ std::string serialize(const Database& db) {
   std::ostringstream out;
   out << kHeader << "\n";
 
-  db.for_each_insn([&](const Instruction& row) {
+  db.for_each_insn([&](const auto& row) {
     // Encoded bytes carry the semantics; verbatim rows keep raw bytes.
-    Bytes bytes = row.verbatim ? row.orig_bytes : isa::encode(row.decoded).value_or(Bytes{});
+    ByteView raw = row.orig_bytes;
+    Bytes bytes = row.verbatim ? Bytes(raw.begin(), raw.end())
+                               : isa::encode(row.decoded).value_or(Bytes{});
     out << "insn " << row.id << " bytes=" << hex_bytes(bytes);
     if (row.orig_addr) out << " orig=" << *row.orig_addr;
     if (row.fallthrough != kNullInsn) out << " ft=" << row.fallthrough;

@@ -64,7 +64,7 @@ class CanaryTransform final : public Transform {
       std::vector<InsnId> rets;
       bool safe = true;
       for (InsnId m : func.members) {
-        const irdb::Instruction& row = db.insn(m);
+        const auto row = db.insn(m);
         if (row.verbatim) safe = false;
         if (row.decoded.op == Op::kRet) rets.push_back(m);
       }

@@ -130,7 +130,7 @@ class CfiTransform final : public Transform {
     InsnId violation = db.add_new(isa::make_hlt());  // shared sink
 
     ctx.for_each_existing_insn([&](InsnId id) {
-      const irdb::Instruction& row = db.insn(id);
+      const auto row = db.insn(id);
       if (row.verbatim) return;
       const Insn& in = row.decoded;
       if (in.op != Op::kCallR && in.op != Op::kJmpR && in.op != Op::kJmpT) return;

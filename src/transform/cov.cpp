@@ -220,7 +220,7 @@ class CovTransform final : public Transform {
 
     // Basic-block entries, in ascending row-id order.
     std::set<InsnId> leaders;
-    db.for_each_insn([&](const irdb::Instruction& row) {
+    db.for_each_insn([&](const auto& row) {
       if (row.target != irdb::kNullInsn) leaders.insert(row.target);
       if (row.decoded.op == Op::kJcc && row.fallthrough != irdb::kNullInsn)
         leaders.insert(row.fallthrough);
@@ -477,7 +477,7 @@ class CovTransform final : public Transform {
       std::vector<InsnId> degenerate;
       const auto count = static_cast<InsnId>(db.insn_count());
       for (InsnId id = 1; id <= count; ++id) {
-        const irdb::Instruction& row = db.insn(id);
+        const auto row = db.insn(id);
         if (row.verbatim || row.decoded.op != Op::kJcc) continue;
         if (row.target != irdb::kNullInsn && row.target == row.fallthrough)
           degenerate.push_back(id);

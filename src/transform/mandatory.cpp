@@ -14,7 +14,7 @@ namespace zipr::transform {
 
 Status verify_mandatory(const analysis::IrProgram& prog) {
   Status failure = Status::success();
-  prog.db.for_each_insn([&](const irdb::Instruction& row) {
+  prog.db.for_each_insn([&](const auto& row) {
     if (!failure.ok() || row.verbatim) return;
     if (row.decoded.has_static_target() && row.target == irdb::kNullInsn && !row.abs_target)
       failure = Error::internal("insn " + std::to_string(row.id) +

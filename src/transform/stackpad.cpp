@@ -23,7 +23,7 @@ class StackPadTransform final : public Transform {
     irdb::Database& db = ctx.db();
     db.for_each_function([&](irdb::Function& func) {
       if (func.entry == irdb::kNullInsn) return;
-      const irdb::Instruction& entry = db.insn(func.entry);
+      const auto entry = db.insn(func.entry);
       if (entry.decoded.op != Op::kSubI || entry.decoded.ra != isa::kSpReg) return;
       const std::int64_t frame = entry.decoded.imm;
       if (frame <= 0) return;
@@ -33,7 +33,7 @@ class StackPadTransform final : public Transform {
       std::vector<InsnId> releases;
       bool safe = true;
       for (InsnId m : func.members) {
-        const irdb::Instruction& row = db.insn(m);
+        const auto row = db.insn(m);
         if (row.verbatim) {
           safe = false;
           break;

@@ -10,7 +10,7 @@ namespace {
 constexpr std::uint64_t kJumpSize = isa::kJmp32Len;
 }
 
-std::uint64_t estimated_size(const irdb::Instruction& row) {
+std::uint64_t estimated_size(irdb::ConstRowRef row) {
   if (row.verbatim) return row.orig_bytes.size();
   isa::Insn wide = row.decoded;
   // Branches may be emitted rel8 when their target lands nearby, but the
@@ -22,20 +22,20 @@ std::uint64_t estimated_size(const irdb::Instruction& row) {
 
 Dollop* DollopManager::split(Dollop* d, std::size_t pos) {
   assert(pos > 0 && pos < d->insns.size());
-  auto tail = std::make_unique<Dollop>();
-  tail->insns.assign(d->insns.begin() + static_cast<std::ptrdiff_t>(pos), d->insns.end());
+  Dollop* tail = arena_->create<Dollop>(arena_);
+  enroll(tail);
+  for (std::size_t i = pos; i < d->insns.size(); ++i) tail->insns.push_back(d->insns[i]);
   tail->continuation = d->continuation;
-  d->insns.resize(pos);
+  d->insns.truncate(pos);
   d->continuation = tail->insns.front();
   ++splits_;
 
-  index(tail.get());
+  index(tail);
   // Head keeps its entries; indices below pos are unchanged.
   recompute(d);
-  recompute(tail.get());
-  Dollop* out = tail.get();
-  adopt(std::move(tail));
-  return out;
+  recompute(tail);
+  adopt(tail);
+  return tail;
 }
 
 Dollop* DollopManager::split_to_fit(Dollop* d, std::uint64_t max_bytes) {
@@ -54,12 +54,12 @@ Dollop* DollopManager::split_to_fit(Dollop* d, std::uint64_t max_bytes) {
 
 Status DollopManager::retire(Dollop* d) {
   std::size_t i = d->slot;
-  if (i >= dollops_.size() || dollops_[i].get() != d)
+  if (i >= dollops_.size() || dollops_[i] != d)
     return Error::internal("retire of unknown (or already retired) dollop; slot " +
                            std::to_string(i) + " of " + std::to_string(dollops_.size()));
-  for (irdb::InsnId id : d->insns) where_.erase(id);
+  for (irdb::InsnId id : d->insns) clear(id);
   if (i + 1 != dollops_.size()) {
-    dollops_[i] = std::move(dollops_.back());
+    dollops_[i] = dollops_.back();
     dollops_[i]->slot = i;
   }
   dollops_.pop_back();
@@ -67,7 +67,8 @@ Status DollopManager::retire(Dollop* d) {
 }
 
 void DollopManager::index(Dollop* d) {
-  for (std::size_t i = 0; i < d->insns.size(); ++i) where_[d->insns[i]] = {d, i};
+  for (std::size_t i = 0; i < d->insns.size(); ++i)
+    set(d->insns[i], d, static_cast<std::uint32_t>(i));
 }
 
 void DollopManager::recompute(Dollop* d) {

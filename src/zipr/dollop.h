@@ -6,22 +6,35 @@
 // mid-dollop, as happens with shared code and jumps into loop bodies), and
 // supports size-driven splitting so large dollops can fill small free
 // blocks (Sec. II-C4).
+//
+// Dollop nodes and their instruction lists live in a MonotonicArena whose
+// lifetime is the enclosing rewrite: construction is a pointer bump, retire
+// is O(insns) index clears (the node's bytes are reclaimed wholesale when
+// the arena resets), and the instruction->dollop index is a flat array over
+// row ids rather than a hash map.
 #pragma once
 
 #include <cstdint>
-#include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "irdb/ir.h"
+#include "support/arena.h"
 
 namespace zipr::rewriter {
 
 /// Conservative (rel32-width) encoded size of one row when relocated.
-std::uint64_t estimated_size(const irdb::Instruction& row);
+std::uint64_t estimated_size(irdb::ConstRowRef row);
 
 struct Dollop {
-  std::vector<irdb::InsnId> insns;
+  Dollop() = default;
+  explicit Dollop(MonotonicArena* arena) : insns(arena) {}
+
+  ArenaVector<irdb::InsnId> insns;
+
+  /// 1-based creation ordinal within the owning manager (0 = unmanaged).
+  /// The instruction index refers to dollops by this id, keeping its
+  /// per-row entry at 8 bytes instead of carrying a pointer.
+  std::uint32_t id = 0;
 
   /// If set, execution continues at this instruction after the last row:
   /// the dollop was truncated (by a split or by flowing into code that is
@@ -39,10 +52,14 @@ struct Dollop {
 
 class DollopManager {
  public:
-  explicit DollopManager(const irdb::Database& db) : db_(db) {
+  /// `arena` outlives the manager and owns every dollop node; when null the
+  /// manager falls back to a private arena (standalone/test use).
+  explicit DollopManager(const irdb::Database& db, MonotonicArena* arena = nullptr)
+      : db_(db), arena_(arena != nullptr ? arena : &own_arena_) {
     // Nearly every row passes through the index once; size it up front so
-    // the resolution loop never rehashes.
-    where_.reserve(db.insn_count());
+    // the resolution loop never grows it (sled dispatch rows added later
+    // extend it on demand, but they are few).
+    where_.resize(db.insn_count());
   }
 
   /// The unplaced dollop that STARTS at `insn`, constructing or splitting
@@ -55,12 +72,10 @@ class DollopManager {
   template <typename IsPlacedFn>
   Dollop* dollop_starting_at(irdb::InsnId insn, IsPlacedFn&& is_placed) {
     if (is_placed(insn)) return nullptr;
-    auto it = where_.find(insn);
-    if (it != where_.end()) {
-      Dollop* d = it->second.dollop;
-      std::size_t pos = it->second.index;
-      if (pos == 0) return d;
-      return split(d, pos);
+    if (Location loc = lookup(insn); loc.dollop_id != 0) {
+      Dollop* d = registry_[loc.dollop_id - 1];
+      if (loc.index == 0) return d;
+      return split(d, loc.index);
     }
     return construct(insn, is_placed);
   }
@@ -72,8 +87,9 @@ class DollopManager {
   Dollop* split_to_fit(Dollop* d, std::uint64_t max_bytes);
 
   /// Remove a dollop that has been fully emitted. O(1) in the number of
-  /// live dollops (swap-erase through the dollop's stored slot). Retiring a
-  /// dollop the manager does not own -- including a double retire -- is an
+  /// live dollops (swap-erase through the dollop's stored slot); the node's
+  /// arena bytes stay allocated until the arena resets. Retiring a dollop
+  /// the manager does not own -- including a double retire -- is an
   /// internal error and leaves the manager untouched.
   Status retire(Dollop* d);
 
@@ -82,44 +98,76 @@ class DollopManager {
 
  private:
   struct Location {
-    Dollop* dollop;
-    std::size_t index;
+    std::uint32_t dollop_id = 0;  ///< 0: row not owned by any live dollop
+    std::uint32_t index = 0;
   };
+
+  /// Index entry for a row. dollop_id == 0 when unowned; ids past the
+  /// index's extent (rows added to the database after construction) simply
+  /// read as unowned.
+  Location lookup(irdb::InsnId id) const {
+    if (id == irdb::kNullInsn || id > where_.size()) return {};
+    return where_[id - 1];
+  }
+
+  void set(irdb::InsnId id, Dollop* d, std::uint32_t index) {
+    if (id > where_.size())
+      where_.resize(std::max<std::size_t>(id, db_.insn_count()));
+    where_[id - 1] = {d->id, index};
+  }
+
+  void clear(irdb::InsnId id) {
+    if (id <= where_.size()) where_[id - 1] = {};
+  }
 
   template <typename IsPlacedFn>
   Dollop* construct(irdb::InsnId start, IsPlacedFn&& is_placed) {
-    auto d = std::make_unique<Dollop>();
+    Dollop* d = arena_->create<Dollop>(arena_);
+    enroll(d);
     irdb::InsnId cur = start;
+    std::uint64_t size = 0;  // accumulated during the walk: one row gather
+                             // per instruction instead of a recompute() pass
     while (cur != irdb::kNullInsn) {
-      if (is_placed(cur) || where_.find(cur) != where_.end()) {
+      if (is_placed(cur) || lookup(cur).dollop_id != 0) {
         d->continuation = cur;
+        size += isa::kJmp32Len;
         break;
       }
+      irdb::ConstRowRef row = db_.insn(cur);
       d->insns.push_back(cur);
-      cur = db_.insn(cur).fallthrough;
+      size += estimated_size(row);
+      cur = row.fallthrough;
     }
-    index(d.get());
-    recompute(d.get());
-    Dollop* out = d.get();
-    adopt(std::move(d));
-    return out;
+    d->size_estimate = size;
+    index(d);
+    adopt(d);
+    return d;
   }
 
   /// Split `d` at instruction index `pos` (tail begins at pos).
   Dollop* split(Dollop* d, std::size_t pos);
 
-  /// Take ownership of a dollop, recording its list slot.
-  void adopt(std::unique_ptr<Dollop> d) {
+  /// Assign a fresh id and register the dollop for Location resolution.
+  void enroll(Dollop* d) {
+    registry_.push_back(d);
+    d->id = static_cast<std::uint32_t>(registry_.size());
+  }
+
+  /// Record a dollop's list slot.
+  void adopt(Dollop* d) {
     d->slot = dollops_.size();
-    dollops_.push_back(std::move(d));
+    dollops_.push_back(d);
   }
 
   void index(Dollop* d);
   void recompute(Dollop* d);
 
   const irdb::Database& db_;
-  std::vector<std::unique_ptr<Dollop>> dollops_;
-  std::unordered_map<irdb::InsnId, Location> where_;
+  MonotonicArena own_arena_;  ///< fallback when no shared arena is supplied
+  MonotonicArena* arena_;
+  std::vector<Dollop*> dollops_;   ///< live (unplaced) dollops; arena-owned
+  std::vector<Dollop*> registry_;  ///< every created dollop, by id-1
+  std::vector<Location> where_;    ///< row id-1 -> owning dollop id + position
   std::size_t splits_ = 0;
 };
 

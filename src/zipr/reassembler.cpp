@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <set>
 
+#include "batch/worker_pool.h"
 #include "support/log.h"
 
 namespace zipr::rewriter {
@@ -28,27 +30,53 @@ bool rel8_reaches(std::uint64_t site, std::uint64_t target) {
 
 }  // namespace
 
+MonotonicArena* Reassembler::acquire_arena() {
+  // One arena per thread, rewound (chunks retained) for every rewrite.
+  // Two live Reassemblers on one thread would clobber each other's
+  // allocations; the pipeline constructs exactly one per rewrite and each
+  // worker thread runs its rewrites sequentially.
+  static thread_local MonotonicArena arena;
+  arena.reset();
+  return &arena;
+}
+
 Reassembler::Reassembler(analysis::IrProgram& prog, const ReassemblyOptions& opts)
     : prog_(prog),
       opts_(opts),
       space_(Interval{prog.original.text().vaddr,
                       prog.original.text().vaddr + prog.original.text().bytes.size()}),
-      dollops_(prog.db) {
+      arena_(acquire_arena()),
+      dollops_(prog.db, arena_),
+      emit_log_(arena_),
+      patch_log_(arena_) {
   std::set<std::uint64_t> pinned_pages;
   for (const auto& [addr, id] : prog_.db.pins())
     pinned_pages.insert(addr & ~(zelf::layout::kPageSize - 1));
   strategy_ = make_placement(opts.placement, opts.seed, std::move(pinned_pages));
   main_buf_.assign(space_.main_span().size(), kFillByte);
-  // Nearly every row lands in the placement map once; size it from the IR
-  // database so the resolution loop never rehashes (sled dispatch rows are
-  // added later but are few).
-  placed_.reserve(prog_.db.insn_count());
+  // The map M sized for every current row (sled dispatch rows added later
+  // grow it on demand, but they are few).
+  placed_cap_ = std::max<std::size_t>(prog_.db.insn_count(), 64);
+  placed_ = arena_->alloc_array<std::uint64_t>(placed_cap_);
+  std::fill_n(placed_, placed_cap_, kUnplaced);
 }
 
 std::optional<std::uint64_t> Reassembler::placed_at(InsnId id) const {
-  auto it = placed_.find(id);
-  if (it == placed_.end()) return std::nullopt;
-  return it->second;
+  if (!is_placed(id)) return std::nullopt;
+  return placed_addr(id);
+}
+
+void Reassembler::mark_placed(InsnId id, std::uint64_t addr) {
+  if (id > placed_cap_) {
+    std::size_t cap = std::max<std::size_t>(
+        {static_cast<std::size_t>(id), prog_.db.insn_count(), placed_cap_ * 2});
+    std::uint64_t* fresh = arena_->alloc_array<std::uint64_t>(cap);
+    std::copy_n(placed_, placed_cap_, fresh);
+    std::fill(fresh + placed_cap_, fresh + cap, kUnplaced);
+    placed_ = fresh;
+    placed_cap_ = cap;
+  }
+  placed_[id - 1] = addr;
 }
 
 Status Reassembler::write_bytes(std::uint64_t addr, ByteView bytes) {
@@ -81,13 +109,9 @@ Status Reassembler::write_bytes(std::uint64_t addr, ByteView bytes) {
 }
 
 Status Reassembler::patch_rel32(std::uint64_t site, std::uint64_t target_addr) {
-  std::int64_t disp =
-      static_cast<std::int64_t>(target_addr) - static_cast<std::int64_t>(site + kLongJump);
-  std::span<Byte> out = out_span(site + 1, 4);
-  if (out.size() < 4)
+  if (site < space_.main_span().begin)
     return Error::internal("rel32 patch at " + hex_addr(site) + " outside the output span");
-  std::uint32_t le = static_cast<std::uint32_t>(static_cast<std::int32_t>(disp));
-  std::memcpy(out.data(), &le, 4);  // VLX is little-endian
+  patch_log_.push_back({site, target_addr});
   return Status::success();
 }
 
@@ -104,9 +128,80 @@ std::span<Byte> Reassembler::out_span(std::uint64_t addr, std::size_t want) {
 }
 
 Result<std::size_t> Reassembler::emit_insn_at(const isa::Insn& in, std::uint64_t addr) {
-  // encode_into's bounds check doubles as the below-span guard: out_span
-  // returns an empty view there, which no instruction fits.
-  return isa::encode_into(in, out_span(addr, isa::kMaxInsnLen));
+  if (addr < space_.main_span().begin)
+    return Error::internal("emission at " + hex_addr(addr) + " below the output span base");
+  int len = isa::encoded_length(in);
+  if (len <= 0)
+    return Error::invalid_argument("cannot encode invalid instruction at " + hex_addr(addr));
+  emit_log_.push_back({in, addr, static_cast<std::uint8_t>(len)});
+  return static_cast<std::size_t>(len);
+}
+
+Status Reassembler::apply_log() {
+  const Interval& main = space_.main_span();
+
+  // Size the overflow buffer to its final extent ONCE, before the workers
+  // start: every record then writes into stable storage and out_span never
+  // resizes mid-flight.
+  std::uint64_t need = space_.overflow_used();
+  for (const EmitRec& r : emit_log_)
+    if (r.addr >= main.end) need = std::max(need, r.addr + r.len - main.end);
+  for (const PatchRec& r : patch_log_)
+    if (r.site >= main.end) need = std::max(need, r.site + kLongJump - main.end);
+  if (need > overflow_buf_.size())
+    overflow_buf_.resize(static_cast<std::size_t>(need), kFillByte);
+
+  auto encode_one = [&](std::size_t i) -> Status {
+    const EmitRec& r = emit_log_[i];
+    ZIPR_ASSIGN_OR_RETURN(std::size_t n, isa::encode_into(r.in, out_span(r.addr, r.len)));
+    if (n != r.len)
+      return Error::internal("encoded length drifted from layout at " + hex_addr(r.addr));
+    return Status::success();
+  };
+  auto patch_one = [&](std::size_t i) -> Status {
+    const PatchRec& r = patch_log_[i];
+    std::int64_t disp =
+        static_cast<std::int64_t>(r.target) - static_cast<std::int64_t>(r.site + kLongJump);
+    std::span<Byte> out = out_span(r.site + 1, 4);
+    if (out.size() < 4)
+      return Error::internal("rel32 patch at " + hex_addr(r.site) + " outside the output span");
+    std::uint32_t le = static_cast<std::uint32_t>(static_cast<std::int32_t>(disp));
+    std::memcpy(out.data(), &le, 4);  // VLX is little-endian
+    return Status::success();
+  };
+
+  // Each worker owns a contiguous log slice; records touch disjoint bytes,
+  // so any interleaving produces the same buffer. Patches overwrite
+  // placeholder displacements from the emit pass, hence the barrier
+  // between the two parallel_for calls.
+  auto run_slices = [&](std::size_t count,
+                        const std::function<Status(std::size_t)>& one) -> Status {
+    // Below ~4k records per worker the fork/join overhead dominates.
+    std::size_t workers = batch::effective_jobs(opts_.jobs, count / 4096);
+    if (workers <= 1) {
+      for (std::size_t i = 0; i < count; ++i) ZIPR_TRY(one(i));
+      return Status::success();
+    }
+    std::vector<Status> failed(workers);
+    batch::parallel_for(static_cast<int>(workers), workers, [&](std::size_t w) {
+      std::size_t lo = count * w / workers;
+      std::size_t hi = count * (w + 1) / workers;
+      for (std::size_t i = lo; i < hi; ++i) {
+        Status s = one(i);
+        if (!s.ok()) {
+          failed[w] = std::move(s);
+          return;
+        }
+      }
+    });
+    for (const Status& s : failed)
+      if (!s.ok()) return s.error();
+    return Status::success();
+  };
+
+  ZIPR_TRY(run_slices(emit_log_.size(), encode_one));
+  ZIPR_TRY(run_slices(patch_log_.size(), patch_one));
+  return Status::success();
 }
 
 isa::BranchWidth Reassembler::ref_width(std::uint64_t site, std::uint64_t target, bool can_short,
@@ -122,7 +217,7 @@ Status Reassembler::place_verbatim_ranges() {
   for (const auto& [range, row_id] : prog_.verbatim) {
     ZIPR_TRY(space_.reserve(range.begin, range.size()));
     ZIPR_TRY(write_bytes(range.begin, prog_.db.insn(row_id).orig_bytes));
-    placed_[row_id] = range.begin;
+    mark_placed(row_id, range.begin);
   }
   return Status::success();
 }
@@ -202,7 +297,10 @@ Status Reassembler::build_sleds() {
 
     ++stats_.sleds;
     stats_.sled_entries += entries.size() + (nop_region_target != kNullInsn ? 1 : 0);
-    sled_handled_.insert(addrs.begin() + static_cast<std::ptrdiff_t>(i),
+    // Runs are discovered in ascending address order, so the vector stays
+    // sorted for the binary searches in reserve_pin_sites().
+    sled_handled_.insert(sled_handled_.end(),
+                         addrs.begin() + static_cast<std::ptrdiff_t>(i),
                          addrs.begin() + static_cast<std::ptrdiff_t>(next_idx));
     i = next_idx;
   }
@@ -300,16 +398,16 @@ Result<InsnId> Reassembler::build_sled_dispatch(
 }
 
 Status Reassembler::reserve_pin_sites() {
+  // pins() is already a sorted flat vector; iterate it in place.
   const auto& pins = prog_.db.pins();
-  std::vector<std::pair<std::uint64_t, InsnId>> flat(pins.begin(), pins.end());
-  stats_.pins = flat.size();
+  stats_.pins = pins.size();
 
-  for (std::size_t i = 0; i < flat.size(); ++i) {
-    auto [addr, target] = flat[i];
-    if (sled_handled_.count(addr)) continue;
+  for (std::size_t i = 0; i < pins.size(); ++i) {
+    auto [addr, target] = pins[i];
+    if (std::binary_search(sled_handled_.begin(), sled_handled_.end(), addr)) continue;
 
     std::uint64_t gap = UINT64_MAX;
-    if (i + 1 < flat.size()) gap = flat[i + 1].first - addr;
+    if (i + 1 < pins.size()) gap = pins[i + 1].first - addr;
 
     bool reserved = false;
     for (std::uint8_t size = 5; size >= 2; --size) {
@@ -324,7 +422,7 @@ Status Reassembler::reserve_pin_sites() {
 
     // Last resort: a pinned 1-byte terminator (ret/hlt) can simply be
     // emitted in place of a reference.
-    const irdb::Instruction& row = prog_.db.insn(target);
+    const auto row = prog_.db.insn(target);
     if (!row.verbatim && row.decoded.length == 1 && !row.decoded.has_fallthrough() &&
         space_.is_free(addr, 1)) {
       ZIPR_TRY(space_.reserve(addr, 1));
@@ -374,15 +472,14 @@ Status Reassembler::resolve_pin(const PinSite& pin) {
   // altogether. The capacity gate runs BEFORE constructing the dollop:
   // construction takes ownership of the downstream chain, which must not
   // happen for attempts that cannot succeed.
-  if (opts_.coalesce && pin.reserved >= kLongJump &&
-      placed_.find(pin.target) == placed_.end()) {
-    const irdb::Instruction& trow = prog_.db.insn(pin.target);
+  if (opts_.coalesce && pin.reserved >= kLongJump && !is_placed(pin.target)) {
+    const auto trow = prog_.db.insn(pin.target);
     std::uint64_t avail = pin.reserved + space_.free_run_at(pin.addr + pin.reserved);
     std::uint64_t min_need = estimated_size(trow) +
                              (trow.decoded.has_fallthrough() ? kLongJump : 0);
     if (!trow.verbatim && min_need <= avail) {
-      auto is_placed = [this](InsnId id) { return placed_.find(id) != placed_.end(); };
-      Dollop* d = dollops_.dollop_starting_at(pin.target, is_placed);
+      auto placed_fn = [this](InsnId id) { return is_placed(id); };
+      Dollop* d = dollops_.dollop_starting_at(pin.target, placed_fn);
       if (d != nullptr) {
         if (d->size_estimate > avail) dollops_.split_to_fit(d, avail);
         if (d->size_estimate <= avail) {
@@ -502,14 +599,13 @@ Status Reassembler::resolve_ref(const PendingRef& ref) {
 
 Result<std::uint64_t> Reassembler::ensure_placed(InsnId insn,
                                                  std::optional<std::uint64_t> preferred) {
-  if (auto it = placed_.find(insn); it != placed_.end()) return it->second;
-  auto is_placed = [this](InsnId id) { return placed_.find(id) != placed_.end(); };
-  Dollop* d = dollops_.dollop_starting_at(insn, is_placed);
+  if (is_placed(insn)) return placed_addr(insn);
+  auto placed_fn = [this](InsnId id) { return is_placed(id); };
+  Dollop* d = dollops_.dollop_starting_at(insn, placed_fn);
   if (!d) return Error::internal("instruction neither placed nor materializable");
   ZIPR_TRY(place_dollop(d, preferred));
-  auto it = placed_.find(insn);
-  if (it == placed_.end()) return Error::internal("dollop placement failed to register target");
-  return it->second;
+  if (!is_placed(insn)) return Error::internal("dollop placement failed to register target");
+  return placed_addr(insn);
 }
 
 Status Reassembler::place_dollop(Dollop* d, std::optional<std::uint64_t> preferred) {
@@ -540,7 +636,7 @@ Status Reassembler::emit_dollop_at(Dollop* d, std::uint64_t base, std::uint64_t 
   std::uint64_t addr = base;
   std::uint64_t region_end = base + budget;  // bytes this emission owns
   std::size_t run = 0;                       // successors absorbed so far
-  auto is_placed = [this](InsnId id) { return placed_.find(id) != placed_.end(); };
+  auto placed_fn = [this](InsnId id) { return is_placed(id); };
 
   // Bytes claimable past the cursor: slack inside our region plus the free
   // run after it (main span), or unbounded at the bump frontier (overflow;
@@ -588,7 +684,7 @@ Status Reassembler::emit_dollop_at(Dollop* d, std::uint64_t base, std::uint64_t 
     for (std::size_t i = 0; i + 1 < d->insns.size(); ++i) {
       InsnId id = d->insns[i];
       ZIPR_ASSIGN_OR_RETURN(std::size_t n, emit_row_at(prog_.db.insn(id), addr));
-      placed_[id] = addr;
+      mark_placed(id, addr);
       addr += n;
       ++stats_.insns_placed;
     }
@@ -601,16 +697,16 @@ Status Reassembler::emit_dollop_at(Dollop* d, std::uint64_t base, std::uint64_t 
     // Sec. III). The elided row resolves to the successor's first byte, so
     // references to the jump itself still land on equivalent code.
     InsnId last = d->insns.back();
-    const irdb::Instruction& lrow = prog_.db.insn(last);
+    const auto lrow = prog_.db.insn(last);
     Dollop* next = nullptr;
     if (may_coalesce && !lrow.verbatim && lrow.decoded.op == Op::kJmp &&
-        lrow.target != kNullInsn && placed_.find(lrow.target) == placed_.end() &&
+        lrow.target != kNullInsn && !is_placed(lrow.target) &&
         claimable() >= isa::kMaxInsnLen)
-      next = dollops_.dollop_starting_at(lrow.target, is_placed);
+      next = dollops_.dollop_starting_at(lrow.target, placed_fn);
     if (next != nullptr) {
       ZIPR_ASSIGN_OR_RETURN(bool claimed, claim_successor(next));
       if (claimed) {
-        placed_[last] = addr;  // the jump's address is its target's code
+        mark_placed(last, addr);  // the jump's address is its target's code
         ++stats_.insns_placed;
         ++stats_.dollops_placed;
         ZIPR_TRY(dollops_.retire(d));
@@ -619,7 +715,7 @@ Status Reassembler::emit_dollop_at(Dollop* d, std::uint64_t base, std::uint64_t 
       }
     }
     ZIPR_ASSIGN_OR_RETURN(std::size_t n, emit_row_at(lrow, addr));
-    placed_[last] = addr;
+    mark_placed(last, addr);
     addr += n;
     ++stats_.insns_placed;
 
@@ -630,9 +726,9 @@ Status Reassembler::emit_dollop_at(Dollop* d, std::uint64_t base, std::uint64_t 
 
     if (cont == kNullInsn) break;  // ends in a non-fallthrough instruction
 
-    if (auto it = placed_.find(cont); it != placed_.end()) {
+    if (is_placed(cont)) {
       // Already placed: the trailing jump is glue, shortest reaching form.
-      std::uint64_t t = it->second;
+      std::uint64_t t = placed_addr(cont);
       BranchWidth w = ref_width(addr, t, /*can_short=*/true, /*glue=*/true);
       std::uint64_t len = w == BranchWidth::kRel8 ? kShortJump : kLongJump;
       ZIPR_TRY(emit_insn_at(
@@ -647,7 +743,7 @@ Status Reassembler::emit_dollop_at(Dollop* d, std::uint64_t base, std::uint64_t 
     // Unplaced continuation (a split tail): coalesce it in place if the
     // bytes past the cursor are claimable.
     if (may_coalesce && claimable() >= isa::kMaxInsnLen) {
-      next = dollops_.dollop_starting_at(cont, is_placed);
+      next = dollops_.dollop_starting_at(cont, placed_fn);
       if (next != nullptr) {
         ZIPR_ASSIGN_OR_RETURN(bool claimed, claim_successor(next));
         if (claimed) {
@@ -677,7 +773,7 @@ Status Reassembler::emit_dollop_at(Dollop* d, std::uint64_t base, std::uint64_t 
   return Status::success();
 }
 
-Result<std::size_t> Reassembler::emit_row_at(const irdb::Instruction& row, std::uint64_t addr) {
+Result<std::size_t> Reassembler::emit_row_at(irdb::ConstRowRef row, std::uint64_t addr) {
   if (row.verbatim)
     return Error::internal("verbatim row reached dollop emission");
 
@@ -686,8 +782,8 @@ Result<std::size_t> Reassembler::emit_row_at(const irdb::Instruction& row, std::
   if (in.has_static_target()) {
     if (row.target != kNullInsn) {
       const bool can_short = in.op != Op::kCall;  // call has no rel8 form
-      if (auto it = placed_.find(row.target); it != placed_.end()) {
-        std::uint64_t t = it->second;
+      if (is_placed(row.target)) {
+        std::uint64_t t = placed_addr(row.target);
         in.width = ref_width(addr, t, can_short, /*glue=*/false);
         int len = isa::encoded_length(in);
         in.imm = static_cast<std::int64_t>(t) - static_cast<std::int64_t>(addr + len);
@@ -724,6 +820,7 @@ Result<zelf::Image> Reassembler::run() {
   ZIPR_TRY(build_sleds());
   ZIPR_TRY(reserve_pin_sites());
   ZIPR_TRY(resolve_all());
+  ZIPR_TRY(apply_log());
 
   stats_.dollop_splits = dollops_.total_splits();
   stats_.overflow_bytes = space_.overflow_used();

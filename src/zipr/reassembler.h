@@ -18,13 +18,20 @@
 //      strategy), splitting to fit free fragments, and patching
 //      (Sec. II-C4). Unreferenced code is never placed (dead code drops
 //      out naturally).
+//
+// Layout and byte emission are decoupled: the resolution loop decides every
+// address and instruction width but only appends to an emission log; a
+// final apply phase encodes the log into the output buffers. Because the
+// logged writes are mutually disjoint (placeholder displacements excepted,
+// which the later patch pass overwrites), the apply phase parallelizes
+// across a worker pool with byte-identical output for any job count.
 #pragma once
 
-#include <set>
 #include <span>
-#include <unordered_map>
+#include <vector>
 
 #include "analysis/ir_builder.h"
+#include "support/arena.h"
 #include "zipr/dollop.h"
 #include "zipr/memory_space.h"
 #include "zipr/placement.h"
@@ -44,6 +51,9 @@ struct ReassemblyOptions {
   /// the diversity strategy by default (it would correlate successor
   /// layout with predecessor layout, weakening randomization).
   bool coalesce = true;
+  /// Intra-rewrite parallelism for the emission phase (encode + patch
+  /// apply). Never affects output bytes; <= 1 runs inline.
+  int jobs = 1;
   /// Cap on how many successor dollops one emission region may absorb;
   /// bounds the main-span space a single placement decision can claim.
   std::size_t max_coalesce_run = 64;
@@ -96,6 +106,8 @@ class Reassembler {
  private:
   friend class ReassemblerTestPeer;  // regression tests for checked invariants
 
+  static constexpr std::uint64_t kUnplaced = ~std::uint64_t{0};
+
   struct PinSite {
     std::uint64_t addr = 0;
     std::uint8_t reserved = 0;  ///< 2..5 bytes held for this reference
@@ -115,11 +127,30 @@ class Reassembler {
     std::optional<std::uint64_t> preferred;  ///< placement hint
   };
 
+  /// One deferred instruction emission: layout fixed the address and
+  /// encoding width; the apply phase produces the bytes.
+  struct EmitRec {
+    isa::Insn in;
+    std::uint64_t addr = 0;
+    std::uint8_t len = 0;  ///< encoded length layout budgeted for
+  };
+
+  /// One rel32 displacement patch into a previously logged placeholder
+  /// jump; applied strictly after every EmitRec (it overwrites the
+  /// placeholder's displacement bytes).
+  struct PatchRec {
+    std::uint64_t site = 0;    ///< address of the jump opcode byte
+    std::uint64_t target = 0;  ///< resolved target address
+  };
+
   // -- stage drivers --
   Status place_verbatim_ranges();
   Status build_sleds();
   Status reserve_pin_sites();
   Status resolve_all();
+  /// Encode the emission log into the output buffers (parallel across
+  /// opts_.jobs workers), then apply the rel32 patches.
+  Status apply_log();
 
   // -- helpers --
   Status resolve_pin(const PinSite& pin);
@@ -128,12 +159,20 @@ class Reassembler {
   Result<std::uint64_t> ensure_placed(irdb::InsnId insn, std::optional<std::uint64_t> preferred);
   Status place_dollop(Dollop* d, std::optional<std::uint64_t> preferred);
   Status emit_dollop_at(Dollop* d, std::uint64_t base, std::uint64_t budget, bool in_overflow);
-  /// Encode one IR row directly into the output buffer at `addr` (no
-  /// intermediate byte vector); returns the encoded length.
-  Result<std::size_t> emit_row_at(const irdb::Instruction& row, std::uint64_t addr);
-  /// Encode `in` directly into the output at `addr`; returns its length.
+  /// Log one IR row for emission at `addr`; returns its encoded length.
+  Result<std::size_t> emit_row_at(irdb::ConstRowRef row, std::uint64_t addr);
+  /// Log `in` for emission at `addr`; returns its encoded length.
   Result<std::size_t> emit_insn_at(const isa::Insn& in, std::uint64_t addr);
+  /// Log a rel32 displacement patch for the placeholder jump at `site`.
   Status patch_rel32(std::uint64_t site, std::uint64_t target_addr);
+
+  // -- placement map M, flattened --
+  bool is_placed(irdb::InsnId id) const {
+    return id != irdb::kNullInsn && id <= placed_cap_ && placed_[id - 1] != kUnplaced;
+  }
+  /// Precondition: is_placed(id).
+  std::uint64_t placed_addr(irdb::InsnId id) const { return placed_[id - 1]; }
+  void mark_placed(irdb::InsnId id, std::uint64_t addr);
 
   /// The one width decision shared by pins, continuation jumps and
   /// emit_row_at, so the three sites cannot drift. `can_short`: the op has
@@ -159,19 +198,33 @@ class Reassembler {
   // offset arithmetic would otherwise underflow into a wild OOB write).
   Status write_bytes(std::uint64_t addr, ByteView bytes);
 
+  /// The per-thread rewrite arena, rewound (chunks retained) for this
+  /// rewrite. One Reassembler per thread at a time: a warm batch/serve
+  /// worker pays chunk malloc only on its first rewrite.
+  static MonotonicArena* acquire_arena();
+
   analysis::IrProgram& prog_;
   ReassemblyOptions opts_;
   MemorySpace space_;
   std::unique_ptr<PlacementStrategy> strategy_;
+  MonotonicArena* arena_;  ///< per-thread; owns dollops, M, and the logs
   DollopManager dollops_;
 
   Bytes main_buf_;      ///< [main.begin, main.end)
   Bytes overflow_buf_;  ///< [main.end, ...)
 
-  std::unordered_map<irdb::InsnId, std::uint64_t> placed_;  ///< the map M
-  std::vector<PendingRef> pending_;                         ///< the list uDR
+  /// The map M as a dense array: output address per row id (id-1 indexed),
+  /// kUnplaced sentinel. Arena-backed; grows when sled dispatch rows extend
+  /// the id space mid-rewrite.
+  std::uint64_t* placed_ = nullptr;
+  std::size_t placed_cap_ = 0;
+
+  std::vector<PendingRef> pending_;  ///< the list uDR
   std::vector<PinSite> pin_sites_;
-  std::set<std::uint64_t> sled_handled_;  ///< pins satisfied by a sled
+  std::vector<std::uint64_t> sled_handled_;  ///< sorted; pins satisfied by a sled
+
+  ArenaVector<EmitRec> emit_log_;
+  ArenaVector<PatchRec> patch_log_;
   RewriteStats stats_;
 };
 

@@ -21,12 +21,13 @@ double ms_since(Clock::time_point start) {
 // registry (mutex-guarded, and mutated only by register_transform) and the
 // logger (thread-safe sink). Concurrent calls on distinct inputs -- or even
 // the same input -- are safe; the batch engine (src/batch) relies on this.
-Result<RewriteResult> rewrite(const zelf::Image& input, const RewriteOptions& options) {
+Result<RewriteResult> rewrite(const zelf::Image& input, const RewriteOptions& options,
+                              const ExecPolicy& exec) {
   StageTimes timing;
   Clock::time_point stage_start = Clock::now();
 
   // Phase 1: IR Construction.
-  ZIPR_ASSIGN_OR_RETURN(analysis::IrProgram prog, analysis::build_ir(input, options.analysis));
+  ZIPR_ASSIGN_OR_RETURN(analysis::IrProgram prog, analysis::build_ir(input, options.analysis, exec.jobs));
   timing.ir_ms = ms_since(stage_start);
   stage_start = Clock::now();
 
@@ -61,6 +62,7 @@ Result<RewriteResult> rewrite(const zelf::Image& input, const RewriteOptions& op
       options.placement != rewriter::PlacementKind::kDiversity);
   ropts.coalesce = options.coalesce.value_or(
       options.placement != rewriter::PlacementKind::kDiversity);
+  ropts.jobs = exec.jobs;
   rewriter::Reassembler reassembler(prog, ropts);
   ZIPR_ASSIGN_OR_RETURN(zelf::Image out, reassembler.run());
 

@@ -73,12 +73,26 @@ struct RewriteResult {
   StageTimes timing;
 };
 
+/// Execution policy for one rewrite() call: knobs that control HOW the
+/// pipeline runs, never WHAT it produces. Deliberately separate from
+/// RewriteOptions -- options are the semantic cache/serialization key
+/// (serve layer), and the output is byte-identical for any jobs value,
+/// so keying on jobs would only split the artifact cache.
+struct ExecPolicy {
+  /// Intra-rewrite parallelism: worker count for the parallel phases
+  /// (chunked linear-sweep disassembly, dollop encode + patch apply).
+  /// <= 1 runs every phase inline on the calling thread; 0 or negative
+  /// means "use the hardware". Output bytes are identical for all values.
+  int jobs = 1;
+};
+
 /// Rewrite `input`, applying the configured transforms.
 ///
 /// REENTRANT: all pipeline state is per-call; concurrent rewrites from
 /// multiple threads are safe (see the batch engine, src/batch). The only
 /// shared state touched is the mutex-guarded transform registry and the
 /// thread-safe logger.
-Result<RewriteResult> rewrite(const zelf::Image& input, const RewriteOptions& options = {});
+Result<RewriteResult> rewrite(const zelf::Image& input, const RewriteOptions& options = {},
+                              const ExecPolicy& exec = {});
 
 }  // namespace zipr

@@ -403,7 +403,7 @@ TEST(IrBuilder, BuildsLinkedRows) {
   // The jlt row must have a logical target (the addi at `loop`), not a
   // displacement.
   bool found_branch = false;
-  prog->db.for_each_insn([&](const irdb::Instruction& row) {
+  prog->db.for_each_insn([&](const auto& row) {
     if (row.decoded.op == isa::Op::kJcc) {
       found_branch = true;
       ASSERT_NE(row.target, irdb::kNullInsn);
@@ -449,7 +449,7 @@ TEST(IrBuilder, PcRelativeRowsGetDataRefs) {
   auto prog = build_ir(img);
   ASSERT_TRUE(prog.ok()) << prog.error().message;
   int pc_rel = 0;
-  prog->db.for_each_insn([&](const irdb::Instruction& row) {
+  prog->db.for_each_insn([&](const auto& row) {
     if (row.decoded.is_pc_relative_data()) {
       ++pc_rel;
       ASSERT_TRUE(row.data_ref.has_value());
@@ -478,7 +478,7 @@ TEST(IrBuilder, GroupsInstructionsIntoFunctions) {
   // helper's two instructions belong to the same function, distinct from
   // main's.
   irdb::FuncId main_f = irdb::kNullFunc, helper_f = irdb::kNullFunc;
-  prog->db.for_each_insn([&](const irdb::Instruction& row) {
+  prog->db.for_each_insn([&](const auto& row) {
     if (!row.orig_addr) return;
     if (*row.orig_addr == img.entry) main_f = row.function;
     if (*row.orig_addr == kTextBase + 5 + 6 + 6 + 2) helper_f = row.function;

@@ -205,6 +205,22 @@ TEST(IrdbValidate, CatchesVerbatimWithoutAddr) {
   EXPECT_FALSE(db.validate().ok());
 }
 
+TEST(IrdbValidate, CatchesTargetAndAbsTargetTogether) {
+  // target (row link) and abs_target (original-address reference) encode
+  // the same operand two different ways; a row carrying both is ambiguous
+  // about which the reassembler should honor.
+  Database db;
+  InsnId a = db.add_new(isa::make_jmp(0, BranchWidth::kRel32));
+  InsnId b = db.add_new(ret());
+  db.insn(a).target = b;
+  db.insn(a).abs_target = 0x400010;
+  EXPECT_FALSE(db.validate().ok());
+
+  // Clearing either side restores validity.
+  db.insn(a).abs_target = std::nullopt;
+  EXPECT_TRUE(db.validate().ok());
+}
+
 TEST(IrdbValidate, AcceptsWellFormed) {
   Database db;
   InsnId a = db.add_new(nop());

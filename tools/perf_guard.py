@@ -9,6 +9,7 @@ more than the threshold.
 Usage:
   tools/perf_guard.py FRESH.json [--baseline BENCH_micro.json]
                       [--threshold 0.25] [--filter REGEX]
+  tools/perf_guard.py --micro FRESH.json
   tools/perf_guard.py --fuzz FRESH_fuzz.json [--baseline BENCH_fuzz.json]
                       [--threshold 0.25]
   tools/perf_guard.py --serve FRESH_serve.json [--baseline BENCH_serve.json]
@@ -20,6 +21,13 @@ Notes:
     reported but never fail the guard.
   - The default threshold is deliberately loose (25%): wall-clock noise on
     shared machines is real. Tighten with --threshold for quiet hardware.
+  - `--micro` gates the size-parameterized BM_RewriteLarge family with
+    ABSOLUTE levels (no baseline needed, so the gates hold even when the
+    committed baseline itself drifts): x1 allocs/op and peak-heap ceilings,
+    and a linear-scaling check that the x50 synthetic text completes with
+    wall time (and peak heap) within 1.5x of linear extrapolation from x1.
+    Allocation counts are deterministic; the scaling check compares the run
+    against itself, so both survive noisy shared machines.
   - `--fuzz` switches to the BENCH_fuzz.json schema (fuzz_overhead bench)
     and gates: fuzz.execs_per_sec may not drop by more than the threshold,
     the zipr+cov mean_exec_overhead may not grow (relative to baseline) by
@@ -73,6 +81,94 @@ def load_json(path):
     except (OSError, json.JSONDecodeError) as e:
         print(f"perf_guard: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
+
+
+# Absolute gates for the BM_RewriteLarge size sweep (see guard_micro).
+# The allocs/op ceiling is the issue's acceptance bar (>=5x reduction from
+# the ~226k/op the rewrite pipeline used to cost; measured ~1.4k after the
+# flat-IR work, so 45k leaves real headroom without readmitting the old
+# per-instruction churn). The peak-heap ceiling is ~2x the measured ~3.8 MB
+# transient footprint of the x1 rewrite. The scaling slack is the issue's
+# 1.5x-of-linear bound for the x50 sweep.
+MICRO_SWEEP_BENCH = "BM_RewriteLarge"
+MICRO_BASE_ARG = 1
+MICRO_TOP_ARG = 50
+MICRO_MAX_ALLOCS_PER_OP = 45_000
+MICRO_MAX_PEAK_HEAP_B = 8 * 1024 * 1024
+MICRO_SCALING_SLACK = 1.5
+
+
+def micro_row(doc, name):
+    """The iteration row (full dict, counters inline) for a benchmark name.
+
+    Matched by prefix: per-benchmark MinTime/Repetitions append suffixes
+    like `/min_time:3.000` to the registered name.
+    """
+    for row in doc.get("benchmarks", []):
+        if row.get("run_type", "iteration") != "iteration":
+            continue
+        got = row.get("name", "")
+        if got == name or got.startswith(name + "/"):
+            return row
+    print(f"perf_guard: benchmark {name} missing from micro JSON "
+          f"(was the run filtered?)", file=sys.stderr)
+    sys.exit(2)
+
+
+def row_time_ns(row):
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(
+        row.get("time_unit", "ns"))
+    if scale is None:
+        print(f"perf_guard: unknown time_unit in row {row.get('name')}",
+              file=sys.stderr)
+        sys.exit(2)
+    return float(row["real_time"]) * scale
+
+
+def guard_micro(args):
+    """Gate the rewrite size sweep with absolute ceilings (no baseline)."""
+    doc = load_json(args.fresh)
+    base = micro_row(doc, f"{MICRO_SWEEP_BENCH}/{MICRO_BASE_ARG}")
+    top = micro_row(doc, f"{MICRO_SWEEP_BENCH}/{MICRO_TOP_ARG}")
+    factor = MICRO_TOP_ARG / MICRO_BASE_ARG
+    regressed = []
+
+    def gate(label, got, ceiling, fmt=lambda v: f"{v:,.0f}"):
+        status = "FAIL" if got > ceiling else "ok"
+        if got > ceiling:
+            regressed.append((label, got / ceiling - 1.0))
+        print(f"  [{status:>4}]  {label}: {fmt(got)} (ceiling {fmt(ceiling)})")
+
+    # A fresh run missing the allocator counters (bench built without the
+    # AllocScope hooks) must fail loudly, not pass vacuously.
+    allocs = float(base.get("allocs/op", float("inf")))
+    peak = float(base.get("peak_heap_B", float("inf")))
+    gate(f"{base['name']} allocs/op", allocs, MICRO_MAX_ALLOCS_PER_OP)
+    gate(f"{base['name']} peak_heap_B", peak, MICRO_MAX_PEAK_HEAP_B)
+
+    # Linear-scaling checks: the x50 run may cost at most 1.5x the linear
+    # extrapolation of the x1 run, in wall time and in transient heap. This
+    # is the run compared against itself, so background load that slows both
+    # sizes equally cannot fail it; only a superlinear term in the pipeline
+    # (or a footprint that outgrew the cache hierarchy) will.
+    t1, t50 = row_time_ns(base), row_time_ns(top)
+    gate(f"{top['name']} real_time vs linear", t50,
+         MICRO_SCALING_SLACK * factor * t1,
+         fmt=lambda v: f"{v / 1e6:,.1f} ms")
+    peak50 = float(top.get("peak_heap_B", float("inf")))
+    gate(f"{top['name']} peak_heap_B vs linear", peak50,
+         MICRO_SCALING_SLACK * factor * peak,
+         fmt=lambda v: f"{v / 1e6:,.1f} MB")
+
+    if regressed:
+        print(f"\nperf_guard: {len(regressed)} micro gate(s) exceeded:",
+              file=sys.stderr)
+        for name, delta in regressed:
+            print(f"  {name}: {delta:+.1%} over ceiling", file=sys.stderr)
+        return 1
+    print(f"\nperf_guard: rewrite sweep within absolute ceilings "
+          f"(x{MICRO_TOP_ARG} scaling {t50 / (factor * t1):.2f}x of linear)")
+    return 0
 
 
 def cov_exec_overhead(doc):
@@ -241,12 +337,17 @@ def main():
                     help="max tolerated slowdown fraction (default 0.25 = 25%%)")
     ap.add_argument("--filter", default=".",
                     help="only compare benchmarks matching this regex")
+    ap.add_argument("--micro", action="store_true",
+                    help="gate the BM_RewriteLarge size sweep with absolute "
+                         "allocation/heap/scaling ceilings (no baseline)")
     ap.add_argument("--fuzz", action="store_true",
                     help="treat inputs as fuzz_overhead BENCH_fuzz.json files")
     ap.add_argument("--serve", action="store_true",
                     help="treat inputs as serve_throughput BENCH_serve.json files")
     args = ap.parse_args()
 
+    if args.micro:
+        return guard_micro(args)
     if args.fuzz:
         if args.baseline is None:
             args.baseline = "BENCH_fuzz.json"

@@ -86,6 +86,14 @@ fi
 "$BUILD/bench/micro" "${args[@]}"
 echo "wrote $OUT"
 
+# Absolute gates on the BM_RewriteLarge size sweep (allocs/op + peak-heap
+# ceilings at x1, wall time and peak heap within 1.5x of linear at x50).
+# Unconditional -- these are self-contained levels, not a baseline compare --
+# but only meaningful when the sweep rows are present in the output.
+if [[ "$FILTER" == "." ]]; then
+  python3 "$ROOT/tools/perf_guard.py" --micro "$OUT"
+fi
+
 "$BUILD/bench/batch_corpus" --out="$CORPUS_OUT" --repeats="${BENCH_REPEATS:-3}"
 
 "$BUILD/bench/layout_stats" --out="$LAYOUT_OUT"

@@ -56,8 +56,8 @@ int main(int argc, char** argv) {
   std::uint64_t addr = text.vaddr;
   const std::uint64_t end = text.vaddr + text.bytes.size();
   while (addr < end) {
-    auto it = dis.insns.find(addr);
-    if (it == dis.insns.end()) {
+    const isa::Insn* found = dis.insns.find(addr);
+    if (!found) {
       // Coalesce undecoded/unreached bytes into one line per gap.
       std::uint64_t gap_end = addr;
       while (gap_end < end && !dis.insns.count(gap_end)) ++gap_end;
@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
       addr = gap_end;
       continue;
     }
-    const isa::Insn& in = it->second;
+    const isa::Insn& in = *found;
     Bytes raw(text.bytes.begin() + static_cast<std::ptrdiff_t>(addr - text.vaddr),
               text.bytes.begin() + static_cast<std::ptrdiff_t>(addr - text.vaddr + in.length));
     std::printf("  %s  %-30s %s\n", hex_addr(addr).c_str(), hex_dump(raw).c_str(),
