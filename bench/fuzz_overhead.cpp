@@ -83,9 +83,9 @@ struct TargetRow {
   bool rediscovered = false;
 };
 
-zelf::Image instrument_cov(const zelf::Image& img) {
+zelf::Image instrument_cov(const zelf::Image& img, bool laf = false) {
   RewriteOptions opts;
-  opts.transforms = {"cov"};
+  opts.transforms = laf ? std::vector<std::string>{"laf", "cov"} : std::vector<std::string>{"cov"};
   auto r = rewrite(img, opts);
   if (!r.ok()) {
     std::fprintf(stderr, "cov instrumentation failed: %s\n", r.error().message.c_str());
@@ -154,7 +154,7 @@ int main(int argc, char** argv) {
   std::printf("\n== Coverage-guided fuzzing (deterministic budget, benign seeds) ==\n\n");
   std::vector<TargetRow> targets;
   for (const auto& vuln : cgc::vulnerable_corpus()) {
-    auto cov = instrument_cov(vuln.image);
+    auto cov = instrument_cov(vuln.image, vuln.laf_gated);
     fuzz::FuzzOptions fopts;
     fopts.seed = 7;
     fopts.jobs = 4;

@@ -72,14 +72,15 @@ int main() {
                    benign_ok.at("cfi+canary"),
                "no defense breaks benign functionality");
   claims.check(!blocked["baseline"]["vuln_fptr"] && !blocked["baseline"]["vuln_stack"] &&
-                   !blocked["baseline"]["vuln_table"],
+                   !blocked["baseline"]["vuln_table"] && !blocked["baseline"]["vuln_magic"],
                "the Null baseline blocks nothing");
-  claims.check(blocked["cfi"]["vuln_fptr"] && blocked["cfi"]["vuln_table"],
-               "CFI blocks both forward-edge hijacks");
+  claims.check(blocked["cfi"]["vuln_fptr"] && blocked["cfi"]["vuln_table"] &&
+                   blocked["cfi"]["vuln_magic"],
+               "CFI blocks the forward-edge hijacks");
   claims.check(!blocked["cfi"]["vuln_stack"],
                "CFI alone is breached by the return overwrite (the 'breached once' analogue)");
   claims.check(blocked["cfi+canary"]["vuln_fptr"] && blocked["cfi+canary"]["vuln_stack"] &&
-                   blocked["cfi+canary"]["vuln_table"],
+                   blocked["cfi+canary"]["vuln_table"] && blocked["cfi+canary"]["vuln_magic"],
                "CFI+canary blocks every exploit");
   return claims.finish();
 }

@@ -20,21 +20,6 @@ constexpr std::uint64_t kGuestRngStream = 0x6775;     // guest random() syscall
 constexpr std::uint64_t kPlannerStreamBase = 1u << 20;  // + round
 constexpr std::uint64_t kTaskStreamBase = 1u << 30;     // + global task ordinal
 
-/// What the workers hand back to the sequential merge, per executed input.
-struct RunOut {
-  Bytes map;
-  bool crashed = false;
-  vm::Fault fault = vm::Fault::kNone;
-  std::uint64_t fault_pc = 0;
-  std::uint64_t exec_insns = 0;
-  std::size_t consumed = 0;
-};
-
-struct Task {
-  std::vector<Bytes> inputs;
-  std::vector<RunOut> outs;
-};
-
 /// Interchangeable-executor pool: workers borrow whichever executor is
 /// free. Legal because every run starts from the same startup snapshot,
 /// so results do not depend on which executor ran an input.
@@ -77,6 +62,29 @@ class ExecutorPool {
   std::condition_variable cv_;
 };
 
+}  // namespace
+
+const char* stage_name(MutationStage stage) {
+  switch (stage) {
+    case MutationStage::kSeed: return "seed";
+    case MutationStage::kDet: return "det";
+    case MutationStage::kHavoc: return "havoc";
+    case MutationStage::kSplice: return "splice";
+  }
+  return "?";
+}
+
+RunOut summarize(ExecResult& res) {
+  RunOut out;
+  out.map = std::move(res.map);
+  out.crashed = res.crashed;
+  out.fault = res.run.fault;
+  out.fault_pc = res.run.fault_pc;
+  out.exec_insns = res.run.stats.insns;
+  out.consumed = res.run.input_bytes_consumed;
+  return out;
+}
+
 // Word-wise map scans: these run against every executed input, and the
 // maps are kMapSize (4096) bytes of mostly zero.
 bool has_new_bits(const Bytes& map, const Bytes& virgin) {
@@ -104,8 +112,6 @@ void merge_bits(const Bytes& map, Bytes& virgin) {
   for (; i < map.size(); ++i) virgin[i] |= map[i];
 }
 
-/// Favored = for some map index, this entry is the cheapest way (smallest
-/// input-length x instructions product) to reach it. AFL's queue culling.
 void recompute_favored(std::vector<CorpusEntry>& corpus) {
   for (auto& e : corpus) e.favored = false;
   for (std::size_t i = 0; i < kMapSize; ++i) {
@@ -124,178 +130,218 @@ void recompute_favored(std::vector<CorpusEntry>& corpus) {
   }
 }
 
-}  // namespace
+Fuzzer::Fuzzer(const zelf::Image& image, FuzzOptions opts)
+    : image_(image),
+      opts_(std::move(opts)),
+      guest_seed_(derive_seed(opts_.seed, kGuestRngStream)),
+      virgin_(kMapSize, 0) {}
+
+void Fuzzer::set_guest_seed(std::uint64_t guest_seed) { guest_seed_ = guest_seed; }
+
+void Fuzzer::record_crash(const RunOut& out, const Bytes& input, MutationStage stage) {
+  ++stats_.crashing_execs;
+  const std::uint64_t pc =
+      image_.segment_containing(out.fault_pc) ? out.fault_pc : kWildFaultPc;
+  CrashRec rec;
+  rec.input = input;
+  rec.stage = stage;
+  rec.ordinal = stats_.execs;
+  auto [it, fresh] =
+      crashes_.try_emplace(CrashKey{out.fault, pc, path_hash(out.map)}, std::move(rec));
+  if (fresh) ++stats_.stages.crash(stage);
+  (void)it;
+}
+
+// Trimmed admission: cut the unread tail off, then prove on the trim
+// executor that the truncated input retires the exact same per-pc
+// instruction counts (the vm's hot-counter hook) before adopting it.
+Status Fuzzer::admit(Bytes input, RunOut out, MutationStage stage, Executor& trim_ex) {
+  if (opts_.trim && out.consumed < input.size()) {
+    Bytes trimmed(input.begin(), input.begin() + static_cast<std::ptrdiff_t>(out.consumed));
+    trim_ex.machine().set_count_pcs(true);
+    ZIPR_ASSIGN_OR_RETURN(ExecResult full, trim_ex.execute(input, guest_seed_));
+    auto full_hist = trim_ex.machine().insns_by_pc();
+    ZIPR_ASSIGN_OR_RETURN(ExecResult cut, trim_ex.execute(trimmed, guest_seed_));
+    trim_ex.machine().set_count_pcs(false);
+    stats_.execs += 2;
+    if (!cut.crashed && cut.map == full.map && trim_ex.machine().insns_by_pc() == full_hist) {
+      input = std::move(trimmed);
+      out.exec_insns = cut.run.stats.insns;
+    }
+  }
+  merge_bits(out.map, virgin_);
+  CorpusEntry entry;
+  entry.input = std::move(input);
+  entry.map = std::move(out.map);
+  entry.exec_insns = out.exec_insns;
+  entry.stage = stage;
+  corpus_.push_back(std::move(entry));
+  ++stats_.stages.admit(stage);
+  return Status::success();
+}
+
+Status Fuzzer::seed_corpus(const std::vector<Bytes>& seeds, Executor& ex) {
+  for (const auto& seed_input : seeds) {
+    ZIPR_ASSIGN_OR_RETURN(ExecResult res, ex.execute(seed_input, guest_seed_));
+    ++stats_.execs;
+    RunOut out = summarize(res);
+    if (out.crashed) {
+      record_crash(out, seed_input, MutationStage::kSeed);
+      continue;
+    }
+    ZIPR_TRY(admit(seed_input, std::move(out), MutationStage::kSeed, ex));
+  }
+  if (corpus_.empty()) {
+    // Every seed crashed (or none were given): keep something schedulable.
+    CorpusEntry entry;
+    entry.input = seeds.empty() ? Bytes{} : seeds.front();
+    entry.map.assign(kMapSize, 0);
+    corpus_.push_back(std::move(entry));
+  }
+  recompute_favored(corpus_);
+  return Status::success();
+}
+
+void Fuzzer::adopt(std::vector<CorpusEntry> corpus, Bytes virgin) {
+  corpus_ = std::move(corpus);
+  virgin_ = std::move(virgin);
+  adopted_ = corpus_.size();
+}
+
+std::vector<Fuzzer::Task> Fuzzer::plan_round() {
+  const std::size_t tasks_per_round = std::max<std::size_t>(1, opts_.tasks_per_round);
+  Rng planner(derive_seed(opts_.seed, kPlannerStreamBase + stats_.rounds));
+  std::vector<std::size_t> favored;
+  for (std::size_t j = 0; j < corpus_.size(); ++j)
+    if (corpus_[j].favored) favored.push_back(j);
+
+  std::vector<Task> tasks(tasks_per_round);
+  for (auto& task : tasks) {
+    const std::uint64_t ordinal = task_ordinal_++;
+    std::size_t pick;
+    if (!favored.empty() && planner.chance(3, 4))
+      pick = favored[planner.below(favored.size())];
+    else
+      pick = planner.below(corpus_.size());
+    CorpusEntry& entry = corpus_[pick];
+
+    const std::size_t det_total = det_count(entry.input.size());
+    if (entry.det_done < det_total) {
+      const std::size_t end = std::min(det_total, entry.det_done + opts_.execs_per_task);
+      for (std::size_t i = entry.det_done; i < end; ++i) {
+        task.inputs.push_back(det_mutate(entry.input, i));
+        task.stages.push_back(MutationStage::kDet);
+      }
+      entry.det_done = end;
+    } else {
+      Rng rng(derive_seed(opts_.seed, kTaskStreamBase + ordinal));
+      for (std::size_t k = 0; k < opts_.execs_per_task; ++k) {
+        if (corpus_.size() > 1 && rng.chance(1, 4)) {
+          std::size_t other = rng.below(corpus_.size() - 1);
+          if (other >= pick) ++other;
+          task.inputs.push_back(splice_mutate(entry.input, corpus_[other].input, rng));
+          task.stages.push_back(MutationStage::kSplice);
+        } else {
+          task.inputs.push_back(havoc_mutate(entry.input, rng));
+          task.stages.push_back(MutationStage::kHavoc);
+        }
+      }
+    }
+    task.outs.resize(task.inputs.size());
+  }
+  return tasks;
+}
+
+Status Fuzzer::execute_serial(std::vector<Task>& tasks, Executor& ex) {
+  for (auto& task : tasks) {
+    for (std::size_t k = 0; k < task.inputs.size(); ++k) {
+      ZIPR_ASSIGN_OR_RETURN(ExecResult res, ex.execute(task.inputs[k], guest_seed_));
+      task.outs[k] = summarize(res);
+    }
+  }
+  return Status::success();
+}
+
+Status Fuzzer::merge_round(std::vector<Task>& tasks, Executor& trim_ex) {
+  // Sequential, in task order; re-checks novelty against the LIVE virgin
+  // map so duplicates across concurrent tasks collapse identically no
+  // matter how they were scheduled.
+  for (auto& task : tasks) {
+    for (std::size_t k = 0; k < task.inputs.size(); ++k) {
+      RunOut& out = task.outs[k];
+      ++stats_.execs;
+      if (out.crashed) {
+        record_crash(out, task.inputs[k], task.stages[k]);
+        continue;
+      }
+      if (has_new_bits(out.map, virgin_))
+        ZIPR_TRY(admit(std::move(task.inputs[k]), std::move(out), task.stages[k], trim_ex));
+    }
+  }
+  recompute_favored(corpus_);
+  ++stats_.rounds;
+  return Status::success();
+}
+
+FuzzResult Fuzzer::take_result() {
+  FuzzResult result;
+  result.corpus = std::move(corpus_);
+  for (const auto& [key, rec] : crashes_) {
+    Crash c;
+    c.fault = std::get<0>(key);
+    c.fault_pc = std::get<1>(key);
+    c.path = std::get<2>(key);
+    c.input = rec.input;
+    c.stage = rec.stage;
+    result.crashes.push_back(std::move(c));
+  }
+  stats_.map_indices_hit =
+      static_cast<std::size_t>(std::count_if(virgin_.begin(), virgin_.end(),
+                                             [](Byte b) { return b != 0; }));
+  result.stats = stats_;
+  return result;
+}
 
 Result<FuzzResult> fuzz(const zelf::Image& instrumented, const std::vector<Bytes>& seeds,
                         const FuzzOptions& opts) {
   const auto start = std::chrono::steady_clock::now();
   const std::size_t tasks_per_round = std::max<std::size_t>(1, opts.tasks_per_round);
   const std::size_t jobs = batch::effective_jobs(opts.jobs, tasks_per_round);
-  const std::uint64_t guest_seed = derive_seed(opts.seed, kGuestRngStream);
 
   ExecutorPool pool(instrumented, jobs, opts.limits);
-
-  FuzzResult result;
-  Bytes virgin(kMapSize, 0);
-  std::map<CrashKey, Bytes> crashes;  // ordered: deterministic triage output
-
-  auto record_crash = [&](const RunOut& out, const Bytes& input) {
-    ++result.stats.crashing_execs;
-    const std::uint64_t pc =
-        instrumented.segment_containing(out.fault_pc) ? out.fault_pc : kWildFaultPc;
-    crashes.try_emplace(CrashKey{out.fault, pc, path_hash(out.map)}, input);
-  };
-
-  // Trimmed admission: cut the unread tail off, then prove on the merge
-  // executor that the truncated input retires the exact same per-pc
-  // instruction counts (the vm's hot-counter hook) before adopting it.
-  auto admit = [&](Bytes input, RunOut out) -> Status {
-    if (opts.trim && out.consumed < input.size()) {
-      Bytes trimmed(input.begin(), input.begin() + static_cast<std::ptrdiff_t>(out.consumed));
-      Executor& ex = pool.first();
-      ex.machine().set_count_pcs(true);
-      ZIPR_ASSIGN_OR_RETURN(ExecResult full, ex.execute(input, guest_seed));
-      auto full_hist = ex.machine().insns_by_pc();
-      ZIPR_ASSIGN_OR_RETURN(ExecResult cut, ex.execute(trimmed, guest_seed));
-      ex.machine().set_count_pcs(false);
-      result.stats.execs += 2;
-      if (!cut.crashed && cut.map == full.map && ex.machine().insns_by_pc() == full_hist) {
-        input = std::move(trimmed);
-        out.exec_insns = cut.run.stats.insns;
-      }
-    }
-    merge_bits(out.map, virgin);
-    CorpusEntry entry;
-    entry.input = std::move(input);
-    entry.map = std::move(out.map);
-    entry.exec_insns = out.exec_insns;
-    result.corpus.push_back(std::move(entry));
-    return Status::success();
-  };
-
-  auto to_out = [](ExecResult& res) {  // moves the map out of res
-    RunOut out;
-    out.map = std::move(res.map);
-    out.crashed = res.crashed;
-    out.fault = res.run.fault;
-    out.fault_pc = res.run.fault_pc;
-    out.exec_insns = res.run.stats.insns;
-    out.consumed = res.run.input_bytes_consumed;
-    return out;
-  };
+  Fuzzer fz(instrumented, opts);
 
   // ---- seed the corpus (sequentially, on the merge executor) ----
-  for (const auto& seed_input : seeds) {
-    ZIPR_ASSIGN_OR_RETURN(ExecResult res, pool.first().execute(seed_input, guest_seed));
-    ++result.stats.execs;
-    RunOut out = to_out(res);
-    if (out.crashed) {
-      record_crash(out, seed_input);
-      continue;
-    }
-    ZIPR_TRY(admit(seed_input, std::move(out)));
-  }
-  if (result.corpus.empty()) {
-    // Every seed crashed (or none were given): keep something schedulable.
-    CorpusEntry entry;
-    entry.input = seeds.empty() ? Bytes{} : seeds.front();
-    entry.map.assign(kMapSize, 0);
-    result.corpus.push_back(std::move(entry));
-  }
-  recompute_favored(result.corpus);
+  ZIPR_TRY(fz.seed_corpus(seeds, pool.first()));
 
-  // ---- rounds ----
-  std::uint64_t task_ordinal = 0;
-  while (result.stats.execs < opts.max_execs) {
-    // 1. Plan: sequential, deterministic in (corpus, seed, round).
-    Rng planner(derive_seed(opts.seed, kPlannerStreamBase + result.stats.rounds));
-    std::vector<std::size_t> favored;
-    for (std::size_t j = 0; j < result.corpus.size(); ++j)
-      if (result.corpus[j].favored) favored.push_back(j);
+  // ---- rounds: sequential plan, parallel execute, sequential merge ----
+  while (fz.stats().execs < opts.max_execs) {
+    std::vector<Fuzzer::Task> tasks = fz.plan_round();
 
-    std::vector<Task> tasks(tasks_per_round);
-    for (auto& task : tasks) {
-      const std::uint64_t ordinal = task_ordinal++;
-      std::size_t pick;
-      if (!favored.empty() && planner.chance(3, 4))
-        pick = favored[planner.below(favored.size())];
-      else
-        pick = planner.below(result.corpus.size());
-      CorpusEntry& entry = result.corpus[pick];
-
-      const std::size_t det_total = det_count(entry.input.size());
-      if (entry.det_done < det_total) {
-        const std::size_t end =
-            std::min(det_total, entry.det_done + opts.execs_per_task);
-        for (std::size_t i = entry.det_done; i < end; ++i)
-          task.inputs.push_back(det_mutate(entry.input, i));
-        entry.det_done = end;
-      } else {
-        Rng rng(derive_seed(opts.seed, kTaskStreamBase + ordinal));
-        for (std::size_t k = 0; k < opts.execs_per_task; ++k) {
-          if (result.corpus.size() > 1 && rng.chance(1, 4)) {
-            std::size_t other = rng.below(result.corpus.size() - 1);
-            if (other >= pick) ++other;
-            task.inputs.push_back(
-                splice_mutate(entry.input, result.corpus[other].input, rng));
-          } else {
-            task.inputs.push_back(havoc_mutate(entry.input, rng));
-          }
-        }
-      }
-      task.outs.resize(task.inputs.size());
-    }
-
-    // 2. Execute: workers borrow interchangeable executors; the only
-    // shared state they write is their own task's result slots.
+    // Workers borrow interchangeable executors; the only shared state
+    // they write is their own task's result slots.
     std::mutex err_mu;
     Status first_error;
     batch::parallel_for(static_cast<int>(jobs), tasks.size(), [&](std::size_t t) {
       Executor* ex = pool.acquire();
       for (std::size_t k = 0; k < tasks[t].inputs.size(); ++k) {
-        auto res = ex->execute(tasks[t].inputs[k], guest_seed);
+        auto res = ex->execute(tasks[t].inputs[k], fz.guest_seed());
         if (!res.ok()) {
           std::lock_guard<std::mutex> lock(err_mu);
           if (first_error.ok()) first_error = res.error();
           break;
         }
-        tasks[t].outs[k] = to_out(*res);
+        tasks[t].outs[k] = summarize(*res);
       }
       pool.release(ex);
     });
     ZIPR_TRY(first_error);
 
-    // 3. Merge: sequential, in task order; re-checks novelty against the
-    // LIVE virgin map so duplicates across concurrent tasks collapse
-    // identically no matter how they were scheduled.
-    for (auto& task : tasks) {
-      for (std::size_t k = 0; k < task.inputs.size(); ++k) {
-        RunOut& out = task.outs[k];
-        ++result.stats.execs;
-        if (out.crashed) {
-          record_crash(out, task.inputs[k]);
-          continue;
-        }
-        if (has_new_bits(out.map, virgin))
-          ZIPR_TRY(admit(std::move(task.inputs[k]), std::move(out)));
-      }
-    }
-    recompute_favored(result.corpus);
-    ++result.stats.rounds;
+    ZIPR_TRY(fz.merge_round(tasks, pool.first()));
   }
 
-  for (const auto& [key, input] : crashes) {
-    Crash c;
-    c.fault = std::get<0>(key);
-    c.fault_pc = std::get<1>(key);
-    c.path = std::get<2>(key);
-    c.input = input;
-    result.crashes.push_back(std::move(c));
-  }
+  FuzzResult result = fz.take_result();
   result.stats.resets = pool.total_resets();
-  result.stats.map_indices_hit =
-      static_cast<std::size_t>(std::count_if(virgin.begin(), virgin.end(),
-                                             [](Byte b) { return b != 0; }));
   const auto elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start);
   result.stats.wall_seconds = elapsed.count();
   result.stats.execs_per_sec =

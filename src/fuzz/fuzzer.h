@@ -13,8 +13,16 @@
 // sequentially in task order. Nothing observable depends on which worker
 // ran what, so `--jobs 1` and `--jobs 4` produce byte-identical corpora
 // and crash sets.
+//
+// The same machinery is exposed as the `Fuzzer` class -- one campaign
+// stream's corpus/virgin/crash state plus the plan/execute/merge round
+// loop -- so the multi-shard farm (src/farm) can run many streams, each
+// on its own persistent executor, and merge them deterministically at
+// sync epochs. `fuzz()` below is a single-stream campaign whose task
+// execution fans out over a worker pool.
 #pragma once
 
+#include <array>
 #include <map>
 #include <tuple>
 #include <vector>
@@ -34,12 +42,41 @@ struct FuzzOptions {
   bool trim = true;                ///< cut unread tail bytes off new entries
 };
 
+/// Which mutation stage produced an input. Satellite visibility for "why
+/// is this campaign stalling": a campaign that admits only havoc entries
+/// has exhausted its deterministic frontier; one that admits nothing at
+/// all is gated (see the laf transform).
+enum class MutationStage : std::uint8_t { kSeed = 0, kDet = 1, kHavoc = 2, kSplice = 3 };
+
+inline constexpr std::size_t kStageCount = 4;
+
+const char* stage_name(MutationStage stage);
+
+/// Per-stage novelty counters: corpus admissions and unique crashes
+/// attributed to the stage that produced the input.
+struct StageCounters {
+  std::array<std::uint64_t, kStageCount> admitted{};
+  std::array<std::uint64_t, kStageCount> crashes{};
+
+  std::uint64_t& admit(MutationStage s) { return admitted[static_cast<std::size_t>(s)]; }
+  std::uint64_t& crash(MutationStage s) { return crashes[static_cast<std::size_t>(s)]; }
+
+  StageCounters& operator+=(const StageCounters& o) {
+    for (std::size_t i = 0; i < kStageCount; ++i) {
+      admitted[i] += o.admitted[i];
+      crashes[i] += o.crashes[i];
+    }
+    return *this;
+  }
+};
+
 struct CorpusEntry {
   Bytes input;
   Bytes map;                    ///< classified coverage of this input
   std::uint64_t exec_insns = 0; ///< instructions the run retired
   bool favored = false;         ///< minimal (len x insns) for some map index
   std::size_t det_done = 0;     ///< deterministic-stage progress cursor
+  MutationStage stage = MutationStage::kSeed;  ///< stage that produced it
 };
 
 /// Crash identity for deduplication: two inputs are "the same bug" when
@@ -58,6 +95,7 @@ struct Crash {
   std::uint64_t fault_pc = 0;
   std::uint64_t path = 0;       ///< path_hash of the crashing run's map
   Bytes input;                  ///< first input (in schedule order) to hit it
+  MutationStage stage = MutationStage::kSeed;  ///< stage that produced it
 };
 
 struct FuzzStats {
@@ -68,12 +106,115 @@ struct FuzzStats {
   double wall_seconds = 0;
   double execs_per_sec = 0;
   std::size_t map_indices_hit = 0;  ///< distinct map indices ever nonzero
+  StageCounters stages;             ///< per-stage admissions / unique crashes
 };
 
 struct FuzzResult {
   std::vector<CorpusEntry> corpus;
   std::vector<Crash> crashes;   ///< deduped, sorted by (fault, pc, path)
   FuzzStats stats;
+};
+
+/// What a worker hands back to the sequential merge, per executed input.
+struct RunOut {
+  Bytes map;
+  bool crashed = false;
+  vm::Fault fault = vm::Fault::kNone;
+  std::uint64_t fault_pc = 0;
+  std::uint64_t exec_insns = 0;
+  std::size_t consumed = 0;     ///< input bytes the guest actually read
+};
+
+/// Condense an ExecResult for the merge (moves the map out of `res`).
+RunOut summarize(ExecResult& res);
+
+/// Word-wise map scans (used per executed input; maps are kMapSize bytes
+/// of mostly zero). Exposed so the farm's sync epochs can merge stream
+/// virgin maps with the exact same novelty semantics.
+bool has_new_bits(const Bytes& map, const Bytes& virgin);
+void merge_bits(const Bytes& map, Bytes& virgin);
+
+/// Favored = for some map index, this entry is the cheapest way (smallest
+/// input-length x instructions product) to reach it. AFL's queue culling.
+void recompute_favored(std::vector<CorpusEntry>& corpus);
+
+/// One campaign stream: corpus + virgin map + deduped crash log + the
+/// deterministic plan/execute/merge round loop. All methods are serial;
+/// `fuzz()` parallelizes by executing a round's tasks on a worker pool,
+/// the farm by running whole streams on per-shard executors. Determinism
+/// contract: every observable result is a pure function of (image bytes,
+/// adopted state, opts.seed, guest seed) -- never of which executor ran
+/// an input, because executors are interchangeable snapshots.
+class Fuzzer {
+ public:
+  /// One planned task: a concrete input list plus the stage that minted
+  /// each input. `outs` is filled by the executor side (same length).
+  struct Task {
+    std::vector<Bytes> inputs;
+    std::vector<MutationStage> stages;
+    std::vector<RunOut> outs;
+  };
+
+  /// Deduped crash record, first occurrence in schedule order wins.
+  struct CrashRec {
+    Bytes input;
+    MutationStage stage = MutationStage::kSeed;
+    std::uint64_t ordinal = 0;  ///< execs count when the crash merged
+  };
+
+  Fuzzer(const zelf::Image& image, FuzzOptions opts);
+
+  /// Override the guest random() seed. The farm shares one campaign-wide
+  /// guest stream across all streams so an input's path identity (and
+  /// therefore its CrashKey) is stream-independent.
+  void set_guest_seed(std::uint64_t guest_seed);
+  std::uint64_t guest_seed() const { return guest_seed_; }
+
+  /// Run + admit the initial seeds (sequential, on `ex`). Installs a
+  /// schedulable fallback entry when every seed crashes or none are given.
+  Status seed_corpus(const std::vector<Bytes>& seeds, Executor& ex);
+
+  /// Adopt a merged snapshot (farm sync): replaces corpus + virgin; the
+  /// adopted prefix is remembered so take-side accessors can tell local
+  /// admissions apart from inherited entries.
+  void adopt(std::vector<CorpusEntry> corpus, Bytes virgin);
+
+  /// Plan one round: deterministic in (corpus, opts.seed, round count).
+  std::vector<Task> plan_round();
+
+  /// Execute planned tasks back-to-back on one executor (farm streams).
+  Status execute_serial(std::vector<Task>& tasks, Executor& ex);
+
+  /// Merge executed tasks sequentially in task order; re-checks novelty
+  /// against the live virgin map, trims admissions on `trim_ex`.
+  Status merge_round(std::vector<Task>& tasks, Executor& trim_ex);
+
+  const std::vector<CorpusEntry>& corpus() const { return corpus_; }
+  const Bytes& virgin() const { return virgin_; }
+  /// Index of the first locally-admitted entry (== adopted corpus size).
+  std::size_t adopted() const { return adopted_; }
+  /// Deduped crashes in key order (deterministic), first-sighting inputs.
+  const std::map<CrashKey, CrashRec>& crash_log() const { return crashes_; }
+  FuzzStats& stats() { return stats_; }
+  const FuzzOptions& options() const { return opts_; }
+
+  /// Drain state into a FuzzResult (corpus moved out, crashes sorted by
+  /// key, map_indices_hit computed from the virgin map).
+  FuzzResult take_result();
+
+ private:
+  Status admit(Bytes input, RunOut out, MutationStage stage, Executor& trim_ex);
+  void record_crash(const RunOut& out, const Bytes& input, MutationStage stage);
+
+  const zelf::Image& image_;
+  FuzzOptions opts_;
+  std::uint64_t guest_seed_;
+  std::vector<CorpusEntry> corpus_;
+  Bytes virgin_;
+  std::map<CrashKey, CrashRec> crashes_;  // ordered: deterministic triage
+  FuzzStats stats_;
+  std::size_t adopted_ = 0;
+  std::uint64_t task_ordinal_ = 0;
 };
 
 /// Fuzz a cov-instrumented image starting from `seeds`. Runs until

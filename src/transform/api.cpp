@@ -42,6 +42,7 @@ std::unique_ptr<Transform> make_stackpad_transform();
 std::unique_ptr<Transform> make_canary_transform();
 std::unique_ptr<Transform> make_profile_transform();
 std::unique_ptr<Transform> make_cov_transform(CovMode mode);
+std::unique_ptr<Transform> make_laf_transform();
 
 namespace {
 
@@ -55,6 +56,7 @@ void ensure_builtins() {
     register_transform("profile", make_profile_transform);
     register_transform("cov", [] { return make_cov_transform(CovMode::kEdge); });
     register_transform("cov-block", [] { return make_cov_transform(CovMode::kBlock); });
+    register_transform("laf", make_laf_transform);
   });
 }
 

@@ -45,6 +45,9 @@ struct InstrumentationStats {
                                         ///< walk would have refused
   std::size_t elided_reg_saves = 0;     ///< push/pop pairs proven dead
   std::size_t skipped_flags = 0;        ///< sites left bare: flags live
+  std::size_t compares_split = 0;       ///< laf: cmp+jcc sites decomposed
+  std::size_t compares_skipped = 0;     ///< laf: eligible sites refused
+  std::size_t compare_save_fallbacks = 0; ///< laf: push/pop scratch saves
 
   /// Fraction of probe-eligible sites whose probe was pruned away.
   double prune_rate() const {
@@ -63,6 +66,9 @@ struct InstrumentationStats {
     elided_flag_saves += o.elided_flag_saves;
     elided_reg_saves += o.elided_reg_saves;
     skipped_flags += o.skipped_flags;
+    compares_split += o.compares_split;
+    compares_skipped += o.compares_skipped;
+    compare_save_fallbacks += o.compare_save_fallbacks;
     return *this;
   }
 };

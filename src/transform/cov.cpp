@@ -52,6 +52,8 @@
 
 namespace zipr::transform {
 
+Status ensure_cov_map_segment(TransformContext& ctx);
+
 namespace {
 
 using analysis::BlockId;
@@ -154,13 +156,7 @@ class CovTransform final : public Transform {
   std::string name() const override { return mode_ == CovMode::kEdge ? "cov" : "cov-block"; }
 
   Status apply(TransformContext& ctx) override {
-    const zelf::Segment& text = ctx.program().original.text();
-    zelf::Segment seg;
-    seg.kind = zelf::SegKind::kBss;
-    seg.vaddr = cov_map_base(text.vaddr);
-    seg.memsize = kCovSegBytes;
-    ZIPR_TRY(ctx.add_segment(std::move(seg)));
-
+    ZIPR_TRY(ensure_cov_map_segment(ctx));
     if (ctx.config().cov_prune) return apply_pruned(ctx);
     return apply_conservative(ctx);
   }
@@ -505,6 +501,17 @@ class CovTransform final : public Transform {
 };
 
 }  // namespace
+
+Status ensure_cov_map_segment(TransformContext& ctx) {
+  const std::uint64_t base = cov_map_base(ctx.program().original.text().vaddr);
+  for (const auto& seg : ctx.program().original.segments)
+    if (seg.vaddr == base) return Status::success();  // another transform added it
+  zelf::Segment seg;
+  seg.kind = zelf::SegKind::kBss;
+  seg.vaddr = base;
+  seg.memsize = kCovSegBytes;
+  return ctx.add_segment(std::move(seg));
+}
 
 std::unique_ptr<Transform> make_cov_transform(CovMode mode) {
   return std::make_unique<CovTransform>(mode);

@@ -1,0 +1,263 @@
+// "laf": constant-compare decomposition (laf-intel / CompareCoverage
+// style). A multi-byte immediate equality test
+//
+//     cmpi rX, imm32        ; A
+//     jeq  T                ; B   (or jne)
+//
+// is an all-or-nothing gate for coverage-guided fuzzing: the map looks
+// identical whether 0 or 3 of the 4 magic bytes match, so the fuzzer gets
+// no gradient and every shard stalls on the same comparison. The lowering
+// splits the 64-bit comparison (kCmpI sign-extends its imm32, so the
+// chain checks all 8 bytes of the extended value) into byte-wise checks,
+// each guarded byte bumping its own coverage counter:
+//
+//     mov  S1, rX                     ; check k = 0..7
+//     shri S1, 8k                     ;   (omitted for k = 0)
+//     andi S1, 0xff
+//     cmpi S1, byte_k(imm)
+//     jne  EXIT                       ;   k < 7: mismatch exits early
+//     <map[id_k]++ via S1/S2>         ;   byte k matched: novelty
+//     ...
+//     cmpi S1, byte_7(imm)
+//     jeq  T                          ; B, UNCHANGED: reads the last cmp
+//
+// where EXIT is the jcc's fallthrough for the eq form (any byte differs
+// => not equal) and its taken target for the ne form. The probes are
+// emitted by laf itself, into the same coverage-map segment the cov
+// transform uses (shared via ensure_cov_map_segment): the chain blocks
+// are synthetic single-pred/shared-exit diamonds that cov's pred-rule
+// pruning would legitimately dissolve -- their paths reconverge
+// immediately, so block probes carry no information -- but the laf
+// gradient is exactly the per-BYTE hit counts, which only inline
+// counters preserve. Each matched byte is fresh map novelty and the
+// deterministic stage solves the magic value byte-by-byte.
+//
+// Liveness keeps the lowering cheap and sound (the analysis layer is
+// computed once, before any edit):
+//   * The chain clobbers the condition flags on the early-exit paths, so
+//     a site is only lowered when flags are DEAD at both successor block
+//     entries (a `jeq X; jlt Y` pair reading one cmp is refused).
+//   * The scratches S1/S2 prefer registers dead at both successor
+//     entries; live ones fall back to a push/pop save: the chain head
+//     pushes, the final check pops before B (kPop writes no flags, so
+//     the last cmp still reaches B), and early exits leave through a
+//     [pops; jmp EXIT] trampoline.
+//
+// B itself is never touched: rows that jump straight to B from elsewhere
+// arrive with their own flags and B still branches on them, so no
+// constraint on B's other predecessors is needed. Pins and branches to A
+// keep hitting the chain head (replace/insert_after keep row identity).
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "analysis/liveness.h"
+#include "transform/api.h"
+#include "transform/cov.h"
+
+namespace zipr::transform {
+
+// Shared with the cov transform (defined in cov.cpp): add the coverage
+// map segment unless an earlier transform in the stack already did.
+Status ensure_cov_map_segment(TransformContext& ctx);
+
+namespace {
+
+using analysis::BlockId;
+using analysis::Cfg;
+using analysis::kNoBlock;
+using irdb::InsnId;
+using isa::Cond;
+using isa::Insn;
+using isa::Op;
+
+Insn ri(Op op, std::uint8_t reg, std::int64_t imm) {
+  Insn in;
+  in.op = op;
+  in.ra = reg;
+  in.imm = imm;
+  return in;
+}
+
+Insn reg1(Op op, std::uint8_t reg) {
+  Insn in;
+  in.op = op;
+  in.ra = reg;
+  return in;
+}
+
+Insn mov2(std::uint8_t dst, std::uint8_t src) {
+  Insn in;
+  in.op = Op::kMov;
+  in.ra = dst;
+  in.rb = src;
+  return in;
+}
+
+Insn mem(Op op, std::uint8_t ra, std::uint8_t rb, std::int64_t disp) {
+  Insn in;
+  in.op = op;
+  in.ra = ra;
+  in.rb = rb;
+  in.imm = disp;
+  return in;
+}
+
+/// Same preference order as the cov stub codegen. Never sp.
+constexpr std::uint8_t kScratchOrder[] = {5, 6, 0, 1, 2, 3, 4};
+
+struct Site {
+  InsnId cmp = irdb::kNullInsn;   ///< A: the kCmpI row (becomes the chain head)
+  InsnId exit = irdb::kNullInsn;  ///< early-exit row (F for eq, T for ne)
+  std::uint8_t x = 0;             ///< compared register
+  std::uint8_t s1 = 0;            ///< chain scratch (byte extraction + probe addr)
+  std::uint8_t s2 = 0;            ///< probe counter scratch
+  std::uint64_t imm = 0;          ///< full sign-extended comparison value
+  bool save1 = false;             ///< s1 live at an exit: push/pop fallback
+  bool save2 = false;
+};
+
+class LafTransform final : public Transform {
+ public:
+  std::string name() const override { return "laf"; }
+
+  Status apply(TransformContext& ctx) override {
+    irdb::Database& db = ctx.db();
+    InstrumentationStats& st = ctx.instrumentation();
+
+    // Analysis facts are gathered against the pre-edit program; row ids
+    // are stable under the edits below and every fact used (flag/register
+    // deadness at successor entries) is preserved by the lowering itself,
+    // so one pass suffices even when sites are adjacent.
+    const Cfg cfg = Cfg::build(ctx.program());
+    const analysis::Liveness lv = analysis::Liveness::compute(ctx.program(), cfg);
+
+    std::vector<Site> sites;
+    const auto count = static_cast<InsnId>(db.insn_count());
+    for (InsnId id = 1; id <= count; ++id) {
+      const auto row = db.insn(id);
+      if (row.verbatim || row.decoded.op != Op::kCmpI) continue;
+      const std::int64_t imm = row.decoded.imm;
+      if (imm >= -128 && imm <= 127) continue;  // single byte: nothing to split
+      const InsnId b = row.fallthrough;
+      if (b == irdb::kNullInsn) continue;
+      const auto brow = db.insn(b);
+      if (brow.verbatim || brow.decoded.op != Op::kJcc) continue;
+      const Cond cc = brow.decoded.cond;
+      if (cc != Cond::kEq && cc != Cond::kNe) continue;
+      if (brow.target == irdb::kNullInsn || brow.fallthrough == irdb::kNullInsn) continue;
+
+      const BlockId tb = cfg.block_of(brow.target);
+      const BlockId fb = cfg.block_of(brow.fallthrough);
+      if (tb == kNoBlock || fb == kNoBlock) {
+        ++st.compares_skipped;
+        continue;
+      }
+      const std::uint16_t live = lv.live_in(tb) | lv.live_in(fb);
+      if (analysis::flags_live(live)) {
+        ++st.compares_skipped;  // a second jcc still reads this cmp
+        continue;
+      }
+
+      Site s;
+      s.cmp = id;
+      s.exit = cc == Cond::kEq ? brow.fallthrough : brow.target;
+      s.x = row.decoded.ra;
+      s.imm = static_cast<std::uint64_t>(imm);
+      std::vector<std::uint8_t> dead;
+      for (std::uint8_t r : kScratchOrder)
+        if (r != s.x && !analysis::reg_live(live, r)) dead.push_back(r);
+      auto fallback = [&s](std::uint8_t taken) {
+        for (std::uint8_t r : kScratchOrder)
+          if (r != s.x && r != taken) return r;
+        return std::uint8_t{0};  // unreachable: 7 candidates, 2 excluded
+      };
+      if (!dead.empty()) {
+        s.s1 = dead[0];
+      } else {
+        s.s1 = fallback(0xff);
+        s.save1 = true;
+      }
+      if (dead.size() >= 2) {
+        s.s2 = dead[1];
+      } else {
+        s.s2 = fallback(s.s1);
+        s.save2 = true;
+      }
+      sites.push_back(s);
+    }
+
+    if (!sites.empty()) ZIPR_TRY(ensure_cov_map_segment(ctx));
+    for (const Site& s : sites) apply_site(ctx, s);
+    return db.validate();
+  }
+
+ private:
+  static void apply_site(TransformContext& ctx, const Site& s) {
+    irdb::Database& db = ctx.db();
+    InstrumentationStats& st = ctx.instrumentation();
+    const auto counters =
+        static_cast<std::int64_t>(cov_counters_addr(ctx.program().original.text().vaddr));
+
+    InsnId exit_row = s.exit;
+    if (s.save1 || s.save2) {
+      // Early exits must restore the pushed scratches (reverse order) first.
+      std::vector<InsnId> tramp;
+      if (s.save2) tramp.push_back(db.add_new(reg1(Op::kPop, s.s2)));
+      if (s.save1) tramp.push_back(db.add_new(reg1(Op::kPop, s.s1)));
+      Insn jmp;
+      jmp.op = Op::kJmp;
+      tramp.push_back(db.add_new(jmp));
+      for (std::size_t i = 0; i + 1 < tramp.size(); ++i)
+        db.insn(tramp[i]).fallthrough = tramp[i + 1];
+      db.insn(tramp.back()).target = s.exit;
+      exit_row = tramp.front();
+      ++st.compare_save_fallbacks;
+    }
+
+    std::vector<Insn> seq;
+    if (s.save1) seq.push_back(reg1(Op::kPush, s.s1));
+    if (s.save2) seq.push_back(reg1(Op::kPush, s.s2));
+    for (int k = 0; k < 8; ++k) {
+      if (k > 0) {
+        // Byte k-1 matched: bump this byte's dedicated hit counter.
+        const auto cur = static_cast<std::int64_t>(ctx.rng().below(kCovMapEntries));
+        seq.push_back(ri(Op::kMovI, s.s1, counters + cur));
+        seq.push_back(mem(Op::kLoad8, s.s2, s.s1, 0));
+        seq.push_back(ri(Op::kAddI, s.s2, 1));
+        seq.push_back(mem(Op::kStore8, s.s1, s.s2, 0));
+      }
+      seq.push_back(mov2(s.s1, s.x));
+      if (k > 0) seq.push_back(ri(Op::kShrI, s.s1, 8 * k));
+      seq.push_back(ri(Op::kAndI, s.s1, 0xff));
+      seq.push_back(ri(Op::kCmpI, s.s1,
+                       static_cast<std::int64_t>((s.imm >> (8 * k)) & 0xff)));
+      if (k < 7) {
+        Insn j;
+        j.op = Op::kJcc;
+        j.cond = Cond::kNe;
+        seq.push_back(j);
+      }
+    }
+    // kPop writes no flags: the final cmp's result still reaches B.
+    if (s.save2) seq.push_back(reg1(Op::kPop, s.s2));
+    if (s.save1) seq.push_back(reg1(Op::kPop, s.s1));
+
+    // Head replaces A in place (pins and branches to A keep working);
+    // the rest splices between A and the original jcc.
+    db.replace(s.cmp, seq[0]);
+    InsnId cursor = s.cmp;
+    std::vector<InsnId> exits;
+    for (std::size_t i = 1; i < seq.size(); ++i) {
+      cursor = db.insert_after(cursor, seq[i]);
+      if (seq[i].op == Op::kJcc) exits.push_back(cursor);
+    }
+    for (InsnId j : exits) db.insn(j).target = exit_row;
+    ++st.compares_split;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Transform> make_laf_transform() { return std::make_unique<LafTransform>(); }
+
+}  // namespace zipr::transform

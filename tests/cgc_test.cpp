@@ -171,7 +171,7 @@ TEST(Metrics, MeanOverhead) {
 
 TEST(Exploits, CorpusBuilds) {
   auto vulns = vulnerable_corpus();
-  ASSERT_EQ(vulns.size(), 3u);
+  ASSERT_EQ(vulns.size(), 4u);
   for (const auto& v : vulns) {
     EXPECT_TRUE(v.image.validate().ok()) << v.name;
     EXPECT_FALSE(v.exploit_input.empty()) << v.name;

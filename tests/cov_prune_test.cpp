@@ -158,7 +158,9 @@ TEST(CovPrune, PrunedEmitsFewerProbesSameBehaviour) {
 /// for the same planted out-of-bounds bug), the fault class survives a
 /// change of instrumentation.
 std::set<vm::Fault> triage_keys(const cgc::VulnCb& vuln, std::uint64_t seed, bool prune) {
-  auto rewritten = must_rewrite(vuln.image, cov_options("cov", prune));
+  auto opts = cov_options("cov", prune);
+  if (vuln.laf_gated) opts.transforms.insert(opts.transforms.begin(), "laf");
+  auto rewritten = must_rewrite(vuln.image, opts);
   fuzz::FuzzOptions fopts;
   fopts.seed = seed;
   fopts.jobs = 4;

@@ -311,7 +311,12 @@ TEST(FuzzSmoke, RediscoversPlantedFptrBug) {
 
 TEST(Fuzzer, RediscoversEveryPlantedBug) {
   for (const auto& vuln : cgc::vulnerable_corpus()) {
-    auto cov = instrument(vuln.image);
+    // Magic-gated CBs are hopeless for plain coverage (see the laf_test
+    // differential); stack compare-splitting under the coverage pass.
+    RewriteOptions opts;
+    opts.transforms = vuln.laf_gated ? std::vector<std::string>{"laf", "cov"}
+                                     : std::vector<std::string>{"cov"};
+    auto cov = must_rewrite(vuln.image, opts).image;
     auto result = fuzz(cov, {vuln.benign_input}, smoke_opts(6000));
     ASSERT_TRUE(result.ok()) << vuln.name;
     ASSERT_GE(result->crashes.size(), 1u) << vuln.name << ": no crash within budget";
@@ -321,6 +326,17 @@ TEST(Fuzzer, RediscoversEveryPlantedBug) {
       replays |= !replay.exited && replay.fault != vm::Fault::kGasExhausted;
     }
     EXPECT_TRUE(replays) << vuln.name << ": no crash replays on the uninstrumented binary";
+    // Satellite visibility: every admission/crash is attributed to a
+    // stage, and the seed stage accounts for exactly the seed entries.
+    const auto& st = result->stats.stages;
+    std::uint64_t admitted = 0, crashed = 0;
+    for (std::size_t i = 0; i < kStageCount; ++i) {
+      admitted += st.admitted[i];
+      crashed += st.crashes[i];
+    }
+    EXPECT_EQ(admitted, result->corpus.size()) << vuln.name;
+    EXPECT_EQ(crashed, result->crashes.size()) << vuln.name;
+    EXPECT_GE(st.admitted[static_cast<std::size_t>(MutationStage::kSeed)], 1u) << vuln.name;
   }
 }
 

@@ -1,0 +1,216 @@
+// Tests for the "laf" constant-compare-splitting transform: lowering
+// shape and refusal rules, behaviour preservation on the full CB corpus
+// across placement strategies, and the headline differential -- the
+// magic-gated planted bug is rediscoverable with laf stacked under cov
+// and NOT with cov alone under the same deterministic budget.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cgc/exploits.h"
+#include "cgc/poller.h"
+#include "fuzz/fuzzer.h"
+#include "testing_util.h"
+#include "transform/api.h"
+
+namespace zipr {
+namespace {
+
+using ::zipr::testing::expect_equivalent;
+using ::zipr::testing::must_assemble;
+using ::zipr::testing::must_rewrite;
+
+RewriteOptions laf_opts(std::vector<std::string> transforms,
+                        rewriter::PlacementKind placement = rewriter::PlacementKind::kNearfit) {
+  RewriteOptions opts;
+  opts.transforms = std::move(transforms);
+  opts.placement = placement;
+  return opts;
+}
+
+// A 4-byte magic gate in one compare: the laf motivating shape.
+const char* kGated = R"(
+    .entry main
+    .text
+    main:
+      movi r0, 3
+      movi r1, 0
+      movi r2, inbuf
+      movi r3, 8
+      syscall
+      movi r6, inbuf
+      load r1, [r6]
+      cmpi r1, 0x11223344
+      jeq hit
+      movi r2, 0
+      jmp out
+    hit:
+      movi r2, 1
+    out:
+      movi r0, 2
+      movi r1, 1
+      movi r2, msg
+      movi r3, 3
+      syscall
+      movi r0, 1
+      movi r1, 0
+      syscall
+    .rodata
+    msg: .ascii "ok\n"
+    .bss
+    inbuf: .space 8
+)";
+
+// The same compare feeding TWO conditional branches: the flags stay live
+// into the jeq's fallthrough, so the lowering must refuse the site.
+const char* kFlagsLive = R"(
+    .entry main
+    .text
+    main:
+      movi r0, 3
+      movi r1, 0
+      movi r2, inbuf
+      movi r3, 8
+      syscall
+      movi r6, inbuf
+      load r1, [r6]
+      cmpi r1, 0x11223344
+      jeq exact
+      jlt below
+      movi r2, 2
+      jmp out
+    exact:
+      movi r2, 0
+      jmp out
+    below:
+      movi r2, 1
+    out:
+      movi r0, 1
+      mov r1, r2
+      syscall
+    .rodata
+    .bss
+    inbuf: .space 8
+)";
+
+Bytes le64(std::uint64_t v) {
+  Bytes b;
+  put_u64(b, v);
+  return b;
+}
+
+TEST(LafTransform, SplitsMultiByteCompareAndPreservesBehaviour) {
+  auto img = must_assemble(kGated);
+  auto r = must_rewrite(img, laf_opts({"laf"}));
+  EXPECT_EQ(r.instrumentation.compares_split, 1u);
+  EXPECT_EQ(r.instrumentation.compares_skipped, 0u);
+  // Full match, partial matches of every prefix length, wild misses.
+  for (std::uint64_t v : {0x11223344ull, 0x11223345ull, 0x11223300ull, 0x11220044ull,
+                          0x00223344ull, 0ull, ~0ull, 0x4433221100ull})
+    expect_equivalent(img, r.image, le64(v));
+}
+
+TEST(LafTransform, RefusesSiteWithLiveFlags) {
+  auto img = must_assemble(kFlagsLive);
+  auto r = must_rewrite(img, laf_opts({"laf"}));
+  EXPECT_EQ(r.instrumentation.compares_split, 0u);
+  EXPECT_GE(r.instrumentation.compares_skipped, 1u);
+  for (std::uint64_t v : {0x11223344ull, 0x11223343ull, 0x7fffffffffffffffull, 0ull})
+    expect_equivalent(img, r.image, le64(v));
+}
+
+TEST(LafTransform, SingleByteCompareLeftAlone) {
+  // imm in [-128, 127] carries no gradient to recover: not a candidate.
+  auto img = must_assemble(R"(
+    .entry main
+    .text
+    main:
+      movi r0, 3
+      movi r1, 0
+      movi r2, inbuf
+      movi r3, 8
+      syscall
+      movi r6, inbuf
+      load r1, [r6]
+      cmpi r1, 65
+      jeq yes
+      movi r1, 0
+      jmp out
+    yes:
+      movi r1, 0
+    out:
+      movi r0, 1
+      syscall
+    .bss
+    inbuf: .space 8
+  )");
+  auto r = must_rewrite(img, laf_opts({"laf"}));
+  EXPECT_EQ(r.instrumentation.compares_split, 0u);
+  EXPECT_EQ(r.instrumentation.compares_skipped, 0u);
+  expect_equivalent(img, r.image, le64(65));
+}
+
+// Satellite: laf under cov stays poll-functional on the whole 62-CB
+// corpus for every placement strategy. Sliced so failures localize.
+class LafCorpusFunctionalTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LafCorpusFunctionalTest, LafPlusCovPassesAllPolls) {
+  auto corpus = cgc::cfe_corpus();
+  const int slice = GetParam();
+  for (std::size_t i = static_cast<std::size_t>(slice); i < corpus.size(); i += 8) {
+    auto cb = cgc::generate_cb(corpus[i]);
+    ASSERT_TRUE(cb.ok()) << corpus[i].name;
+    for (auto placement : {rewriter::PlacementKind::kNearfit, rewriter::PlacementKind::kDiversity,
+                           rewriter::PlacementKind::kPinPage}) {
+      auto rewritten = must_rewrite(cb->image, laf_opts({"laf", "cov"}, placement));
+      for (const auto& poll : cgc::make_polls(*cb, 2, 99)) {
+        auto cmp = cgc::run_poll(cb->image, rewritten.image, poll);
+        EXPECT_TRUE(cmp.functional)
+            << corpus[i].name << " placement " << static_cast<int>(placement)
+            << " diverged on input " << hex_dump(poll.input);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Slices, LafCorpusFunctionalTest, ::testing::Range(0, 8));
+
+// The headline differential: same budget, same seeds, same campaign
+// seed. cov alone never sees a gradient through the 4-byte magic gate;
+// cov over laf solves it byte-by-byte in the deterministic stage.
+TEST(LafDifferential, MagicGatedBugNeedsLaf) {
+  const auto vulns = cgc::vulnerable_corpus();
+  auto magic = std::find_if(vulns.begin(), vulns.end(),
+                            [](const cgc::VulnCb& v) { return v.laf_gated; });
+  ASSERT_NE(magic, vulns.end()) << "corpus lost its magic-gated CB";
+
+  fuzz::FuzzOptions fopts;
+  fopts.seed = 7;
+  fopts.max_execs = 6000;
+
+  auto cov_only = must_rewrite(magic->image, laf_opts({"cov"}));
+  auto plain = fuzz::fuzz(cov_only.image, {magic->benign_input}, fopts);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(plain->crashes.empty())
+      << "cov alone cracked the 2^-32 magic gate in budget: the gate is too weak";
+
+  auto laf_cov = must_rewrite(magic->image, laf_opts({"laf", "cov"}));
+  EXPECT_EQ(laf_cov.instrumentation.compares_split, 1u);
+  auto split = fuzz::fuzz(laf_cov.image, {magic->benign_input}, fopts);
+  ASSERT_TRUE(split.ok());
+  ASSERT_GE(split->crashes.size(), 1u) << "laf+cov missed the magic-gated bug";
+  bool replays = false;
+  for (const auto& crash : split->crashes) {
+    auto replay = vm::run_program(magic->image, crash.input);
+    replays |= !replay.exited && replay.fault != vm::Fault::kGasExhausted;
+  }
+  EXPECT_TRUE(replays);
+
+  // Stage attribution shows the byte-ladder: the deterministic stage
+  // admitted the prefix-match entries that walked up to the crash.
+  const auto& stages = split->stats.stages;
+  EXPECT_GE(stages.admitted[static_cast<std::size_t>(fuzz::MutationStage::kDet)], 3u);
+}
+
+}  // namespace
+}  // namespace zipr

@@ -106,10 +106,13 @@ inline void reject_unknown(const Args& args, const std::vector<std::string>& kno
 /// strtoull's whatever it is given and silently yields 0 or a wrapped
 /// value), malformed text, trailing garbage, signs, and out-of-range
 /// values all die with the offending text, so `--jobs=banana` or
-/// `--seed=-1` can never be mistaken for a configuration.
+/// `--seed=-1` can never be mistaken for a configuration. `min` lets
+/// flags where zero is meaningless (--shards=0) reject it by name
+/// instead of tripping some distant divide or empty-pool hang.
 inline std::uint64_t checked_u64(const Args& args, const std::string& key,
                                  std::uint64_t fallback,
-                                 std::uint64_t max = UINT64_MAX) {
+                                 std::uint64_t max = UINT64_MAX,
+                                 std::uint64_t min = 0) {
   if (!args.has(key)) return fallback;
   auto v = args.value(key);
   if (!v || v->empty()) die("--" + key + " requires a value (--" + key + "=N)");
@@ -123,6 +126,9 @@ inline std::uint64_t checked_u64(const Args& args, const std::string& key,
     die("invalid --" + key + " value '" + *v + "': expected an unsigned integer");
   if (errno == ERANGE || parsed > max)
     die("--" + key + " value '" + *v + "' is out of range (max " + std::to_string(max) +
+        ")");
+  if (parsed < min)
+    die("--" + key + " value '" + *v + "' is out of range (min " + std::to_string(min) +
         ")");
   return parsed;
 }

@@ -14,6 +14,8 @@ Usage:
                       [--threshold 0.25]
   tools/perf_guard.py --serve FRESH_serve.json [--baseline BENCH_serve.json]
                       [--threshold 0.25]
+  tools/perf_guard.py --farm FRESH_farm.json [--baseline BENCH_farm.json]
+                      [--threshold 0.25]
 
 Notes:
   - Only `iteration` entries present in BOTH files are compared (aggregate
@@ -44,6 +46,12 @@ Notes:
     against the baseline's recorded floors: warm_speedup >=
     min_warm_speedup, cache_hit_rate >= min_cache_hit_rate. The relative
     threshold additionally flags a warm_speedup drop vs the baseline run.
+  - `--farm` switches to the BENCH_farm.json schema (farm_scaling bench)
+    and gates correctness ABSOLUTELY (identical_results: the merged
+    corpus/crash digest must agree across every shard count;
+    laf.rediscovered: the magic-gated bug stays findable through the
+    farm), plus the baseline's min_efficiency_8 floor on 8-shard parallel
+    efficiency and a relative check on 8-shard aggregate throughput.
   - Exit status: 0 = no regression, 1 = at least one benchmark regressed,
     2 = bad input.
 """
@@ -254,6 +262,64 @@ def guard_fuzz(args):
     return 0
 
 
+def guard_farm(args):
+    """Gate the farm_scaling bench: reproducibility and parallel efficiency."""
+    fresh = load_json(args.fresh)
+    base = load_json(args.baseline)
+    regressed = []
+
+    # Correctness gates, absolute: a digest split between shard counts
+    # means scheduling leaked into merged results; a missed laf
+    # rediscovery means compare-splitting stopped carrying the gradient.
+    for name, ok in [
+        ("identical_results", bool(fresh.get("identical_results"))),
+        ("laf.rediscovered", bool(fresh.get("laf", {}).get("rediscovered"))),
+    ]:
+        status = "ok" if ok else "FAIL"
+        if not ok:
+            regressed.append((f"farm.{name}", 0.0))
+        print(f"  [{status:>4}]  farm.{name}")
+
+    def row_for(doc, shards):
+        for row in doc.get("rows", []):
+            if int(row.get("shards", 0)) == shards:
+                return row
+        return {}
+
+    # The efficiency floor from the BASELINE (so the committed gate holds
+    # even if a fresh binary starts emitting a softer floor).
+    floor = float(base.get("min_efficiency_8", 0))
+    fresh8 = row_for(fresh, 8)
+    if floor > 0:
+        got = float(fresh8.get("efficiency", 0))
+        status = "FAIL" if got < floor else "ok"
+        if got < floor:
+            regressed.append(("farm.efficiency@8shards below floor", got - floor))
+        print(f"  [{status:>4}]  farm.efficiency@8shards floor: {floor:.2f} "
+              f"(fresh {got:.4f})")
+
+    base8 = row_for(base, 8)
+    base_eps = float(base8.get("execs_per_sec", 0))
+    fresh_eps = float(fresh8.get("execs_per_sec", 0))
+    if base_eps > 0:
+        drop = 1.0 - fresh_eps / base_eps
+        status = "FAIL" if drop > args.threshold else "ok"
+        if drop > args.threshold:
+            regressed.append(("farm.execs_per_sec@8shards", drop))
+        print(f"  [{status:>4}]  farm.execs_per_sec@8shards: {base_eps:10.1f} -> "
+              f"{fresh_eps:10.1f} ({-drop:+.1%})")
+
+    if regressed:
+        print(f"\nperf_guard: {len(regressed)} farm metric(s) regressed:",
+              file=sys.stderr)
+        for name, delta in regressed:
+            print(f"  {name}: {delta:+.1%}", file=sys.stderr)
+        return 1
+    print(f"\nperf_guard: farm results reproducible and within {args.threshold:.0%} "
+          f"of baseline")
+    return 0
+
+
 def guard_serve(args):
     """Gate the serve_throughput bench: byte-identity and warm throughput."""
     fresh = load_json(args.fresh)
@@ -344,6 +410,8 @@ def main():
                     help="treat inputs as fuzz_overhead BENCH_fuzz.json files")
     ap.add_argument("--serve", action="store_true",
                     help="treat inputs as serve_throughput BENCH_serve.json files")
+    ap.add_argument("--farm", action="store_true",
+                    help="treat inputs as farm_scaling BENCH_farm.json files")
     args = ap.parse_args()
 
     if args.micro:
@@ -356,6 +424,10 @@ def main():
         if args.baseline is None:
             args.baseline = "BENCH_serve.json"
         return guard_serve(args)
+    if args.farm:
+        if args.baseline is None:
+            args.baseline = "BENCH_farm.json"
+        return guard_farm(args)
     if args.baseline is None:
         args.baseline = "BENCH_micro.json"
 

@@ -4,9 +4,11 @@
 # (BENCH_layout.json: per-strategy coalescing elision rate, trailing-jump
 # bytes, and output-size overhead), the fuzzing-subsystem bench
 # (BENCH_fuzz.json: cov-instrumentation overhead, fuzzer throughput +
-# planted-bug rediscovery, snapshot-restore vs full re-link), and the
+# planted-bug rediscovery, snapshot-restore vs full re-link), the
 # serve-layer bench (BENCH_serve.json: content-addressed cache warm
-# throughput + the delta-resubmission experiment).
+# throughput + the delta-resubmission experiment), and the farm bench
+# (BENCH_farm.json: sharded-campaign throughput at 1/2/4/8 shards, digest
+# identity of merged results across shard counts, laf-gated rediscovery).
 #
 # Usage: tools/run_bench.sh [benchmark-filter-regex]
 #
@@ -17,6 +19,7 @@
 #   BENCH_LAYOUT_OUT  layout output JSON path (default: <repo>/BENCH_layout.json)
 #   BENCH_FUZZ_OUT    fuzz output JSON path (default: <repo>/BENCH_fuzz.json)
 #   BENCH_SERVE_OUT   serve output JSON path (default: <repo>/BENCH_serve.json)
+#   BENCH_FARM_OUT    farm output JSON path (default: <repo>/BENCH_farm.json)
 #   BENCH_MIN_TIME    per-benchmark min time (default: benchmark's own default)
 #   BENCH_REPEATS     batch_corpus repeats per pool size (default: 3, best-of)
 #   PERF_THRESHOLD    perf_guard slowdown tolerance (default: 0.25)
@@ -71,11 +74,12 @@ CORPUS_OUT="${BENCH_CORPUS_OUT:-$ROOT/BENCH_corpus.json}"
 LAYOUT_OUT="${BENCH_LAYOUT_OUT:-$ROOT/BENCH_layout.json}"
 FUZZ_OUT="${BENCH_FUZZ_OUT:-$ROOT/BENCH_fuzz.json}"
 SERVE_OUT="${BENCH_SERVE_OUT:-$ROOT/BENCH_serve.json}"
+FARM_OUT="${BENCH_FARM_OUT:-$ROOT/BENCH_farm.json}"
 FILTER="${1:-.}"
 
 cmake -S "$ROOT" -B "$BUILD" >/dev/null
 cmake --build "$BUILD" --target micro batch_corpus layout_stats fuzz_overhead serve_throughput \
-  -j "$(nproc)" >/dev/null
+  farm_scaling -j "$(nproc)" >/dev/null
 
 args=(--benchmark_filter="$FILTER"
       --benchmark_out="$OUT"
@@ -102,6 +106,8 @@ fi
 
 "$BUILD/bench/serve_throughput" --out="$SERVE_OUT"
 
+"$BUILD/bench/farm_scaling" --out="$FARM_OUT"
+
 # Guard the throughput trajectory: a fresh run that regressed any shared
 # benchmark beyond the threshold fails the script. Skipped when the fresh
 # output IS the committed baseline path (first-time generation).
@@ -116,4 +122,8 @@ fi
 if [[ "$SERVE_OUT" != "$ROOT/BENCH_serve.json" && -f "$ROOT/BENCH_serve.json" ]]; then
   python3 "$ROOT/tools/perf_guard.py" --serve "$SERVE_OUT" \
     --baseline "$ROOT/BENCH_serve.json" --threshold "${PERF_THRESHOLD:-0.25}"
+fi
+if [[ "$FARM_OUT" != "$ROOT/BENCH_farm.json" && -f "$ROOT/BENCH_farm.json" ]]; then
+  python3 "$ROOT/tools/perf_guard.py" --farm "$FARM_OUT" \
+    --baseline "$ROOT/BENCH_farm.json" --threshold "${PERF_THRESHOLD:-0.25}"
 fi

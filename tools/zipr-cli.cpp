@@ -12,9 +12,11 @@
 // binary is reported and exits nonzero at the end but never stops the rest.
 //   zipr-cli a.zelf b.zelf ... --out-dir=DIR [--jobs=N] [batch-safe flags]
 //
-// Fuzz mode: instrument with coverage and run the coverage-guided fuzzer.
-//   zipr-cli fuzz input.zelf [--transform=cov]... [--runs=N] [--jobs=N]
-//            [--seed=N] [--input=<seed file>]... [--crash-dir=DIR]
+// Fuzz mode: instrument with coverage and run the coverage-guided fuzzer;
+// --shards=N>1 runs the multi-shard farm orchestrator instead (same
+// deterministic results at any shard/worker count, more lanes).
+//   zipr-cli fuzz input.zelf [--transform=cov|laf]... [--runs=N] [--jobs=N]
+//            [--shards=N] [--seed=N] [--input=<seed file>]... [--crash-dir=DIR]
 //
 // Serve mode: long-running rewrite service on a local Unix socket, with a
 // content-addressed artifact cache and a page-delta fast path.
@@ -28,6 +30,7 @@
 
 #include "batch/batch_rewriter.h"
 #include "cli_util.h"
+#include "farm/farm.h"
 #include "fuzz/fuzzer.h"
 #include "irdb/serialize.h"
 #include "serve/engine.h"
@@ -199,10 +202,71 @@ int run_batch(const zipr::cli::Args& args, const zipr::RewriteOptions& options) 
   return failed == 0 ? 0 : 1;
 }
 
+// Per-stage novelty attribution: which mutation stages are actually
+// earning corpus entries and crashes (a campaign admitting only havoc
+// has exhausted its deterministic frontier; one admitting nothing is
+// gated -- see --transform=laf).
+void print_stage_counters(const zipr::fuzz::StageCounters& stages) {
+  using namespace zipr;
+  std::printf("stages:");
+  for (std::size_t i = 0; i < fuzz::kStageCount; ++i)
+    std::printf(" %s %" PRIu64 "+%" PRIu64 "c",
+                fuzz::stage_name(static_cast<fuzz::MutationStage>(i)), stages.admitted[i],
+                stages.crashes[i]);
+  std::printf(" (admissions+crashes by producing stage)\n");
+}
+
+void save_crash_input(const zipr::cli::Args& args, std::size_t i, const zipr::Bytes& input) {
+  using namespace zipr;
+  auto dir = args.value("crash-dir");
+  if (!dir) return;
+  std::error_code ec;
+  std::filesystem::create_directories(*dir, ec);
+  if (ec) cli::die("cannot create --crash-dir " + *dir + ": " + ec.message());
+  std::string path = (std::filesystem::path(*dir) / ("crash-" + std::to_string(i))).string();
+  if (!cli::write_file(path, std::string(input.begin(), input.end())))
+    cli::die("cannot write " + path);
+}
+
+// Sharded campaign (--shards=N>1): the farm orchestrator. Results are
+// invariant to the shard/worker counts; only throughput changes.
+int run_farm(const zipr::cli::Args& args, const zipr::zelf::Image& instrumented,
+             const std::vector<zipr::Bytes>& seeds, std::uint64_t seed,
+             std::uint64_t shards) {
+  using namespace zipr;
+  farm::FarmOptions fopts;
+  fopts.seed = seed;
+  fopts.shards = static_cast<std::size_t>(shards);
+  fopts.jobs = static_cast<int>(cli::checked_u64(args, "jobs", 0, 4096));
+  fopts.max_execs = cli::checked_u64(args, "runs", 20000);
+  auto result = farm::run_campaign(instrumented, seeds, fopts);
+  if (!result.ok()) cli::die(result.error().message);
+
+  const auto& s = result->stats;
+  std::printf(
+      "farm: %" PRIu64 " execs over %" PRIu64 " epochs x %zu shard(s) (%.0f/sec), corpus %zu "
+      "(%" PRIu64 " synced, %" PRIu64 " sync rejects), map %zu/%zu indices, %zu unique "
+      "crash(es), %" PRIu64 " cross-shard duplicate(s)\n",
+      s.execs, s.epochs, fopts.shards, s.execs_per_sec, result->corpus.size(),
+      s.imported_entries, s.rejected_duplicates, s.map_indices_hit, fuzz::kMapSize,
+      result->crashes.size(), s.duplicate_crashes);
+  print_stage_counters(s.stages);
+  for (std::size_t i = 0; i < result->crashes.size(); ++i) {
+    const auto& c = result->crashes[i];
+    std::printf("crash %zu: %s at %s (path %016" PRIx64 ", input %zu bytes; first seen epoch "
+                "%" PRIu64 " stream %zu shard %zu, %zu duplicate sighting(s))\n",
+                i, vm::fault_name(c.crash.fault), hex_addr(c.crash.fault_pc).c_str(),
+                c.crash.path, c.crash.input.size(), c.origin.epoch, c.origin.stream,
+                c.origin.shard, c.duplicates.size());
+    save_crash_input(args, i, c.crash.input);
+  }
+  return result->crashes.empty() ? 0 : 1;
+}
+
 int run_fuzz(const zipr::cli::Args& args) {
   using namespace zipr;
   cli::reject_unknown(args, {"transform", "runs", "jobs", "seed", "input", "crash-dir",
-                             "cov-prune", "no-cov-prune"});
+                             "shards", "cov-prune", "no-cov-prune"});
   if (args.positional().size() != 2)
     cli::die("fuzz mode takes exactly one input image: zipr-cli fuzz <input.zelf>");
 
@@ -227,6 +291,9 @@ int run_fuzz(const zipr::cli::Args& args) {
         in.probes, in.candidate_sites, in.prune_rate() * 100, in.pruned_dominated,
         in.collapsed_single_pred, in.split_critical_edges, in.elided_flag_saves,
         in.elided_reg_saves, in.skipped_flags);
+  if (in.compares_split > 0 || in.compares_skipped > 0)
+    std::printf("laf: %zu compare(s) split byte-wise, %zu refused, %zu scratch save fallback(s)\n",
+                in.compares_split, in.compares_skipped, in.compare_save_fallbacks);
 
   std::vector<Bytes> seeds;
   for (const auto& path : args.values("input")) {
@@ -235,6 +302,10 @@ int run_fuzz(const zipr::cli::Args& args) {
     seeds.emplace_back(data->begin(), data->end());
   }
   if (seeds.empty()) seeds.push_back(Bytes(4, 0));  // minimal default seed
+
+  // --shards=0 is rejected by name (min 1); 1 = plain single-stream fuzz.
+  const std::uint64_t shards = cli::checked_u64(args, "shards", 1, 4096, 1);
+  if (shards > 1) return run_farm(args, rewritten->image, seeds, options.seed, shards);
 
   fuzz::FuzzOptions fopts;
   fopts.seed = options.seed;
@@ -249,18 +320,12 @@ int run_fuzz(const zipr::cli::Args& args) {
       " snapshot resets), corpus %zu, map %zu/%zu indices, %zu unique crash(es)\n",
       s.execs, s.rounds, s.execs_per_sec, s.resets, result->corpus.size(), s.map_indices_hit,
       fuzz::kMapSize, result->crashes.size());
+  print_stage_counters(s.stages);
   for (std::size_t i = 0; i < result->crashes.size(); ++i) {
     const auto& c = result->crashes[i];
     std::printf("crash %zu: %s at %s (path %016" PRIx64 ", input %zu bytes)\n", i,
                 vm::fault_name(c.fault), hex_addr(c.fault_pc).c_str(), c.path, c.input.size());
-    if (auto dir = args.value("crash-dir")) {
-      std::error_code ec;
-      std::filesystem::create_directories(*dir, ec);
-      if (ec) cli::die("cannot create --crash-dir " + *dir + ": " + ec.message());
-      std::string path = (std::filesystem::path(*dir) / ("crash-" + std::to_string(i))).string();
-      if (!cli::write_file(path, std::string(c.input.begin(), c.input.end())))
-        cli::die("cannot write " + path);
-    }
+    save_crash_input(args, i, c.input);
   }
   return result->crashes.empty() ? 0 : 1;
 }
@@ -290,10 +355,10 @@ int main(int argc, char** argv) {
         "                [--list-transforms]\n"
         "       zipr-cli <input.zelf>... --out-dir=<dir> [--jobs=N] [shared flags]\n"
         "                (batch mode: rewrites all inputs on a worker pool)\n"
-        "       zipr-cli fuzz <input.zelf> [--transform=cov]... [--runs=N] [--jobs=N]\n"
-        "                [--seed=N] [--input=<seed file>]... [--crash-dir=<dir>]\n"
+        "       zipr-cli fuzz <input.zelf> [--transform=cov|laf]... [--runs=N] [--jobs=N]\n"
+        "                [--shards=N] [--seed=N] [--input=<seed file>]... [--crash-dir=<dir>]\n"
         "                [--cov-prune|--no-cov-prune]\n"
-        "                (coverage-guided fuzzing of the instrumented image)\n"
+        "                (coverage-guided fuzzing; --shards>1 = multi-shard farm)\n"
         "       zipr-cli serve --socket=<path> [--jobs=N] [--cache-mb=N] [--no-delta]\n"
         "                [--max-delta-pages=N] [--max-requests=N]\n"
         "                (rewrite service: content-addressed cache + delta path)\n"
