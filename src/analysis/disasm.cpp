@@ -1,7 +1,6 @@
 #include "analysis/disasm.h"
 
-#include <deque>
-
+#include "analysis/scratch.h"
 #include "batch/worker_pool.h"
 #include "support/log.h"
 
@@ -90,7 +89,8 @@ std::uint64_t sweep_run(const zelf::Segment& text, std::uint64_t addr, std::uint
 
 }  // namespace
 
-DisasmResult linear_sweep(const zelf::Segment& text, int jobs) {
+DisasmResult linear_sweep(const zelf::Segment& text, int jobs,
+                          std::vector<AddrInsnMap::value_type>* claims_scratch) {
   const std::uint64_t begin = text.vaddr;
   const std::uint64_t end = text.vaddr + text.bytes.size();
   DisasmResult out;
@@ -100,6 +100,10 @@ DisasmResult linear_sweep(const zelf::Segment& text, int jobs) {
   std::size_t workers = batch::effective_jobs(jobs, text.bytes.size() / (16 * 1024));
   if (workers <= 1) {
     std::vector<AddrInsnMap::value_type> v;
+    if (claims_scratch) {
+      v = std::move(*claims_scratch);
+      v.clear();
+    }
     v.reserve(text.bytes.size() / 4);
     sweep_run(text, begin, end, &v);
     insert_coverage(v, &out.code);
@@ -116,6 +120,12 @@ DisasmResult linear_sweep(const zelf::Segment& text, int jobs) {
   // an address (usually within a few instructions) and splices the rest.
   const std::uint64_t chunk = (end - begin + workers - 1) / workers;
   std::vector<SweepChunk> chunks(workers);
+  if (claims_scratch) {
+    // Chunk 0's stream seeds the merged vector below, so the donated
+    // capacity ends up backing the full stitched table.
+    chunks[0].insns = std::move(*claims_scratch);
+    chunks[0].insns.clear();
+  }
   batch::parallel_for(static_cast<int>(workers), workers, [&](std::size_t i) {
     std::uint64_t lo = begin + chunk * i;
     std::uint64_t hi = std::min<std::uint64_t>(end, lo + chunk);
@@ -179,13 +189,25 @@ struct Traverser {
   const zelf::Image& image;
   const zelf::Segment& text;
   const TraversalOptions& opts;
+  AnalysisScratch* scratch;  ///< optional recycled buffers (may be null)
   TraversalResult result;
-  std::deque<std::uint64_t> worklist;
+  /// FIFO via head index: identical visit order to a deque, but one flat
+  /// recyclable buffer instead of per-chunk node churn (a deque allocates
+  /// and frees a block every 64 pops on this push/pop-heavy walk).
+  std::vector<std::uint64_t> worklist;
+  std::size_t work_head = 0;
   std::vector<std::uint8_t> state;  ///< per text byte
   std::size_t claim_count = 0;
 
-  explicit Traverser(const zelf::Image& img, const TraversalOptions& o)
-      : image(img), text(img.text()), opts(o), state(text.bytes.size(), 0) {}
+  Traverser(const zelf::Image& img, const TraversalOptions& o, AnalysisScratch* s)
+      : image(img), text(img.text()), opts(o), scratch(s) {
+    if (scratch) {
+      state = std::move(scratch->byte_state);
+      worklist = std::move(scratch->traversal_work);
+      worklist.clear();
+    }
+    state.assign(text.bytes.size(), 0);
+  }
 
   bool in_text(std::uint64_t addr) const {
     return addr >= text.vaddr && addr - text.vaddr < state.size();
@@ -311,11 +333,9 @@ struct Traverser {
   }
 
   void drain() {
-    while (!worklist.empty()) {
-      std::uint64_t addr = worklist.front();
-      worklist.pop_front();
-      visit(addr);
-    }
+    while (work_head < worklist.size()) visit(worklist[work_head++]);
+    worklist.clear();
+    work_head = 0;
   }
 
   void scan_data_segments() {
@@ -339,6 +359,10 @@ struct Traverser {
   /// over a multi-MB table -- the only superlinear term in the pipeline.
   void finalize() {
     std::vector<AddrInsnMap::value_type> sorted;
+    if (scratch) {
+      sorted = std::move(scratch->code_claims);
+      sorted.clear();
+    }
     sorted.reserve(claim_count);
     isa::Insn insn;
     for (std::size_t off = 0; off < state.size(); ++off) {
@@ -353,8 +377,9 @@ struct Traverser {
 
 }  // namespace
 
-TraversalResult recursive_traversal(const zelf::Image& image, const TraversalOptions& opts) {
-  Traverser t(image, opts);
+TraversalResult recursive_traversal(const zelf::Image& image, const TraversalOptions& opts,
+                                    AnalysisScratch* scratch) {
+  Traverser t(image, opts, scratch);
   if (image.entry != 0) {
     t.worklist.push_back(image.entry);
     t.result.function_entries.insert(image.entry);
@@ -372,6 +397,12 @@ TraversalResult recursive_traversal(const zelf::Image& image, const TraversalOpt
     t.drain();
   }
   t.finalize();
+  // Return the bitmap's and worklist's capacity to the donor for the next
+  // rewrite.
+  if (scratch) {
+    scratch->byte_state = std::move(t.state);
+    scratch->traversal_work = std::move(t.worklist);
+  }
   return std::move(t.result);
 }
 

@@ -93,6 +93,10 @@ class AddrInsnMap {
   bool empty() const { return v_.empty(); }
   void reserve(std::size_t n) { v_.reserve(n); }
 
+  /// Steal the backing vector (the map becomes empty). Lets a recycling
+  /// caller reclaim the table's capacity once it is done with the entries.
+  std::vector<value_type> release() { return std::move(v_); }
+
  private:
   std::vector<value_type> v_;
 };
@@ -113,12 +117,19 @@ struct JumpTable {
   std::vector<std::uint64_t> slots;
 };
 
+struct AnalysisScratch;  // scratch.h; buffers recycled across rewrites
+
 /// objdump-like engine. Decodes `text` sequentially; after an undecodable
 /// byte it advances one byte and resynchronizes. `jobs` > 1 decodes fixed
 /// chunks in parallel and stitches boundaries sequentially; because a
 /// decode at a given address is independent of how the sweep arrived
 /// there, the stitched result is EXACTLY the serial sweep's output.
-DisasmResult linear_sweep(const zelf::Segment& text, int jobs = 1);
+///
+/// `claims_scratch`, if given, donates its capacity to the decode stream
+/// (the vector is moved out and left empty); reclaim it afterwards via
+/// `result.insns.release()`. Never changes the result.
+DisasmResult linear_sweep(const zelf::Segment& text, int jobs = 1,
+                          std::vector<AddrInsnMap::value_type>* claims_scratch = nullptr);
 
 struct TraversalResult {
   DisasmResult dis;
@@ -140,7 +151,12 @@ struct TraversalOptions {
 
 /// IDA-like engine: follow control flow from the entry point to a fixpoint,
 /// including jump-table and address-constant discovery.
-TraversalResult recursive_traversal(const zelf::Image& image, const TraversalOptions& opts = {});
+///
+/// `scratch`, if given, donates `byte_state` (returned on exit) and
+/// `code_claims` (escapes into `result.dis.insns`; reclaim via release()
+/// once the table is dead). Never changes the result.
+TraversalResult recursive_traversal(const zelf::Image& image, const TraversalOptions& opts = {},
+                                    AnalysisScratch* scratch = nullptr);
 
 /// Aggregated classification of the text segment.
 struct Aggregate {

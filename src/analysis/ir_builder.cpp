@@ -1,5 +1,6 @@
 #include "analysis/ir_builder.h"
 
+#include "analysis/scratch.h"
 #include "support/log.h"
 
 namespace zipr::analysis {
@@ -7,7 +8,8 @@ namespace zipr::analysis {
 using irdb::InsnId;
 using irdb::kNullInsn;
 
-Result<IrProgram> build_ir(const zelf::Image& image, const AnalysisOptions& opts, int jobs) {
+Result<IrProgram> build_ir(const zelf::Image& image, const AnalysisOptions& opts, int jobs,
+                           AnalysisScratch* scratch) {
   ZIPR_TRY(image.validate());
   IrProgram prog;
   prog.original = image;
@@ -16,8 +18,9 @@ Result<IrProgram> build_ir(const zelf::Image& image, const AnalysisOptions& opts
   prog.original.symbols.clear();
 
   const zelf::Segment& text = image.text();
-  DisasmResult linear = linear_sweep(text, jobs);
-  TraversalResult recursive = recursive_traversal(image, opts.traversal);
+  DisasmResult linear =
+      linear_sweep(text, jobs, scratch ? &scratch->sweep_claims : nullptr);
+  TraversalResult recursive = recursive_traversal(image, opts.traversal, scratch);
   // The move overload steals recursive.dis (the traversal metadata the
   // later stages read stays valid).
   Aggregate agg = aggregate(text, linear, std::move(recursive));
@@ -31,7 +34,9 @@ Result<IrProgram> build_ir(const zelf::Image& image, const AnalysisOptions& opts
   // ---- lift definite code into rows ----
   // row_at: text offset -> row id, a dense array instead of a tree (lookup
   // is one load; the text segment is at most a few MB).
-  std::vector<InsnId> row_at(text.bytes.size(), kNullInsn);
+  std::vector<InsnId> row_at;
+  if (scratch) row_at = std::move(scratch->row_at);
+  row_at.assign(text.bytes.size(), kNullInsn);
   auto row_at_addr = [&](std::uint64_t addr) -> InsnId {
     return (addr >= text.vaddr && addr - text.vaddr < row_at.size())
                ? row_at[addr - text.vaddr]
@@ -111,11 +116,19 @@ Result<IrProgram> build_ir(const zelf::Image& image, const AnalysisOptions& opts
   // Entry membership as a bitmap over row ids: the BFS below queries it
   // once per visited row, so a node-based set would be a cache miss per
   // instruction on big binaries.
-  std::vector<bool> entry_rows(prog.db.insn_count() + 1, false);
+  std::vector<bool> entry_rows;
+  if (scratch) entry_rows = std::move(scratch->entry_rows);
+  entry_rows.assign(prog.db.insn_count() + 1, false);
   for (std::uint64_t entry : recursive.function_entries) {
     if (InsnId id = row_at_addr(entry); id != kNullInsn) entry_rows[id] = true;
   }
   std::vector<InsnId> work;  // FIFO via head index (same order as a deque)
+  std::vector<InsnId> members;  // staged, then copied in one exact-size alloc
+  if (scratch) {
+    work = std::move(scratch->work);
+    work.clear();
+    members = std::move(scratch->function_members);
+  }
   for (std::uint64_t entry : recursive.function_entries) {
     InsnId entry_id = row_at_addr(entry);
     if (entry_id == kNullInsn) continue;
@@ -128,16 +141,21 @@ Result<IrProgram> build_ir(const zelf::Image& image, const AnalysisOptions& opts
 
     work.clear();
     work.push_back(entry_id);
+    // Members are staged in the recycled buffer and copied into the
+    // database afterwards: one allocation sized to the function, instead
+    // of a geometric push_back growth chain per function.
+    members.clear();
     for (std::size_t head = 0; head < work.size(); ++head) {
       InsnId id = work[head];
       auto row = prog.db.insn(id);
       if (row.function != irdb::kNullFunc) continue;
       if (id != entry_id && entry_rows[id]) continue;
       row.function = fid;
-      prog.db.function(fid).members.push_back(id);
+      members.push_back(id);
       if (row.fallthrough != kNullInsn) work.push_back(row.fallthrough);
       if (row.target != kNullInsn && !row.decoded.is_call()) work.push_back(row.target);
     }
+    prog.db.function(fid).members.assign(members.begin(), members.end());
   }
   prog.stats.functions = prog.db.function_count();
 
@@ -146,6 +164,20 @@ Result<IrProgram> build_ir(const zelf::Image& image, const AnalysisOptions& opts
   prog.stats.disagreements = agg.disagreements;
 
   ZIPR_TRY(prog.db.validate());
+
+  // Hand every borrowed buffer back (grown to this input's demand) so the
+  // next rewrite through the same scratch starts warm. The engine tables
+  // are dead at this point: the database copied what it keeps. On the
+  // early error returns above the buffers simply die with their locals and
+  // the scratch re-reserves next time -- a cost, never a correctness issue.
+  if (scratch) {
+    scratch->sweep_claims = linear.insns.release();
+    scratch->code_claims = agg.code_insns.release();
+    scratch->row_at = std::move(row_at);
+    scratch->entry_rows = std::move(entry_rows);
+    scratch->work = std::move(work);
+    scratch->function_members = std::move(members);
+  }
   return prog;
 }
 

@@ -17,10 +17,12 @@
 // never poison future requests.
 #pragma once
 
+#include <cstdio>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -54,6 +56,10 @@ std::uint64_t text_digest_of(const zelf::Image& image);
 struct Artifact {
   Bytes input;    ///< exact request bytes (collision check + delta diffing)
   Bytes output;   ///< serialized rewritten image (zelf::write_image form)
+  /// Canonical RewriteOptions text the artifact was produced under. Stored
+  /// so a persisted record can re-derive -- and therefore re-VERIFY -- its
+  /// cache key from content on load instead of trusting the file.
+  std::string options_text;
   std::uint64_t options_digest = 0;  ///< delta-ancestor bucket id
   /// Digest of the input's entry point and text-segment bytes (see
   /// text_digest_of). A data-only resubmission -- the delta workload --
@@ -67,7 +73,9 @@ struct Artifact {
   transform::InstrumentationStats instrumentation;
   StageTimes cold_timing;
 
-  std::size_t charge() const { return input.size() + output.size() + 256; }
+  std::size_t charge() const {
+    return input.size() + output.size() + options_text.size() + 256;
+  }
 };
 
 struct CacheStats {
@@ -85,9 +93,23 @@ class ArtifactCache {
  public:
   /// `max_bytes` bounds the sum of Artifact::charge() across entries.
   explicit ArtifactCache(std::size_t max_bytes) : max_bytes_(max_bytes) {}
+  ~ArtifactCache();
 
   ArtifactCache(const ArtifactCache&) = delete;
   ArtifactCache& operator=(const ArtifactCache&) = delete;
+
+  /// Attach a persistence file: replay its surviving records into the
+  /// cache (each re-verified -- checksum AND a key recomputed from the
+  /// stored options text + input bytes -- so a corrupted or tampered file
+  /// degrades to a smaller cache, never to a wrong answer), compact it to
+  /// exactly those records, then append every future insert() to it. A
+  /// missing file starts empty; an unwritable path is the only error.
+  Status attach_file(const std::string& path);
+
+  /// Drop every in-memory entry (hit/miss counters survive; the attached
+  /// persistence file is NOT touched -- benchmarks use this to force cold
+  /// paths without forgetting the on-disk state).
+  void clear();
 
   /// Hit iff the key is present AND the stored input bytes equal `input`
   /// (content addressing verified, not assumed). Bumps recency.
@@ -112,7 +134,9 @@ class ArtifactCache {
   std::size_t entry_count() const;
 
  private:
-  void evict_until_fits(std::size_t incoming);  // callers hold mu_
+  void evict_until_fits(std::size_t incoming);            // callers hold mu_
+  void insert_locked(const CacheKey& key, Artifact artifact, bool persist);
+  void append_record_locked(const CacheKey& key, const Artifact& artifact);
 
   struct Slot {
     std::shared_ptr<const Artifact> artifact;
@@ -124,6 +148,7 @@ class ArtifactCache {
   std::list<CacheKey> lru_;  ///< front = most recent
   std::unordered_map<CacheKey, Slot, CacheKeyHash> entries_;
   CacheStats stats_;
+  std::FILE* persist_ = nullptr;  ///< append handle; null = memory-only
 };
 
 }  // namespace zipr::serve

@@ -43,14 +43,31 @@ bool same_segment_shape(const zelf::Segment& a, const zelf::Segment& b) {
 std::optional<DeltaResult> try_delta(ByteView ancestor_input, ByteView ancestor_output,
                                      ByteView new_input, const DeltaOptions& options,
                                      std::string* reason) {
+  auto parsed = zelf::read_image(new_input);
+  if (!parsed.ok()) {
+    if (reason) *reason = "input does not parse";
+    return std::nullopt;
+  }
+  return try_delta(ancestor_input, ancestor_output, *parsed, new_input, options, reason);
+}
+
+std::optional<DeltaResult> try_delta(ByteView ancestor_input, ByteView ancestor_output,
+                                     const zelf::Image& new_image, ByteView new_input,
+                                     const DeltaOptions& options, std::string* reason) {
   auto refuse = [&](std::string why) -> std::optional<DeltaResult> {
     if (reason) *reason = std::move(why);
     return std::nullopt;
   };
 
+  // Cheapest prefilter first: every structural check below implies the two
+  // inputs serialize to the same length, so a length mismatch can never
+  // validate -- refuse it before paying the ancestor parse.
+  if (ancestor_input.size() != new_input.size())
+    return refuse("serialized sizes differ");
+
   auto old_img = zelf::read_image(ancestor_input);
-  auto new_img = zelf::read_image(new_input);
-  if (!old_img.ok() || !new_img.ok()) return refuse("input does not parse");
+  if (!old_img.ok()) return refuse("input does not parse");
+  const zelf::Image* new_img = &new_image;
 
   if (old_img->entry != new_img->entry || old_img->library != new_img->library)
     return refuse("entry/library mismatch");

@@ -31,6 +31,10 @@
 
 #include "support/bytes.h"
 
+namespace zipr::zelf {
+class Image;
+}
+
 namespace zipr::serve {
 
 struct DeltaOptions {
@@ -51,5 +55,16 @@ struct DeltaResult {
 std::optional<DeltaResult> try_delta(ByteView ancestor_input, ByteView ancestor_output,
                                      ByteView new_input, const DeltaOptions& options,
                                      std::string* reason);
+
+/// Same validator, but with the resubmission already parsed (the serve
+/// engine parses each miss exactly once and probes several ancestors, so
+/// re-parsing `new_input` per probe would make delta probing cost more
+/// than the cold rewrite it is meant to avoid). Also short-circuits on a
+/// serialized-length mismatch BEFORE parsing the ancestor: structurally
+/// identical inputs serialize to identical lengths, so a length delta can
+/// never validate and refusing it costs two size() reads.
+std::optional<DeltaResult> try_delta(ByteView ancestor_input, ByteView ancestor_output,
+                                     const zelf::Image& new_img, ByteView new_input,
+                                     const DeltaOptions& options, std::string* reason);
 
 }  // namespace zipr::serve

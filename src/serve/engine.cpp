@@ -29,7 +29,16 @@ ServeEngine::ServeEngine(ServeOptions options)
     : options_(options),
       cache_(options.cache_bytes),
       pool_(std::make_unique<batch::WorkerPool>(
-          batch::effective_jobs(options.jobs, /*tasks=*/SIZE_MAX))) {}
+          batch::effective_jobs(options.jobs, /*tasks=*/SIZE_MAX))) {
+  if (!options_.cache_file.empty()) {
+    // A broken persistence path degrades to a memory-only cache: the
+    // service stays correct (and up) either way.
+    Status attached = cache_.attach_file(options_.cache_file);
+    if (!attached.ok()) {
+      ZIPR_WARN << "serve: " << attached.error().message << "; running memory-only";
+    }
+  }
+}
 
 ServeEngine::~ServeEngine() { close(); }
 
@@ -39,6 +48,8 @@ void ServeEngine::close() {
   // accepted submit() still resolves its future.
   pool_->shutdown();
 }
+
+void ServeEngine::clear_cache() { cache_.clear(); }
 
 Result<ServeResponse> ServeEngine::handle(ByteView input, const RewriteOptions& options) {
   Clock::time_point start = Clock::now();
@@ -95,8 +106,11 @@ Result<ServeResponse> ServeEngine::handle(ByteView input, const RewriteOptions& 
       if (!ancestor) continue;
       probed = true;
       std::string reason;
-      auto delta = try_delta(ancestor->input, ancestor->output, input, options_.delta,
-                             &reason);
+      // The pre-parsed overload: `input` was parsed once above; probing N
+      // ancestors must not pay N more parses (that made delta probing
+      // slower than the cold rewrite it replaces).
+      auto delta = try_delta(ancestor->input, ancestor->output, *image, input,
+                             options_.delta, &reason);
       if (!delta) continue;
       // Promote the delta result to a first-class artifact so the next
       // byte-identical submission is a full O(copy) hit.
@@ -119,13 +133,20 @@ Result<ServeResponse> ServeEngine::handle(ByteView input, const RewriteOptions& 
   }
 
   // 3. Cold path. Failures return here WITHOUT touching the cache: caching
-  //    an error artifact would poison every retry of this key.
-  auto rewritten = rewrite(*image, options);
+  //    an error artifact would poison every retry of this key. The rewrite
+  //    runs through a pooled workspace so repeated cold misses recycle the
+  //    pipeline's transient tables (never the output: workspaces are an
+  //    execution knob, identical bytes either way).
+  auto lease = workspaces_.checkout();
+  ExecPolicy exec;
+  exec.workspace = lease.get();
+  auto rewritten = rewrite(*image, options, exec);
   if (!rewritten.ok()) return fail(rewritten.error());
 
   Artifact artifact;
   artifact.input.assign(input.begin(), input.end());
   artifact.output = zelf::write_image(rewritten->image);
+  artifact.options_text = canonical;
   artifact.options_digest = odigest;
   artifact.text_digest = tdigest;
   artifact.analysis = rewritten->analysis;

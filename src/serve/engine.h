@@ -23,6 +23,7 @@
 #include "batch/worker_pool.h"
 #include "serve/cache.h"
 #include "serve/delta.h"
+#include "zipr/workspace.h"
 #include "zipr/zipr.h"
 
 namespace zipr::serve {
@@ -37,6 +38,11 @@ struct ServeOptions {
   DeltaOptions delta;
   /// How many same-options ancestors a miss probes before going cold.
   std::size_t delta_candidates = 8;
+  /// Artifact-cache persistence file. Non-empty: previously cached
+  /// artifacts are replayed (re-verified) at startup and every new insert
+  /// is appended, so a restarted daemon answers repeat requests as
+  /// byte-identical cache hits. Empty: memory-only.
+  std::string cache_file;
 };
 
 enum class Source : std::uint8_t {
@@ -93,12 +99,21 @@ class ServeEngine {
   /// Stop admitting work and drain in-flight jobs (idempotent).
   void close();
 
+  /// Drop every in-memory cache entry (the persistence file, if any, is
+  /// untouched). Benchmarks use this to re-run the cold path on a warm
+  /// process -- with the recycled workspaces still warm.
+  void clear_cache();
+
   ServeStats stats() const;
   const ServeOptions& options() const { return options_; }
 
  private:
   ServeOptions options_;
   ArtifactCache cache_;
+  /// Recycled per-worker rewrite workspaces: a cold request checks one
+  /// out for the pipeline call, so steady-state cold rewrites reuse the
+  /// previous request's transient tables instead of re-faulting them.
+  WorkspacePool workspaces_;
   std::atomic<bool> closed_{false};
   std::unique_ptr<batch::WorkerPool> pool_;
 

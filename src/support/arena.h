@@ -70,6 +70,28 @@ class MonotonicArena {
     return total;
   }
 
+  /// Bytes bumped since the last reset(): the demand of the current cycle.
+  /// Capacity-granular (whole chunks behind the bump chunk count fully),
+  /// which is exactly the granularity trim() can release at.
+  std::size_t used_bytes() const {
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < chunk_ && i < chunks_.size(); ++i)
+      total += chunks_[i].size;
+    return total + cursor_;
+  }
+
+  /// Release whole chunks (largest first: growth is geometric, so the
+  /// biggest capacity sits at the back) until at most `budget` bytes stay
+  /// retained. Also rewinds to empty and restarts the growth schedule from
+  /// the surviving capacity, so one oversized request does not pin its
+  /// high-water mark -- or its doubled next-chunk size -- forever.
+  void trim(std::size_t budget) {
+    while (!chunks_.empty() && retained_bytes() > budget) chunks_.pop_back();
+    next_chunk_size_ = chunks_.empty() ? kDefaultChunk : chunks_.back().size * 2;
+    chunk_ = 0;
+    cursor_ = 0;
+  }
+
  private:
   static constexpr std::size_t kDefaultChunk = 64 * 1024;
 

@@ -57,6 +57,10 @@ struct ReassemblyOptions {
   /// Cap on how many successor dollops one emission region may absorb;
   /// bounds the main-span space a single placement decision can claim.
   std::size_t max_coalesce_run = 64;
+  /// External rewrite arena (a RewriteWorkspace's, recycled across
+  /// requests). Rewound before use; never affects output bytes. Null uses
+  /// the bounded per-thread arena.
+  MonotonicArena* arena = nullptr;
 };
 
 struct RewriteStats {
@@ -200,8 +204,13 @@ class Reassembler {
 
   /// The per-thread rewrite arena, rewound (chunks retained) for this
   /// rewrite. One Reassembler per thread at a time: a warm batch/serve
-  /// worker pays chunk malloc only on its first rewrite.
+  /// worker pays chunk malloc only on its first rewrite. Retention is
+  /// bounded: an arena holding far more than the last two rewrites needed
+  /// is trimmed here, so one oversized rewrite cannot pin its high-water
+  /// mark in the thread_local forever.
   static MonotonicArena* acquire_arena();
+  /// `opts.arena` (rewound) when set, else the per-thread arena.
+  static MonotonicArena* select_arena(MonotonicArena* external);
 
   analysis::IrProgram& prog_;
   ReassemblyOptions opts_;
@@ -227,5 +236,9 @@ class Reassembler {
   ArenaVector<PatchRec> patch_log_;
   RewriteStats stats_;
 };
+
+/// Capacity currently pinned by the calling thread's rewrite arena
+/// (regression tests for the bounded-retention policy in acquire_arena).
+std::size_t thread_arena_retained_bytes();
 
 }  // namespace zipr::rewriter

@@ -1,0 +1,48 @@
+#include "zipr/workspace.h"
+
+namespace zipr {
+
+void RewriteWorkspace::finish_cycle() {
+  std::size_t demand = arena_.used_bytes() + analysis_.used_bytes();
+  window_[cycles_++ % kWindow] = demand;
+  std::size_t peak = *std::max_element(window_, window_ + kWindow);
+  std::size_t budget = 2 * peak + kSlack;
+  if (retained_bytes() <= budget) return;
+  // The arena trims to whole chunks; the scratch vectors release outright
+  // and re-reserve to exact need next pass. Both are cost, not
+  // correctness: the next rewrite simply starts cold again.
+  arena_.trim(2 * arena_.used_bytes() + kSlack);
+  analysis_.trim();
+}
+
+WorkspacePool::Lease WorkspacePool::checkout() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!idle_.empty()) {
+      auto ws = std::move(idle_.back());
+      idle_.pop_back();
+      return Lease(this, std::move(ws));
+    }
+    ++created_;
+  }
+  // Construct outside the lock: a fresh workspace is cheap but there is no
+  // reason to serialize concurrent cold checkouts on it.
+  return Lease(this, std::make_unique<RewriteWorkspace>());
+}
+
+std::size_t WorkspacePool::created() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return created_;
+}
+
+std::size_t WorkspacePool::idle_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return idle_.size();
+}
+
+void WorkspacePool::give_back(std::unique_ptr<RewriteWorkspace> ws) {
+  std::lock_guard<std::mutex> lock(mu_);
+  idle_.push_back(std::move(ws));
+}
+
+}  // namespace zipr

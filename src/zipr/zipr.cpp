@@ -2,8 +2,10 @@
 
 #include <chrono>
 
+#include "analysis/scratch.h"
 #include "support/rng.h"
 #include "transform/api.h"
+#include "zipr/workspace.h"
 
 namespace zipr {
 
@@ -27,7 +29,10 @@ Result<RewriteResult> rewrite(const zelf::Image& input, const RewriteOptions& op
   Clock::time_point stage_start = Clock::now();
 
   // Phase 1: IR Construction.
-  ZIPR_ASSIGN_OR_RETURN(analysis::IrProgram prog, analysis::build_ir(input, options.analysis, exec.jobs));
+  analysis::AnalysisScratch* scratch =
+      exec.workspace ? &exec.workspace->analysis() : nullptr;
+  ZIPR_ASSIGN_OR_RETURN(analysis::IrProgram prog,
+                        analysis::build_ir(input, options.analysis, exec.jobs, scratch));
   timing.ir_ms = ms_since(stage_start);
   stage_start = Clock::now();
 
@@ -63,6 +68,7 @@ Result<RewriteResult> rewrite(const zelf::Image& input, const RewriteOptions& op
   ropts.coalesce = options.coalesce.value_or(
       options.placement != rewriter::PlacementKind::kDiversity);
   ropts.jobs = exec.jobs;
+  ropts.arena = exec.workspace ? exec.workspace->arena() : nullptr;
   rewriter::Reassembler reassembler(prog, ropts);
   ZIPR_ASSIGN_OR_RETURN(zelf::Image out, reassembler.run());
 
@@ -74,6 +80,9 @@ Result<RewriteResult> rewrite(const zelf::Image& input, const RewriteOptions& op
   result.reassembly = reassembler.stats();
   result.instrumentation = instrumentation;
   result.timing = timing;
+  // Let the workspace see this cycle's demand (and trim if an earlier
+  // oversized request left it holding far more than recent traffic needs).
+  if (exec.workspace) exec.workspace->finish_cycle();
   return result;
 }
 

@@ -498,6 +498,197 @@ TEST(TryDelta, RefusesWhenDiffSpansTooManyPages) {
   EXPECT_NE(reason.find("pages"), std::string::npos) << reason;
 }
 
+// ---- serve engine: persistent artifact cache ----
+
+std::string temp_cache_path(const char* tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("zipr_serve_cache_" + std::string(tag) + "_" +
+           std::to_string(::getpid()) + ".bin"))
+      .string();
+}
+
+TEST(ServeEngine, PersistedCacheAnswersAcrossRestartByteIdentically) {
+  const std::string path = temp_cache_path("roundtrip");
+  std::remove(path.c_str());
+  Bytes input = assemble_bytes(kDataProgram);
+  RewriteOptions opts;
+  opts.transforms = {"cfi"};
+
+  Bytes cold_bytes;
+  {
+    ServeOptions sopts;
+    sopts.cache_file = path;
+    ServeEngine engine(sopts);
+    auto cold = engine.handle(input, opts);
+    ASSERT_TRUE(cold.ok()) << cold.error().message;
+    EXPECT_EQ(cold->source, Source::kCold);
+    cold_bytes = cold->output;
+  }  // engine destroyed; only the file survives
+
+  ServeOptions sopts;
+  sopts.cache_file = path;
+  ServeEngine restarted(sopts);
+  auto warm = restarted.handle(input, opts);
+  ASSERT_TRUE(warm.ok()) << warm.error().message;
+  EXPECT_EQ(warm->source, Source::kCacheHit) << "restart lost the persisted artifact";
+  EXPECT_EQ(warm->output, cold_bytes);
+  EXPECT_EQ(warm->output, cold_reference(input, opts));
+  // Replayed artifacts carry the producing rewrite's stats, not zeros.
+  EXPECT_GT(warm->analysis.code_insns, 0u);
+
+  // Persistence must not alias keys: same input under other options misses.
+  auto miss = restarted.handle(input, RewriteOptions{});
+  ASSERT_TRUE(miss.ok());
+  EXPECT_EQ(miss->source, Source::kCold);
+  std::remove(path.c_str());
+}
+
+TEST(ServeEngine, CorruptedCacheFileDegradesToColdNeverWrongBytes) {
+  const std::string path = temp_cache_path("corrupt");
+  std::remove(path.c_str());
+  Bytes input = assemble_bytes(kDataProgram);
+  RewriteOptions opts;
+  opts.transforms = {"cfi"};
+  {
+    ServeOptions sopts;
+    sopts.cache_file = path;
+    ServeEngine engine(sopts);
+    ASSERT_TRUE(engine.handle(input, opts).ok());
+  }
+
+  // Flip one byte in the middle of the file (lands inside the only
+  // record): the checksum must reject it on replay.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, 0, SEEK_END), 0);
+  long size = std::ftell(f);
+  ASSERT_GT(size, 64);
+  ASSERT_EQ(std::fseek(f, size / 2, SEEK_SET), 0);
+  int c = std::fgetc(f);
+  ASSERT_NE(c, EOF);
+  ASSERT_EQ(std::fseek(f, size / 2, SEEK_SET), 0);
+  std::fputc(c ^ 0x5a, f);
+  std::fclose(f);
+
+  ServeOptions sopts;
+  sopts.cache_file = path;
+  ServeEngine engine(sopts);
+  auto r = engine.handle(input, opts);
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  EXPECT_EQ(r->source, Source::kCold) << "a corrupted record was served";
+  EXPECT_EQ(r->output, cold_reference(input, opts))
+      << "corruption fallback produced wrong bytes";
+  std::remove(path.c_str());
+}
+
+TEST(ServeEngine, GarbageCacheFileIsACleanColdStart) {
+  const std::string path = temp_cache_path("garbage");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("definitely not a zipr artifact cache", f);
+  std::fclose(f);
+
+  // Construction must survive (memory-only fallback) and serve correctly.
+  ServeOptions sopts;
+  sopts.cache_file = path;
+  ServeEngine engine(sopts);
+  Bytes input = assemble_bytes(kDataProgram);
+  RewriteOptions opts;
+  auto r = engine.handle(input, opts);
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  EXPECT_EQ(r->source, Source::kCold);
+  EXPECT_EQ(r->output, cold_reference(input, opts));
+  std::remove(path.c_str());
+}
+
+// ---- serve engine: recycled workspaces ----
+
+// Input variants that differ only in extra .data payload: each is its own
+// cache key but all drive the same-shaped cold pipeline.
+Bytes variant_input(int i) {
+  std::string src(kDataProgram);
+  src += "salt" + std::to_string(i) + ": .quad " + std::to_string(1000 + i) + "\n";
+  return assemble_bytes(src);
+}
+
+TEST(ServeEngine, ColdThroughRecycledWorkspaceIsByteIdentical) {
+  // clear_cache() drops artifacts but keeps the engine's workspaces warm,
+  // so the second pass runs the FULL cold pipeline through recycled
+  // buffers; its bytes must match the fresh-workspace first pass exactly.
+  RewriteOptions opts;
+  opts.transforms = {"cfi"};
+  ServeOptions sopts;
+  sopts.enable_delta = false;  // variants share text; force the COLD path
+  ServeEngine engine(sopts);
+  constexpr int kVariants = 6;
+  std::vector<Bytes> first_pass(kVariants);
+  for (int i = 0; i < kVariants; ++i) {
+    auto r = engine.handle(variant_input(i), opts);
+    ASSERT_TRUE(r.ok()) << r.error().message;
+    EXPECT_EQ(r->source, Source::kCold);
+    first_pass[i] = r->output;
+  }
+
+  engine.clear_cache();
+  for (int i = 0; i < kVariants; ++i) {
+    auto r = engine.handle(variant_input(i), opts);
+    ASSERT_TRUE(r.ok()) << r.error().message;
+    EXPECT_EQ(r->source, Source::kCold) << "clear_cache() left an artifact behind";
+    EXPECT_EQ(r->output, first_pass[i])
+        << "recycled workspace drifted on variant " << i;
+  }
+}
+
+TEST(ServeEngine, SubmitStormOverRecycledWorkspacesMatchesSyncHandle) {
+  // Digest differential, fresh vs recycled, under concurrency: references
+  // come from a single-threaded engine with fresh state; the storm engine
+  // then serves the same corpus repeatedly across jobs=4 workers, with
+  // clear_cache() between rounds so every round runs cold through
+  // RECYCLED pool workspaces. Part of the TSan workload (tsan_smoke).
+  constexpr int kVariants = 8;
+  constexpr int kRounds = 3;
+  RewriteOptions opts;
+
+  ServeOptions nodelta;
+  nodelta.enable_delta = false;  // variants share text; force the COLD path
+
+  std::vector<Bytes> inputs;
+  std::vector<Bytes> reference;
+  {
+    ServeEngine sync_engine(nodelta);
+    for (int i = 0; i < kVariants; ++i) {
+      inputs.push_back(variant_input(i));
+      auto r = sync_engine.handle(inputs.back(), opts);
+      ASSERT_TRUE(r.ok()) << r.error().message;
+      reference.push_back(r->output);
+    }
+  }
+
+  ServeOptions sopts = nodelta;
+  sopts.jobs = 4;
+  ServeEngine engine(sopts);
+  std::uint64_t total = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<std::future<Result<ServeResponse>>> futures;
+    for (int rep = 0; rep < 2; ++rep)
+      for (int i = 0; i < kVariants; ++i)
+        futures.push_back(engine.submit(inputs[static_cast<std::size_t>(i)], opts));
+    for (std::size_t k = 0; k < futures.size(); ++k) {
+      auto r = futures[k].get();
+      ASSERT_TRUE(r.ok()) << r.error().message;
+      EXPECT_EQ(r->output, reference[k % kVariants])
+          << "round " << round << " request " << k << " diverged from sync handle()";
+      ++total;
+    }
+    engine.clear_cache();  // next round runs cold again on warm workspaces
+  }
+  auto stats = engine.stats();
+  EXPECT_EQ(stats.requests, total);
+  EXPECT_EQ(stats.failures, 0u);
+  // Every round must re-run at least the whole corpus cold.
+  EXPECT_GE(stats.cold, static_cast<std::uint64_t>(kVariants * kRounds));
+}
+
 // ---- serve engine: async submits + close (satellite #4 companion) ----
 
 TEST(ServeEngine, ConcurrentSubmitsAllResolveAndAgree) {

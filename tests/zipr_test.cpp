@@ -10,6 +10,7 @@
 #include "zipr/memory_space.h"
 #include "zipr/placement.h"
 #include "zipr/reassembler.h"
+#include "zipr/workspace.h"
 #include "zipr/zipr.h"
 
 namespace zipr {
@@ -966,6 +967,130 @@ TEST(Sled, ThreeAdjacentPins) {
   for (Byte sel : {Byte{0}, Byte{1}, Byte{2}}) {
     expect_equivalent(original, r.image, Bytes{sel});
   }
+}
+
+// ---- recycled workspaces (ExecPolicy::workspace) ----
+
+// A straight-line program whose size scales linearly with `n`, for driving
+// the workspace's text-proportional scratch tables to chosen demands.
+std::string straightline_program(int n) {
+  std::string src = ".entry main\n.text\nmain:\n";
+  for (int i = 0; i < n; ++i) src += "  addi r2, " + std::to_string(i % 7) + "\n";
+  src += "  movi r0, 1\n  mov r1, r2\n  syscall\n";
+  return src;
+}
+
+TEST(Workspace, RecyclingNeverChangesOutputBytes) {
+  zelf::Image img = must_assemble(straightline_program(400));
+  RewriteOptions opts;
+  opts.transforms = {"cfi"};
+  Bytes reference = zelf::write_image(must_rewrite(img, opts).image);
+
+  RewriteWorkspace ws;
+  ExecPolicy exec;
+  exec.workspace = &ws;
+  for (int pass = 0; pass < 3; ++pass) {
+    auto r = rewrite(img, opts, exec);
+    ASSERT_TRUE(r.ok()) << r.error().message;
+    EXPECT_EQ(zelf::write_image(r->image), reference)
+        << "recycled workspace drifted on pass " << pass;
+  }
+  EXPECT_EQ(ws.cycles(), 3u);
+  EXPECT_GT(ws.retained_bytes(), 0u) << "nothing was actually recycled";
+}
+
+TEST(Workspace, ReuseAcrossDifferentImagesMatchesFreshRewrites) {
+  zelf::Image a = must_assemble(straightline_program(300));
+  zelf::Image b = must_assemble(straightline_program(37));
+  Bytes ref_a = zelf::write_image(must_rewrite(a).image);
+  Bytes ref_b = zelf::write_image(must_rewrite(b).image);
+
+  // Big then small then big again through ONE workspace: stale capacity
+  // from a previous (differently-sized) input must never leak into bytes.
+  RewriteWorkspace ws;
+  ExecPolicy exec;
+  exec.workspace = &ws;
+  for (const auto* want : {&ref_a, &ref_b, &ref_a}) {
+    const zelf::Image& img = (want == &ref_a) ? a : b;
+    auto r = rewrite(img, {}, exec);
+    ASSERT_TRUE(r.ok()) << r.error().message;
+    EXPECT_EQ(zelf::write_image(r->image), *want);
+  }
+}
+
+TEST(Workspace, OversizedCycleAgesOutOfTheRetentionWindow) {
+  // Regression for unbounded retention: one x50-scale request must not pin
+  // its high-water mark once the trim window fills with x1 traffic.
+  zelf::Image big = must_assemble(straightline_program(20000));
+  zelf::Image small = must_assemble(straightline_program(50));
+
+  RewriteWorkspace ws;
+  ExecPolicy exec;
+  exec.workspace = &ws;
+  ASSERT_TRUE(rewrite(big, {}, exec).ok());
+  std::size_t after_big = ws.retained_bytes();
+  ASSERT_GT(after_big, 0u);
+
+  // More small cycles than the trim window holds: the oversized demand
+  // ages out and finish_cycle() releases down to ~2x the small demand.
+  std::size_t settled = after_big;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(rewrite(small, {}, exec).ok());
+    settled = std::min(settled, ws.retained_bytes());
+  }
+  EXPECT_LT(settled, after_big / 2)
+      << "workspace still pins the oversized high-water mark ("
+      << after_big << " -> " << settled << " bytes)";
+
+  // And the trimmed workspace still produces correct bytes.
+  auto r = rewrite(small, {}, exec);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(zelf::write_image(r->image), zelf::write_image(must_rewrite(small).image));
+}
+
+TEST(Workspace, ThreadLocalArenaRetentionIsBounded) {
+  // Workspace-less rewrites share a thread_local reassembly arena; its
+  // retention uses a two-cycle hysteresis, so a x50 rewrite followed by
+  // sustained x1 traffic must release the high-water mark by the third
+  // small acquire instead of pinning it for the thread's lifetime.
+  zelf::Image big = must_assemble(straightline_program(20000));
+  zelf::Image small = must_assemble(straightline_program(50));
+
+  ASSERT_TRUE(rewrite(big).ok());
+  std::size_t after_big = rewriter::thread_arena_retained_bytes();
+  ASSERT_GT(after_big, 0u);
+
+  std::size_t settled = after_big;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(rewrite(small).ok());
+    settled = std::min(settled, rewriter::thread_arena_retained_bytes());
+  }
+  EXPECT_LT(settled, after_big / 2)
+      << "thread arena still pins the oversized high-water mark ("
+      << after_big << " -> " << settled << " bytes)";
+}
+
+TEST(WorkspacePool, CheckoutRecyclesSequentiallyAndLeaseReturns) {
+  WorkspacePool pool;
+  EXPECT_EQ(pool.created(), 0u);
+  {
+    WorkspacePool::Lease lease = pool.checkout();
+    ASSERT_TRUE(lease);
+    EXPECT_EQ(pool.created(), 1u);
+    EXPECT_EQ(pool.idle_count(), 0u);
+
+    // A concurrent checkout while the first is leased makes a SECOND
+    // workspace rather than sharing (workspaces are single-owner).
+    WorkspacePool::Lease other = pool.checkout();
+    EXPECT_NE(lease.get(), other.get());
+    EXPECT_EQ(pool.created(), 2u);
+  }
+  EXPECT_EQ(pool.idle_count(), 2u);
+
+  // Sequential checkouts now recycle; nothing new is created.
+  for (int i = 0; i < 5; ++i) WorkspacePool::Lease lease = pool.checkout();
+  EXPECT_EQ(pool.created(), 2u);
+  EXPECT_EQ(pool.idle_count(), 2u);
 }
 
 }  // namespace

@@ -54,17 +54,36 @@
 #     "cache_hit_rate": <warm-pass hit fraction>, "min_cache_hit_rate": 1.0,
 #     "outputs_identical": <warm bytes == cold bytes, per request>,
 #     "cold_digest"/"warm_digest": <chained fnv1a over outputs; must match>,
+#     "cold_start": {"scale": N, "text_bytes": N,
+#               "first_request_wall_ms": <fresh engine, fresh heap>,
+#               "steady_wall_ms": <best cold request on a warm engine,
+#                                  cache cleared between requests>,
+#               "steady_speedup": <first/steady -- the workspace-pool win>,
+#               "min_steady_speedup": <gated floor, 1.5x>,
+#               "outputs_identical": <fresh == recycled == no-workspace>},
 #     "delta": {"attempted": N, "hits": N, "min_hits": <gated floor>,
-#               "cold_fallbacks": N, "wall_ms": ...,
+#               "cold_fallbacks": N,
+#               "wall_ms": <engine.handle() only: inputs perturbed before,
+#                           verification after; gated < cold_wall_ms>,
 #               "outputs_identical": <every delta response == direct rewrite>,
 #               "text_never_delta": <text edits never served as delta>},
+#     "persist": {"requests": N, "restart_hits": <must equal requests>,
+#               "restart_identical": <restarted engine == cold bytes>,
+#               "corrupt_cold_fallbacks": <must be > 0>,
+#               "corrupt_fallback_identical": <corrupted file -> cold,
+#                                              never wrong bytes>},
+#     "peak_rss_kb": <process ru_maxrss>,
+#     "max_peak_rss_kb": <gated ceiling -- workspace trim policy bound>,
 #     "engine": {<ServeStats counters>}
 #   }
 # The binary exits non-zero when warm outputs diverge from cold, the hit
 # rate is below 1.0, the warm speedup is under min_warm_speedup, any
-# delta-path response differs from a direct cold rewrite, or a text-byte
-# perturbation was served from the delta path. perf_guard --serve re-checks
-# the identity bits plus the baseline's recorded floors.
+# delta-path response differs from a direct cold rewrite, a text-byte
+# perturbation was served from the delta path, the cold-start steady
+# speedup is under min_steady_speedup (or its bytes diverge), a restarted
+# engine misses a persisted request, or the corrupted-cache pass produces
+# no cold fallbacks / wrong bytes. perf_guard --serve re-checks the
+# identity bits plus the baseline's recorded floors and the RSS ceiling.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"

@@ -21,7 +21,7 @@
 // Serve mode: long-running rewrite service on a local Unix socket, with a
 // content-addressed artifact cache and a page-delta fast path.
 //   zipr-cli serve --socket=PATH [--jobs=N] [--cache-mb=N] [--no-delta]
-//            [--max-delta-pages=N] [--max-requests=N]
+//            [--max-delta-pages=N] [--max-requests=N] [--cache-file=PATH]
 //   zipr-cli submit <input.zelf> --socket=PATH --out=<output.zelf>
 //            [rewrite flags as in single-binary mode]
 #include <cinttypes>
@@ -82,7 +82,7 @@ std::vector<std::string> with_flags(std::vector<std::string> base,
 int run_serve(const zipr::cli::Args& args) {
   using namespace zipr;
   cli::reject_unknown(args, {"socket", "jobs", "cache-mb", "no-delta", "max-delta-pages",
-                             "max-requests"});
+                             "max-requests", "cache-file"});
   auto socket_path = args.value("socket");
   if (!socket_path) cli::die("serve mode requires --socket=<path>");
 
@@ -93,6 +93,9 @@ int run_serve(const zipr::cli::Args& args) {
   sopts.enable_delta = !args.has("no-delta");
   sopts.delta.max_changed_pages =
       static_cast<std::size_t>(cli::checked_u64(args, "max-delta-pages", 8, 1 << 20));
+  // Persistent cache: a restarted daemon re-answers previously-seen
+  // requests as byte-identical cache hits instead of re-rewriting.
+  sopts.cache_file = args.value("cache-file").value_or("");
   serve::ServeEngine engine(sopts);
 
   serve::SocketServerOptions server;
@@ -101,9 +104,11 @@ int run_serve(const zipr::cli::Args& args) {
       static_cast<long>(cli::checked_u64(args, "max-requests", 0, LONG_MAX));
   if (server.max_requests == 0) server.max_requests = -1;  // 0/absent = unbounded
 
-  std::printf("serve: listening on %s (jobs %d, cache %zu MiB, delta %s)\n",
+  std::printf("serve: listening on %s (jobs %d, cache %zu MiB, delta %s%s%s)\n",
               socket_path->c_str(), sopts.jobs, sopts.cache_bytes >> 20,
-              sopts.enable_delta ? "on" : "off");
+              sopts.enable_delta ? "on" : "off",
+              sopts.cache_file.empty() ? "" : ", persist ",
+              sopts.cache_file.c_str());
   std::fflush(stdout);
 
   Status st = serve::serve_on_socket(engine, server);
